@@ -1,0 +1,291 @@
+package palermo
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (DESIGN.md §3). Each benchmark regenerates its figure as a
+// text table (logged once) and reports the headline number as a benchmark
+// metric, so `go test -bench=. -benchmem` reproduces the whole evaluation.
+//
+// Scale: the paper measures up to 50M ORAM requests per point; benches
+// default to hundreds per point (thousands of DRAM events each), which is
+// where the shapes stabilize. Raise with -benchtime or the PALERMO_REQS
+// environment variable for tighter numbers.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+func benchOpts(requests int) Options {
+	if s := os.Getenv("PALERMO_REQS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			requests = v
+		}
+	}
+	return Options{Requests: requests}
+}
+
+func BenchmarkFig03_RingBandwidth(b *testing.B) {
+	var sync float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig3(benchOpts(600))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sync = res.SyncTotal()
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(sync*100, "sync_pct") // paper: 72.4
+}
+
+func BenchmarkFig04_PrefetchDummies(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig4(benchOpts(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range res.PrDummy {
+			if d > peak {
+				peak = d
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(peak*100, "peak_dummy_pct") // paper: 77.3 at pf=4
+}
+
+func BenchmarkFig09_SecurityLatency(b *testing.B) {
+	var worstMI float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig9(benchOpts(2500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstMI = 0
+		for _, row := range res.Rows {
+			if row.MutualInfo > worstMI {
+				worstMI = row.MutualInfo
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(worstMI, "worst_mutual_info_bits") // paper: <= 0.006
+}
+
+func BenchmarkFig10_EndToEnd(b *testing.B) {
+	var palermoGM, pfGM float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig10(benchOpts(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p, proto := range res.Protocols {
+			switch proto {
+			case ProtoPalermo:
+				palermoGM = res.GMean[p]
+			case ProtoPalermoPF:
+				pfGM = res.GMean[p]
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(palermoGM, "palermo_gmean_x") // paper: 2.4
+	b.ReportMetric(pfGM, "palermo_pf_gmean_x")   // paper: 3.1
+}
+
+func BenchmarkFig11_Parallelism(b *testing.B) {
+	var outR, bwR float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig11(benchOpts(600))
+		if err != nil {
+			b.Fatal(err)
+		}
+		outR, bwR = res.Ratios()
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(outR, "outstanding_ratio_x") // paper: 2.8
+	b.ReportMetric(bwR, "bandwidth_ratio_x")    // paper: 2.2
+}
+
+func BenchmarkFig12_StashBound(b *testing.B) {
+	var worst int
+	for i := 0; i < b.N; i++ {
+		res, err := Fig12(benchOpts(1000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, m := range res.Max {
+			if m > worst {
+				worst = m
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(float64(worst), "max_stash_tags") // paper: 228-237 < 256
+}
+
+func BenchmarkFig13_PrefetchSweep(b *testing.B) {
+	var llmBest float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig13(benchOpts(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for w, wl := range res.Workloads {
+			if wl != "llm" {
+				continue
+			}
+			for _, v := range res.Speedup[w] {
+				if v > llmBest {
+					llmBest = v
+				}
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(llmBest, "llm_best_speedup_x") // paper: ~4.3 at pf=8
+}
+
+func BenchmarkFig14a_SweepZ(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig14a(benchOpts(400))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.Speedup[2] // (16,27,20), the adopted configuration
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(gain, "z16_speedup_x") // paper: up to 1.8
+}
+
+func BenchmarkFig14b_SweepPE(b *testing.B) {
+	var at8 float64
+	for i := 0; i < b.N; i++ {
+		res, err := Fig14b(benchOpts(400))
+		if err != nil {
+			b.Fatal(err)
+		}
+		at8 = res.Speedup[3]
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(at8, "pe8_speedup_x") // paper: ~2.2
+}
+
+func BenchmarkFig15_AreaPower(b *testing.B) {
+	var area, power float64
+	for i := 0; i < b.N; i++ {
+		m := Fig15(8)
+		area, power = m.TotalArea(), m.TotalPower()
+		if i == 0 {
+			b.Log("\n" + m.String())
+		}
+	}
+	b.ReportMetric(area, "area_mm2") // paper: 5.78
+	b.ReportMetric(power, "power_w") // paper: 2.14
+}
+
+func BenchmarkTab02_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := TableII()
+		if i == 0 {
+			b.Log("\n" + s + TableIII())
+		}
+	}
+}
+
+func BenchmarkAblation_ERHoisting(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := AblationHoisting(benchOpts(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.Gain()
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(gain, "hoisting_gain_x")
+}
+
+func BenchmarkAblation_TreeTopCache(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := AblationTreeTop(benchOpts(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.Gain()
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(gain, "treetop_gain_x")
+}
+
+func BenchmarkAblation_SWGranularity(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := AblationCommitGranularity(benchOpts(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.Gain()
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+	b.ReportMetric(gain, "fine_sw_gain_x")
+}
+
+func BenchmarkExt_PathMesh(b *testing.B) {
+	var pathG, ringG float64
+	for i := 0; i < b.N; i++ {
+		pg, rg, err := AblationPathMesh(benchOpts(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pathG, ringG = pg.Gain(), rg.Gain()
+		if i == 0 {
+			b.Log("\n" + pg.String() + "\n" + rg.String())
+		}
+	}
+	b.ReportMetric(pathG, "path_mesh_gain_x") // §IV-E: limited
+	b.ReportMetric(ringG, "ring_mesh_gain_x") // §IV-E: large
+}
+
+func BenchmarkExt_TenantIsolation(b *testing.B) {
+	var mi float64
+	for i := 0; i < b.N; i++ {
+		rep, err := TenantIsolation(benchOpts(2000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mi = rep.MutualInfo
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+	b.ReportMetric(mi, "tenant_mi_bits") // §VI: ~0
+}

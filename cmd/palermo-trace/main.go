@@ -1,0 +1,107 @@
+// Command palermo-trace generates and characterizes the Table II LLC-miss
+// workload traces.
+//
+// Usage:
+//
+//	palermo-trace -list
+//	palermo-trace -workload llm -n 20           # dump addresses
+//	palermo-trace -characterize                 # locality/reuse table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"palermo/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list workloads")
+	name := flag.String("workload", "", "workload to dump")
+	n := flag.Int("n", 20, "addresses to dump")
+	char := flag.Bool("characterize", false, "print locality/reuse characteristics")
+	lines := flag.Uint64("lines", 1<<28, "protected space in cache lines")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	record := flag.String("record", "", "record -workload to this trace file (-n references)")
+	replay := flag.String("replay", "", "replay a recorded trace file (dumps -n references)")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		g, err := workload.New(*name, *lines, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, g, uint64(*n)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d references of %s to %s\n", *n, *name, *record)
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := workload.ReadTrace(*replay, f)
+		if err != nil {
+			fatal(err)
+		}
+		limit := *n
+		if limit > tr.Len() {
+			limit = tr.Len()
+		}
+		for i := 0; i < limit; i++ {
+			pa, wr := tr.Next()
+			op := "R"
+			if wr {
+				op = "W"
+			}
+			fmt.Printf("%s 0x%012x\n", op, pa*64)
+		}
+	case *list:
+		for _, wl := range workload.Names() {
+			fmt.Println(wl)
+		}
+	case *char:
+		fmt.Printf("%-8s %12s %12s %12s\n", "workload", "locality@4", "locality@64", "unique-frac")
+		for _, wl := range workload.Names() {
+			g1, err := workload.New(wl, *lines, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			g2, _ := workload.New(wl, *lines, *seed)
+			g3, _ := workload.New(wl, *lines, *seed)
+			fmt.Printf("%-8s %11.1f%% %11.1f%% %11.1f%%\n", wl,
+				workload.Locality(g1, 50000, 4)*100,
+				workload.Locality(g2, 50000, 64)*100,
+				workload.UniqueFrac(g3, 50000)*100)
+		}
+	case *name != "":
+		g, err := workload.New(*name, *lines, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < *n; i++ {
+			pa, wr := g.Next()
+			op := "R"
+			if wr {
+				op = "W"
+			}
+			fmt.Printf("%s 0x%012x\n", op, pa*64)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "palermo-trace:", err)
+	os.Exit(1)
+}

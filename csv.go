@@ -1,0 +1,166 @@
+package palermo
+
+// CSV export for every experiment result, so figures can be re-plotted
+// outside the text renderings (palermo-bench -csv).
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSV writes Fig 3 as rows of workload bandwidth plus breakdown rows.
+func (r Fig3Result) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for i, wl := range r.Workloads {
+		rows = append(rows, []string{"bandwidth", wl, f(r.Bandwidth[i])})
+	}
+	labels := []string{"data", "pos1", "pos2"}
+	for l := 0; l < 3; l++ {
+		rows = append(rows, []string{"dram_frac", labels[l], f(r.DramFrac[l])})
+		rows = append(rows, []string{"sync_frac", labels[l], f(r.SyncFrac[l])})
+	}
+	return writeCSV(w, []string{"series", "key", "value"}, rows)
+}
+
+// CSV writes Fig 4 as one row per prefetch length.
+func (r Fig4Result) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for i, pf := range r.Lengths {
+		rows = append(rows, []string{
+			strconv.Itoa(pf),
+			f(r.PrSpeedup[i]), f(r.PrDummy[i]),
+			f(r.FatSpeedup[i]), f(r.FatDummy[i]),
+		})
+	}
+	return writeCSV(w, []string{"pf", "proram_speedup", "proram_dummy", "laoram_speedup", "laoram_dummy"}, rows)
+}
+
+// CSV writes Fig 9 as one row per workload.
+func (r Fig9Result) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload, f(row.RowHit), f(row.BankConf), f(row.MutualInfo),
+			f(row.P1), f(row.P2), f(row.LatMedian), f(row.LatP10), f(row.LatP90),
+			f(row.LeafChi2P),
+		})
+	}
+	return writeCSV(w, []string{"workload", "row_hit", "bank_conflict", "mutual_info",
+		"p1", "p2", "lat_median", "lat_p10", "lat_p90", "leaf_p"}, rows)
+}
+
+// CSV writes Fig 10 as one row per (protocol, workload) cell.
+func (r Fig10Result) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for p, proto := range r.Protocols {
+		for wi, wl := range r.Workloads {
+			rows = append(rows, []string{proto.String(), wl, f(r.Speedup[p][wi])})
+		}
+		rows = append(rows, []string{proto.String(), "gmean", f(r.GMean[p])})
+	}
+	return writeCSV(w, []string{"protocol", "workload", "speedup"}, rows)
+}
+
+// CSV writes Fig 11 as one row per workload.
+func (r Fig11Result) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for i, wl := range r.Workloads {
+		rows = append(rows, []string{wl, f(r.RingBW[i]), f(r.PalBW[i]), f(r.RingOut[i]), f(r.PalOut[i])})
+	}
+	return writeCSV(w, []string{"workload", "ring_bw", "palermo_bw", "ring_outstanding", "palermo_outstanding"}, rows)
+}
+
+// CSV writes Fig 12 as one row per (workload, progress%) sample.
+func (r Fig12Result) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for i, wl := range r.Workloads {
+		for j, v := range r.Samples[i] {
+			rows = append(rows, []string{wl, strconv.Itoa(j), strconv.Itoa(v)})
+		}
+	}
+	return writeCSV(w, []string{"workload", "sample", "stash_tags"}, rows)
+}
+
+// CSV writes Fig 13 as one row per (workload, prefetch) cell.
+func (r Fig13Result) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for i, wl := range r.Workloads {
+		for j, pf := range r.Lengths {
+			rows = append(rows, []string{wl, strconv.Itoa(pf), f(r.Speedup[i][j])})
+		}
+	}
+	return writeCSV(w, []string{"workload", "pf", "speedup"}, rows)
+}
+
+// CSV writes Fig 14a as one row per configuration.
+func (r Fig14aResult) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for i, zsa := range r.ZSA {
+		rows = append(rows, []string{
+			strconv.Itoa(zsa[0]), strconv.Itoa(zsa[1]), strconv.Itoa(zsa[2]),
+			f(r.Speedup[i]), strconv.Itoa(r.Stash[i]),
+		})
+	}
+	return writeCSV(w, []string{"z", "s", "a", "speedup", "stash_max"}, rows)
+}
+
+// CSV writes Fig 14b as one row per column count.
+func (r Fig14bResult) CSV(w io.Writer) error {
+	rows := [][]string{}
+	for i, c := range r.Columns {
+		rows = append(rows, []string{strconv.Itoa(c), f(r.Speedup[i]), f(r.BW[i])})
+	}
+	return writeCSV(w, []string{"columns", "speedup", "bandwidth"}, rows)
+}
+
+// ResultCSVHeader is the per-run export header used by RunResult.CSVRow.
+var ResultCSVHeader = []string{
+	"protocol", "workload", "prefetch", "requests", "served_lines", "dummies",
+	"cycles", "miss_per_s", "bandwidth", "row_hit", "queue_occ", "sync_frac",
+	"stash_max0", "stash_over0",
+}
+
+// CSVRow flattens a run for spreadsheet-style aggregation.
+func (r RunResult) CSVRow() []string {
+	row := []string{
+		r.Protocol.String(), r.Workload, strconv.Itoa(r.Prefetch),
+		strconv.FormatUint(r.Requests, 10),
+		strconv.FormatUint(r.ServedLines, 10),
+		strconv.FormatUint(r.Dummies, 10),
+		fmt.Sprintf("%d", r.Cycles),
+		f(r.MissesPerSecond()),
+		f(r.Mem.BandwidthUtil),
+		f(r.Mem.RowHitRate),
+		f(r.Mem.AvgQueueOcc),
+		f(r.SyncFraction()),
+	}
+	if len(r.StashMax) > 0 {
+		row = append(row, strconv.Itoa(r.StashMax[0]))
+	} else {
+		row = append(row, "0")
+	}
+	if len(r.StashOver) > 0 {
+		row = append(row, strconv.FormatUint(r.StashOver[0], 10))
+	} else {
+		row = append(row, "0")
+	}
+	return row
+}

@@ -1,0 +1,136 @@
+package palermo
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestFig4CSV(t *testing.T) {
+	r := Fig4Result{
+		Lengths:    []int{1, 2},
+		PrSpeedup:  []float64{1, 2},
+		PrDummy:    []float64{0, 0.5},
+		FatSpeedup: []float64{1, 2.1},
+		FatDummy:   []float64{0, 0.2},
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 || recs[0][0] != "pf" {
+		t.Fatalf("unexpected csv: %v", recs)
+	}
+	if recs[2][2] != "0.5" {
+		t.Fatalf("dummy fraction cell = %q", recs[2][2])
+	}
+}
+
+func TestFig10CSV(t *testing.T) {
+	r := Fig10Result{
+		Workloads: []string{"a", "b"},
+		Protocols: []Protocol{ProtoPathORAM, ProtoPalermo},
+		Speedup:   [][]float64{{1, 1}, {2, 2.5}},
+		GMean:     []float64{1, 2.23},
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	// header + 2 protocols x (2 workloads + gmean).
+	if len(recs) != 1+2*3 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[6][0] != "Palermo" || recs[6][1] != "gmean" {
+		t.Fatalf("gmean row = %v", recs[6])
+	}
+}
+
+func TestRunResultCSVRow(t *testing.T) {
+	r, err := Run(ProtoPalermo, "rand", Options{Lines: 1 << 22, Requests: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.CSVRow()
+	if len(row) != len(ResultCSVHeader) {
+		t.Fatalf("row width %d vs header %d", len(row), len(ResultCSVHeader))
+	}
+	if row[0] != "Palermo" || row[1] != "rand" {
+		t.Fatalf("identity cells wrong: %v", row[:2])
+	}
+	for i, cell := range row {
+		if strings.TrimSpace(cell) == "" {
+			t.Fatalf("empty cell %d (%s)", i, ResultCSVHeader[i])
+		}
+	}
+}
+
+func TestAllResultCSVsWellFormed(t *testing.T) {
+	o := Options{Lines: 1 << 22, Requests: 200}
+	var buf bytes.Buffer
+
+	f3, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f3.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf)
+
+	f11, err := Fig11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f11.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if recs := parseCSV(t, &buf); len(recs) != 5 {
+		t.Fatalf("fig11 rows = %d", len(recs))
+	}
+
+	f12, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f12.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf)
+
+	f14a := Fig14aResult{ZSA: [][3]int{{4, 5, 3}}, Speedup: []float64{1}, Stash: []int{20}}
+	buf.Reset()
+	if err := f14a.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f14b := Fig14bResult{Columns: []int{1}, Speedup: []float64{1}, BW: []float64{0.2}}
+	buf.Reset()
+	if err := f14b.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f13 := Fig13Result{Workloads: []string{"a"}, Lengths: []int{1}, Speedup: [][]float64{{1}}}
+	buf.Reset()
+	if err := f13.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f9 := Fig9Result{Rows: []Fig9Row{{Workload: "a"}}}
+	buf.Reset()
+	if err := f9.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: an oblivious key-value store on the Palermo ORAM engine.
+//
+// This example exercises the functional layer directly: values are sealed
+// with AES-CTR, stored through the Palermo-variant RingORAM engine (real
+// tree + stash + recursive position maps), and read back obliviously —
+// every access touches one uniformly random tree path regardless of which
+// key is requested. It then runs the timing simulation to show what the
+// same accesses cost on the modeled hardware.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"palermo"
+	"palermo/internal/crypt"
+	"palermo/internal/oram"
+)
+
+func main() {
+	// A 256 MB protected space (2^22 cache lines) with Palermo's protocol
+	// parameters. The tree is lazily materialized, so construction is cheap.
+	cfg := oram.PalermoRingConfig()
+	cfg.NLines = 1 << 22
+	engine, err := oram.NewRing(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sealer, err := crypt.NewSealer([]byte("an example 16B k"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Store a few secrets. Each Access returns the exact DRAM traffic plan
+	// the hardware would replay — note every plan has the same shape.
+	secrets := map[uint64]string{
+		1000: "the merger closes friday",
+		2000: "prompt: draft my resignation",
+		3000: "patient id 77421 biopsy",
+	}
+	for pa, msg := range secrets {
+		var block [crypt.BlockBytes]byte
+		copy(block[:], msg)
+		sealed, epoch, err := sealer.Seal(pa, block[:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The simulator carries a compact payload; real deployments move
+		// the sealed 64-byte block. We store a digest to verify round trip.
+		plan := engine.Access(pa, true, digest(sealed)|epoch<<48)
+		fmt.Printf("write PA %d: %3d DRAM reads, %3d writes, leaf %d remapped\n",
+			pa, plan.Reads(), plan.Writes(), plan.DataLeaf)
+	}
+
+	// Read them back. The access pattern reveals nothing: same traffic
+	// shape, fresh random path every time, even for repeated keys.
+	for pa := range secrets {
+		plan := engine.Access(pa, false, 0)
+		fmt.Printf("read  PA %d: value intact=%v, exposed leaf %d\n",
+			pa, plan.Val != 0, plan.DataLeaf)
+	}
+
+	// The same requests under the full timing model: Palermo vs RingORAM.
+	opts := palermo.Options{Lines: 1 << 22, Requests: 400}
+	ring, err := palermo.Run(palermo.ProtoRingORAM, "redis", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pal, err := palermo.Run(palermo.ProtoPalermo, "redis", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntiming (redis-style keys): RingORAM %.2fM miss/s -> Palermo %.2fM miss/s (%.1fx)\n",
+		ring.MissesPerSecond()/1e6, pal.MissesPerSecond()/1e6,
+		pal.Throughput()/ring.Throughput())
+}
+
+func digest(b []byte) uint64 {
+	var d uint64
+	for len(b) >= 8 {
+		d ^= binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	return d & (1<<48 - 1)
+}

@@ -1,0 +1,46 @@
+// Oblivious recommendation inference (DLRM): embedding-table gathers whose
+// addresses reveal user behaviour (watched items, clicked ads). This
+// example contrasts the two DLRM profiles of Table II — memory-bound rm1
+// (long rows, strong skew) and balanced rm2 — and shows how stash pressure
+// separates PrORAM-style prefetching from Palermo's wide-block scheme on
+// exactly these workloads.
+//
+// Run: go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"palermo"
+)
+
+func main() {
+	opts := palermo.Options{Requests: 600}
+
+	for _, wl := range []string{"rm1", "rm2"} {
+		fmt.Printf("=== %s ===\n", wl)
+		base, err := palermo.Run(palermo.ProtoPathORAM, wl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pf := palermo.DefaultPrefetch(wl)
+
+		pr, err := palermo.Run(palermo.ProtoPrORAM, wl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pal, err := palermo.Run(palermo.ProtoPalermoPF, wl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("  prefetch length %d (embedding row)\n", pf)
+		fmt.Printf("  PrORAM     : %5.2fx over PathORAM, %5.1f%% dummy requests, stash peak %d\n",
+			pr.Throughput()/base.Throughput(), pr.DummyFraction()*100, pr.StashMax[0])
+		fmt.Printf("  Palermo+PF : %5.2fx over PathORAM, %5.1f%% dummy requests, stash peak %d\n",
+			pal.Throughput()/base.Throughput(), pal.DummyFraction()*100, pal.StashMax[0])
+		fmt.Printf("  Palermo's wide blocks keep one stash tag per row; PrORAM's forced\n")
+		fmt.Printf("  same-leaf mapping pays for evictions with dummy path accesses.\n\n")
+	}
+}

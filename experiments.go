@@ -1,0 +1,855 @@
+package palermo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"palermo/internal/core"
+	"palermo/internal/ctrl"
+	"palermo/internal/dram"
+	"palermo/internal/hwmodel"
+	"palermo/internal/oram"
+	"palermo/internal/rng"
+	"palermo/internal/security"
+	"palermo/internal/sim"
+	"palermo/internal/stats"
+	"palermo/internal/workload"
+)
+
+// This file regenerates every table and figure of the paper's evaluation
+// (§III and §VIII). Each Fig*/Table* function runs the necessary
+// simulations and returns a result struct whose String method renders the
+// figure as a text table; EXPERIMENTS.md records paper-vs-measured values.
+
+// Fig3Workloads are the workloads the paper uses for the RingORAM analysis.
+var Fig3Workloads = []string{"mcf", "pr", "llm", "rand"}
+
+// Fig9Workloads are the workloads of the security/latency study.
+var Fig9Workloads = []string{"mcf", "pr", "llm", "redis"}
+
+// Fig3Result reproduces Fig 3: RingORAM bandwidth utilization per workload
+// and the memory-cycle breakdown (dram vs ORAM-sync per hierarchy level).
+type Fig3Result struct {
+	Workloads []string
+	Bandwidth []float64 // fraction of peak per workload
+	// Breakdown fractions over total cycles, paper labels:
+	// Pos2-dram, Pos2-sync, Pos1-dram, Pos1-sync, data-dram, data-sync.
+	DramFrac []float64 // [level] aggregated across workloads
+	SyncFrac []float64
+	RowHit   float64
+	QueueOcc float64
+}
+
+// Fig3 runs the analysis.
+func Fig3(o Options) (Fig3Result, error) {
+	res := Fig3Result{Workloads: Fig3Workloads, DramFrac: make([]float64, 3), SyncFrac: make([]float64, 3)}
+	var totalCycles float64
+	var hit, qocc stats.Mean
+	for _, wl := range Fig3Workloads {
+		r, err := Run(ProtoRingORAM, wl, o)
+		if err != nil {
+			return res, err
+		}
+		res.Bandwidth = append(res.Bandwidth, r.Mem.BandwidthUtil)
+		hit.Add(r.Mem.RowHitRate)
+		qocc.Add(r.Mem.AvgQueueOcc * 4) // per-channel -> all channels
+		for l, lc := range r.Levels {
+			res.DramFrac[l] += float64(lc.Dram)
+			res.SyncFrac[l] += float64(lc.Sync)
+			totalCycles += float64(lc.Dram + lc.Sync)
+		}
+	}
+	for l := 0; l < 3; l++ {
+		res.DramFrac[l] /= totalCycles
+		res.SyncFrac[l] /= totalCycles
+	}
+	res.RowHit = hit.Value()
+	res.QueueOcc = qocc.Value()
+	return res, nil
+}
+
+// SyncTotal returns the aggregate ORAM-sync share (paper: 72.4%).
+func (r Fig3Result) SyncTotal() float64 {
+	var s float64
+	for _, v := range r.SyncFrac {
+		s += v
+	}
+	return s
+}
+
+// String renders the figure.
+func (r Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3a — RingORAM bandwidth utilization (paper: <30%%, homogeneous)\n")
+	for i, wl := range r.Workloads {
+		fmt.Fprintf(&b, "  %-6s %5.1f%%\n", wl, r.Bandwidth[i]*100)
+	}
+	fmt.Fprintf(&b, "Fig 3b — memory cycle breakdown (paper: sync 72.4%% total)\n")
+	labels := []string{"data", "Pos1", "Pos2"}
+	for l := 2; l >= 0; l-- {
+		fmt.Fprintf(&b, "  %s-dram %5.1f%%  %s-sync %5.1f%%\n",
+			labels[l], r.DramFrac[l]*100, labels[l], r.SyncFrac[l]*100)
+	}
+	fmt.Fprintf(&b, "  total sync %.1f%%, row-hit %.1f%% (paper 48.2%%), queue occ %.1f (paper 21.1)\n",
+		r.SyncTotal()*100, r.RowHit*100, r.QueueOcc)
+	return b.String()
+}
+
+// Fig4Result reproduces Fig 4: PrORAM and LAORAM (fat tree) on stm across
+// prefetch lengths — normalized speedup and dummy-request ratio.
+type Fig4Result struct {
+	Lengths    []int
+	PrSpeedup  []float64 // vs pf=1, plain PrORAM
+	PrDummy    []float64
+	FatSpeedup []float64 // vs pf=1, with fat tree (LAORAM)
+	FatDummy   []float64
+}
+
+// Fig4 runs the sweep.
+func Fig4(o Options) (Fig4Result, error) {
+	res := Fig4Result{Lengths: []int{1, 2, 4, 8, 16}}
+	var prBase, fatBase float64
+	for _, fat := range []bool{false, true} {
+		for _, pf := range res.Lengths {
+			oo := o
+			oo.Prefetch = pf
+			r, err := runPrORAM(oo, "stm", fat)
+			if err != nil {
+				return res, err
+			}
+			thr := r.Throughput()
+			dummy := r.DummyFraction()
+			if fat {
+				if pf == 1 {
+					fatBase = thr
+				}
+				res.FatSpeedup = append(res.FatSpeedup, thr/fatBase)
+				res.FatDummy = append(res.FatDummy, dummy)
+			} else {
+				if pf == 1 {
+					prBase = thr
+				}
+				res.PrSpeedup = append(res.PrSpeedup, thr/prBase)
+				res.PrDummy = append(res.PrDummy, dummy)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4 — PrORAM/LAORAM on stm vs prefetch length (paper: dummy ratio caps scaling, LAORAM <= 3.2x)\n")
+	fmt.Fprintf(&b, "  %-6s %14s %12s %14s %12s\n", "pf", "PrORAM speedup", "dummy%", "LAORAM speedup", "dummy%")
+	for i, pf := range r.Lengths {
+		fmt.Fprintf(&b, "  %-6d %13.2fx %11.1f%% %13.2fx %11.1f%%\n",
+			pf, r.PrSpeedup[i], r.PrDummy[i]*100, r.FatSpeedup[i], r.FatDummy[i]*100)
+	}
+	return b.String()
+}
+
+// Fig9Row is one workload's security measurements (Fig 9 + its table).
+type Fig9Row struct {
+	Workload   string
+	RowHit     float64
+	BankConf   float64
+	MutualInfo float64
+	P1, P2     float64
+	LatMedian  float64 // ticks
+	LatP10     float64
+	LatP90     float64
+	LeafChi2P  float64 // uniformity p-value of the exposed leaf stream
+	LeafCorr   float64
+}
+
+// Fig9Result reproduces Fig 9.
+type Fig9Result struct{ Rows []Fig9Row }
+
+// Fig9 runs the security analysis on Palermo. The mutual-information
+// estimate needs enough stash-resident observations to converge (the paper
+// uses up to 50M requests), so the request count is floored at 2500.
+func Fig9(o Options) (Fig9Result, error) {
+	o.KeepLatency = true
+	if o.Requests < 2500 {
+		o.Requests = 2500
+	}
+	var res Fig9Result
+	for _, wl := range Fig9Workloads {
+		r, err := Run(ProtoPalermo, wl, o)
+		if err != nil {
+			return res, err
+		}
+		tim, err := security.AnalyzeTiming(r.RespLat.Samples(), r.FromStash)
+		if err != nil {
+			return res, err
+		}
+		leaf, err := security.AnalyzeLeaves(r.Leaves, r.NumLeaves, 64)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Fig9Row{
+			Workload:   wl,
+			RowHit:     r.Mem.RowHitRate,
+			BankConf:   r.Mem.RowConflictRate,
+			MutualInfo: tim.MutualInfo,
+			P1:         tim.P1,
+			P2:         tim.P2,
+			LatMedian:  r.RespLat.Median(),
+			LatP10:     r.RespLat.Percentile(10),
+			LatP90:     r.RespLat.Percentile(90),
+			LeafChi2P:  leaf.PValue,
+			LeafCorr:   leaf.SerialCorr,
+		})
+	}
+	return res, nil
+}
+
+// String renders the figure's table.
+func (r Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9 — attacker observations on Palermo (paper: row-hit ~59.5%%, conflict ~37.9%%, MI ~0)\n")
+	fmt.Fprintf(&b, "  %-6s %8s %9s %12s %8s %8s %16s %9s\n",
+		"wl", "rowhit%", "conflict%", "mutual-info", "p1", "p2", "latency p10/p90", "leaf-p")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-6s %7.1f%% %8.1f%% %12.2g %8.3f %8.3f %7.0f/%-8.0f %9.3f\n",
+			row.Workload, row.RowHit*100, row.BankConf*100, row.MutualInfo,
+			row.P1, row.P2, row.LatP10, row.LatP90, row.LeafChi2P)
+	}
+	return b.String()
+}
+
+// Fig10Result reproduces Fig 10: end-to-end speedup of every design over
+// PathORAM on every Table II workload, plus the geometric mean.
+type Fig10Result struct {
+	Workloads []string
+	Protocols []Protocol
+	// Speedup[p][w] is protocol p's throughput over PathORAM's on workload w.
+	Speedup [][]float64
+	GMean   []float64
+	// BestPF[w] is the swept prefetch length used by PrORAM and Palermo+PF.
+	BestPF []int
+	// AbsMissesPerSec[p] averages the absolute service rate (paper §VIII-A:
+	// Palermo 3.8E6 vs RingORAM 1.7E6).
+	AbsMissesPerSec []float64
+}
+
+// Fig10 runs the full comparison. PrORAM's prefetch length is swept per
+// workload ({1,2,4,8}) and the best is reused for Palermo+PF, matching the
+// paper's methodology.
+func Fig10(o Options) (Fig10Result, error) {
+	res := Fig10Result{Workloads: workload.Names(), Protocols: Protocols()}
+	res.Speedup = make([][]float64, len(res.Protocols))
+	res.AbsMissesPerSec = make([]float64, len(res.Protocols))
+	for i := range res.Speedup {
+		res.Speedup[i] = make([]float64, len(res.Workloads))
+	}
+	for w, wl := range res.Workloads {
+		base, err := Run(ProtoPathORAM, wl, o)
+		if err != nil {
+			return res, err
+		}
+		bestPF, bestThr := 1, 0.0
+		for _, pf := range []int{1, 2, 4, 8} {
+			oo := o
+			oo.Prefetch = pf
+			r, err := Run(ProtoPrORAM, wl, oo)
+			if err != nil {
+				return res, err
+			}
+			if thr := r.Throughput(); thr > bestThr {
+				bestThr, bestPF = thr, pf
+			}
+		}
+		res.BestPF = append(res.BestPF, bestPF)
+		for p, proto := range res.Protocols {
+			oo := o
+			if proto == ProtoPrORAM || proto == ProtoPalermoPF {
+				oo.Prefetch = bestPF
+			}
+			var r RunResult
+			if proto == ProtoPathORAM {
+				r = base
+			} else {
+				r, err = Run(proto, wl, oo)
+				if err != nil {
+					return res, err
+				}
+			}
+			res.Speedup[p][w] = r.Throughput() / base.Throughput()
+			res.AbsMissesPerSec[p] += r.MissesPerSecond() / float64(len(res.Workloads))
+		}
+	}
+	for p := range res.Protocols {
+		res.GMean = append(res.GMean, stats.GeoMean(res.Speedup[p]))
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 10 — end-to-end speedup over PathORAM (paper gmeans: Ring 1.1, Page 1.2, PrORAM 1.7, IR 1.1, SW 1.2, Palermo 2.4, +PF 3.1)\n")
+	fmt.Fprintf(&b, "  %-11s", "protocol")
+	for _, wl := range r.Workloads {
+		fmt.Fprintf(&b, "%7s", wl)
+	}
+	fmt.Fprintf(&b, "%7s %12s\n", "gmean", "Mmiss/s")
+	for p, proto := range r.Protocols {
+		fmt.Fprintf(&b, "  %-11s", proto)
+		for w := range r.Workloads {
+			fmt.Fprintf(&b, "%6.2fx", r.Speedup[p][w])
+		}
+		fmt.Fprintf(&b, "%6.2fx %12.2f\n", r.GMean[p], r.AbsMissesPerSec[p]/1e6)
+	}
+	fmt.Fprintf(&b, "  swept prefetch per workload: %v\n", r.BestPF)
+	return b.String()
+}
+
+// Fig11Result reproduces Fig 11: bandwidth utilization and outstanding
+// DRAM requests, RingORAM vs Palermo (no prefetch).
+type Fig11Result struct {
+	Workloads []string
+	RingBW    []float64
+	PalBW     []float64
+	RingOut   []float64
+	PalOut    []float64
+}
+
+// Fig11 runs the comparison.
+func Fig11(o Options) (Fig11Result, error) {
+	res := Fig11Result{Workloads: Fig9Workloads}
+	for _, wl := range Fig9Workloads {
+		ring, err := Run(ProtoRingORAM, wl, o)
+		if err != nil {
+			return res, err
+		}
+		pal, err := Run(ProtoPalermo, wl, o)
+		if err != nil {
+			return res, err
+		}
+		res.RingBW = append(res.RingBW, ring.Mem.BandwidthUtil)
+		res.PalBW = append(res.PalBW, pal.Mem.BandwidthUtil)
+		res.RingOut = append(res.RingOut, ring.Mem.AvgQueueOcc*4)
+		res.PalOut = append(res.PalOut, pal.Mem.AvgQueueOcc*4)
+	}
+	return res, nil
+}
+
+// Ratios returns the average outstanding and bandwidth improvement factors
+// (paper: 2.8x outstanding, 2.2x bandwidth).
+func (r Fig11Result) Ratios() (outRatio, bwRatio float64) {
+	var or, br stats.Mean
+	for i := range r.Workloads {
+		or.Add(r.PalOut[i] / r.RingOut[i])
+		br.Add(r.PalBW[i] / r.RingBW[i])
+	}
+	return or.Value(), br.Value()
+}
+
+// String renders the figure.
+func (r Fig11Result) String() string {
+	var b strings.Builder
+	outR, bwR := r.Ratios()
+	fmt.Fprintf(&b, "Fig 11 — bandwidth + outstanding DRAM requests, Ring vs Palermo (paper: 2.8x outstanding -> 2.2x bandwidth)\n")
+	fmt.Fprintf(&b, "  %-6s %10s %10s %12s %12s\n", "wl", "Ring BW", "Palermo BW", "Ring outst.", "Pal outst.")
+	for i, wl := range r.Workloads {
+		fmt.Fprintf(&b, "  %-6s %9.1f%% %9.1f%% %12.1f %12.1f\n",
+			wl, r.RingBW[i]*100, r.PalBW[i]*100, r.RingOut[i], r.PalOut[i])
+	}
+	fmt.Fprintf(&b, "  ratios: outstanding %.1fx, bandwidth %.1fx\n", outR, bwR)
+	return b.String()
+}
+
+// Fig12Result reproduces Fig 12: Palermo stash occupancy over execution.
+type Fig12Result struct {
+	Workloads []string
+	Samples   [][]int // per workload: data-level stash size per 1% progress
+	Max       []int
+}
+
+// Fig12 runs the stash study.
+func Fig12(o Options) (Fig12Result, error) {
+	o.TrackStash = true
+	var res Fig12Result
+	for _, wl := range Fig9Workloads {
+		r, err := Run(ProtoPalermo, wl, o)
+		if err != nil {
+			return res, err
+		}
+		res.Workloads = append(res.Workloads, wl)
+		res.Samples = append(res.Samples, r.StashTrace[0])
+		res.Max = append(res.Max, r.StashMax[0])
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 12 — Palermo stash occupancy (paper: bounded, max 228-237 < 256)\n")
+	for i, wl := range r.Workloads {
+		fmt.Fprintf(&b, "  %-6s max=%d samples(head)=%v\n", wl, r.Max[i], head(r.Samples[i], 8))
+	}
+	return b.String()
+}
+
+func head(s []int, n int) []int {
+	if len(s) < n {
+		return s
+	}
+	return s[:n]
+}
+
+// Fig13Result reproduces Fig 13: Palermo prefetch-length sensitivity.
+type Fig13Result struct {
+	Workloads []string
+	Lengths   []int
+	// Speedup[w][i] is Palermo at Lengths[i] vs PathORAM on workload w.
+	Speedup [][]float64
+}
+
+// Fig13 runs the sweep.
+func Fig13(o Options) (Fig13Result, error) {
+	res := Fig13Result{Workloads: Fig9Workloads, Lengths: []int{1, 2, 4, 8}}
+	for _, wl := range res.Workloads {
+		base, err := Run(ProtoPathORAM, wl, o)
+		if err != nil {
+			return res, err
+		}
+		var row []float64
+		for _, pf := range res.Lengths {
+			oo := o
+			oo.Prefetch = pf
+			r, err := Run(ProtoPalermoPF, wl, oo)
+			if err != nil {
+				return res, err
+			}
+			row = append(row, r.Throughput()/base.Throughput())
+		}
+		res.Speedup = append(res.Speedup, row)
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r Fig13Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 13 — Palermo prefetch sensitivity vs PathORAM (paper: moderate for mcf/pr/redis; llm rises with row length)\n")
+	fmt.Fprintf(&b, "  %-6s", "wl")
+	for _, pf := range r.Lengths {
+		fmt.Fprintf(&b, "  pf=%-4d", pf)
+	}
+	fmt.Fprintln(&b)
+	for i, wl := range r.Workloads {
+		fmt.Fprintf(&b, "  %-6s", wl)
+		for _, v := range r.Speedup[i] {
+			fmt.Fprintf(&b, " %6.2fx", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// ZSASweep lists the valid (Z,S,A) points of Fig 14a, from the RingORAM
+// parameterization.
+var ZSASweep = [][3]int{{4, 5, 3}, {8, 12, 8}, {16, 27, 20}, {32, 56, 42}}
+
+// Fig14aResult reproduces Fig 14a: Palermo speedup vs protocol parameters.
+type Fig14aResult struct {
+	ZSA     [][3]int
+	Speedup []float64 // vs the (4,5,3) point
+	Stash   []int
+}
+
+// Fig14a runs the sweep on rand.
+func Fig14a(o Options) (Fig14aResult, error) {
+	res := Fig14aResult{ZSA: ZSASweep}
+	var base float64
+	for i, zsa := range ZSASweep {
+		oo := o
+		oo.Z, oo.S, oo.A = zsa[0], zsa[1], zsa[2]
+		r, err := Run(ProtoPalermo, "rand", oo)
+		if err != nil {
+			return res, err
+		}
+		thr := r.Throughput()
+		if i == 0 {
+			base = thr
+		}
+		res.Speedup = append(res.Speedup, thr/base)
+		res.Stash = append(res.Stash, r.StashMax[0])
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r Fig14aResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 14a — Palermo (Z,S,A) sweep on rand (paper: up to 1.8x over (4,5,3); adopts (16,27,20))\n")
+	for i, zsa := range r.ZSA {
+		fmt.Fprintf(&b, "  Z=%-3d S=%-3d A=%-3d  %5.2fx  stash max %d\n",
+			zsa[0], zsa[1], zsa[2], r.Speedup[i], r.Stash[i])
+	}
+	return b.String()
+}
+
+// Fig14bResult reproduces Fig 14b: Palermo speedup vs PE column count.
+type Fig14bResult struct {
+	Columns []int
+	Speedup []float64 // vs 1 column
+	BW      []float64
+}
+
+// Fig14b runs the sweep on rand.
+func Fig14b(o Options) (Fig14bResult, error) {
+	res := Fig14bResult{Columns: []int{1, 2, 4, 8, 16, 32}}
+	var base float64
+	for i, c := range res.Columns {
+		oo := o
+		oo.Columns = c
+		r, err := Run(ProtoPalermo, "rand", oo)
+		if err != nil {
+			return res, err
+		}
+		thr := r.Throughput()
+		if i == 0 {
+			base = thr
+		}
+		res.Speedup = append(res.Speedup, thr/base)
+		res.BW = append(res.BW, r.Mem.BandwidthUtil)
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r Fig14bResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 14b — Palermo PE-column sweep on rand (paper: saturates near 3x8 PEs at ~2.2x over 3x1)\n")
+	for i, c := range r.Columns {
+		fmt.Fprintf(&b, "  3x%-3d %5.2fx  BW %5.1f%%\n", c, r.Speedup[i], r.BW[i]*100)
+	}
+	return b.String()
+}
+
+// Fig15 reproduces the area/power table via the analytical model.
+func Fig15(columns int) hwmodel.Model { return hwmodel.New(columns) }
+
+// TableII renders the workload registry.
+func TableII() string {
+	desc := map[string]string{
+		"mcf": "SPEC17 route planning", "lbm": "SPEC17 fluid dynamics",
+		"pr": "PageRank on power-law graph", "motif": "temporal motif mining",
+		"rm1": "DLRM memory-bound embedding gathers", "rm2": "DLRM balanced",
+		"llm": "GPT-2 token embedding rows", "redis": "Zipfian KV access",
+		"stm": "synthetic streaming", "rand": "synthetic uniform random",
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — real-world services that demand obliviousness\n")
+	for _, wl := range workload.Names() {
+		fmt.Fprintf(&b, "  %-6s %s\n", wl, desc[wl])
+	}
+	return b.String()
+}
+
+// TableIII renders the modeled system configuration.
+func TableIII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — Palermo system configuration\n")
+	rows := [][2]string{
+		{"Protected memory space", "16 GB user data (2^28 cache lines)"},
+		{"Hierarchy", "Data + PosMap1 + PosMap2 ORAM trees, PosMap3 on-chip"},
+		{"Tree-top caches", "256 KB per level"},
+		{"Stash", "bounded 256 tags per level"},
+		{"Protocol parameters", "(Z,S,A) = (16,27,20), RingORAM baseline same"},
+		{"PE layout", "3 rows x 8 columns at 1.6 GHz"},
+		{"Outsourced DRAM", "4-channel DDR4-3200, 102.4 GB/s peak"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-24s %s\n", r[0], r[1])
+	}
+	return b.String()
+}
+
+// AblationResult quantifies one design choice called out in DESIGN.md.
+type AblationResult struct {
+	Name     string
+	Baseline float64 // throughput without the feature
+	With     float64 // throughput with the feature
+}
+
+// Gain returns the feature's speedup.
+func (a AblationResult) Gain() float64 {
+	if a.Baseline == 0 {
+		return 0
+	}
+	return a.With / a.Baseline
+}
+
+// String renders the ablation row.
+func (a AblationResult) String() string {
+	return fmt.Sprintf("ablation %-22s %.2fx", a.Name, a.Gain())
+}
+
+// AblationHoisting measures Algorithm 2's EarlyReshuffle hoisting: the PE
+// mesh running baseline-ordered RingORAM plans (reshuffle after the read
+// path) against the Palermo ordering (reshuffle hoisted before it). The
+// hoisting is what releases the west→east dependency early (§IV-B).
+func AblationHoisting(o Options) (AblationResult, error) {
+	o.defaults()
+	run := func(variant oram.RingVariant) (float64, error) {
+		cfg := oram.PalermoRingConfig()
+		cfg.NLines = o.Lines
+		cfg.Seed = o.Seed
+		cfg.Variant = variant
+		e, err := oram.NewRing(cfg)
+		if err != nil {
+			return 0, err
+		}
+		gen, err := workload.New("rand", o.Lines, o.Seed)
+		if err != nil {
+			return 0, err
+		}
+		var eng sim.Engine
+		mem := dram.New(&eng, dram.DefaultConfig())
+		src := ctrl.FuncSource(func() (uint64, bool) { return gen.Next() })
+		res := core.Mesh{Name: "mesh", Columns: o.Columns}.Run(&eng, mem, e, src,
+			ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
+		return res.Throughput(), nil
+	}
+	base, err := run(oram.VariantBaseline)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	with, err := run(oram.VariantPalermo)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "ER hoisting (Alg 2)", Baseline: base, With: with}, nil
+}
+
+// AblationTreeTop measures the tree-top cache: Palermo with the Table III
+// 256 KB per-level scratchpad against no cache at all.
+func AblationTreeTop(o Options) (AblationResult, error) {
+	o.defaults()
+	run := func(capacity uint64) (float64, error) {
+		cfg := oram.PalermoRingConfig()
+		cfg.NLines = o.Lines
+		cfg.Seed = o.Seed
+		cfg.TreeTopBytes = capacity
+		e, err := oram.NewRing(cfg)
+		if err != nil {
+			return 0, err
+		}
+		gen, err := workload.New("rand", o.Lines, o.Seed)
+		if err != nil {
+			return 0, err
+		}
+		var eng sim.Engine
+		mem := dram.New(&eng, dram.DefaultConfig())
+		src := ctrl.FuncSource(func() (uint64, bool) { return gen.Next() })
+		res := core.Mesh{Name: "mesh", Columns: o.Columns}.Run(&eng, mem, e, src,
+			ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
+		return res.Throughput(), nil
+	}
+	base, err := run(1) // 1 byte: caches nothing
+	if err != nil {
+		return AblationResult{}, err
+	}
+	with, err := run(256 << 10)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "tree-top cache 256KB", Baseline: base, With: with}, nil
+}
+
+// AblationCommitGranularity compares Palermo-SW modelled two ways: the
+// serial coarse-lock software (the paper's Palermo-SW) against a
+// hypothetical fine-grained software with per-level clears and synchronous
+// writes — an upper bound on what software-only synchronization could
+// reach, showing how much of Palermo's gain requires the hardware mesh.
+func AblationCommitGranularity(o Options) (AblationResult, error) {
+	o.defaults()
+	e1, err := buildPalermoRing(o, 1)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	gen, err := workload.New("rand", o.Lines, o.Seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var eng1 sim.Engine
+	mem1 := dram.New(&eng1, dram.DefaultConfig())
+	src1 := ctrl.FuncSource(func() (uint64, bool) { return gen.Next() })
+	coarse := ctrl.Serial{Name: "sw-coarse", OverlapDataRP: true}.Run(&eng1, mem1, e1, src1,
+		ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
+
+	e2, err := buildPalermoRing(o, 1)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	gen2, err := workload.New("rand", o.Lines, o.Seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var eng2 sim.Engine
+	mem2 := dram.New(&eng2, dram.DefaultConfig())
+	src2 := ctrl.FuncSource(func() (uint64, bool) { return gen2.Next() })
+	fine := core.Mesh{Name: "sw-fine", Columns: o.Columns, SoftwareCoarse: true}.Run(&eng2, mem2, e2, src2,
+		ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
+
+	return AblationResult{
+		Name:     "fine-grained SW sync",
+		Baseline: coarse.Throughput(),
+		With:     fine.Throughput(),
+	}, nil
+}
+
+// AblationPathMesh tests §IV-E's claim that applying the Palermo mesh
+// strategy to PathORAM gains little: PathORAM has no access-exclusivity
+// guarantee, so the whole write-back serializes same-level requests, and
+// its traffic has few dependency bubbles to begin with. Returns the mesh's
+// gain over the serial controller for PathORAM and, for contrast, for
+// RingORAM (the Palermo protocol).
+func AblationPathMesh(o Options) (pathGain, ringGain AblationResult, err error) {
+	o.defaults()
+	runPath := func(mesh bool) (float64, error) {
+		cfg := oram.DefaultPathConfig()
+		cfg.NLines = o.Lines
+		cfg.Seed = o.Seed
+		e, err := oram.NewPath(cfg)
+		if err != nil {
+			return 0, err
+		}
+		gen, err := workload.New("rand", o.Lines, o.Seed)
+		if err != nil {
+			return 0, err
+		}
+		var eng sim.Engine
+		mem := dram.New(&eng, dram.DefaultConfig())
+		src := ctrl.FuncSource(func() (uint64, bool) { return gen.Next() })
+		rc := ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup}
+		var res ctrl.Result
+		if mesh {
+			res = core.Mesh{Name: "path-mesh", Columns: o.Columns}.Run(&eng, mem, e, src, rc)
+		} else {
+			res = ctrl.Serial{Name: "path-serial"}.Run(&eng, mem, e, src, rc)
+		}
+		return res.Throughput(), nil
+	}
+	pBase, err := runPath(false)
+	if err != nil {
+		return pathGain, ringGain, err
+	}
+	pMesh, err := runPath(true)
+	if err != nil {
+		return pathGain, ringGain, err
+	}
+	pathGain = AblationResult{Name: "mesh on PathORAM", Baseline: pBase, With: pMesh}
+
+	ringSerial, err := Run(ProtoRingORAM, "rand", o)
+	if err != nil {
+		return pathGain, ringGain, err
+	}
+	palermo, err := Run(ProtoPalermo, "rand", o)
+	if err != nil {
+		return pathGain, ringGain, err
+	}
+	ringGain = AblationResult{
+		Name:     "mesh on RingORAM",
+		Baseline: ringSerial.Throughput(),
+		With:     palermo.Throughput(),
+	}
+	return pathGain, ringGain, nil
+}
+
+// TenantReport is the multi-process isolation analysis of §VI: several
+// co-located tenants share the Palermo controller; obliviousness requires
+// that response latency reveals nothing about which tenant issued a
+// request.
+type TenantReport struct {
+	Tenants    []string
+	Medians    []float64 // per-tenant median response latency, ticks
+	MutualInfo float64   // bits between (tenant == Tenants[0]) and latency
+	Padding    uint64    // dummy requests injected to hold the issue rate
+}
+
+// String renders the report.
+func (r TenantReport) String() string {
+	s := fmt.Sprintf("tenant isolation: MI=%.3g bits, %d padding dummies\n", r.MutualInfo, r.Padding)
+	for i, name := range r.Tenants {
+		s += fmt.Sprintf("  %-8s median latency %.0f ticks\n", name, r.Medians[i])
+	}
+	return s
+}
+
+// TenantIsolation runs two tenants with very different native behaviour
+// (llm's streaming rows vs redis's scattered keys) through one Palermo
+// controller, with a bursty front end forcing constant-rate dummy padding,
+// and measures whether latency leaks tenant identity.
+func TenantIsolation(o Options) (TenantReport, error) {
+	o.defaults()
+	o.KeepLatency = true
+	if o.Requests < 2000 {
+		o.Requests = 2000
+	}
+	names := []string{"llm", "redis"}
+	var gens []workload.Generator
+	for _, n := range names {
+		g, err := workload.New(n, o.Lines, o.Seed)
+		if err != nil {
+			return TenantReport{}, err
+		}
+		gens = append(gens, g)
+	}
+	mix := workload.NewTenants(rng.New(o.Seed^0x7e4a47), gens...)
+	src := workload.NewBursty(mix, 3, 4) // 75% duty: padding required
+
+	e, err := buildPalermoRing(o, 1)
+	if err != nil {
+		return TenantReport{}, err
+	}
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	res := core.Mesh{Name: "palermo", Columns: o.Columns}.Run(&eng, mem, e, src,
+		ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup, KeepLatency: true})
+
+	lat := res.RespLat.Samples()
+	if len(lat) != len(res.Tags) {
+		return TenantReport{}, fmt.Errorf("palermo: %d latencies vs %d tags", len(lat), len(res.Tags))
+	}
+	isFirst := make([]bool, len(res.Tags))
+	var perTenant [2][]float64
+	for i, tg := range res.Tags {
+		isFirst[i] = tg == 0
+		if tg >= 0 && tg < 2 {
+			perTenant[tg] = append(perTenant[tg], lat[i])
+		}
+	}
+	tim, err := security.AnalyzeTiming(lat, isFirst)
+	if err != nil {
+		return TenantReport{}, err
+	}
+	rep := TenantReport{Tenants: names, MutualInfo: tim.MutualInfo, Padding: res.Dummies}
+	for t := 0; t < 2; t++ {
+		rep.Medians = append(rep.Medians, median(perTenant[t]))
+	}
+	return rep, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// runPrORAM is the Fig 4 helper that selects the plain or fat-tree variant.
+func runPrORAM(o Options, wl string, fatTree bool) (RunResult, error) {
+	o.noFatTree = !fatTree
+	return Run(ProtoPrORAM, wl, o)
+}

@@ -1,0 +1,70 @@
+// Package analytic implements the paper's back-of-envelope bandwidth model
+// from §III-A, used there to sanity-check the cycle-accurate simulation:
+//
+//	"The DRAM request latency for row-hits and row-misses are tCL and
+//	 (tCL+tRP+tRCD). ... the average bandwidth we find is
+//	 64B × 21.1 / 46.9ns = 28.8 GB/s ... close to 28.1% utilization."
+//
+// This repository uses it the same way: the simulator's measured bandwidth
+// must agree with the estimate computed from its own occupancy/latency
+// statistics (see the validation test in the root package).
+package analytic
+
+import "palermo/internal/dram"
+
+// ExpectedServiceNS returns the average DRAM service latency implied by a
+// row-hit rate under the given timing configuration, in nanoseconds,
+// following the paper's two-class model (hits pay tCL, everything else
+// pays tCL+tRP+tRCD), plus the burst transfer.
+func ExpectedServiceNS(cfg dram.Config, rowHitRate float64) float64 {
+	tick := 0.625
+	hit := float64(cfg.TCL+cfg.TBurst) * tick
+	miss := float64(cfg.TCL+cfg.TRP+cfg.TRCD+cfg.TBurst) * tick
+	return rowHitRate*hit + (1-rowHitRate)*miss
+}
+
+// BandwidthGBs returns the Little's-law bandwidth estimate: outstanding
+// requests each delivering 64 bytes per service latency.
+func BandwidthGBs(avgOutstanding, serviceNS float64) float64 {
+	if serviceNS <= 0 {
+		return 0
+	}
+	return dram.BlockBytes * avgOutstanding / serviceNS // bytes/ns == GB/s
+}
+
+// UtilizationEstimate combines the two against the configured peak, giving
+// the paper's §III-A utilization figure from measured occupancy and row-hit
+// statistics.
+func UtilizationEstimate(cfg dram.Config, avgOutstanding, rowHitRate float64) float64 {
+	bw := BandwidthGBs(avgOutstanding, ExpectedServiceNS(cfg, rowHitRate))
+	return bw / cfg.PeakBandwidthGBs()
+}
+
+// PaperExample reproduces the exact numbers quoted in §III-A: occupancy
+// 21.1, 48.2% row hits, DDR4-3200 timings.
+func PaperExample() (bandwidthGBs, utilization float64) {
+	cfg := dram.DefaultConfig()
+	service := ExpectedServiceNS(cfg, 0.482)
+	bw := BandwidthGBs(21.1, service)
+	return bw, bw / cfg.PeakBandwidthGBs()
+}
+
+// LittleLawError measures the simulator's internal consistency: by
+// Little's law, the time-averaged outstanding read count must equal read
+// throughput times average read latency. Returns the relative error
+// |L − λW| / L; a correct steady-state simulation keeps this near zero.
+func LittleLawError(avgReadsOutstanding float64, reads uint64, elapsedTicks uint64, avgReadLatencyTicks float64) float64 {
+	if avgReadsOutstanding == 0 || elapsedTicks == 0 {
+		return 0
+	}
+	lambda := float64(reads) / float64(elapsedTicks)
+	predicted := lambda * avgReadLatencyTicks
+	return abs(avgReadsOutstanding-predicted) / avgReadsOutstanding
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"testing"
+
+	"palermo/internal/oram"
+	"palermo/internal/rng"
+)
+
+const testLines = 1 << 14
+
+func TestPageORAMCorrectness(t *testing.T) {
+	e, err := NewPageORAM(testLines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	ref := make(map[uint64]uint64)
+	for i := 0; i < 1500; i++ {
+		pa := r.Uint64n(testLines)
+		v := r.Uint64()
+		e.Access(pa, true, v)
+		ref[pa] = v
+	}
+	for pa, want := range ref {
+		if got := e.Access(pa, false, 0).Val; got != want {
+			t.Fatalf("PA %d = %d, want %d", pa, got, want)
+		}
+	}
+	if e.Config().Z != 2 || !e.Config().SiblingReads {
+		t.Fatal("PageORAM config wrong")
+	}
+}
+
+func TestPageORAMSubtreeLayout(t *testing.T) {
+	e, err := NewPageORAM(testLines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Space(0).Geo.PackDepth == 0 {
+		t.Fatal("PageORAM must use the page-aware subtree layout")
+	}
+}
+
+func TestPrORAMSharedLeafGroups(t *testing.T) {
+	e, err := NewPrORAM(testLines, 4, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Access(16, false, 0)
+	pm := e.Posmap()
+	leaf := pm.Leaf(0, 16)
+	for idx := uint64(17); idx < 20; idx++ {
+		if pm.Leaf(0, idx) != leaf {
+			t.Fatal("prefetch group must share one leaf")
+		}
+	}
+}
+
+func TestPrORAMGroupEntersStash(t *testing.T) {
+	e, err := NewPrORAM(testLines, 8, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.StashLen(0)
+	e.Access(64, false, 0)
+	after := e.StashLen(0)
+	// The whole 8-line group is prefetched through the stash; most of it
+	// cannot be placed back on the old path (new shared leaf), so the net
+	// occupancy grows by several tags.
+	if after-before < 4 {
+		t.Fatalf("stash grew by %d after a pf=8 access, want >= 4", after-before)
+	}
+}
+
+func TestPrORAMFatTreeDrainsBetter(t *testing.T) {
+	run := func(fat bool) int {
+		e, err := NewPrORAM(testLines, 8, fat, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(9)
+		for i := 0; i < 800; i++ {
+			// Streaming trace with the LLC filter effect: one miss per group.
+			e.Access((uint64(i)*8)%testLines, false, 0)
+			_ = r
+		}
+		return e.StashMax(0)
+	}
+	plain, fat := run(false), run(true)
+	if fat >= plain {
+		t.Fatalf("fat tree stash peak (%d) must be below plain PrORAM (%d)", fat, plain)
+	}
+}
+
+func TestStashThresholdPolicy(t *testing.T) {
+	e, err := NewPrORAM(testLines, 8, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := StashThresholdPolicy(e, 10)
+	if policy() {
+		t.Fatal("empty stash must not trigger dummies")
+	}
+	for i := 0; i < 40; i++ {
+		e.Access(uint64(i)*8, false, 0)
+	}
+	if e.StashLen(0) > 10 && !policy() {
+		t.Fatal("policy must trigger above threshold")
+	}
+}
+
+func TestIRORAMBypassesOnReuse(t *testing.T) {
+	// Large enough that the posmap trees exceed the tree-top caches and
+	// generate real DRAM traffic for the bypass to eliminate.
+	e, err := NewIRORAM(1<<22, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := e.Access(5, false, 0)
+	hit := e.Access(5, false, 0)
+	if e.Hits != 1 || e.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", e.Hits, e.Misses)
+	}
+	// The bypassed access must skip the posmap levels entirely.
+	if len(hit.Levels[1].Phases) != 0 || len(hit.Levels[2].Phases) != 0 {
+		t.Fatal("bypass must not touch posmap trees")
+	}
+	if hit.Reads() >= full.Reads() {
+		t.Fatalf("bypass reads %d must be below full access %d", hit.Reads(), full.Reads())
+	}
+}
+
+func TestIRORAMTableEviction(t *testing.T) {
+	e, err := NewIRORAM(testLines, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pa := uint64(0); pa < 8; pa++ {
+		e.Access(pa*64, false, 0) // distinct groups
+	}
+	// Table holds 4 entries; the first group must have been evicted.
+	e.Hits, e.Misses = 0, 0
+	e.Access(0, false, 0)
+	if e.Hits != 0 || e.Misses != 1 {
+		t.Fatal("evicted entry must miss the table")
+	}
+}
+
+func TestIRORAMCorrectness(t *testing.T) {
+	e, err := NewIRORAM(testLines, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	ref := make(map[uint64]uint64)
+	for i := 0; i < 1500; i++ {
+		pa := r.Uint64n(testLines / 8) // force reuse so bypasses happen
+		v := r.Uint64()
+		e.Access(pa, true, v)
+		ref[pa] = v
+	}
+	if e.Hits == 0 {
+		t.Fatal("reuse trace produced no bypasses")
+	}
+	for pa, want := range ref {
+		if got := e.Access(pa, false, 0).Val; got != want {
+			t.Fatalf("PA %d = %d, want %d", pa, got, want)
+		}
+	}
+}
+
+func TestIRORAMImplementsEngine(t *testing.T) {
+	var _ oram.Engine = (*IRORAM)(nil)
+	e, _ := NewIRORAM(testLines, 16, 1)
+	if e.Levels() != 3 {
+		t.Fatal("levels")
+	}
+	e.SampleStashes()
+	if len(e.StashSamples(0)) != 1 {
+		t.Fatal("stash sampling not delegated")
+	}
+	if _, err := NewIRORAM(testLines, 0, 1); err == nil {
+		t.Fatal("zero table must error")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"palermo/internal/ctrl"
+	"palermo/internal/dram"
+	"palermo/internal/oram"
+	"palermo/internal/rng"
+	"palermo/internal/sim"
+	"palermo/internal/workload"
+)
+
+func testPath(t *testing.T) *oram.Path {
+	t.Helper()
+	cfg := oram.DefaultPathConfig()
+	cfg.NLines = testLines
+	cfg.TreeTopBytes = 16 << 10
+	e, err := oram.NewPath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMeshRunsPathEngine(t *testing.T) {
+	// §IV-E: the mesh must execute PathORAM plans correctly (WB fires the
+	// tree-write clear), even though the gain is limited.
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	res := Mesh{Name: "path-mesh", Columns: 8}.Run(&eng, mem, testPath(t), randSource(2),
+		ctrl.RunConfig{Requests: 300, Warmup: 150})
+	if res.Requests != 300 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Mem.Writes == 0 {
+		t.Fatal("PathORAM write-backs missing")
+	}
+	for l, m := range res.StashMax {
+		if m > 256 {
+			t.Fatalf("level %d stash %d under path-mesh", l, m)
+		}
+	}
+}
+
+func TestMeshCoarseSlowerThanFull(t *testing.T) {
+	run := func(coarse bool) ctrl.Result {
+		var eng sim.Engine
+		mem := dram.New(&eng, dram.DefaultConfig())
+		return Mesh{Name: "m", Columns: 8, SoftwareCoarse: coarse}.Run(&eng, mem,
+			testRing(t, oram.VariantPalermo, 1), randSource(2),
+			ctrl.RunConfig{Requests: 300, Warmup: 150})
+	}
+	full, coarse := run(false), run(true)
+	if coarse.Throughput() >= full.Throughput() {
+		t.Fatalf("coarse sync (%.4g) must be slower than the full mesh (%.4g)",
+			coarse.Throughput(), full.Throughput())
+	}
+}
+
+func TestMeshPaddingKeepsBudget(t *testing.T) {
+	gen, err := workload.New("rand", testLines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workload.NewBursty(gen, 1, 2) // 50% duty
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	res := Mesh{Name: "m", Columns: 4}.Run(&eng, mem, testRing(t, oram.VariantPalermo, 1), src,
+		ctrl.RunConfig{Requests: 200, Warmup: 100})
+	if res.Requests != 200 {
+		t.Fatalf("padding consumed the real budget: %d", res.Requests)
+	}
+	// 50% duty: dummies ~= reals.
+	if res.Dummies < 100 || res.Dummies > 400 {
+		t.Fatalf("dummies = %d for 1-of-2 duty over 200 reals", res.Dummies)
+	}
+}
+
+func TestMeshPaddingDeterministic(t *testing.T) {
+	run := func() ctrl.Result {
+		gen, _ := workload.New("pr", testLines, 1)
+		src := workload.NewBursty(gen, 2, 3)
+		var eng sim.Engine
+		mem := dram.New(&eng, dram.DefaultConfig())
+		return Mesh{Name: "m", Columns: 8}.Run(&eng, mem, testRing(t, oram.VariantPalermo, 1), src,
+			ctrl.RunConfig{Requests: 200, Warmup: 100})
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Dummies != b.Dummies {
+		t.Fatalf("padding nondeterministic: %d/%d vs %d/%d", a.Cycles, a.Dummies, b.Cycles, b.Dummies)
+	}
+}
+
+func TestMeshTagCapture(t *testing.T) {
+	a, _ := workload.New("stm", testLines, 1)
+	b, _ := workload.New("rand", testLines, 2)
+	mix := workload.NewTenants(rng.New(3), a, b)
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	res := Mesh{Name: "m", Columns: 8}.Run(&eng, mem, testRing(t, oram.VariantPalermo, 1), mix,
+		ctrl.RunConfig{Requests: 300, Warmup: 150, KeepLatency: true})
+	if len(res.Tags) != int(res.RespLat.N()) {
+		t.Fatalf("tags %d vs latencies %d", len(res.Tags), res.RespLat.N())
+	}
+	seen := map[int]int{}
+	for _, tg := range res.Tags {
+		seen[tg]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatalf("tenant tags not captured: %v", seen)
+	}
+}
+
+func TestMeshStashOverflowReported(t *testing.T) {
+	res := runMesh(t, 8, 400)
+	for l, ov := range res.StashOver {
+		if ov != 0 {
+			t.Fatalf("level %d overflowed the 256-tag budget %d times", l, ov)
+		}
+	}
+}

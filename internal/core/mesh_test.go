@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"palermo/internal/ctrl"
+	"palermo/internal/dram"
+	"palermo/internal/oram"
+	"palermo/internal/rng"
+	"palermo/internal/sim"
+)
+
+const testLines = 1 << 16
+
+func testRing(t *testing.T, variant oram.RingVariant, seed uint64) *oram.Ring {
+	t.Helper()
+	e, err := oram.NewRing(oram.RingConfig{
+		NLines: testLines, Z: 4, S: 5, A: 3, PosLevels: 2, Seed: seed,
+		TreeTopBytes: 16 << 10,
+		Variant:      variant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func randSource(seed uint64) ctrl.Source {
+	r := rng.New(seed)
+	return ctrl.FuncSource(func() (uint64, bool) {
+		return r.Uint64n(testLines), r.Float64() < 0.2
+	})
+}
+
+func runSerial(t *testing.T, variant oram.RingVariant, overlap bool, reqs int) ctrl.Result {
+	t.Helper()
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	s := ctrl.Serial{Name: "serial", OverlapDataRP: overlap}
+	return s.Run(&eng, mem, testRing(t, variant, 1), randSource(2),
+		ctrl.RunConfig{Requests: reqs, Warmup: reqs / 2, KeepLatency: true})
+}
+
+func runMesh(t *testing.T, cols, reqs int) ctrl.Result {
+	t.Helper()
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	m := Mesh{Name: "palermo", Columns: cols}
+	return m.Run(&eng, mem, testRing(t, oram.VariantPalermo, 1), randSource(2),
+		ctrl.RunConfig{Requests: reqs, Warmup: reqs / 2, KeepLatency: true, TrackStash: true})
+}
+
+func TestSerialRunCompletes(t *testing.T) {
+	res := runSerial(t, oram.VariantBaseline, false, 400)
+	if res.Requests != 400 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+	if res.Mem.BandwidthUtil <= 0 || res.Mem.BandwidthUtil >= 1 {
+		t.Fatalf("bandwidth util = %f", res.Mem.BandwidthUtil)
+	}
+	if res.RespLat.N() != 400 {
+		t.Fatalf("latency samples = %d", res.RespLat.N())
+	}
+}
+
+func TestSerialRingSyncDominates(t *testing.T) {
+	res := runSerial(t, oram.VariantBaseline, false, 400)
+	// §III-A: the serialized RingORAM controller spends most of its time in
+	// ORAM-sync stalls and utilizes well under half the DRAM bandwidth.
+	if sf := res.SyncFraction(); sf < 0.5 {
+		t.Fatalf("sync fraction = %.2f, want > 0.5", sf)
+	}
+	if res.Mem.BandwidthUtil > 0.45 {
+		t.Fatalf("bandwidth util = %.2f, want < 0.45 for the serial baseline", res.Mem.BandwidthUtil)
+	}
+}
+
+func TestMeshRunCompletes(t *testing.T) {
+	res := runMesh(t, 8, 400)
+	if res.Requests != 400 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+	if res.RespLat.N() != 400 {
+		t.Fatalf("latency samples = %d", res.RespLat.N())
+	}
+	if len(res.FromStash) != 400 {
+		t.Fatalf("FromStash samples = %d", len(res.FromStash))
+	}
+}
+
+func TestMeshOutperformsSerial(t *testing.T) {
+	serial := runSerial(t, oram.VariantBaseline, false, 400)
+	mesh := runMesh(t, 8, 400)
+	speedup := mesh.Throughput() / serial.Throughput()
+	if speedup < 1.5 {
+		t.Fatalf("mesh speedup over serial = %.2fx, want > 1.5x", speedup)
+	}
+	if mesh.Mem.BandwidthUtil <= serial.Mem.BandwidthUtil {
+		t.Fatalf("mesh BW %.2f must exceed serial BW %.2f",
+			mesh.Mem.BandwidthUtil, serial.Mem.BandwidthUtil)
+	}
+	if mesh.Mem.AvgOutstanding <= serial.Mem.AvgOutstanding {
+		t.Fatalf("mesh outstanding %.1f must exceed serial %.1f",
+			mesh.Mem.AvgOutstanding, serial.Mem.AvgOutstanding)
+	}
+}
+
+func TestMeshColumnScaling(t *testing.T) {
+	one := runMesh(t, 1, 300)
+	eight := runMesh(t, 8, 300)
+	if eight.Throughput() <= one.Throughput()*1.2 {
+		t.Fatalf("8 columns (%.3g) should clearly beat 1 column (%.3g)",
+			eight.Throughput(), one.Throughput())
+	}
+}
+
+func TestPalermoSWBetweenSerialAndMesh(t *testing.T) {
+	serial := runSerial(t, oram.VariantBaseline, false, 400)
+	sw := runSerial(t, oram.VariantPalermo, true, 400)
+	mesh := runMesh(t, 8, 400)
+	if sw.Throughput() <= serial.Throughput() {
+		t.Fatalf("Palermo-SW (%.3g) should beat serial RingORAM (%.3g)",
+			sw.Throughput(), serial.Throughput())
+	}
+	if mesh.Throughput() <= sw.Throughput() {
+		t.Fatalf("Palermo mesh (%.3g) should beat Palermo-SW (%.3g)",
+			mesh.Throughput(), sw.Throughput())
+	}
+}
+
+func TestMeshStashBounded(t *testing.T) {
+	res := runMesh(t, 8, 600)
+	for l, m := range res.StashMax {
+		if m > 256 {
+			t.Fatalf("level %d stash peaked at %d under concurrency", l, m)
+		}
+	}
+	if len(res.StashTrace[0]) == 0 {
+		t.Fatal("stash trace not recorded")
+	}
+}
+
+func TestMeshDummyPolicy(t *testing.T) {
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	m := Mesh{Name: "palermo", Columns: 4}
+	ring := testRing(t, oram.VariantPalermo, 1)
+	calls := 0
+	cfg := ctrl.RunConfig{
+		Requests: 100, Warmup: 50,
+		DummyPolicy: func() bool { calls++; return calls%5 == 0 },
+	}
+	res := m.Run(&eng, mem, ring, randSource(2), cfg)
+	if res.Dummies == 0 {
+		t.Fatal("dummy policy produced no dummies")
+	}
+	if res.Requests != 100 {
+		t.Fatalf("real requests = %d", res.Requests)
+	}
+}
+
+func TestMeshDeterminism(t *testing.T) {
+	a := runMesh(t, 8, 200)
+	b := runMesh(t, 8, 200)
+	if a.Cycles != b.Cycles || a.PlanReads != b.PlanReads {
+		t.Fatalf("mesh nondeterministic: %d/%d vs %d/%d cycles/reads",
+			a.Cycles, a.PlanReads, b.Cycles, b.PlanReads)
+	}
+}
+
+func TestMeshLatencyIsolation(t *testing.T) {
+	// §VI: response latencies must cluster tightly (no heavy tail from
+	// concurrency interference).
+	res := runMesh(t, 8, 600)
+	med := res.RespLat.Median()
+	p95 := res.RespLat.Percentile(95)
+	if med == 0 {
+		t.Fatal("no latency median")
+	}
+	if p95 > 4*med {
+		t.Fatalf("p95 latency %.0f vs median %.0f: tail too heavy", p95, med)
+	}
+}

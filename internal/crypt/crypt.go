@@ -1,0 +1,66 @@
+// Package crypt provides the block-sealing layer of the trusted ORAM
+// controller: every block leaving the secure boundary is encrypted under a
+// fresh counter so identical plaintexts never produce identical bus
+// contents ("All data is encrypted with different keys", §II-C).
+//
+// The timing model treats encryption as a pipelined fixed latency (it is
+// off the critical DRAM path); this package supplies real AES-CTR sealing
+// for the functional examples and for end-to-end correctness tests.
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockBytes is the sealed payload granularity (one cache line).
+const BlockBytes = 64
+
+// Sealer encrypts/decrypts 64-byte blocks with AES-CTR under per-seal
+// unique counters.
+type Sealer struct {
+	block cipher.Block
+	epoch uint64
+}
+
+// NewSealer creates a sealer from a 16/24/32-byte key.
+func NewSealer(key []byte) (*Sealer, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	return &Sealer{block: b}, nil
+}
+
+// Seal encrypts plaintext (must be BlockBytes long) in place-safe fashion,
+// returning ciphertext and the epoch used. The (addr, epoch) pair forms the
+// unique IV; the caller stores epoch alongside the block (real designs keep
+// it in the bucket header).
+func (s *Sealer) Seal(addr uint64, plaintext []byte) (ciphertext []byte, epoch uint64, err error) {
+	if len(plaintext) != BlockBytes {
+		return nil, 0, fmt.Errorf("crypt: plaintext must be %d bytes, got %d", BlockBytes, len(plaintext))
+	}
+	s.epoch++
+	out := make([]byte, BlockBytes)
+	s.xcrypt(addr, s.epoch, plaintext, out)
+	return out, s.epoch, nil
+}
+
+// Open decrypts a block sealed under (addr, epoch).
+func (s *Sealer) Open(addr, epoch uint64, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) != BlockBytes {
+		return nil, fmt.Errorf("crypt: ciphertext must be %d bytes, got %d", BlockBytes, len(ciphertext))
+	}
+	out := make([]byte, BlockBytes)
+	s.xcrypt(addr, epoch, ciphertext, out)
+	return out, nil
+}
+
+func (s *Sealer) xcrypt(addr, epoch uint64, in, out []byte) {
+	var iv [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(iv[0:8], addr)
+	binary.LittleEndian.PutUint64(iv[8:16], epoch)
+	cipher.NewCTR(s.block, iv[:]).XORKeyStream(out, in)
+}

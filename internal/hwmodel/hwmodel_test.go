@@ -1,0 +1,114 @@
+package hwmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCalibratedTotals(t *testing.T) {
+	m := New(8)
+	if math.Abs(m.TotalArea()-5.78) > 0.01 {
+		t.Fatalf("area = %.2f mm2, want 5.78 (Fig 15)", m.TotalArea())
+	}
+	if math.Abs(m.TotalPower()-2.14) > 0.01 {
+		t.Fatalf("power = %.2f W, want 2.14 (Fig 15)", m.TotalPower())
+	}
+}
+
+func TestDieFractionUnderTwoPercent(t *testing.T) {
+	m := New(8)
+	if f := m.DieFraction(); f >= 0.02 {
+		t.Fatalf("die fraction = %.3f, paper claims < 2%%", f)
+	}
+}
+
+func TestMemoriesDominate(t *testing.T) {
+	m := New(8)
+	var memArea float64
+	for _, c := range m.Components {
+		if c.Name == "tree-top caches" || c.Name == "PE array + data buffers" {
+			memArea += c.AreaMM
+		}
+	}
+	if memArea/m.TotalArea() < 0.5 {
+		t.Fatalf("tree-top caches + PE buffers = %.0f%% of area, paper says they dominate",
+			100*memArea/m.TotalArea())
+	}
+}
+
+func TestColumnScaling(t *testing.T) {
+	small, big := New(1), New(32)
+	if small.TotalArea() >= New(8).TotalArea() {
+		t.Fatal("fewer columns must shrink area")
+	}
+	if big.TotalPower() <= New(8).TotalPower() {
+		t.Fatal("more columns must add power")
+	}
+	// SRAM blocks must not scale with columns.
+	if small.Components[0].AreaMM != big.Components[0].AreaMM {
+		t.Fatal("tree-top cache area must be column-independent")
+	}
+}
+
+func TestDefaultColumns(t *testing.T) {
+	if New(0).Columns != 8 {
+		t.Fatal("default must be the Table III 3x8 configuration")
+	}
+}
+
+func TestStringRendersTable(t *testing.T) {
+	s := New(8).String()
+	for _, want := range []string{"tree-top caches", "total", "5.78", "2.14", "Intel 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMacroEstimatesTrackCalibration(t *testing.T) {
+	// The CACTI-substitute macro model must independently land within 25%
+	// of each calibrated Fig 15 memory component.
+	calibrated := map[string][2]float64{
+		"tree-top caches (macro est.)": {2.10, 0.72},
+		"PosMap3 eDRAM (macro est.)":   {1.60, 0.45},
+		"PE data buffers (macro est.)": {1.40, 0.70},
+		"stash banks (macro est.)":     {0.28, 0.09},
+	}
+	for _, est := range Estimates() {
+		want, ok := calibrated[est.Name]
+		if !ok {
+			t.Fatalf("unexpected estimate %q", est.Name)
+		}
+		if rel(est.AreaMM, want[0]) > 0.25 {
+			t.Fatalf("%s area %.2f vs calibrated %.2f", est.Name, est.AreaMM, want[0])
+		}
+		if rel(est.PowerW, want[1]) > 0.35 {
+			t.Fatalf("%s power %.2f vs calibrated %.2f", est.Name, est.PowerW, want[1])
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+func TestMacroScalingLaws(t *testing.T) {
+	if SRAMArea(1<<20, 1, 1) >= SRAMArea(1<<20, 1, 2) {
+		t.Fatal("port factor must grow area")
+	}
+	if SRAMArea(1<<20, 4, 1) <= SRAMArea(1<<20, 1, 1) {
+		t.Fatal("banking must add overhead")
+	}
+	// eDRAM must be denser than SRAM at matching capacity.
+	if EDRAMArea(16<<20, 16) >= SRAMArea(16<<20, 16, 1) {
+		t.Fatal("eDRAM must beat SRAM density")
+	}
+	if SRAMPower(1<<20, 4, 0) >= SRAMPower(1<<20, 4, 1) {
+		t.Fatal("activity must add power")
+	}
+}

@@ -1,0 +1,134 @@
+// Package oram implements the functional ORAM protocol engines — PathORAM
+// and RingORAM (Algorithm 1), including the recursive posmap hierarchy —
+// in the functional-first, timing-replay architecture described in
+// DESIGN.md §4.1: every logical ORAM access executes the real protocol
+// (trees, stash, remapping) in commit order and emits an access Plan, the
+// exact per-phase lists of DRAM reads and writes a timing controller must
+// replay under its concurrency discipline.
+package oram
+
+import "fmt"
+
+// PhaseKind identifies a protocol phase within one hierarchy level's access.
+// The names follow the paper's PE pipeline (Fig 7/8).
+type PhaseKind int
+
+// Protocol phases.
+const (
+	PhaseLM PhaseKind = iota // Load Metadata: node metadata reads along the path
+	PhaseER                  // Early Reshuffle: bucket resets (reads then writes)
+	PhaseRP                  // Read Path: one (Ring) or all (Path) slots per node
+	PhaseEP                  // Evict Path: periodic whole-path reset
+	PhaseWB                  // Write Back: PathORAM's unconditional path write
+)
+
+// String implements fmt.Stringer.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseLM:
+		return "LM"
+	case PhaseER:
+		return "ER"
+	case PhaseRP:
+		return "RP"
+	case PhaseEP:
+		return "EP"
+	case PhaseWB:
+		return "WB"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase is one batch of DRAM traffic: the controller issues all Reads
+// (waiting for them per its discipline) and then all Writes (fire and
+// forget; ordering is enforced at the memory controller).
+type Phase struct {
+	Kind   PhaseKind
+	Reads  []uint64
+	Writes []uint64
+}
+
+// LevelAccess is the traffic of one hierarchy level's tree access, with
+// phases in protocol execution order.
+type LevelAccess struct {
+	Level  int // 0 = data, 1 = PosMap1, 2 = PosMap2
+	Phases []Phase
+	Evict  bool // an EP is part of this access (every A-th access)
+}
+
+// Plan is the complete traffic of one ORAM request across the hierarchy.
+type Plan struct {
+	ReqID uint64
+	PA    uint64
+	Write bool
+	Dummy bool // background/padding request serving no LLC miss
+
+	// Levels is indexed by hierarchy level (0 = data). Logical execution
+	// order is deepest posmap first; concurrency is the controller's choice.
+	Levels []LevelAccess
+
+	// Val is the value returned for reads (correctness checking).
+	Val uint64
+
+	// FromStash reports whether the data-level block was already resident
+	// in the stash when the access began (Table I's victim behaviour B).
+	FromStash bool
+
+	// DataLeaf is the ORAM leaf whose path the data-level access exposed
+	// on the memory bus (the attacker-visible randomness, §VI).
+	DataLeaf uint64
+
+	// StashAfter is the per-level stash tag occupancy after the access.
+	StashAfter []int
+}
+
+// Reads returns the total DRAM read count in the plan.
+func (p *Plan) Reads() int {
+	n := 0
+	for _, la := range p.Levels {
+		for _, ph := range la.Phases {
+			n += len(ph.Reads)
+		}
+	}
+	return n
+}
+
+// Writes returns the total DRAM write count in the plan.
+func (p *Plan) Writes() int {
+	n := 0
+	for _, la := range p.Levels {
+		for _, ph := range la.Phases {
+			n += len(ph.Writes)
+		}
+	}
+	return n
+}
+
+// Engine is a functional protocol engine: it executes accesses in commit
+// order and emits replayable plans. Implementations: Ring (Algorithm 1 and
+// the Palermo variant), Path, and the baseline wrappers in
+// internal/baselines.
+type Engine interface {
+	// Access performs one logical access (a served LLC miss) and returns
+	// its traffic plan. For writes, val is stored; for reads, plan.Val
+	// holds the value read.
+	Access(pa uint64, write bool, val uint64) *Plan
+	// DummyAccess performs a padding/background access along a random path.
+	DummyAccess() *Plan
+	// Levels returns the number of hierarchy levels (data + ORAM posmaps).
+	Levels() int
+	// StashLen returns the current stash tag occupancy of a level.
+	StashLen(level int) int
+	// StashMax returns the peak stash occupancy of a level.
+	StashMax(level int) int
+	// SampleStashes records stash occupancy for Fig 12-style plots.
+	SampleStashes()
+	// StashSamples returns the recorded occupancy samples of a level.
+	StashSamples(level int) []int
+	// StashOverflows returns how many insertions exceeded the hardware tag
+	// budget at a level (0 for a design respecting the bound).
+	StashOverflows(level int) uint64
+	// ResetPeaks clears stash peak tracking (warmup boundary).
+	ResetPeaks()
+}

@@ -1,0 +1,315 @@
+package oram
+
+import (
+	"fmt"
+
+	"palermo/internal/otree"
+	"palermo/internal/posmap"
+	"palermo/internal/rng"
+)
+
+// RingVariant selects the protocol ordering executed by the Ring engine.
+type RingVariant int
+
+// Variants.
+const (
+	// VariantBaseline is RingORAM Algorithm 1: ReadPath, then EvictPath
+	// every A accesses, then EarlyReshuffle (reset at accessed == S).
+	VariantBaseline RingVariant = iota
+	// VariantPalermo is Algorithm 2: EarlyReshufflePreCheck is hoisted
+	// before ReadPath (reset at accessed == S-1) so the write-to-read
+	// critical section resolves as early as possible, and in-flight
+	// (pending) PAs are read along a fresh uniform leaf.
+	VariantPalermo
+)
+
+// RingConfig parameterizes the Ring engine.
+type RingConfig struct {
+	NLines        uint64 // protected cache lines (16 GB/64 B = 2^28 in Table III)
+	Z, S, A       int    // bucket real capacity, dummy budget, eviction period
+	PosLevels     int    // ORAM-resident posmap levels (paper: 2)
+	TreeTopBytes  uint64 // per-level tree-top cache capacity
+	DataSlotLines int    // prefetch width: cache lines per data-tree slot (>=1)
+	AlignBytes    uint64 // physical region alignment (DRAM row span)
+	Seed          uint64
+	Variant       RingVariant
+}
+
+// Validate fills defaults and checks invariants.
+func (c *RingConfig) Validate() error {
+	if c.NLines == 0 {
+		return fmt.Errorf("oram: NLines must be > 0")
+	}
+	if c.Z <= 0 || c.S <= 0 || c.A <= 0 {
+		return fmt.Errorf("oram: Z/S/A must be positive, got (%d,%d,%d)", c.Z, c.S, c.A)
+	}
+	if c.PosLevels < 0 {
+		return fmt.Errorf("oram: PosLevels must be >= 0")
+	}
+	if c.DataSlotLines == 0 {
+		c.DataSlotLines = 1
+	}
+	if c.AlignBytes == 0 {
+		c.AlignBytes = 32 << 10
+	}
+	return nil
+}
+
+// DefaultRingConfig is the classic RingORAM configuration (Z,S,A) = (4,5,3)
+// protecting a 16 GB space with 3-level recursion and the paper's Table III
+// cache provisioning.
+func DefaultRingConfig() RingConfig {
+	return RingConfig{
+		NLines:       1 << 28,
+		Z:            4,
+		S:            5,
+		A:            3,
+		PosLevels:    2,
+		TreeTopBytes: 256 << 10,
+		Seed:         1,
+	}
+}
+
+// BandwidthRingConfig is the bandwidth-optimal RingORAM configuration the
+// paper's baseline uses — the large-Z setting from "Constants Count" that
+// gives RingORAM its 42% traffic reduction over PathORAM ((Z,S,A) =
+// (16,27,20), which Fig 14a also identifies as Palermo's sweet spot).
+func BandwidthRingConfig() RingConfig {
+	c := DefaultRingConfig()
+	c.Z, c.S, c.A = 16, 27, 20
+	return c
+}
+
+// PalermoRingConfig is the configuration Palermo adopts: (Z,S,A) =
+// (16,27,20) with the Palermo protocol ordering.
+func PalermoRingConfig() RingConfig {
+	c := BandwidthRingConfig()
+	c.Variant = VariantPalermo
+	return c
+}
+
+// Ring is the RingORAM functional engine over a recursive posmap hierarchy.
+type Ring struct {
+	cfg    RingConfig
+	r      *rng.Rand
+	pm     *posmap.Hierarchy
+	spaces []*Space
+	reqID  uint64
+
+	lastDataLeaf uint64 // leaf exposed by the most recent level-0 access
+}
+
+// NewRing builds the engine: one Space per hierarchy level with disjoint
+// physical layout.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	dataBlocks := (cfg.NLines + uint64(cfg.DataSlotLines) - 1) / uint64(cfg.DataSlotLines)
+	pm := posmap.New(dataBlocks, cfg.PosLevels, r)
+
+	geos := make([]otree.Geometry, pm.Levels())
+	for l := 0; l < pm.Levels(); l++ {
+		lines := 1
+		if l == 0 {
+			lines = cfg.DataSlotLines
+		}
+		geos[l] = otree.UniformWide(pm.Blocks(l), cfg.Z, cfg.S, lines, 0, 0)
+	}
+	geos = Layout(geos, cfg.AlignBytes)
+
+	e := &Ring{cfg: cfg, r: r, pm: pm}
+	for l, g := range geos {
+		pm.Attach(l, g.NumLeaves())
+		e.spaces = append(e.spaces, NewSpace(l, g, cfg.TreeTopBytes, r))
+	}
+	return e, nil
+}
+
+// Config returns the engine configuration (with defaults filled).
+func (e *Ring) Config() RingConfig { return e.cfg }
+
+// Space exposes a level's state (testing, controllers).
+func (e *Ring) Space(level int) *Space { return e.spaces[level] }
+
+// Posmap exposes the hierarchy (testing).
+func (e *Ring) Posmap() *posmap.Hierarchy { return e.pm }
+
+// Levels implements Engine.
+func (e *Ring) Levels() int { return len(e.spaces) }
+
+// StashLen implements Engine.
+func (e *Ring) StashLen(level int) int { return e.spaces[level].Stash.Len() }
+
+// StashMax implements Engine.
+func (e *Ring) StashMax(level int) int { return e.spaces[level].Stash.MaxSeen() }
+
+// SampleStashes implements Engine.
+func (e *Ring) SampleStashes() {
+	for _, sp := range e.spaces {
+		sp.Stash.Sample()
+	}
+}
+
+// StashSamples implements Engine.
+func (e *Ring) StashSamples(level int) []int { return e.spaces[level].Stash.Samples() }
+
+// StashOverflows implements Engine.
+func (e *Ring) StashOverflows(level int) uint64 { return e.spaces[level].Stash.Overflows() }
+
+// ResetPeaks implements Engine.
+func (e *Ring) ResetPeaks() {
+	for _, sp := range e.spaces {
+		sp.Stash.ResetPeak()
+	}
+}
+
+// Access implements Engine: one served LLC miss across the full hierarchy.
+func (e *Ring) Access(pa uint64, write bool, val uint64) *Plan {
+	if pa >= e.cfg.NLines {
+		panic(fmt.Sprintf("oram: PA %d outside protected space of %d lines", pa, e.cfg.NLines))
+	}
+	e.reqID++
+	plan := &Plan{ReqID: e.reqID, PA: pa, Write: write, Levels: make([]LevelAccess, len(e.spaces))}
+	groupIdx := pa / uint64(e.cfg.DataSlotLines)
+	for l := len(e.spaces) - 1; l >= 0; l-- {
+		idx := e.pm.Index(l, groupIdx)
+		if l == 0 {
+			plan.FromStash = e.spaces[0].Stash.Contains(otree.BlockID(idx))
+		}
+		la, got := e.accessLevel(l, idx, l == 0 && write, val)
+		plan.Levels[l] = la
+		if l == 0 {
+			plan.Val = got
+		}
+	}
+	plan.DataLeaf = e.lastDataLeaf
+	e.fillStashAfter(plan)
+	return plan
+}
+
+// DummyAccess implements Engine: a full-protocol access along a fresh
+// uniform path at every level, serving no block (the padding requests of
+// §VI and the background requests of prefetch baselines).
+func (e *Ring) DummyAccess() *Plan {
+	e.reqID++
+	plan := &Plan{ReqID: e.reqID, Dummy: true, Levels: make([]LevelAccess, len(e.spaces))}
+	for l := len(e.spaces) - 1; l >= 0; l-- {
+		la, _ := e.accessLevelLeaf(l, otree.Dummy, e.r.Uint64n(e.spaces[l].Geo.NumLeaves()), false, 0)
+		plan.Levels[l] = la
+	}
+	plan.DataLeaf = e.lastDataLeaf
+	e.fillStashAfter(plan)
+	return plan
+}
+
+func (e *Ring) fillStashAfter(plan *Plan) {
+	plan.StashAfter = make([]int, len(e.spaces))
+	for l, sp := range e.spaces {
+		plan.StashAfter[l] = sp.Stash.Len()
+	}
+}
+
+// accessLevel performs the Ring protocol for block idx of level l.
+func (e *Ring) accessLevel(l int, idx uint64, storeWrite bool, val uint64) (LevelAccess, uint64) {
+	sp := e.spaces[l]
+	var leaf uint64
+	if e.cfg.Variant == VariantPalermo && sp.Stash.Contains(otree.BlockID(idx)) {
+		// Algorithm 2 line 5: pending PAs read a fresh uniform leaf so two
+		// overlapped accesses to one PA never expose the same path twice.
+		leaf = e.r.Uint64n(sp.Geo.NumLeaves())
+	} else {
+		leaf = e.pm.Leaf(l, idx)
+	}
+	// Line 7-8: remap before the path access becomes visible on the bus.
+	e.pm.Remap(l, idx)
+	return e.accessLevelLeaf(l, otree.BlockID(idx), leaf, storeWrite, val)
+}
+
+// accessLevelLeaf executes the per-tree protocol along the given leaf.
+// want == otree.Dummy performs a dummy access.
+func (e *Ring) accessLevelLeaf(l int, want otree.BlockID, leaf uint64, storeWrite bool, val uint64) (LevelAccess, uint64) {
+	if l == 0 {
+		e.lastDataLeaf = leaf
+	}
+	sp := e.spaces[l]
+	sp.Accesses++
+	evict := sp.Accesses%uint64(e.cfg.A) == 0
+	la := LevelAccess{Level: l, Evict: evict}
+	leafOf := func(id otree.BlockID) uint64 { return e.pm.Leaf(l, uint64(id)) }
+
+	path := sp.Geo.PathNodes(nil, leaf)
+
+	// LM: load node metadata along the path.
+	lm := Phase{Kind: PhaseLM}
+	for _, n := range path {
+		lm.Reads = sp.metaRead(lm.Reads, n)
+	}
+	la.Phases = append(la.Phases, lm)
+
+	// Palermo hoists the reshuffle before the reads (PreCheck at S-1).
+	if e.cfg.Variant == VariantPalermo {
+		er := Phase{Kind: PhaseER}
+		for _, n := range path {
+			if sp.Store.NeedsReset(n, 1) {
+				sp.resetNode(&er, n, leaf, leafOf)
+			}
+		}
+		la.Phases = append(la.Phases, er)
+	}
+
+	// RP: one slot per node; the real block (if tree-resident) moves to the
+	// stash, everything else is a consumed dummy.
+	rp := Phase{Kind: PhaseRP}
+	found := false
+	var got uint64
+	for _, n := range path {
+		entry, slot, ok := sp.Store.ReadSlot(n, want)
+		rp.Reads = sp.appendSlotReads(rp.Reads, n, slot)
+		if ok {
+			found = true
+			got = entry.Val
+			sp.Stash.Put(stashEntry(entry, e.pm.Leaf(l, uint64(entry.ID))))
+		}
+	}
+	if want != otree.Dummy {
+		if !found {
+			if se, ok := sp.Stash.Get(want); ok {
+				got = se.Val
+				sp.Stash.Remap(want, e.pm.Leaf(l, uint64(want)))
+			} else {
+				// First touch: the block exists nowhere yet; install it.
+				sp.Stash.Put(stashEntryNew(want, e.pm.Leaf(l, uint64(want))))
+			}
+		} else {
+			sp.Stash.Remap(want, e.pm.Leaf(l, uint64(want)))
+		}
+		if storeWrite {
+			se, _ := sp.Stash.Get(want)
+			se.Val = val
+			sp.Stash.Put(se)
+		}
+	}
+	la.Phases = append(la.Phases, rp)
+
+	// EP: deterministic whole-path eviction every A accesses. The Palermo
+	// protocol keeps EP serialized after RP to preserve the stash bound.
+	if evict {
+		ep := Phase{Kind: PhaseEP}
+		sp.evictPath(&ep, leafOf)
+		la.Phases = append(la.Phases, ep)
+	}
+
+	// Baseline EarlyReshuffle trails the access (Algorithm 1 line 16).
+	if e.cfg.Variant == VariantBaseline {
+		er := Phase{Kind: PhaseER}
+		for _, n := range path {
+			if sp.Store.NeedsReset(n, 0) {
+				sp.resetNode(&er, n, leaf, leafOf)
+			}
+		}
+		la.Phases = append(la.Phases, er)
+	}
+	return la, got
+}

@@ -1,0 +1,157 @@
+package oram
+
+import (
+	"palermo/internal/otree"
+	"palermo/internal/rng"
+	"palermo/internal/stash"
+)
+
+// Space bundles the per-level state every tree-based protocol needs: the
+// tree geometry and bucket store, the level's stash bank, its tree-top
+// cache, and the deterministic eviction counter.
+type Space struct {
+	Level   int
+	Geo     otree.Geometry
+	Store   *otree.Store
+	Stash   *stash.Stash
+	Top     otree.TreeTop
+	Evictor *otree.BitRevCounter
+
+	Accesses uint64 // accesses to this space (drives the A-period eviction)
+}
+
+// NewSpace builds a space over the given geometry.
+// HardwareStashTags is the Table III per-level stash budget.
+const HardwareStashTags = 256
+
+func NewSpace(level int, g otree.Geometry, treeTopBytes uint64, r *rng.Rand) *Space {
+	st := stash.New()
+	st.SetCapacity(HardwareStashTags)
+	return &Space{
+		Level:   level,
+		Geo:     g,
+		Store:   otree.NewStore(g, r),
+		Stash:   st,
+		Top:     otree.NewTreeTop(g, treeTopBytes),
+		Evictor: otree.NewBitRevCounter(g.Depth),
+	}
+}
+
+// appendSlotReads appends the DRAM addresses of one logical slot touch
+// (SlotLines consecutive lines), skipping tree-top-cached levels.
+func (sp *Space) appendSlotReads(dst []uint64, node uint64, slot int) []uint64 {
+	lvl := sp.Geo.NodeLevel(node)
+	if sp.Top.Cached(lvl) {
+		return dst
+	}
+	base := sp.Geo.SlotAddr(node, slot)
+	for k := 0; k < sp.Geo.SlotLines; k++ {
+		dst = append(dst, base+uint64(k)*otree.BlockBytes)
+	}
+	return dst
+}
+
+// metaRead appends the node-metadata read address unless cached on-chip.
+func (sp *Space) metaRead(dst []uint64, node uint64) []uint64 {
+	if sp.Top.Cached(sp.Geo.NodeLevel(node)) {
+		return dst
+	}
+	return append(dst, sp.Geo.MetaAddr(node))
+}
+
+// resetNode performs the functional half of ResetBucket (Algorithm 1 lines
+// 42-50) on node along the path to leaf: pull the unused real blocks into
+// the stash, push back eligible stash blocks, and emit the padded DRAM
+// traffic (Z slot reads, full-bucket writes). leafOf supplies the current
+// mapped leaf of a block for stash insertion.
+func (sp *Space) resetNode(ph *Phase, node uint64, leaf uint64, leafOf func(otree.BlockID) uint64) {
+	lvl := sp.Geo.NodeLevel(node)
+	spec := sp.Geo.Levels[lvl]
+
+	for _, e := range sp.Store.ResetPull(node) {
+		sp.Stash.Put(stash.Entry{ID: e.ID, Leaf: leafOf(e.ID), Val: e.Val})
+	}
+	push := sp.Stash.EvictInto(sp.Geo, leaf, lvl, spec.Z)
+	sp.Store.WriteBucket(node, push)
+
+	if sp.Top.Cached(lvl) {
+		return // on-chip: no DRAM traffic
+	}
+	// Pull traffic is padded to Z slots for obliviousness; push traffic
+	// rewrites the whole bucket with fresh encryption.
+	for s := 0; s < spec.Z; s++ {
+		base := sp.Geo.SlotAddr(node, s)
+		for k := 0; k < sp.Geo.SlotLines; k++ {
+			ph.Reads = append(ph.Reads, base+uint64(k)*otree.BlockBytes)
+		}
+	}
+	for s := 0; s < spec.Slots(); s++ {
+		base := sp.Geo.SlotAddr(node, s)
+		for k := 0; k < sp.Geo.SlotLines; k++ {
+			ph.Writes = append(ph.Writes, base+uint64(k)*otree.BlockBytes)
+		}
+	}
+	ph.Writes = append(ph.Writes, sp.Geo.MetaAddr(node)) // metadata reset
+}
+
+// evictPath performs EvictPath (Algorithm 1 lines 35-40): pull every bucket
+// on the deterministic eviction leaf's path into the stash, then push back
+// deepest-first so blocks settle as low as possible (pulling the whole path
+// before pushing is what lets tree-top residents migrate toward leaves).
+func (sp *Space) evictPath(ph *Phase, leafOf func(otree.BlockID) uint64) uint64 {
+	g := sp.Evictor.Next()
+	for l := 0; l <= sp.Geo.Depth; l++ {
+		node := sp.Geo.NodeAt(g, l)
+		for _, e := range sp.Store.ResetPull(node) {
+			sp.Stash.Put(stashEntry(e, leafOf(e.ID)))
+		}
+		if !sp.Top.Cached(l) {
+			for s := 0; s < sp.Geo.Levels[l].Z; s++ {
+				base := sp.Geo.SlotAddr(node, s)
+				for k := 0; k < sp.Geo.SlotLines; k++ {
+					ph.Reads = append(ph.Reads, base+uint64(k)*otree.BlockBytes)
+				}
+			}
+		}
+	}
+	for l := sp.Geo.Depth; l >= 0; l-- {
+		node := sp.Geo.NodeAt(g, l)
+		push := sp.Stash.EvictInto(sp.Geo, g, l, sp.Geo.Levels[l].Z)
+		sp.Store.WriteBucket(node, push)
+		if !sp.Top.Cached(l) {
+			for s := 0; s < sp.Geo.Levels[l].Slots(); s++ {
+				base := sp.Geo.SlotAddr(node, s)
+				for k := 0; k < sp.Geo.SlotLines; k++ {
+					ph.Writes = append(ph.Writes, base+uint64(k)*otree.BlockBytes)
+				}
+			}
+			ph.Writes = append(ph.Writes, sp.Geo.MetaAddr(node))
+		}
+	}
+	return g
+}
+
+// Layout assigns disjoint physical regions to a set of geometries: bucket
+// storage regions first, then metadata regions, each rounded up to a DRAM
+// row multiple so trees never share rows.
+func Layout(geos []otree.Geometry, rowBytes uint64) []otree.Geometry {
+	out := make([]otree.Geometry, len(geos))
+	next := uint64(0)
+	align := func(v uint64) uint64 {
+		if rowBytes == 0 {
+			return v
+		}
+		return (v + rowBytes - 1) / rowBytes * rowBytes
+	}
+	bases := make([]uint64, len(geos))
+	for i, g := range geos {
+		bases[i] = next
+		next = align(next + g.Footprint())
+	}
+	for i, g := range geos {
+		metaBase := next
+		next = align(next + g.NumNodes()*otree.BlockBytes)
+		out[i] = g.WithBases(bases[i], metaBase)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package otree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Row span covering one DRAM row across 4 channels (dram.DefaultConfig).
+const rowSpanBytes = 128 * 4 * 64
+
+// rowOf maps an address to its row-span index (channel-interleaved rows).
+func rowOf(addr uint64) uint64 { return addr / rowSpanBytes }
+
+// TestPackedLayoutRowLocality: under the subtree-packed layout, a path's
+// traversal of one band must touch far fewer distinct row spans than the
+// level-major layout — that is PageORAM's entire point.
+func TestPackedLayoutRowLocality(t *testing.T) {
+	flat := Uniform(1<<16, 2, 0, 0, 1<<40)
+	packed := flat
+	packed.PackDepth = 4
+
+	countRows := func(g Geometry, leaf uint64) int {
+		rows := map[uint64]bool{}
+		for l := 0; l <= g.Depth; l++ {
+			n := g.NodeAt(leaf, l)
+			for s := 0; s < g.Levels[l].Z; s++ {
+				rows[rowOf(g.SlotAddr(n, s))] = true
+			}
+		}
+		return len(rows)
+	}
+	var flatRows, packedRows int
+	for leaf := uint64(0); leaf < 64; leaf++ {
+		flatRows += countRows(flat, leaf*512%flat.NumLeaves())
+		packedRows += countRows(packed, leaf*512%packed.NumLeaves())
+	}
+	if packedRows >= flatRows {
+		t.Fatalf("packed layout rows %d must be below level-major %d", packedRows, flatRows)
+	}
+}
+
+// Property: the packed layout remains a bijection for arbitrary pack depths
+// and tree shapes.
+func TestPackedBijectionProperty(t *testing.T) {
+	f := func(depthRaw, packRaw uint8) bool {
+		depth := int(depthRaw%8) + 2
+		pack := int(packRaw%5) + 1
+		g := Uniform(uint64(2)<<depth, 2, 0, 0, 1<<40)
+		g.PackDepth = pack
+		seen := make(map[uint64]bool, g.NumNodes())
+		for n := uint64(0); n < g.NumNodes(); n++ {
+			a := g.SlotAddr(n, 0)
+			if seen[a] || a < g.Base || a >= g.Base+g.Footprint() {
+				return false
+			}
+			seen[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFatTreeCapacityExceedsUniform: the fat tree must add real capacity
+// toward the root (that is what absorbs PrORAM's same-leaf groups).
+func TestFatTreeCapacityExceedsUniform(t *testing.T) {
+	uni := Uniform(1<<12, 4, 0, 0, 1<<40)
+	fat := FatTree(1<<12, 4, 0, 2.0, 0, 1<<40)
+	capOf := func(g Geometry) int {
+		total := 0
+		for l := 0; l <= g.Depth; l++ {
+			total += (1 << l) * g.Levels[l].Z
+		}
+		return total
+	}
+	if capOf(fat) <= capOf(uni) {
+		t.Fatal("fat tree must hold more real blocks")
+	}
+	// And the extra capacity concentrates near the root.
+	if fat.Levels[0].Z <= uni.Levels[0].Z {
+		t.Fatal("root must be fatter")
+	}
+	if fat.Levels[fat.Depth].Z != uni.Levels[uni.Depth].Z {
+		t.Fatal("leaf buckets must match the base Z")
+	}
+}
+
+// TestWithBasesRelocation: relocating a geometry must shift every address
+// by exactly the base delta.
+func TestWithBasesRelocation(t *testing.T) {
+	g := Uniform(1<<10, 4, 5, 0, 1<<40)
+	moved := g.WithBases(1<<20, 1<<41)
+	for _, n := range []uint64{0, 5, 100, g.NumNodes() - 1} {
+		if moved.SlotAddr(n, 1)-g.SlotAddr(n, 1) != 1<<20 {
+			t.Fatalf("node %d slot shifted wrongly", n)
+		}
+		if moved.MetaAddr(n)-g.MetaAddr(n) != 1<<41-1<<40 {
+			t.Fatalf("node %d meta shifted wrongly", n)
+		}
+	}
+}
+
+// TestBitRevCounterWraps: after a full cycle the sequence repeats exactly.
+func TestBitRevCounterWraps(t *testing.T) {
+	c := NewBitRevCounter(5)
+	var first []uint64
+	for i := 0; i < 32; i++ {
+		first = append(first, c.Next())
+	}
+	for i := 0; i < 32; i++ {
+		if c.Next() != first[i] {
+			t.Fatal("eviction sequence must be periodic")
+		}
+	}
+}

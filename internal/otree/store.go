@@ -1,0 +1,214 @@
+package otree
+
+import (
+	"fmt"
+
+	"palermo/internal/rng"
+)
+
+// BlockEntry is a real block resident in a bucket.
+type BlockEntry struct {
+	ID  BlockID
+	Val uint64 // payload carried through the simulator for correctness checks
+}
+
+// Bucket is the functional state of one tree node. A zero-value bucket is a
+// freshly reset, empty bucket (all slots valid dummies). Slot permutation is
+// tracked as a bitset of consumed slot offsets: RingORAM invalidates the
+// touched slot on every access and never re-reads it before a reset.
+type Bucket struct {
+	Blocks   []BlockEntry // valid real blocks currently stored
+	used     []uint64     // bitset of slot offsets consumed since the last reset
+	Accessed int          // touches since the last reset
+}
+
+func (b *Bucket) usedBit(off int) bool { return b.used[off/64]&(1<<(off%64)) != 0 }
+
+func (b *Bucket) setUsed(off int) {
+	for len(b.used) <= off/64 {
+		b.used = append(b.used, 0)
+	}
+	b.used[off/64] |= 1 << (off % 64)
+}
+
+func (b *Bucket) clearUsed() {
+	for i := range b.used {
+		b.used[i] = 0
+	}
+	b.Accessed = 0
+}
+
+// Store is a lazily-materialized bucket container for one ORAM tree. Buckets
+// are created on first touch so full-scale (16 GB-space) geometries run in
+// bounded memory.
+type Store struct {
+	g       Geometry
+	buckets map[uint64]*Bucket
+	r       *rng.Rand
+}
+
+// NewStore creates an empty tree (every bucket holds only dummies).
+func NewStore(g Geometry, r *rng.Rand) *Store {
+	return &Store{g: g, buckets: make(map[uint64]*Bucket), r: r}
+}
+
+// Geometry returns the tree geometry.
+func (s *Store) Geometry() Geometry { return s.g }
+
+// Bucket materializes and returns the bucket for node.
+func (s *Store) Bucket(node uint64) *Bucket {
+	b, ok := s.buckets[node]
+	if !ok {
+		b = &Bucket{}
+		s.buckets[node] = b
+	}
+	return b
+}
+
+// Materialized returns the number of buckets touched so far.
+func (s *Store) Materialized() int { return len(s.buckets) }
+
+// find returns the index of id in b.Blocks, or -1.
+func (b *Bucket) find(id BlockID) int {
+	for i := range b.Blocks {
+		if b.Blocks[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the bucket currently holds id as a valid block.
+func (b *Bucket) Contains(id BlockID) bool { return b.find(id) >= 0 }
+
+// freeSlot picks an arbitrary unconsumed slot offset (the functional model
+// does not track the real permutation; any distinct offset is equivalent for
+// timing and the permutation is re-randomized on reset).
+func (s *Store) freeSlot(b *Bucket, slots int) int {
+	// Pick a random unconsumed offset to model the random permutation's
+	// effect on DRAM addresses within the bucket.
+	free := slots - b.Accessed
+	if free <= 0 {
+		panic("otree: ReadSlot on exhausted bucket (protocol must reset first)")
+	}
+	for len(b.used) <= (slots-1)/64 {
+		b.used = append(b.used, 0)
+	}
+	k := s.r.Intn(free)
+	for off := 0; off < slots; off++ {
+		if b.usedBit(off) {
+			continue
+		}
+		if k == 0 {
+			return off
+		}
+		k--
+	}
+	panic("unreachable")
+}
+
+// ReadSlot performs RingORAM's ReadBucket: it consumes exactly one slot of
+// node. If want is present in the bucket the real block is removed and
+// returned with ok=true; otherwise an unused dummy is consumed. The returned
+// slot offset determines the DRAM address touched.
+//
+// The RingORAM invariant guarantees a usable slot exists whenever
+// Accessed < S at entry (the early-reshuffle rule resets before exhaustion).
+func (s *Store) ReadSlot(node uint64, want BlockID) (e BlockEntry, slot int, ok bool) {
+	b := s.Bucket(node)
+	lvl := s.g.NodeLevel(node)
+	slots := s.g.Levels[lvl].Slots()
+	slot = s.freeSlot(b, slots)
+	b.setUsed(slot)
+	b.Accessed++
+	if i := b.find(want); i >= 0 {
+		e = b.Blocks[i]
+		b.Blocks = append(b.Blocks[:i], b.Blocks[i+1:]...)
+		return e, slot, true
+	}
+	return BlockEntry{ID: Dummy}, slot, false
+}
+
+// NeedsReset reports whether the node has consumed its guaranteed dummy
+// budget: after S touches a further ReadSlot may find no unused dummy.
+func (s *Store) NeedsReset(node uint64, margin int) bool {
+	b, ok := s.buckets[node]
+	if !ok {
+		return false
+	}
+	lvl := s.g.NodeLevel(node)
+	return b.Accessed >= s.g.Levels[lvl].S-margin
+}
+
+// ResetPull removes and returns all valid real blocks from node, modelling
+// ResetBucket's pull step (the DRAM traffic is padded to Z reads by the
+// caller for obliviousness). The bucket's access state is cleared.
+func (s *Store) ResetPull(node uint64) []BlockEntry {
+	b := s.Bucket(node)
+	blocks := b.Blocks
+	b.Blocks = nil
+	b.clearUsed()
+	return blocks
+}
+
+// WriteBucket installs blocks into node after a reset. len(blocks) must not
+// exceed the level's Z.
+func (s *Store) WriteBucket(node uint64, blocks []BlockEntry) {
+	lvl := s.g.NodeLevel(node)
+	if len(blocks) > s.g.Levels[lvl].Z {
+		panic(fmt.Sprintf("otree: writing %d blocks into Z=%d bucket", len(blocks), s.g.Levels[lvl].Z))
+	}
+	b := s.Bucket(node)
+	b.Blocks = append(b.Blocks[:0], blocks...)
+	b.clearUsed()
+}
+
+// Occupancy returns the number of valid real blocks in node (0 for
+// untouched buckets).
+func (s *Store) Occupancy(node uint64) int {
+	b, ok := s.buckets[node]
+	if !ok {
+		return 0
+	}
+	return len(b.Blocks)
+}
+
+// ForEachBlock calls fn for every valid real block in every materialized
+// bucket (testing/invariant checking).
+func (s *Store) ForEachBlock(fn func(node uint64, e BlockEntry)) {
+	for node, b := range s.buckets {
+		for _, e := range b.Blocks {
+			fn(node, e)
+		}
+	}
+}
+
+// TreeTop models the on-chip tree-top cache: the top K levels of the tree
+// (bucket payloads and metadata) live in scratchpad, so accesses to them
+// cost no DRAM traffic.
+type TreeTop struct {
+	levels int
+}
+
+// NewTreeTop sizes the cache: the largest K such that levels 0..K-1 fit in
+// capacityBytes given the geometry's bucket sizes (metadata included, one
+// line per node).
+func NewTreeTop(g Geometry, capacityBytes uint64) TreeTop {
+	var used uint64
+	k := 0
+	for l := 0; l <= g.Depth; l++ {
+		levelBytes := (uint64(1) << l) * uint64(g.Levels[l].Slots()*g.SlotLines+1) * BlockBytes
+		if used+levelBytes > capacityBytes {
+			break
+		}
+		used += levelBytes
+		k++
+	}
+	return TreeTop{levels: k}
+}
+
+// Levels returns how many top levels are cached.
+func (t TreeTop) Levels() int { return t.levels }
+
+// Cached reports whether a node at the given level is served on-chip.
+func (t TreeTop) Cached(level int) bool { return level < t.levels }

@@ -1,0 +1,139 @@
+// Package posmap implements the hierarchical position-map structure of
+// practical ORAM (§II-D of the paper): the leaf mapping for a 16 GB space is
+// far too large for on-chip storage, so PosMap1 (tracking data blocks) is
+// itself stored in a smaller ORAM, tracked by PosMap2, whose own map
+// (PosMap3) finally fits on-chip.
+//
+// Functionally, the leaf assignments at every level live here; the protocol
+// engines decide which tree accesses the *storage* of those assignments
+// costs. Mappings are materialized lazily with uniformly random initial
+// leaves, so full-scale spaces need memory proportional to the touched set.
+package posmap
+
+import (
+	"fmt"
+
+	"palermo/internal/rng"
+)
+
+// EntriesPerBlock is how many leaf entries one 64-byte posmap block holds
+// (4-byte entries, as in the paper's 2 GB PosMap for a 16 GB space).
+const EntriesPerBlock = 16
+
+// Level names. Level 0 is the protected data space; levels 1..n-1 are
+// posmap ORAMs; the final level is on-chip.
+const (
+	LevelData = 0
+	LevelPos1 = 1
+	LevelPos2 = 2
+)
+
+// Hierarchy tracks leaf assignments for the data space and every recursive
+// posmap space.
+type Hierarchy struct {
+	levels  int      // number of spaces with leaf assignments (incl. on-chip top)
+	blocks  []uint64 // logical block count per level
+	leaves  []uint64 // tree leaf count per level (set by Attach)
+	maps    []map[uint64]uint32
+	pending []map[uint64]int // reference-counted pending PAs (Palermo)
+	r       *rng.Rand
+}
+
+// New creates a hierarchy for nDataBlocks logical data blocks with the given
+// number of ORAM-resident posmap levels (the paper uses 2: PosMap1 and
+// PosMap2, with PosMap3 on-chip). Level block counts shrink by
+// EntriesPerBlock per level.
+func New(nDataBlocks uint64, posLevels int, r *rng.Rand) *Hierarchy {
+	if nDataBlocks == 0 || posLevels < 0 {
+		panic(fmt.Sprintf("posmap: invalid sizing n=%d levels=%d", nDataBlocks, posLevels))
+	}
+	h := &Hierarchy{levels: posLevels + 1, r: r}
+	n := nDataBlocks
+	for l := 0; l <= posLevels; l++ {
+		h.blocks = append(h.blocks, n)
+		h.maps = append(h.maps, make(map[uint64]uint32))
+		h.pending = append(h.pending, make(map[uint64]int))
+		n = (n + EntriesPerBlock - 1) / EntriesPerBlock
+	}
+	h.leaves = make([]uint64, posLevels+1)
+	return h
+}
+
+// Levels returns the number of spaces (data + ORAM posmap levels). The
+// on-chip map is the assignment table of the deepest space and has no space
+// of its own.
+func (h *Hierarchy) Levels() int { return h.levels }
+
+// Blocks returns the logical block count of level l.
+func (h *Hierarchy) Blocks(l int) uint64 { return h.blocks[l] }
+
+// Attach records the tree leaf count used for level l's assignments; must be
+// called before Leaf/Remap for that level.
+func (h *Hierarchy) Attach(l int, numLeaves uint64) {
+	h.leaves[l] = numLeaves
+}
+
+// Index returns the block index at posmap level l covering data block pa:
+// pa / 16^l.
+func (h *Hierarchy) Index(l int, pa uint64) uint64 {
+	idx := pa
+	for i := 0; i < l; i++ {
+		idx /= EntriesPerBlock
+	}
+	return idx
+}
+
+// Leaf returns the current mapped leaf of block idx at level l,
+// materializing a uniformly random assignment on first touch.
+func (h *Hierarchy) Leaf(l int, idx uint64) uint64 {
+	if idx >= h.blocks[l] {
+		panic(fmt.Sprintf("posmap: level %d index %d out of range %d", l, idx, h.blocks[l]))
+	}
+	if leaf, ok := h.maps[l][idx]; ok {
+		return uint64(leaf)
+	}
+	if h.leaves[l] == 0 {
+		panic(fmt.Sprintf("posmap: level %d not attached", l))
+	}
+	leaf := uint32(h.r.Uint64n(h.leaves[l]))
+	h.maps[l][idx] = leaf
+	return uint64(leaf)
+}
+
+// Remap assigns a fresh uniformly random leaf to block idx at level l and
+// returns it (RingORAM remaps on every access).
+func (h *Hierarchy) Remap(l int, idx uint64) uint64 {
+	if h.leaves[l] == 0 {
+		panic(fmt.Sprintf("posmap: level %d not attached", l))
+	}
+	leaf := uint32(h.r.Uint64n(h.leaves[l]))
+	h.maps[l][idx] = leaf
+	return uint64(leaf)
+}
+
+// SetLeaf forces a specific assignment (PrORAM maps a whole prefetch group
+// to one leaf).
+func (h *Hierarchy) SetLeaf(l int, idx uint64, leaf uint64) {
+	h.maps[l][idx] = uint32(leaf)
+}
+
+// MarkPending notes an in-flight access to block idx at level l (Palermo
+// Algorithm 2 marks PAs pending between remap and eviction). Calls nest.
+func (h *Hierarchy) MarkPending(l int, idx uint64) {
+	h.pending[l][idx]++
+}
+
+// ClearPending releases one pending reference.
+func (h *Hierarchy) ClearPending(l int, idx uint64) {
+	c := h.pending[l][idx]
+	if c <= 1 {
+		delete(h.pending[l], idx)
+		return
+	}
+	h.pending[l][idx] = c - 1
+}
+
+// Pending reports whether block idx at level l has an in-flight access.
+func (h *Hierarchy) Pending(l int, idx uint64) bool {
+	return h.pending[l][idx] > 0
+}

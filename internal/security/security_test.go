@@ -1,0 +1,136 @@
+package security
+
+import (
+	"math"
+	"testing"
+
+	"palermo/internal/rng"
+)
+
+func TestAnalyzeTimingIndistinguishable(t *testing.T) {
+	// Latencies independent of the stash label: MI must be ~0.
+	r := rng.New(1)
+	n := 20000
+	lat := make([]float64, n)
+	lab := make([]bool, n)
+	for i := range lat {
+		lat[i] = 100 + r.Float64()*50
+		lab[i] = r.Float64() < 0.3
+	}
+	rep, err := AnalyzeTiming(lat, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MutualInfo > 0.001 {
+		t.Fatalf("MI = %v for independent labels, want ~0", rep.MutualInfo)
+	}
+	if math.Abs(rep.P1-0.5) > 0.05 || math.Abs(rep.P2-0.5) > 0.05 {
+		t.Fatalf("p1=%.3f p2=%.3f, want ~0.5", rep.P1, rep.P2)
+	}
+}
+
+func TestAnalyzeTimingLeaky(t *testing.T) {
+	// A design where stash hits return visibly faster leaks ~1 bit.
+	r := rng.New(2)
+	n := 10000
+	lat := make([]float64, n)
+	lab := make([]bool, n)
+	for i := range lat {
+		lab[i] = r.Float64() < 0.5
+		if lab[i] {
+			lat[i] = 10
+		} else {
+			lat[i] = 1000
+		}
+	}
+	rep, err := AnalyzeTiming(lat, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MutualInfo < 0.9 {
+		t.Fatalf("MI = %v for a fully leaky design, want ~1", rep.MutualInfo)
+	}
+}
+
+func TestAnalyzeTimingDegenerate(t *testing.T) {
+	rep, err := AnalyzeTiming([]float64{1, 2, 3}, []bool{false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MutualInfo != 0 {
+		t.Fatal("single-class labels must report MI 0")
+	}
+	if _, err := AnalyzeTiming([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+	if _, err := AnalyzeTiming(nil, nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestAnalyzeLeavesUniform(t *testing.T) {
+	r := rng.New(3)
+	const numLeaves = 1 << 20
+	leaves := make([]uint64, 50000)
+	for i := range leaves {
+		leaves[i] = r.Uint64n(numLeaves)
+	}
+	rep, err := AnalyzeLeaves(leaves, numLeaves, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Uniform(0.001) {
+		t.Fatalf("uniform stream rejected: %v", rep)
+	}
+	if math.Abs(rep.SerialCorr) > 0.02 {
+		t.Fatalf("serial correlation %v on independent stream", rep.SerialCorr)
+	}
+}
+
+func TestAnalyzeLeavesSkewedRejected(t *testing.T) {
+	r := rng.New(4)
+	const numLeaves = 1 << 20
+	leaves := make([]uint64, 50000)
+	for i := range leaves {
+		leaves[i] = r.Uint64n(numLeaves / 16) // concentrated in one bucket span
+	}
+	rep, err := AnalyzeLeaves(leaves, numLeaves, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Uniform(0.001) {
+		t.Fatalf("skewed stream accepted: %v", rep)
+	}
+}
+
+func TestAnalyzeLeavesCorrelatedDetected(t *testing.T) {
+	r := rng.New(5)
+	const numLeaves = 1 << 20
+	leaves := make([]uint64, 50000)
+	cur := r.Uint64n(numLeaves)
+	for i := range leaves {
+		// Random walk: heavy lag-1 correlation but near-uniform marginals.
+		cur = (cur + r.Uint64n(numLeaves/64)) % numLeaves
+		leaves[i] = cur
+	}
+	rep, err := AnalyzeLeaves(leaves, numLeaves, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SerialCorr) < 0.5 {
+		t.Fatalf("random-walk stream not flagged: corr=%v", rep.SerialCorr)
+	}
+}
+
+func TestChiSquareSF(t *testing.T) {
+	// The mean of a chi-square is its dof: SF(dof) should be near 0.5.
+	if p := chiSquareSF(63, 63); p < 0.4 || p > 0.6 {
+		t.Fatalf("SF(dof) = %v, want ~0.5", p)
+	}
+	if p := chiSquareSF(200, 63); p > 1e-6 {
+		t.Fatalf("SF(200,63) = %v, want ~0", p)
+	}
+	if p := chiSquareSF(10, 63); p < 0.999 {
+		t.Fatalf("SF(10,63) = %v, want ~1", p)
+	}
+}

@@ -1,0 +1,209 @@
+// Package sim provides a small discrete-event simulation kernel shared by
+// the DRAM model and the ORAM timing controllers.
+//
+// All simulated components run in a single clock domain of 0.625 ns ticks:
+// the Palermo controller clocks at 1.6 GHz and the DDR4-3200 command clock
+// at 1600 MHz, which have identical periods (see DESIGN.md §4.2).
+package sim
+
+import "container/heap"
+
+// Tick is a point in simulated time, measured in 0.625 ns controller cycles.
+type Tick uint64
+
+// TickNS converts a tick count to nanoseconds.
+func TickNS(t Tick) float64 { return float64(t) * 0.625 }
+
+// Event is a callback scheduled to run at a particular tick.
+type event struct {
+	at  Tick
+	seq uint64 // tie-breaker: FIFO among events at the same tick
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Tick, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Tick { return e.now }
+
+// At schedules fn to run at absolute tick t. Scheduling in the past runs fn
+// at the current time (on the next Run step), never before already-pending
+// events at earlier ticks.
+func (e *Engine) At(t Tick, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d Tick, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the next pending event, advancing the clock. It reports whether
+// an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= limit. Events scheduled beyond
+// limit remain pending. It reports whether any pending events remain.
+func (e *Engine) RunUntil(limit Tick) bool {
+	for {
+		at, ok := e.events.peek()
+		if !ok {
+			return false
+		}
+		if at > limit {
+			return true
+		}
+		e.Step()
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Signal is a one-shot dependency token: callbacks registered with Wait run
+// when Fire is called (immediately if already fired). It is the building
+// block for protocol dependencies (west→east PE sibling clears, CP responses,
+// tree-write locks).
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	firedAt Tick
+	waiters []func()
+}
+
+// NewSignal creates a Signal bound to the engine.
+func NewSignal(eng *Engine) *Signal { return &Signal{eng: eng} }
+
+// NewFiredSignal creates a Signal that is already fired (a satisfied
+// dependency).
+func NewFiredSignal(eng *Engine) *Signal {
+	return &Signal{eng: eng, fired: true, firedAt: eng.Now()}
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// FiredAt returns the tick at which the signal fired; valid only if Fired.
+func (s *Signal) FiredAt() Tick { return s.firedAt }
+
+// Fire marks the dependency satisfied and schedules all waiters at the
+// current tick. Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.firedAt = s.eng.Now()
+	for _, fn := range s.waiters {
+		s.eng.At(s.eng.Now(), fn)
+	}
+	s.waiters = nil
+}
+
+// Wait registers fn to run once the signal fires. If the signal has already
+// fired, fn is scheduled immediately.
+func (s *Signal) Wait(fn func()) {
+	if s.fired {
+		s.eng.At(s.eng.Now(), fn)
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+// WaitAll invokes fn after every signal in deps has fired. An empty deps
+// slice schedules fn immediately.
+func WaitAll(eng *Engine, deps []*Signal, fn func()) {
+	n := 0
+	for _, d := range deps {
+		if !d.Fired() {
+			n++
+		}
+	}
+	if n == 0 {
+		eng.At(eng.Now(), fn)
+		return
+	}
+	remaining := n
+	for _, d := range deps {
+		if d.Fired() {
+			continue
+		}
+		d.Wait(func() {
+			remaining--
+			if remaining == 0 {
+				fn()
+			}
+		})
+	}
+}
+
+// Batch is a countdown barrier: Done is called once per expected completion
+// and the attached signal fires when the count reaches zero. A Batch with
+// zero expected completions fires immediately upon Arm.
+type Batch struct {
+	remaining int
+	sig       *Signal
+}
+
+// NewBatch creates a batch expecting n completions.
+func NewBatch(eng *Engine, n int) *Batch {
+	b := &Batch{remaining: n, sig: NewSignal(eng)}
+	if n == 0 {
+		b.sig.Fire()
+	}
+	return b
+}
+
+// Done records one completion.
+func (b *Batch) Done() {
+	if b.remaining <= 0 {
+		return
+	}
+	b.remaining--
+	if b.remaining == 0 {
+		b.sig.Fire()
+	}
+}
+
+// Sig returns the signal that fires when the batch completes.
+func (b *Batch) Sig() *Signal { return b.sig }

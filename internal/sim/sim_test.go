@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(5, func() { got = append(got, 5) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(3, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinTick(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-tick events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEnginePastScheduling(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(10, func() {
+		e.At(3, func() { ran = true }) // in the past; must clamp to now
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("past-scheduled event did not run")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, rec)
+		}
+	}
+	e.At(0, rec)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now = %d, want 99", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var got []Tick
+	for _, at := range []Tick{2, 4, 6, 8} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	more := e.RunUntil(5)
+	if !more {
+		t.Fatal("RunUntil(5) should report pending events")
+	}
+	if len(got) != 2 {
+		t.Fatalf("ran %d events by tick 5, want 2", len(got))
+	}
+	more = e.RunUntil(100)
+	if more {
+		t.Fatal("RunUntil(100) should drain the queue")
+	}
+	if len(got) != 4 {
+		t.Fatalf("ran %d events total, want 4", len(got))
+	}
+}
+
+func TestSignalFireBefore(t *testing.T) {
+	var e Engine
+	s := NewSignal(&e)
+	ran := false
+	s.Wait(func() { ran = true })
+	if ran {
+		t.Fatal("waiter ran before fire")
+	}
+	s.Fire()
+	e.Run()
+	if !ran {
+		t.Fatal("waiter did not run after fire")
+	}
+}
+
+func TestSignalFireAfter(t *testing.T) {
+	var e Engine
+	s := NewSignal(&e)
+	s.Fire()
+	ran := false
+	s.Wait(func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("waiter on fired signal did not run")
+	}
+}
+
+func TestSignalDoubleFire(t *testing.T) {
+	var e Engine
+	s := NewSignal(&e)
+	n := 0
+	s.Wait(func() { n++ })
+	s.Fire()
+	s.Fire()
+	e.Run()
+	if n != 1 {
+		t.Fatalf("waiter ran %d times, want 1", n)
+	}
+}
+
+func TestSignalFiredAt(t *testing.T) {
+	var e Engine
+	s := NewSignal(&e)
+	e.At(42, func() { s.Fire() })
+	e.Run()
+	if !s.Fired() || s.FiredAt() != 42 {
+		t.Fatalf("FiredAt = %d, want 42", s.FiredAt())
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	var e Engine
+	a, b, c := NewSignal(&e), NewSignal(&e), NewFiredSignal(&e)
+	ran := false
+	WaitAll(&e, []*Signal{a, b, c}, func() { ran = true })
+	e.At(1, func() { a.Fire() })
+	e.RunUntil(1)
+	e.Run()
+	if ran {
+		t.Fatal("WaitAll fired before all deps")
+	}
+	b.Fire()
+	e.Run()
+	if !ran {
+		t.Fatal("WaitAll did not fire after all deps")
+	}
+}
+
+func TestWaitAllEmpty(t *testing.T) {
+	var e Engine
+	ran := false
+	WaitAll(&e, nil, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("WaitAll with no deps must fire")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	var e Engine
+	b := NewBatch(&e, 3)
+	ran := false
+	b.Sig().Wait(func() { ran = true })
+	b.Done()
+	b.Done()
+	e.Run()
+	if ran {
+		t.Fatal("batch fired early")
+	}
+	b.Done()
+	e.Run()
+	if !ran {
+		t.Fatal("batch did not fire")
+	}
+	b.Done() // extra Done must be harmless
+}
+
+func TestBatchZero(t *testing.T) {
+	var e Engine
+	b := NewBatch(&e, 0)
+	if !b.Sig().Fired() {
+		t.Fatal("zero batch must fire on creation")
+	}
+}
+
+// Property: for any set of scheduled times, events execute in sorted order
+// and the clock never moves backwards.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var e Engine
+		var ran []Tick
+		for _, tm := range times {
+			at := Tick(tm)
+			e.At(at, func() { ran = append(ran, e.Now()) })
+		}
+		e.Run()
+		if len(ran) != len(times) {
+			return false
+		}
+		sorted := make([]uint16, len(times))
+		copy(sorted, times)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, v := range ran {
+			if v != Tick(sorted[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickNS(t *testing.T) {
+	if got := TickNS(1600); got != 1000 {
+		t.Fatalf("1600 ticks = %v ns, want 1000 (1.6 GHz)", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package stash implements the on-chip stash: the small trusted buffer that
+// temporarily holds blocks streamed between the ORAM tree and the secure
+// processor. A high-performance hardware stash must stay small (the paper
+// argues 256 entries with overflow probability < 2^-103 for RingORAM); the
+// implementation therefore tracks peak occupancy and reports overflow so
+// protocols can trigger background evictions (PrORAM) or fail loudly.
+//
+// Storage is insertion-ordered (slice + index map) rather than map-iterated
+// so eviction selection — and therefore every downstream simulation result —
+// is deterministic for a given seed.
+package stash
+
+import (
+	"fmt"
+
+	"palermo/internal/otree"
+)
+
+// Entry is a stashed block: its identity, current mapped leaf, and payload.
+// With prefetch, one tag covers a group of cache lines; the tag count is
+// what bounds the hardware structure.
+type Entry struct {
+	ID   otree.BlockID
+	Leaf uint64
+	Val  uint64
+}
+
+// Stash holds blocks between tree pulls and pushes.
+type Stash struct {
+	order    []Entry               // insertion order; holes marked by index map absence
+	index    map[otree.BlockID]int // id -> position in order
+	live     int
+	maxSeen  int
+	samples  []int
+	capacity int // 0 = untracked; otherwise hardware tag budget
+	overflow uint64
+}
+
+// New creates an empty stash.
+func New() *Stash {
+	return &Stash{index: make(map[otree.BlockID]int)}
+}
+
+// SetCapacity declares the hardware tag budget (256 in Table III). The
+// stash keeps functioning past it — RingORAM's guarantee is probabilistic
+// — but every Put that lands above capacity is counted, so a design whose
+// protocol breaks the bound (e.g. PrORAM without background evictions)
+// fails loudly in tests instead of silently assuming bigger silicon.
+func (s *Stash) SetCapacity(n int) { s.capacity = n }
+
+// Overflows returns how many insertions exceeded the declared capacity.
+func (s *Stash) Overflows() uint64 { return s.overflow }
+
+// Len returns the current tag occupancy.
+func (s *Stash) Len() int { return s.live }
+
+// MaxSeen returns the peak occupancy observed since creation (or ResetPeak).
+func (s *Stash) MaxSeen() int { return s.maxSeen }
+
+// ResetPeak clears the peak-occupancy tracker (warmup boundary).
+func (s *Stash) ResetPeak() { s.maxSeen = s.live }
+
+// Put inserts or replaces a block.
+func (s *Stash) Put(e Entry) {
+	if e.ID == otree.Dummy {
+		panic("stash: Put of dummy block")
+	}
+	if i, ok := s.index[e.ID]; ok {
+		s.order[i] = e
+		return
+	}
+	s.index[e.ID] = len(s.order)
+	s.order = append(s.order, e)
+	s.live++
+	if s.live > s.maxSeen {
+		s.maxSeen = s.live
+	}
+	if s.capacity > 0 && s.live > s.capacity {
+		s.overflow++
+	}
+	s.maybeCompact()
+}
+
+// Get returns the entry for id, if present.
+func (s *Stash) Get(id otree.BlockID) (Entry, bool) {
+	i, ok := s.index[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.order[i], true
+}
+
+// Contains reports whether id is stashed.
+func (s *Stash) Contains(id otree.BlockID) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+// Remove deletes id, reporting whether it was present.
+func (s *Stash) Remove(id otree.BlockID) bool {
+	i, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	delete(s.index, id)
+	s.order[i].ID = otree.Dummy // tombstone
+	s.live--
+	return true
+}
+
+// Remap updates the mapped leaf of a stashed block.
+func (s *Stash) Remap(id otree.BlockID, leaf uint64) {
+	i, ok := s.index[id]
+	if !ok {
+		panic(fmt.Sprintf("stash: Remap of absent block %d", id))
+	}
+	s.order[i].Leaf = leaf
+}
+
+// maybeCompact drops tombstones once they dominate the backing slice.
+func (s *Stash) maybeCompact() {
+	if len(s.order) < 64 || s.live*2 > len(s.order) {
+		return
+	}
+	compacted := make([]Entry, 0, s.live)
+	for _, e := range s.order {
+		if e.ID != otree.Dummy {
+			s.index[e.ID] = len(compacted)
+			compacted = append(compacted, e)
+		}
+	}
+	s.order = compacted
+}
+
+// EvictInto selects up to max blocks eligible for the bucket at the given
+// level along the path to evictLeaf — blocks whose mapped leaf shares the
+// length-(level) path prefix — removes them from the stash, and returns
+// them. Selection is oldest-first, which is deterministic. This is the push
+// half of ResetBucket/EvictPath.
+func (s *Stash) EvictInto(g otree.Geometry, evictLeaf uint64, level, max int) []otree.BlockEntry {
+	return s.EvictIntoNode(g, g.NodeAt(evictLeaf, level), max)
+}
+
+// EvictIntoNode is EvictInto addressed by node rather than (leaf, level):
+// a block is eligible if node lies on its mapped leaf's path. PageORAM uses
+// this for sibling buckets that are not on the accessed path.
+func (s *Stash) EvictIntoNode(g otree.Geometry, node uint64, max int) []otree.BlockEntry {
+	if max <= 0 {
+		return nil
+	}
+	level := g.NodeLevel(node)
+	prefix := node - ((uint64(1) << level) - 1)
+	shift := uint(g.Depth - level)
+	var out []otree.BlockEntry
+	for i := 0; i < len(s.order) && len(out) < max; i++ {
+		e := s.order[i]
+		if e.ID == otree.Dummy {
+			continue
+		}
+		if (e.Leaf >> shift) == prefix {
+			out = append(out, otree.BlockEntry{ID: e.ID, Val: e.Val})
+			delete(s.index, e.ID)
+			s.order[i].ID = otree.Dummy
+			s.live--
+		}
+	}
+	return out
+}
+
+// Sample records the current occupancy for stash-over-time plots (Fig 12).
+func (s *Stash) Sample() { s.samples = append(s.samples, s.live) }
+
+// Samples returns recorded occupancy samples.
+func (s *Stash) Samples() []int { return s.samples }
+
+// ForEach iterates over all entries in insertion order.
+func (s *Stash) ForEach(fn func(Entry)) {
+	for _, e := range s.order {
+		if e.ID != otree.Dummy {
+			fn(e)
+		}
+	}
+}

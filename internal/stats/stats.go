@@ -1,0 +1,206 @@
+// Package stats provides the measurement primitives used across the
+// simulator: counters, histograms, time-weighted means, geometric means, and
+// the mutual-information computation from the paper's Eq. 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean is a running arithmetic mean.
+type Mean struct {
+	n   uint64
+	sum float64
+}
+
+// Add records one observation.
+func (m *Mean) Add(v float64) { m.n++; m.sum += v }
+
+// N returns the number of observations.
+func (m *Mean) N() uint64 { return m.n }
+
+// Value returns the mean, or 0 with no observations.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// TimeWeighted integrates a piecewise-constant quantity over time, yielding
+// its time-weighted average (e.g., queue occupancy, outstanding requests).
+type TimeWeighted struct {
+	lastT    uint64
+	lastV    float64
+	integral float64
+	started  bool
+	startT   uint64
+}
+
+// Set records that the quantity changed to v at time t.
+func (w *TimeWeighted) Set(t uint64, v float64) {
+	if !w.started {
+		w.started = true
+		w.startT = t
+	} else if t > w.lastT {
+		w.integral += w.lastV * float64(t-w.lastT)
+	}
+	w.lastT = t
+	w.lastV = v
+}
+
+// Avg returns the time-weighted average over [start, t].
+func (w *TimeWeighted) Avg(t uint64) float64 {
+	if !w.started || t <= w.startT {
+		return 0
+	}
+	integral := w.integral
+	if t > w.lastT {
+		integral += w.lastV * float64(t-w.lastT)
+	}
+	return integral / float64(t-w.startT)
+}
+
+// Reset restarts integration at time t keeping the current value.
+func (w *TimeWeighted) Reset(t uint64) {
+	w.integral = 0
+	w.startT = t
+	w.lastT = t
+	w.started = true
+}
+
+// Histogram is a fixed-width-bucket histogram over [0, max).
+type Histogram struct {
+	bucketWidth float64
+	buckets     []uint64
+	overflow    uint64
+	n           uint64
+	sum         float64
+	samples     []float64 // retained when sampling is enabled
+	keep        bool
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+func NewHistogram(nBuckets int, width float64) *Histogram {
+	return &Histogram{bucketWidth: width, buckets: make([]uint64, nBuckets)}
+}
+
+// KeepSamples retains raw samples (needed for medians/mutual information).
+func (h *Histogram) KeepSamples() { h.keep = true }
+
+// Add records an observation.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	h.sum += v
+	if h.keep {
+		h.samples = append(h.samples, v)
+	}
+	idx := int(v / h.bucketWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the arithmetic mean of observations.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Median returns the exact median; requires KeepSamples.
+func (h *Histogram) Median() float64 {
+	if !h.keep || len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(h.samples))
+	copy(s, h.samples)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Percentile returns the p-th percentile (0..100); requires KeepSamples.
+func (h *Histogram) Percentile(p float64) float64 {
+	if !h.keep || len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(h.samples))
+	copy(s, h.samples)
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// Samples returns the retained raw observations (nil unless KeepSamples).
+func (h *Histogram) Samples() []float64 { return h.samples }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// GeoMean returns the geometric mean of vs; zero/negative inputs are invalid.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", v))
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// MutualInfo computes the paper's Eq. 1: the mutual information (in bits)
+// between a binary victim behaviour B and a binary attacker observation O,
+// where p1 = P(O=long | B=stash) and p2 = P(O=long | B=tree), assuming the
+// two behaviours are a-priori equally likely.
+//
+// M = Σ over the four (B,O) cells of P(B,O) log2( P(B,O) / (P(B)P(O)) ).
+func MutualInfo(p1, p2 float64) float64 {
+	term := func(p, q float64) float64 {
+		// p/2 * log2(2p/(p+q)), with 0 log 0 = 0.
+		if p == 0 {
+			return 0
+		}
+		return p / 2 * math.Log2(2*p/(p+q))
+	}
+	return term(p1, p2) + term(p2, p1) + term(1-p1, 1-p2) + term(1-p2, 1-p1)
+}
+
+// ChiSquareUniform returns the chi-square statistic for observed counts
+// against a uniform expectation, and the degrees of freedom.
+func ChiSquareUniform(counts []uint64) (chi2 float64, dof int) {
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(counts) < 2 {
+		return 0, 0
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, len(counts) - 1
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		m.Add(v)
+	}
+	if m.Value() != 2.5 || m.N() != 4 {
+		t.Fatalf("mean = %v n = %d, want 2.5 / 4", m.Value(), m.N())
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 10) // 10 during [0,10)
+	w.Set(10, 0) // 0 during [10,20)
+	if got := w.Avg(20); got != 5 {
+		t.Fatalf("avg = %v, want 5", got)
+	}
+}
+
+func TestTimeWeightedPartialTail(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 4)
+	// Value still 4 at query time 8: integral extends to query point.
+	if got := w.Avg(8); got != 4 {
+		t.Fatalf("avg = %v, want 4", got)
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 100)
+	w.Reset(50)
+	w.Set(60, 0) // 100 over [50,60), 0 over [60,100)
+	if got := w.Avg(100); got != 20 {
+		t.Fatalf("avg after reset = %v, want 20", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	h.KeepSamples()
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5, 100} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 1 || h.Bucket(1) != 1 {
+		t.Fatal("bucket counts wrong")
+	}
+	if h.overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", h.overflow)
+	}
+	if h.Median() != 2.5 {
+		t.Fatalf("median = %v, want 2.5", h.Median())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 10)
+	h.KeepSamples()
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := h.Percentile(50); math.Abs(p-50) > 2 {
+		t.Fatalf("p50 = %v", p)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty must be 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMutualInfoZeroWhenIndistinguishable(t *testing.T) {
+	// p1 == p2 means the observation carries no information about B.
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if m := MutualInfo(p, p); math.Abs(m) > 1e-12 {
+			t.Fatalf("MI(p=%v,p) = %v, want 0", p, m)
+		}
+	}
+}
+
+func TestMutualInfoOneWhenDeterministic(t *testing.T) {
+	// Perfectly distinguishing observation carries 1 bit.
+	if m := MutualInfo(1, 0); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("MI(1,0) = %v, want 1", m)
+	}
+	if m := MutualInfo(0, 1); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("MI(0,1) = %v, want 1", m)
+	}
+}
+
+// Property: mutual information is symmetric in (p1,p2), bounded in [0,1],
+// and monotone as the gap |p1-p2| widens around 0.5.
+func TestMutualInfoProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p1 := float64(a) / 65535
+		p2 := float64(b) / 65535
+		m := MutualInfo(p1, p2)
+		msym := MutualInfo(p2, p1)
+		if math.Abs(m-msym) > 1e-9 {
+			return false
+		}
+		return m >= -1e-12 && m <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if MutualInfo(0.5-0.1, 0.5+0.1) >= MutualInfo(0.5-0.3, 0.5+0.3) {
+		t.Fatal("wider gap must carry more information")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	chi2, dof := ChiSquareUniform([]uint64{100, 100, 100, 100})
+	if chi2 != 0 || dof != 3 {
+		t.Fatalf("uniform counts: chi2=%v dof=%d", chi2, dof)
+	}
+	chi2, _ = ChiSquareUniform([]uint64{400, 0, 0, 0})
+	if chi2 <= 100 {
+		t.Fatalf("concentrated counts should have large chi2, got %v", chi2)
+	}
+	chi2, dof = ChiSquareUniform(nil)
+	if chi2 != 0 || dof != 0 {
+		t.Fatal("empty input should be zero")
+	}
+}

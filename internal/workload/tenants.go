@@ -1,0 +1,86 @@
+package workload
+
+import "palermo/internal/rng"
+
+// Tenants interleaves the miss streams of multiple co-located processes
+// (§VI: "Palermo supports overlapping ORAM requests rooted from LLC misses
+// issued by different processes ... for better resource availability in the
+// cloud settings"). Each draw picks a tenant uniformly at random; Tag
+// reports the origin of the most recent draw so isolation analyses can
+// check that response latency carries no information about which tenant
+// issued a request.
+type Tenants struct {
+	gens []Generator
+	r    *rng.Rand
+	last int
+}
+
+// NewTenants combines the given per-tenant generators.
+func NewTenants(r *rng.Rand, gens ...Generator) *Tenants {
+	if len(gens) == 0 {
+		panic("workload: NewTenants with no tenants")
+	}
+	return &Tenants{gens: gens, r: r}
+}
+
+// Name identifies the mix.
+func (m *Tenants) Name() string {
+	s := "mix("
+	for i, g := range m.gens {
+		if i > 0 {
+			s += "+"
+		}
+		s += g.Name()
+	}
+	return s + ")"
+}
+
+// Next draws from a uniformly chosen tenant.
+func (m *Tenants) Next() (uint64, bool) {
+	m.last = m.r.Intn(len(m.gens))
+	return m.gens[m.last].Next()
+}
+
+// Tag reports the tenant of the most recent Next.
+func (m *Tenants) Tag() int { return m.last }
+
+// Bursty gates a generator with an on/off duty cycle, modelling a front end
+// that issues misses only part of the time: during off slots the ORAM
+// controller must pad with dummy requests to keep its issue rate constant
+// (§VI). Out of every period slots, the first onSlots are active.
+type Bursty struct {
+	gen     Generator
+	onSlots int
+	period  int
+	slot    int
+}
+
+// NewBursty wraps gen with an onSlots-out-of-period duty cycle.
+func NewBursty(gen Generator, onSlots, period int) *Bursty {
+	if onSlots <= 0 || period < onSlots {
+		panic("workload: invalid duty cycle")
+	}
+	return &Bursty{gen: gen, onSlots: onSlots, period: period}
+}
+
+// Name identifies the wrapped generator.
+func (b *Bursty) Name() string { return b.gen.Name() + "/bursty" }
+
+// Idle reports whether the current slot has no pending miss; each call
+// advances the slot (the controller polls once per issue opportunity).
+func (b *Bursty) Idle() bool {
+	idle := b.slot%b.period >= b.onSlots
+	b.slot++
+	return idle
+}
+
+// Next returns the next miss (only called on non-idle slots).
+func (b *Bursty) Next() (uint64, bool) { return b.gen.Next() }
+
+// Tag delegates to the wrapped generator's tenant label, if it has one.
+func (b *Bursty) Tag() int {
+	if t, ok := b.gen.(interface{ Tag() int }); ok {
+		return t.Tag()
+	}
+	return -1
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"palermo/internal/rng"
+)
+
+func TestTenantsMixAndTags(t *testing.T) {
+	a, _ := New("stm", 1<<20, 1)
+	b, _ := New("rand", 1<<20, 2)
+	m := NewTenants(rng.New(3), a, b)
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		m.Next()
+		tg := m.Tag()
+		if tg < 0 || tg > 1 {
+			t.Fatalf("bad tag %d", tg)
+		}
+		counts[tg]++
+	}
+	for i, c := range counts {
+		if c < 4000 || c > 6000 {
+			t.Fatalf("tenant %d drew %d/10000, want ~uniform", i, c)
+		}
+	}
+	if m.Name() != "mix(stm+rand)" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+func TestTenantsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTenants(rng.New(1))
+}
+
+func TestBurstyDutyCycle(t *testing.T) {
+	g, _ := New("rand", 1<<20, 1)
+	b := NewBursty(g, 3, 4)
+	idle := 0
+	for i := 0; i < 4000; i++ {
+		if b.Idle() {
+			idle++
+		}
+	}
+	if idle != 1000 {
+		t.Fatalf("idle slots = %d/4000, want 1000 (3-of-4 duty)", idle)
+	}
+}
+
+func TestBurstyTagDelegation(t *testing.T) {
+	a, _ := New("stm", 1<<20, 1)
+	bgen, _ := New("rand", 1<<20, 2)
+	m := NewTenants(rng.New(3), a, bgen)
+	b := NewBursty(m, 1, 2)
+	m.Next()
+	if b.Tag() != m.Tag() {
+		t.Fatal("bursty must delegate tags")
+	}
+	plain := NewBursty(a, 1, 2)
+	if plain.Tag() != -1 {
+		t.Fatal("untagged generator must report -1")
+	}
+}
+
+func TestBurstyInvalidDutyPanics(t *testing.T) {
+	g, _ := New("rand", 1<<20, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBursty(g, 4, 2)
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file format: a compact binary encoding of an LLC-miss trace so
+// that generated workloads can be recorded once and replayed bit-exactly
+// (the equivalent of the paper's captured Sniper traces).
+//
+// Layout: 8-byte magic, 8-byte count, then per record a varint-encoded
+// line address with the write flag in bit 0.
+
+const traceMagic = "PLMTRC01"
+
+// WriteTrace records n draws from gen to w.
+func WriteTrace(w io.Writer, gen Generator, n uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], n)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for i := uint64(0); i < n; i++ {
+		pa, wr := gen.Next()
+		v := pa << 1
+		if wr {
+			v |= 1
+		}
+		k := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceReader replays a recorded trace as a Generator; it wraps around at
+// the end so it can feed arbitrarily long simulations.
+type TraceReader struct {
+	name    string
+	records []uint64
+	pos     int
+}
+
+// ReadTrace loads a trace from r.
+func ReadTrace(name string, r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	t := &TraceReader{name: name, records: make([]uint64, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace record %d: %w", i, err)
+		}
+		t.records = append(t.records, v)
+	}
+	return t, nil
+}
+
+// Name implements Generator.
+func (t *TraceReader) Name() string { return t.name }
+
+// Len returns the number of recorded references.
+func (t *TraceReader) Len() int { return len(t.records) }
+
+// Next implements Generator, wrapping at the end of the recording.
+func (t *TraceReader) Next() (uint64, bool) {
+	v := t.records[t.pos]
+	t.pos = (t.pos + 1) % len(t.records)
+	return v >> 1, v&1 == 1
+}

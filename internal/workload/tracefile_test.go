@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g1, _ := New("pr", 1<<24, 7)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace("pr-replay", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 || tr.Name() != "pr-replay" {
+		t.Fatalf("len=%d name=%q", tr.Len(), tr.Name())
+	}
+	// Replay must match a fresh generator with the same seed exactly.
+	g2, _ := New("pr", 1<<24, 7)
+	for i := 0; i < 5000; i++ {
+		wantPA, wantWr := g2.Next()
+		gotPA, gotWr := tr.Next()
+		if gotPA != wantPA || gotWr != wantWr {
+			t.Fatalf("record %d: got (%d,%v) want (%d,%v)", i, gotPA, gotWr, wantPA, wantWr)
+		}
+	}
+}
+
+func TestTraceWrapsAround(t *testing.T) {
+	g, _ := New("stm", 1<<20, 1)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 10); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []uint64
+	for i := 0; i < 10; i++ {
+		pa, _ := tr.Next()
+		first = append(first, pa)
+	}
+	for i := 0; i < 10; i++ {
+		pa, _ := tr.Next()
+		if pa != first[i] {
+			t.Fatal("wrap-around replay differs")
+		}
+	}
+}
+
+func TestTraceBadInput(t *testing.T) {
+	if _, err := ReadTrace("x", strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	if _, err := ReadTrace("x", strings.NewReader(traceMagic)); err == nil {
+		t.Fatal("truncated header must error")
+	}
+	if _, err := ReadTrace("x", strings.NewReader(traceMagic+"\x00\x00\x00\x00\x00\x00\x00\x00")); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	var buf bytes.Buffer
+	g, _ := New("rand", 1<<20, 1)
+	_ = WriteTrace(&buf, g, 100)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadTrace("x", bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated records must error")
+	}
+}
+
+// Property: every (address, write) pair survives encoding for arbitrary
+// line addresses up to 2^62.
+func TestTraceEncodingProperty(t *testing.T) {
+	f := func(addrs []uint64, writes []bool) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		i := 0
+		gen := genFunc(func() (uint64, bool) {
+			pa := addrs[i%len(addrs)] >> 2
+			wr := len(writes) > 0 && writes[i%max(len(writes), 1)]
+			i++
+			return pa, wr
+		})
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, gen, uint64(len(addrs))); err != nil {
+			return false
+		}
+		tr, err := ReadTrace("p", &buf)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < len(addrs); j++ {
+			wantPA := addrs[j] >> 2
+			wantWr := len(writes) > 0 && writes[j%max(len(writes), 1)]
+			pa, wr := tr.Next()
+			if pa != wantPA || wr != wantWr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type genFunc func() (uint64, bool)
+
+func (g genFunc) Next() (uint64, bool) { return g() }
+func (g genFunc) Name() string         { return "func" }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const space = 1 << 24
+
+func TestAllWorkloadsInBounds(t *testing.T) {
+	for _, name := range Names() {
+		g, err := New(name, space, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != name {
+			t.Fatalf("name mismatch: %q", g.Name())
+		}
+		for i := 0; i < 20000; i++ {
+			pa, _ := g.Next()
+			if pa >= space {
+				t.Fatalf("%s produced out-of-range pa %d", name, pa)
+			}
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("nope", space, 1); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := New(name, space, 7)
+		b, _ := New(name, space, 7)
+		for i := 0; i < 1000; i++ {
+			pa1, w1 := a.Next()
+			pa2, w2 := b.Next()
+			if pa1 != pa2 || w1 != w2 {
+				t.Fatalf("%s not deterministic at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := New("rand", space, 1)
+	b, _ := New("rand", space, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		pa1, _ := a.Next()
+		pa2, _ := b.Next()
+		if pa1 == pa2 {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds collided %d/100", same)
+	}
+}
+
+func TestLocalityOrdering(t *testing.T) {
+	// The locality spectrum motivates the paper's evaluation: stm is
+	// perfectly sequential, llm is row-sequential, rand has none.
+	loc := map[string]float64{}
+	for _, name := range Names() {
+		g, _ := New(name, space, 3)
+		loc[name] = Locality(g, 50000, 4)
+	}
+	if loc["stm"] < 0.95 {
+		t.Fatalf("stm locality = %.2f, want ~1", loc["stm"])
+	}
+	if loc["rand"] > 0.05 {
+		t.Fatalf("rand locality = %.2f, want ~0", loc["rand"])
+	}
+	if loc["llm"] < 0.8 {
+		t.Fatalf("llm locality = %.2f, want high (row streaming)", loc["llm"])
+	}
+	if loc["mcf"] <= loc["rand"] || loc["mcf"] >= loc["stm"] {
+		t.Fatalf("mcf locality = %.2f must sit between rand %.2f and stm %.2f",
+			loc["mcf"], loc["rand"], loc["stm"])
+	}
+	if loc["redis"] > 0.2 {
+		t.Fatalf("redis locality = %.2f, want low (scattered keys)", loc["redis"])
+	}
+}
+
+func TestReuseSkew(t *testing.T) {
+	// Zipfian workloads revisit hot items: distinct fraction well below 1.
+	for _, name := range []string{"pr", "redis", "llm", "rm1"} {
+		g, _ := New(name, space, 3)
+		uf := UniqueFrac(g, 50000)
+		if uf > 0.85 {
+			t.Fatalf("%s unique fraction = %.2f, want skewed reuse", name, uf)
+		}
+	}
+	g, _ := New("rand", space, 3)
+	if uf := UniqueFrac(g, 50000); uf < 0.95 {
+		t.Fatalf("rand unique fraction = %.2f, want ~1", uf)
+	}
+}
+
+func TestEmbeddingRowStructure(t *testing.T) {
+	g, _ := New("llm", space, 5)
+	// llm must emit runs of 48 consecutive lines.
+	prev, _ := g.Next()
+	runs := 0
+	cur := 1
+	for i := 0; i < 48*100; i++ {
+		pa, _ := g.Next()
+		if pa == prev+1 {
+			cur++
+		} else {
+			if cur == 48 {
+				runs++
+			}
+			cur = 1
+		}
+		prev = pa
+	}
+	if runs < 50 {
+		t.Fatalf("llm produced %d full 48-line runs, want >= 50", runs)
+	}
+	if RowLines("llm") != 48 || RowLines("rand") != 0 {
+		t.Fatal("RowLines misreports")
+	}
+}
+
+func TestPrefetchFilterStm(t *testing.T) {
+	g, _ := New("stm", space, 1)
+	f := NewPrefetchFilter(g, 4, 131072)
+	for i := 0; i < 40000; i++ {
+		f.Next()
+	}
+	// Perfect sequential locality: 3 of every 4 accesses hit.
+	if hr := f.HitRate(); hr < 0.70 || hr > 0.78 {
+		t.Fatalf("stm pf=4 hit rate = %.3f, want ~0.75", hr)
+	}
+}
+
+func TestPrefetchFilterRand(t *testing.T) {
+	g, _ := New("rand", space, 1)
+	f := NewPrefetchFilter(g, 4, 131072)
+	for i := 0; i < 40000; i++ {
+		f.Next()
+	}
+	if hr := f.HitRate(); hr > 0.1 {
+		t.Fatalf("rand pf=4 hit rate = %.3f, want ~0", hr)
+	}
+}
+
+func TestPrefetchFilterDisabled(t *testing.T) {
+	g, _ := New("stm", space, 1)
+	f := NewPrefetchFilter(g, 1, 131072)
+	for i := 0; i < 1000; i++ {
+		f.Next()
+	}
+	if f.Hits != 0 || f.Misses != 1000 {
+		t.Fatalf("pf=1 must not filter: hits=%d misses=%d", f.Hits, f.Misses)
+	}
+}
+
+func TestPrefetchFilterBoundsProperty(t *testing.T) {
+	f := func(seed uint64, pf uint8) bool {
+		p := int(pf%16) + 1
+		g, _ := New("pr", space, seed)
+		flt := NewPrefetchFilter(g, p, 8192)
+		for i := 0; i < 2000; i++ {
+			pa, _ := flt.Next()
+			if pa >= space {
+				return false
+			}
+		}
+		return flt.Misses == 2000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
