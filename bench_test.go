@@ -22,7 +22,16 @@ func benchOpts(requests int) Options {
 			requests = v
 		}
 	}
-	return Options{Requests: requests}
+	// PALERMO_WORKERS pins the sweep worker pool (0/unset = all cores,
+	// 1 = serial), e.g. to compare 1-worker vs 4-worker wall-clock on
+	// BenchmarkFig10_EndToEnd. Results are identical at any setting.
+	workers := 0
+	if s := os.Getenv("PALERMO_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			workers = v
+		}
+	}
+	return Options{Requests: requests, Workers: workers}
 }
 
 func BenchmarkFig03_RingBandwidth(b *testing.B) {

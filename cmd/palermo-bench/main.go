@@ -6,15 +6,21 @@
 //	palermo-bench -fig 10              # one figure (3,4,9,10,11,12,13,14a,14b,15)
 //	palermo-bench -all                 # everything
 //	palermo-bench -fig 10 -requests 2000
+//	palermo-bench -fig 10 -parallel 8  # sweep cells on 8 workers (0 = all cores)
+//	palermo-bench -fig 10 -json out/   # also write out/BENCH_fig10.json
 //	palermo-bench -run Palermo:llm     # one protocol on one workload
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"palermo"
 )
@@ -25,11 +31,14 @@ func main() {
 	requests := flag.Int("requests", 800, "measured ORAM requests per data point")
 	run := flag.String("run", "", "single run as Protocol:workload (e.g. Palermo:llm)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size: 0 = all cores, 1 = serial (results are identical either way)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of text tables (figures 3,4,9,10,11,12,13,14a,14b)")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<fig>.json perf/metric records into (empty = disabled)")
 	flag.Parse()
 
-	o := palermo.Options{Requests: *requests, Seed: *seed}
+	o := palermo.Options{Requests: *requests, Seed: *seed, Workers: *parallel}
 	csvOut = *asCSV
+	benchDir = *jsonDir
 
 	if *run != "" {
 		if err := single(*run, o); err != nil {
@@ -90,6 +99,10 @@ func single(spec string, o palermo.Options) error {
 // csvOut selects CSV emission (set from the -csv flag).
 var csvOut bool
 
+// benchDir, when non-empty, receives one BENCH_<fig>.json per figure run
+// (set from the -json flag).
+var benchDir string
+
 // csvAble is a result that can render both as a text table and as CSV.
 type csvAble interface {
 	fmt.Stringer
@@ -104,64 +117,168 @@ func emit(r csvAble) error {
 	return nil
 }
 
+// benchRecord is the machine-readable perf/metric record written per
+// figure, so the evaluation's headline numbers and wall-clock trajectory
+// can be tracked across revisions.
+type benchRecord struct {
+	Figure      string             `json:"figure"`
+	Requests    int                `json:"requests"`
+	Seed        uint64             `json:"seed"`
+	Workers     int                `json:"workers"` // 0 = all cores
+	Cores       int                `json:"cores"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// writeRecord writes BENCH_<fig>.json into benchDir.
+func writeRecord(f string, o palermo.Options, wall time.Duration, metrics map[string]float64) error {
+	if benchDir == "" || len(metrics) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(benchDir, 0o755); err != nil {
+		return err
+	}
+	rec := benchRecord{
+		Figure:      f,
+		Requests:    o.Requests,
+		Seed:        o.Seed,
+		Workers:     o.Workers,
+		Cores:       runtime.GOMAXPROCS(0),
+		WallSeconds: wall.Seconds(),
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := filepath.Join(benchDir, "BENCH_fig"+strings.ReplaceAll(f, "/", "_")+".json")
+	return os.WriteFile(name, append(buf, '\n'), 0o644)
+}
+
+// figure regenerates one figure, emits it, and (with -json) records its
+// headline metrics — the same ones bench_test.go reports — plus wall-clock.
 func figure(f string, o palermo.Options) error {
+	start := time.Now()
+	metrics := map[string]float64{}
 	switch f {
 	case "3":
 		r, err := palermo.Fig3(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["sync_pct"] = r.SyncTotal() * 100
+		metrics["row_hit_pct"] = r.RowHit * 100
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "4":
 		r, err := palermo.Fig4(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["peak_dummy_pct"] = 0 // max over both arms; 0 is a valid record
+		for _, d := range append(append([]float64{}, r.PrDummy...), r.FatDummy...) {
+			if d*100 > metrics["peak_dummy_pct"] {
+				metrics["peak_dummy_pct"] = d * 100
+			}
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "9":
 		r, err := palermo.Fig9(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["worst_mutual_info_bits"] = 0 // MI ~ 0 is the expected result
+		for _, row := range r.Rows {
+			if row.MutualInfo > metrics["worst_mutual_info_bits"] {
+				metrics["worst_mutual_info_bits"] = row.MutualInfo
+			}
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "10":
 		r, err := palermo.Fig10(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		for p, proto := range r.Protocols {
+			switch proto {
+			case palermo.ProtoPalermo:
+				metrics["palermo_gmean_x"] = r.GMean[p]
+			case palermo.ProtoPalermoPF:
+				metrics["palermo_pf_gmean_x"] = r.GMean[p]
+			}
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "11":
 		r, err := palermo.Fig11(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["outstanding_ratio_x"], metrics["bandwidth_ratio_x"] = r.Ratios()
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "12":
 		r, err := palermo.Fig12(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["max_stash_tags"] = 0
+		for _, m := range r.Max {
+			if float64(m) > metrics["max_stash_tags"] {
+				metrics["max_stash_tags"] = float64(m)
+			}
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "13":
 		r, err := palermo.Fig13(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["llm_best_speedup_x"] = 0
+		for w, wl := range r.Workloads {
+			if wl != "llm" {
+				continue
+			}
+			for _, v := range r.Speedup[w] {
+				if v > metrics["llm_best_speedup_x"] {
+					metrics["llm_best_speedup_x"] = v
+				}
+			}
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "14a":
 		r, err := palermo.Fig14a(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["z16_speedup_x"] = r.Speedup[2]
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "14b":
 		r, err := palermo.Fig14b(o)
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		metrics["pe8_speedup_x"] = r.Speedup[3]
+		if err := emit(r); err != nil {
+			return err
+		}
 	case "15":
-		fmt.Println(palermo.Fig15(8))
+		m := palermo.Fig15(8)
+		metrics["area_mm2"], metrics["power_w"] = m.TotalArea(), m.TotalPower()
+		fmt.Println(m)
 	case "tab2":
 		fmt.Println(palermo.TableII())
 	case "tab3":
@@ -180,6 +297,7 @@ func figure(f string, o palermo.Options) error {
 		if err != nil {
 			return err
 		}
+		metrics["path_mesh_gain_x"], metrics["ring_mesh_gain_x"] = pg.Gain(), rg.Gain()
 		fmt.Println(pg)
 		fmt.Println(rg)
 	case "tenants":
@@ -187,9 +305,10 @@ func figure(f string, o palermo.Options) error {
 		if err != nil {
 			return err
 		}
+		metrics["tenant_mi_bits"] = r.MutualInfo
 		fmt.Println(r)
 	default:
 		return fmt.Errorf("unknown figure %q", f)
 	}
-	return nil
+	return writeRecord(f, o, time.Since(start), metrics)
 }

@@ -8,6 +8,7 @@ import (
 	"palermo/internal/core"
 	"palermo/internal/ctrl"
 	"palermo/internal/dram"
+	"palermo/internal/exp"
 	"palermo/internal/hwmodel"
 	"palermo/internal/oram"
 	"palermo/internal/rng"
@@ -18,9 +19,16 @@ import (
 )
 
 // This file regenerates every table and figure of the paper's evaluation
-// (§III and §VIII). Each Fig*/Table* function runs the necessary
-// simulations and returns a result struct whose String method renders the
-// figure as a text table; EXPERIMENTS.md records paper-vs-measured values.
+// (§III and §VIII). Each Fig*/Table* function declares its simulation grid
+// (protocol × workload × sweep-point), submits the cells to the exp worker
+// pool (sized by Options.Workers), and aggregates the collected results in
+// grid order — so a parallel sweep produces bit-identical output to a
+// serial one. Each function returns a result struct whose String method
+// renders the figure as a text table; EXPERIMENTS.md records
+// paper-vs-measured values.
+
+// runner returns the sweep runner configured by Options.Workers.
+func (o Options) runner() exp.Runner { return exp.Runner{Workers: o.Workers} }
 
 // Fig3Workloads are the workloads the paper uses for the RingORAM analysis.
 var Fig3Workloads = []string{"mcf", "pr", "llm", "rand"}
@@ -41,16 +49,18 @@ type Fig3Result struct {
 	QueueOcc float64
 }
 
-// Fig3 runs the analysis.
+// Fig3 runs the analysis: one RingORAM cell per workload.
 func Fig3(o Options) (Fig3Result, error) {
 	res := Fig3Result{Workloads: Fig3Workloads, DramFrac: make([]float64, 3), SyncFrac: make([]float64, 3)}
+	runs, err := exp.Map(o.runner(), len(Fig3Workloads), func(i int) (RunResult, error) {
+		return Run(ProtoRingORAM, Fig3Workloads[i], o)
+	})
+	if err != nil {
+		return res, err
+	}
 	var totalCycles float64
 	var hit, qocc stats.Mean
-	for _, wl := range Fig3Workloads {
-		r, err := Run(ProtoRingORAM, wl, o)
-		if err != nil {
-			return res, err
-		}
+	for _, r := range runs {
 		res.Bandwidth = append(res.Bandwidth, r.Mem.BandwidthUtil)
 		hit.Add(r.Mem.RowHitRate)
 		qocc.Add(r.Mem.AvgQueueOcc * 4) // per-channel -> all channels
@@ -106,20 +116,23 @@ type Fig4Result struct {
 	FatDummy   []float64
 }
 
-// Fig4 runs the sweep.
+// Fig4 runs the sweep: the grid is {plain, fat-tree} × prefetch length.
 func Fig4(o Options) (Fig4Result, error) {
 	res := Fig4Result{Lengths: []int{1, 2, 4, 8, 16}}
+	fats := []bool{false, true}
+	runs, err := exp.Map2(o.runner(), len(fats), len(res.Lengths), func(f, p int) (RunResult, error) {
+		oo := o
+		oo.Prefetch = res.Lengths[p]
+		return runPrORAM(oo, "stm", fats[f])
+	})
+	if err != nil {
+		return res, err
+	}
 	var prBase, fatBase float64
-	for _, fat := range []bool{false, true} {
-		for _, pf := range res.Lengths {
-			oo := o
-			oo.Prefetch = pf
-			r, err := runPrORAM(oo, "stm", fat)
-			if err != nil {
-				return res, err
-			}
-			thr := r.Throughput()
-			dummy := r.DummyFraction()
+	for f, fat := range fats {
+		for p, pf := range res.Lengths {
+			thr := runs[f][p].Throughput()
+			dummy := runs[f][p].DummyFraction()
 			if fat {
 				if pf == 1 {
 					fatBase = thr
@@ -167,29 +180,31 @@ type Fig9Row struct {
 // Fig9Result reproduces Fig 9.
 type Fig9Result struct{ Rows []Fig9Row }
 
-// Fig9 runs the security analysis on Palermo. The mutual-information
-// estimate needs enough stash-resident observations to converge (the paper
-// uses up to 50M requests), so the request count is floored at 2500.
+// Fig9 runs the security analysis on Palermo, one cell per workload (the
+// security analyses run inside the cell). The mutual-information estimate
+// needs enough stash-resident observations to converge (the paper uses up
+// to 50M requests), so the request count is floored at 2500.
 func Fig9(o Options) (Fig9Result, error) {
 	o.KeepLatency = true
 	if o.Requests < 2500 {
 		o.Requests = 2500
 	}
 	var res Fig9Result
-	for _, wl := range Fig9Workloads {
+	rows, err := exp.Map(o.runner(), len(Fig9Workloads), func(i int) (Fig9Row, error) {
+		wl := Fig9Workloads[i]
 		r, err := Run(ProtoPalermo, wl, o)
 		if err != nil {
-			return res, err
+			return Fig9Row{}, err
 		}
 		tim, err := security.AnalyzeTiming(r.RespLat.Samples(), r.FromStash)
 		if err != nil {
-			return res, err
+			return Fig9Row{}, err
 		}
 		leaf, err := security.AnalyzeLeaves(r.Leaves, r.NumLeaves, 64)
 		if err != nil {
-			return res, err
+			return Fig9Row{}, err
 		}
-		res.Rows = append(res.Rows, Fig9Row{
+		return Fig9Row{
 			Workload:   wl,
 			RowHit:     r.Mem.RowHitRate,
 			BankConf:   r.Mem.RowConflictRate,
@@ -201,8 +216,12 @@ func Fig9(o Options) (Fig9Result, error) {
 			LatP90:     r.RespLat.Percentile(90),
 			LeafChi2P:  leaf.PValue,
 			LeafCorr:   leaf.SerialCorr,
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -235,8 +254,16 @@ type Fig10Result struct {
 	AbsMissesPerSec []float64
 }
 
-// Fig10 runs the full comparison. PrORAM's prefetch length is swept per
-// workload ({1,2,4,8}) and the best is reused for Palermo+PF, matching the
+// fig10PFSweep is the per-workload prefetch sweep of the paper's
+// methodology (§VIII-A).
+var fig10PFSweep = []int{1, 2, 4, 8}
+
+// Fig10 runs the full comparison in two parallel phases. Phase 1 submits,
+// per workload, the PathORAM baseline and the PrORAM prefetch sweep; the
+// best prefetch length is then selected in sweep order (ties to the
+// shorter length, exactly as a serial scan would). Phase 2 submits the
+// remaining protocol × workload cells, reusing the phase-1 results for
+// PathORAM and PrORAM and giving Palermo+PF the swept length, matching the
 // paper's methodology.
 func Fig10(o Options) (Fig10Result, error) {
 	res := Fig10Result{Workloads: workload.Names(), Protocols: Protocols()}
@@ -245,40 +272,60 @@ func Fig10(o Options) (Fig10Result, error) {
 	for i := range res.Speedup {
 		res.Speedup[i] = make([]float64, len(res.Workloads))
 	}
-	for w, wl := range res.Workloads {
-		base, err := Run(ProtoPathORAM, wl, o)
-		if err != nil {
-			return res, err
-		}
-		bestPF, bestThr := 1, 0.0
-		for _, pf := range []int{1, 2, 4, 8} {
-			oo := o
-			oo.Prefetch = pf
-			r, err := Run(ProtoPrORAM, wl, oo)
-			if err != nil {
-				return res, err
+
+	// Phase 1: per workload, col 0 is the PathORAM baseline and cols 1..
+	// are the PrORAM sweep points.
+	sweep, err := exp.Map2(o.runner(), len(res.Workloads), 1+len(fig10PFSweep),
+		func(w, c int) (RunResult, error) {
+			if c == 0 {
+				return Run(ProtoPathORAM, res.Workloads[w], o)
 			}
-			if thr := r.Throughput(); thr > bestThr {
+			oo := o
+			oo.Prefetch = fig10PFSweep[c-1]
+			return Run(ProtoPrORAM, res.Workloads[w], oo)
+		})
+	if err != nil {
+		return res, err
+	}
+	for w := range res.Workloads {
+		bestPF, bestThr := 1, 0.0
+		for i, pf := range fig10PFSweep {
+			if thr := sweep[w][1+i].Throughput(); thr > bestThr {
 				bestThr, bestPF = thr, pf
 			}
 		}
 		res.BestPF = append(res.BestPF, bestPF)
-		for p, proto := range res.Protocols {
-			oo := o
-			if proto == ProtoPrORAM || proto == ProtoPalermoPF {
-				oo.Prefetch = bestPF
-			}
-			var r RunResult
-			if proto == ProtoPathORAM {
-				r = base
-			} else {
-				r, err = Run(proto, wl, oo)
-				if err != nil {
-					return res, err
+	}
+
+	// Phase 2: the remaining protocol grid. PathORAM and PrORAM reuse
+	// their phase-1 cells (identical configuration => identical result).
+	grid, err := exp.Map2(o.runner(), len(res.Workloads), len(res.Protocols),
+		func(w, p int) (RunResult, error) {
+			proto := res.Protocols[p]
+			switch proto {
+			case ProtoPathORAM:
+				return sweep[w][0], nil
+			case ProtoPrORAM:
+				for i, pf := range fig10PFSweep {
+					if pf == res.BestPF[w] {
+						return sweep[w][1+i], nil
+					}
 				}
 			}
-			res.Speedup[p][w] = r.Throughput() / base.Throughput()
-			res.AbsMissesPerSec[p] += r.MissesPerSecond() / float64(len(res.Workloads))
+			oo := o
+			if proto == ProtoPalermoPF {
+				oo.Prefetch = res.BestPF[w]
+			}
+			return Run(proto, res.Workloads[w], oo)
+		})
+	if err != nil {
+		return res, err
+	}
+	for w := range res.Workloads {
+		base := grid[w][0].Throughput()
+		for p := range res.Protocols {
+			res.Speedup[p][w] = grid[w][p].Throughput() / base
+			res.AbsMissesPerSec[p] += grid[w][p].MissesPerSecond() / float64(len(res.Workloads))
 		}
 	}
 	for p := range res.Protocols {
@@ -317,18 +364,18 @@ type Fig11Result struct {
 	PalOut    []float64
 }
 
-// Fig11 runs the comparison.
+// Fig11 runs the comparison: the grid is workload × {RingORAM, Palermo}.
 func Fig11(o Options) (Fig11Result, error) {
 	res := Fig11Result{Workloads: Fig9Workloads}
-	for _, wl := range Fig9Workloads {
-		ring, err := Run(ProtoRingORAM, wl, o)
-		if err != nil {
-			return res, err
-		}
-		pal, err := Run(ProtoPalermo, wl, o)
-		if err != nil {
-			return res, err
-		}
+	protos := []Protocol{ProtoRingORAM, ProtoPalermo}
+	runs, err := exp.Map2(o.runner(), len(Fig9Workloads), len(protos), func(w, p int) (RunResult, error) {
+		return Run(protos[p], Fig9Workloads[w], o)
+	})
+	if err != nil {
+		return res, err
+	}
+	for w := range Fig9Workloads {
+		ring, pal := runs[w][0], runs[w][1]
 		res.RingBW = append(res.RingBW, ring.Mem.BandwidthUtil)
 		res.PalBW = append(res.PalBW, pal.Mem.BandwidthUtil)
 		res.RingOut = append(res.RingOut, ring.Mem.AvgQueueOcc*4)
@@ -369,16 +416,18 @@ type Fig12Result struct {
 	Max       []int
 }
 
-// Fig12 runs the stash study.
+// Fig12 runs the stash study, one Palermo cell per workload.
 func Fig12(o Options) (Fig12Result, error) {
 	o.TrackStash = true
 	var res Fig12Result
-	for _, wl := range Fig9Workloads {
-		r, err := Run(ProtoPalermo, wl, o)
-		if err != nil {
-			return res, err
-		}
-		res.Workloads = append(res.Workloads, wl)
+	runs, err := exp.Map(o.runner(), len(Fig9Workloads), func(i int) (RunResult, error) {
+		return Run(ProtoPalermo, Fig9Workloads[i], o)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, r := range runs {
+		res.Workloads = append(res.Workloads, Fig9Workloads[i])
 		res.Samples = append(res.Samples, r.StashTrace[0])
 		res.Max = append(res.Max, r.StashMax[0])
 	}
@@ -410,23 +459,27 @@ type Fig13Result struct {
 	Speedup [][]float64
 }
 
-// Fig13 runs the sweep.
+// Fig13 runs the sweep: per workload, col 0 is the PathORAM baseline and
+// cols 1.. are the Palermo+PF prefetch points.
 func Fig13(o Options) (Fig13Result, error) {
 	res := Fig13Result{Workloads: Fig9Workloads, Lengths: []int{1, 2, 4, 8}}
-	for _, wl := range res.Workloads {
-		base, err := Run(ProtoPathORAM, wl, o)
-		if err != nil {
-			return res, err
-		}
-		var row []float64
-		for _, pf := range res.Lengths {
-			oo := o
-			oo.Prefetch = pf
-			r, err := Run(ProtoPalermoPF, wl, oo)
-			if err != nil {
-				return res, err
+	runs, err := exp.Map2(o.runner(), len(res.Workloads), 1+len(res.Lengths),
+		func(w, c int) (RunResult, error) {
+			if c == 0 {
+				return Run(ProtoPathORAM, res.Workloads[w], o)
 			}
-			row = append(row, r.Throughput()/base.Throughput())
+			oo := o
+			oo.Prefetch = res.Lengths[c-1]
+			return Run(ProtoPalermoPF, res.Workloads[w], oo)
+		})
+	if err != nil {
+		return res, err
+	}
+	for w := range res.Workloads {
+		base := runs[w][0].Throughput()
+		var row []float64
+		for i := range res.Lengths {
+			row = append(row, runs[w][1+i].Throughput()/base)
 		}
 		res.Speedup = append(res.Speedup, row)
 	}
@@ -463,22 +516,20 @@ type Fig14aResult struct {
 	Stash   []int
 }
 
-// Fig14a runs the sweep on rand.
+// Fig14a runs the sweep on rand, one cell per (Z,S,A) point.
 func Fig14a(o Options) (Fig14aResult, error) {
 	res := Fig14aResult{ZSA: ZSASweep}
-	var base float64
-	for i, zsa := range ZSASweep {
+	runs, err := exp.Map(o.runner(), len(ZSASweep), func(i int) (RunResult, error) {
 		oo := o
-		oo.Z, oo.S, oo.A = zsa[0], zsa[1], zsa[2]
-		r, err := Run(ProtoPalermo, "rand", oo)
-		if err != nil {
-			return res, err
-		}
-		thr := r.Throughput()
-		if i == 0 {
-			base = thr
-		}
-		res.Speedup = append(res.Speedup, thr/base)
+		oo.Z, oo.S, oo.A = ZSASweep[i][0], ZSASweep[i][1], ZSASweep[i][2]
+		return Run(ProtoPalermo, "rand", oo)
+	})
+	if err != nil {
+		return res, err
+	}
+	base := runs[0].Throughput()
+	for _, r := range runs {
+		res.Speedup = append(res.Speedup, r.Throughput()/base)
 		res.Stash = append(res.Stash, r.StashMax[0])
 	}
 	return res, nil
@@ -502,22 +553,20 @@ type Fig14bResult struct {
 	BW      []float64
 }
 
-// Fig14b runs the sweep on rand.
+// Fig14b runs the sweep on rand, one cell per column count.
 func Fig14b(o Options) (Fig14bResult, error) {
 	res := Fig14bResult{Columns: []int{1, 2, 4, 8, 16, 32}}
-	var base float64
-	for i, c := range res.Columns {
+	runs, err := exp.Map(o.runner(), len(res.Columns), func(i int) (RunResult, error) {
 		oo := o
-		oo.Columns = c
-		r, err := Run(ProtoPalermo, "rand", oo)
-		if err != nil {
-			return res, err
-		}
-		thr := r.Throughput()
-		if i == 0 {
-			base = thr
-		}
-		res.Speedup = append(res.Speedup, thr/base)
+		oo.Columns = res.Columns[i]
+		return Run(ProtoPalermo, "rand", oo)
+	})
+	if err != nil {
+		return res, err
+	}
+	base := runs[0].Throughput()
+	for _, r := range runs {
+		res.Speedup = append(res.Speedup, r.Throughput()/base)
 		res.BW = append(res.BW, r.Mem.BandwidthUtil)
 	}
 	return res, nil
@@ -592,13 +641,29 @@ func (a AblationResult) String() string {
 	return fmt.Sprintf("ablation %-22s %.2fx", a.Name, a.Gain())
 }
 
+// ablationPair runs the {baseline, with-feature} arms of an ablation as a
+// two-cell grid.
+func ablationPair(o Options, name string, arm func(with bool) (float64, error)) (AblationResult, error) {
+	thr, err := exp.Map(o.runner(), 2, func(i int) (float64, error) {
+		return arm(i == 1)
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: name, Baseline: thr[0], With: thr[1]}, nil
+}
+
 // AblationHoisting measures Algorithm 2's EarlyReshuffle hoisting: the PE
 // mesh running baseline-ordered RingORAM plans (reshuffle after the read
 // path) against the Palermo ordering (reshuffle hoisted before it). The
 // hoisting is what releases the west→east dependency early (§IV-B).
 func AblationHoisting(o Options) (AblationResult, error) {
 	o.defaults()
-	run := func(variant oram.RingVariant) (float64, error) {
+	return ablationPair(o, "ER hoisting (Alg 2)", func(with bool) (float64, error) {
+		variant := oram.VariantBaseline
+		if with {
+			variant = oram.VariantPalermo
+		}
 		cfg := oram.PalermoRingConfig()
 		cfg.NLines = o.Lines
 		cfg.Seed = o.Seed
@@ -617,23 +682,18 @@ func AblationHoisting(o Options) (AblationResult, error) {
 		res := core.Mesh{Name: "mesh", Columns: o.Columns}.Run(&eng, mem, e, src,
 			ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
 		return res.Throughput(), nil
-	}
-	base, err := run(oram.VariantBaseline)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	with, err := run(oram.VariantPalermo)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	return AblationResult{Name: "ER hoisting (Alg 2)", Baseline: base, With: with}, nil
+	})
 }
 
 // AblationTreeTop measures the tree-top cache: Palermo with the Table III
 // 256 KB per-level scratchpad against no cache at all.
 func AblationTreeTop(o Options) (AblationResult, error) {
 	o.defaults()
-	run := func(capacity uint64) (float64, error) {
+	return ablationPair(o, "tree-top cache 256KB", func(with bool) (float64, error) {
+		capacity := uint64(1) // 1 byte: caches nothing
+		if with {
+			capacity = 256 << 10
+		}
 		cfg := oram.PalermoRingConfig()
 		cfg.NLines = o.Lines
 		cfg.Seed = o.Seed
@@ -652,16 +712,7 @@ func AblationTreeTop(o Options) (AblationResult, error) {
 		res := core.Mesh{Name: "mesh", Columns: o.Columns}.Run(&eng, mem, e, src,
 			ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
 		return res.Throughput(), nil
-	}
-	base, err := run(1) // 1 byte: caches nothing
-	if err != nil {
-		return AblationResult{}, err
-	}
-	with, err := run(256 << 10)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	return AblationResult{Name: "tree-top cache 256KB", Baseline: base, With: with}, nil
+	})
 }
 
 // AblationCommitGranularity compares Palermo-SW modelled two ways: the
@@ -671,39 +722,27 @@ func AblationTreeTop(o Options) (AblationResult, error) {
 // reach, showing how much of Palermo's gain requires the hardware mesh.
 func AblationCommitGranularity(o Options) (AblationResult, error) {
 	o.defaults()
-	e1, err := buildPalermoRing(o, 1)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	gen, err := workload.New("rand", o.Lines, o.Seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	var eng1 sim.Engine
-	mem1 := dram.New(&eng1, dram.DefaultConfig())
-	src1 := ctrl.FuncSource(func() (uint64, bool) { return gen.Next() })
-	coarse := ctrl.Serial{Name: "sw-coarse", OverlapDataRP: true}.Run(&eng1, mem1, e1, src1,
-		ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
-
-	e2, err := buildPalermoRing(o, 1)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	gen2, err := workload.New("rand", o.Lines, o.Seed)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	var eng2 sim.Engine
-	mem2 := dram.New(&eng2, dram.DefaultConfig())
-	src2 := ctrl.FuncSource(func() (uint64, bool) { return gen2.Next() })
-	fine := core.Mesh{Name: "sw-fine", Columns: o.Columns, SoftwareCoarse: true}.Run(&eng2, mem2, e2, src2,
-		ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup})
-
-	return AblationResult{
-		Name:     "fine-grained SW sync",
-		Baseline: coarse.Throughput(),
-		With:     fine.Throughput(),
-	}, nil
+	return ablationPair(o, "fine-grained SW sync", func(fine bool) (float64, error) {
+		e, err := buildPalermoRing(o, 1)
+		if err != nil {
+			return 0, err
+		}
+		gen, err := workload.New("rand", o.Lines, o.Seed)
+		if err != nil {
+			return 0, err
+		}
+		var eng sim.Engine
+		mem := dram.New(&eng, dram.DefaultConfig())
+		src := ctrl.FuncSource(func() (uint64, bool) { return gen.Next() })
+		rc := ctrl.RunConfig{Requests: o.Requests, Warmup: o.Warmup}
+		var res ctrl.Result
+		if fine {
+			res = core.Mesh{Name: "sw-fine", Columns: o.Columns, SoftwareCoarse: true}.Run(&eng, mem, e, src, rc)
+		} else {
+			res = ctrl.Serial{Name: "sw-coarse", OverlapDataRP: true}.Run(&eng, mem, e, src, rc)
+		}
+		return res.Throughput(), nil
+	})
 }
 
 // AblationPathMesh tests §IV-E's claim that applying the Palermo mesh
@@ -711,7 +750,7 @@ func AblationCommitGranularity(o Options) (AblationResult, error) {
 // guarantee, so the whole write-back serializes same-level requests, and
 // its traffic has few dependency bubbles to begin with. Returns the mesh's
 // gain over the serial controller for PathORAM and, for contrast, for
-// RingORAM (the Palermo protocol).
+// RingORAM (the Palermo protocol). All four arms run as one grid.
 func AblationPathMesh(o Options) (pathGain, ringGain AblationResult, err error) {
 	o.defaults()
 	runPath := func(mesh bool) (float64, error) {
@@ -738,29 +777,31 @@ func AblationPathMesh(o Options) (pathGain, ringGain AblationResult, err error) 
 		}
 		return res.Throughput(), nil
 	}
-	pBase, err := runPath(false)
+	thr, err := exp.Map(o.runner(), 4, func(i int) (float64, error) {
+		switch i {
+		case 0:
+			return runPath(false)
+		case 1:
+			return runPath(true)
+		case 2:
+			r, err := Run(ProtoRingORAM, "rand", o)
+			if err != nil {
+				return 0, err
+			}
+			return r.Throughput(), nil
+		default:
+			r, err := Run(ProtoPalermo, "rand", o)
+			if err != nil {
+				return 0, err
+			}
+			return r.Throughput(), nil
+		}
+	})
 	if err != nil {
 		return pathGain, ringGain, err
 	}
-	pMesh, err := runPath(true)
-	if err != nil {
-		return pathGain, ringGain, err
-	}
-	pathGain = AblationResult{Name: "mesh on PathORAM", Baseline: pBase, With: pMesh}
-
-	ringSerial, err := Run(ProtoRingORAM, "rand", o)
-	if err != nil {
-		return pathGain, ringGain, err
-	}
-	palermo, err := Run(ProtoPalermo, "rand", o)
-	if err != nil {
-		return pathGain, ringGain, err
-	}
-	ringGain = AblationResult{
-		Name:     "mesh on RingORAM",
-		Baseline: ringSerial.Throughput(),
-		With:     palermo.Throughput(),
-	}
+	pathGain = AblationResult{Name: "mesh on PathORAM", Baseline: thr[0], With: thr[1]}
+	ringGain = AblationResult{Name: "mesh on RingORAM", Baseline: thr[2], With: thr[3]}
 	return pathGain, ringGain, nil
 }
 
@@ -787,7 +828,8 @@ func (r TenantReport) String() string {
 // TenantIsolation runs two tenants with very different native behaviour
 // (llm's streaming rows vs redis's scattered keys) through one Palermo
 // controller, with a bursty front end forcing constant-rate dummy padding,
-// and measures whether latency leaks tenant identity.
+// and measures whether latency leaks tenant identity. This is a single
+// simulation cell (the tenants share one engine), so it does not fan out.
 func TenantIsolation(o Options) (TenantReport, error) {
 	o.defaults()
 	o.KeepLatency = true

@@ -1,0 +1,3 @@
+module palermo
+
+go 1.24

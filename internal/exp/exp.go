@@ -1,0 +1,102 @@
+// Package exp is the experiment sweep runner: it executes independent
+// simulation cells (protocol × workload × sweep-point) across a worker
+// pool with deterministic, order-stable result collection.
+//
+// Every cell of the paper's evaluation owns its private sim.Engine, DRAM
+// model, and seeded RNG, so a sweep is embarrassingly parallel; the only
+// requirements for reproducibility are that (a) each cell's configuration
+// is a pure function of its grid coordinates, and (b) results are consumed
+// in grid order, never completion order. Map and Map2 enforce (b) by
+// writing each cell's result into its own slot; the caller's aggregation
+// loop then observes exactly the sequence a serial run would have
+// produced, making parallel sweeps bit-identical to Workers=1.
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner configures sweep execution. The zero value uses every core.
+type Runner struct {
+	// Workers is the worker-pool size: 0 (or negative) means
+	// runtime.GOMAXPROCS(0); 1 forces fully serial in-order execution,
+	// which is the reference for determinism tests.
+	Workers int
+}
+
+// workers resolves the effective pool size for n cells.
+func (r Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Map runs fn(i) for every i in [0, n) on the runner's worker pool and
+// returns the results indexed by i. If any cell fails, the error of the
+// lowest-indexed failing cell is returned (matching what a serial loop
+// would have reported); once a failure is observed, workers stop claiming
+// new cells.
+func Map[T any](r Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if r.workers(n) == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := r.workers(n); k > 0; k-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				out[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Map2 runs fn(i, j) over the rows×cols grid and returns results indexed
+// [i][j]. Cells are scheduled row-major; error selection follows row-major
+// order like Map.
+func Map2[T any](r Runner, rows, cols int, fn func(i, j int) (T, error)) ([][]T, error) {
+	flat, err := Map(r, rows*cols, func(k int) (T, error) {
+		return fn(k/cols, k%cols)
+	})
+	out := make([][]T, rows)
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols]
+	}
+	return out, err
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderStable(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(Runner{Workers: workers}, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(Runner{}, 0, func(i int) (int, error) { return 0, errors.New("boom") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapLowestIndexedError(t *testing.T) {
+	// Cells 30 and 60 both fail; the reported error must be cell 30's, the
+	// one a serial loop would have hit first, regardless of worker count.
+	for _, workers := range []int{1, 4} {
+		_, err := Map(Runner{Workers: workers}, 100, func(i int) (int, error) {
+			if i == 30 || i == 60 {
+				return 0, fmt.Errorf("cell %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 30" {
+			t.Fatalf("workers=%d: err = %v, want cell 30", workers, err)
+		}
+	}
+}
+
+func TestMapUsesWorkers(t *testing.T) {
+	// Rendezvous: every cell blocks until a second worker has entered fn,
+	// so the Map can only complete if at least two workers run cells
+	// concurrently. A blocked worker parks its goroutine, so with
+	// Workers: 4 the runtime is free to schedule another one even on a
+	// single core; the timeout arm only trips if Map degenerated to a
+	// single worker.
+	var entered atomic.Int64
+	ready := make(chan struct{})
+	_, err := Map(Runner{Workers: 4}, 64, func(i int) (int, error) {
+		if entered.Add(1) == 2 {
+			close(ready)
+		}
+		select {
+		case <-ready:
+			return i, nil
+		case <-time.After(10 * time.Second):
+			return 0, errors.New("no second concurrent worker entered within 10s")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMap2Shape(t *testing.T) {
+	got, err := Map2(Runner{Workers: 3}, 4, 5, func(i, j int) (string, error) {
+		return fmt.Sprintf("%d.%d", i, j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if want := fmt.Sprintf("%d.%d", i, j); got[i][j] != want {
+				t.Fatalf("[%d][%d] = %q, want %q", i, j, got[i][j], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the schedule/dispatch hot path: every
+// DRAM command and protocol phase in a run goes through Engine.At and
+// Engine.Step, so allocs/op here multiply by tens of millions of events in
+// a full sweep.
+func BenchmarkEngineSchedule(b *testing.B) {
+	const events = 1024
+	nop := func() {}
+	var eng Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < events; j++ {
+			eng.After(Tick(uint64(j)*2654435761%977), nop)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkEngineNested mixes scheduling and execution the way controllers
+// do: each executed event schedules a follow-up until a depth budget runs
+// out, keeping the heap occupied while it is mutated.
+func BenchmarkEngineNested(b *testing.B) {
+	var eng Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var spawn func(depth int) func()
+		spawn = func(depth int) func() {
+			return func() {
+				if depth > 0 {
+					eng.After(3, spawn(depth-1))
+					eng.After(7, spawn(depth-1))
+				}
+			}
+		}
+		eng.After(1, spawn(6))
+		eng.Run()
+	}
+}
+
+// BenchmarkSignalFire measures the dependency-token path (Wait/Fire), which
+// the mesh controller exercises once per protocol phase per PE.
+func BenchmarkSignalFire(b *testing.B) {
+	nop := func() {}
+	var eng Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			s := NewSignal(&eng)
+			for k := 0; k < 4; k++ {
+				s.Wait(nop)
+			}
+			s.Fire()
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkBatch measures the countdown-barrier path used for every DRAM
+// read burst.
+func BenchmarkBatch(b *testing.B) {
+	nop := func() {}
+	var eng Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			bt := NewBatch(&eng, 8)
+			bt.Sig().Wait(nop)
+			for k := 0; k < 8; k++ {
+				bt.Done()
+			}
+		}
+		eng.Run()
+	}
+}

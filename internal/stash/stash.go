@@ -5,9 +5,13 @@
 // implementation therefore tracks peak occupancy and reports overflow so
 // protocols can trigger background evictions (PrORAM) or fail loudly.
 //
-// Storage is insertion-ordered (slice + index map) rather than map-iterated
-// so eviction selection — and therefore every downstream simulation result —
-// is deterministic for a given seed.
+// Storage is an insertion-ordered intrusive list over a slab (slice of
+// slots + free list) with an id index, rather than map-iterated, so
+// eviction selection — and therefore every downstream simulation result —
+// is deterministic for a given seed. The list layout keeps the per-bucket
+// eviction scan (EvictIntoNode, called once per bucket per eviction path on
+// every access) proportional to live occupancy: removed entries unlink in
+// O(1) instead of leaving tombstones that later scans must skip.
 package stash
 
 import (
@@ -25,20 +29,32 @@ type Entry struct {
 	Val  uint64
 }
 
+// none is the nil slot index for the intrusive list.
+const none = -1
+
+// slot is one slab cell: an entry threaded into either the insertion-order
+// list (live) or the free list (dead, next only).
+type slot struct {
+	e          Entry
+	prev, next int
+}
+
 // Stash holds blocks between tree pulls and pushes.
 type Stash struct {
-	order    []Entry               // insertion order; holes marked by index map absence
-	index    map[otree.BlockID]int // id -> position in order
-	live     int
-	maxSeen  int
-	samples  []int
-	capacity int // 0 = untracked; otherwise hardware tag budget
-	overflow uint64
+	slab       []slot
+	head, tail int // live entries in insertion order
+	free       int // reusable slots
+	index      map[otree.BlockID]int
+	live       int
+	maxSeen    int
+	samples    []int
+	capacity   int // 0 = untracked; otherwise hardware tag budget
+	overflow   uint64
 }
 
 // New creates an empty stash.
 func New() *Stash {
-	return &Stash{index: make(map[otree.BlockID]int)}
+	return &Stash{head: none, tail: none, free: none, index: make(map[otree.BlockID]int)}
 }
 
 // SetCapacity declares the hardware tag budget (256 in Table III). The
@@ -60,17 +76,54 @@ func (s *Stash) MaxSeen() int { return s.maxSeen }
 // ResetPeak clears the peak-occupancy tracker (warmup boundary).
 func (s *Stash) ResetPeak() { s.maxSeen = s.live }
 
+// alloc takes a slot from the free list, growing the slab if needed.
+func (s *Stash) alloc() int {
+	if s.free != none {
+		i := s.free
+		s.free = s.slab[i].next
+		return i
+	}
+	s.slab = append(s.slab, slot{})
+	return len(s.slab) - 1
+}
+
+// unlink removes slot i from the live list and pushes it onto the free list.
+func (s *Stash) unlink(i int) {
+	sl := &s.slab[i]
+	if sl.prev != none {
+		s.slab[sl.prev].next = sl.next
+	} else {
+		s.head = sl.next
+	}
+	if sl.next != none {
+		s.slab[sl.next].prev = sl.prev
+	} else {
+		s.tail = sl.prev
+	}
+	sl.e = Entry{}
+	sl.next = s.free
+	s.free = i
+	s.live--
+}
+
 // Put inserts or replaces a block.
 func (s *Stash) Put(e Entry) {
 	if e.ID == otree.Dummy {
 		panic("stash: Put of dummy block")
 	}
 	if i, ok := s.index[e.ID]; ok {
-		s.order[i] = e
+		s.slab[i].e = e // replace in place, keeping insertion order
 		return
 	}
-	s.index[e.ID] = len(s.order)
-	s.order = append(s.order, e)
+	i := s.alloc()
+	s.slab[i] = slot{e: e, prev: s.tail, next: none}
+	if s.tail != none {
+		s.slab[s.tail].next = i
+	} else {
+		s.head = i
+	}
+	s.tail = i
+	s.index[e.ID] = i
 	s.live++
 	if s.live > s.maxSeen {
 		s.maxSeen = s.live
@@ -78,7 +131,6 @@ func (s *Stash) Put(e Entry) {
 	if s.capacity > 0 && s.live > s.capacity {
 		s.overflow++
 	}
-	s.maybeCompact()
 }
 
 // Get returns the entry for id, if present.
@@ -87,7 +139,7 @@ func (s *Stash) Get(id otree.BlockID) (Entry, bool) {
 	if !ok {
 		return Entry{}, false
 	}
-	return s.order[i], true
+	return s.slab[i].e, true
 }
 
 // Contains reports whether id is stashed.
@@ -103,8 +155,7 @@ func (s *Stash) Remove(id otree.BlockID) bool {
 		return false
 	}
 	delete(s.index, id)
-	s.order[i].ID = otree.Dummy // tombstone
-	s.live--
+	s.unlink(i)
 	return true
 }
 
@@ -114,22 +165,7 @@ func (s *Stash) Remap(id otree.BlockID, leaf uint64) {
 	if !ok {
 		panic(fmt.Sprintf("stash: Remap of absent block %d", id))
 	}
-	s.order[i].Leaf = leaf
-}
-
-// maybeCompact drops tombstones once they dominate the backing slice.
-func (s *Stash) maybeCompact() {
-	if len(s.order) < 64 || s.live*2 > len(s.order) {
-		return
-	}
-	compacted := make([]Entry, 0, s.live)
-	for _, e := range s.order {
-		if e.ID != otree.Dummy {
-			s.index[e.ID] = len(compacted)
-			compacted = append(compacted, e)
-		}
-	}
-	s.order = compacted
+	s.slab[i].e.Leaf = leaf
 }
 
 // EvictInto selects up to max blocks eligible for the bucket at the given
@@ -143,26 +179,24 @@ func (s *Stash) EvictInto(g otree.Geometry, evictLeaf uint64, level, max int) []
 
 // EvictIntoNode is EvictInto addressed by node rather than (leaf, level):
 // a block is eligible if node lies on its mapped leaf's path. PageORAM uses
-// this for sibling buckets that are not on the accessed path.
+// this for sibling buckets that are not on the accessed path. The scan
+// walks only live entries (oldest first); selected entries unlink in O(1).
 func (s *Stash) EvictIntoNode(g otree.Geometry, node uint64, max int) []otree.BlockEntry {
-	if max <= 0 {
+	if max <= 0 || s.live == 0 {
 		return nil
 	}
 	level := g.NodeLevel(node)
 	prefix := node - ((uint64(1) << level) - 1)
 	shift := uint(g.Depth - level)
 	var out []otree.BlockEntry
-	for i := 0; i < len(s.order) && len(out) < max; i++ {
-		e := s.order[i]
-		if e.ID == otree.Dummy {
-			continue
-		}
-		if (e.Leaf >> shift) == prefix {
+	for i := s.head; i != none && len(out) < max; {
+		next := s.slab[i].next
+		if e := s.slab[i].e; (e.Leaf >> shift) == prefix {
 			out = append(out, otree.BlockEntry{ID: e.ID, Val: e.Val})
 			delete(s.index, e.ID)
-			s.order[i].ID = otree.Dummy
-			s.live--
+			s.unlink(i)
 		}
+		i = next
 	}
 	return out
 }
@@ -175,9 +209,7 @@ func (s *Stash) Samples() []int { return s.samples }
 
 // ForEach iterates over all entries in insertion order.
 func (s *Stash) ForEach(fn func(Entry)) {
-	for _, e := range s.order {
-		if e.ID != otree.Dummy {
-			fn(e)
-		}
+	for i := s.head; i != none; i = s.slab[i].next {
+		fn(s.slab[i].e)
 	}
 }

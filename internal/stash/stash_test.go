@@ -138,7 +138,7 @@ func TestEvictDeterministicOldestFirst(t *testing.T) {
 	}
 }
 
-func TestCompaction(t *testing.T) {
+func TestSlotReuse(t *testing.T) {
 	s := New()
 	for i := otree.BlockID(0); i < 1000; i++ {
 		s.Put(Entry{ID: i, Leaf: uint64(i)})
@@ -149,12 +149,12 @@ func TestCompaction(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("len = %d", s.Len())
 	}
-	if len(s.order) > 64 {
-		t.Fatalf("backing slice grew to %d despite compaction", len(s.order))
+	if len(s.slab) > 64 {
+		t.Fatalf("slab grew to %d slots despite free-list reuse", len(s.slab))
 	}
 	e, ok := s.Get(999)
 	if !ok || e.Leaf != 999 {
-		t.Fatal("live entry lost during compaction")
+		t.Fatal("live entry lost during slot reuse")
 	}
 }
 

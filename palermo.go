@@ -14,7 +14,11 @@
 //	fmt.Println(res.Result) // throughput, bandwidth, latencies, stash, ...
 //
 // Every figure and table of the paper's evaluation has a Fig*/Table*
-// function in this package (see experiments.go and EXPERIMENTS.md).
+// function in this package (see experiments.go; EXPERIMENTS.md records the
+// paper-vs-measured values and README.md the quickstart). Multi-cell
+// experiments fan out across a worker pool sized by Options.Workers with
+// results collected in grid order, so a parallel sweep is bit-identical to
+// a serial one.
 package palermo
 
 import (
@@ -93,6 +97,14 @@ type Options struct {
 	Seed        uint64 // default 1
 	KeepLatency bool   // retain per-request latencies and leaves
 	TrackStash  bool   // record stash occupancy over progress (Fig 12)
+
+	// Workers sizes the sweep runner's worker pool for multi-cell
+	// experiments (the Fig*/Ablation* grids): 0 means all cores
+	// (runtime.GOMAXPROCS), 1 forces serial execution. It only affects
+	// wall-clock time — each cell owns a private engine, DRAM model, and
+	// seeded RNG, and results are collected in grid order, so sweep
+	// results are bit-identical at any worker count.
+	Workers int
 
 	// StashThreshold is PrORAM's background-eviction trigger (default 1024,
 	// the Fig 4 configuration).

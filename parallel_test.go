@@ -1,0 +1,82 @@
+package palermo
+
+// Determinism regression tests for the parallel sweep runner: a sweep
+// fanned out across workers must produce results bit-identical to a forced
+// serial run (Workers: 1) — same speedups, same geomeans, same stash peaks
+// and traces. Each simulation cell owns a private engine, DRAM model, and
+// seeded RNG, and internal/exp collects results in grid order, so any
+// divergence here means shared mutable state leaked between cells.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// detOpts keeps the grids small enough for CI while still covering every
+// protocol (Fig10) and a multi-point sweep (Fig13).
+func detOpts(workers int) Options {
+	return Options{Requests: 60, Warmup: 60, Workers: workers}
+}
+
+func TestFig10ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid experiment")
+	}
+	serial, err := Fig10(detOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig10(detOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Speedup, par.Speedup) {
+		t.Errorf("speedups diverge:\nserial %v\nparallel %v", serial.Speedup, par.Speedup)
+	}
+	if !reflect.DeepEqual(serial.GMean, par.GMean) {
+		t.Errorf("geomeans diverge:\nserial %v\nparallel %v", serial.GMean, par.GMean)
+	}
+	if !reflect.DeepEqual(serial.BestPF, par.BestPF) {
+		t.Errorf("swept prefetch diverges:\nserial %v\nparallel %v", serial.BestPF, par.BestPF)
+	}
+	if !reflect.DeepEqual(serial.AbsMissesPerSec, par.AbsMissesPerSec) {
+		t.Errorf("absolute rates diverge:\nserial %v\nparallel %v", serial.AbsMissesPerSec, par.AbsMissesPerSec)
+	}
+}
+
+func TestFig13ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid experiment")
+	}
+	serial, err := Fig13(detOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig13(detOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("Fig13 diverges:\nserial %+v\nparallel %+v", serial, par)
+	}
+}
+
+func TestFig12ParallelStashPeaksMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid experiment")
+	}
+	serial, err := Fig12(detOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig12(detOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Max, par.Max) {
+		t.Errorf("stash peaks diverge:\nserial %v\nparallel %v", serial.Max, par.Max)
+	}
+	if !reflect.DeepEqual(serial.Samples, par.Samples) {
+		t.Errorf("stash traces diverge")
+	}
+}
