@@ -11,9 +11,14 @@ package palermo
 // environment variable for tighter numbers.
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
+
+	"palermo/internal/rng"
 )
 
 func benchOpts(requests int) Options {
@@ -32,6 +37,74 @@ func benchOpts(requests int) Options {
 		}
 	}
 	return Options{Requests: requests, Workers: workers}
+}
+
+// BenchmarkStoreOps measures the synchronous single-tree Store: the
+// serving-path baseline the sharded service is compared against
+// (ops/s and allocs/op are the tracked metrics).
+func BenchmarkStoreOps(b *testing.B) {
+	st, err := NewStore(StoreConfig{Blocks: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{0xA5}, BlockSize)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := r.Uint64n(1 << 16)
+		if id%10 == 0 {
+			if err := st.Write(id, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := st.Read(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkShardedStoreOps measures the concurrent service layer at 1, 2,
+// and 4 shards under GOMAXPROCS parallel closed-loop clients. On a 4-core
+// runner, 4 shards should deliver >= 2x the 1-shard ops/s (the serving-path
+// analogue of Fig 11's request-level-parallelism scaling).
+func BenchmarkShardedStoreOps(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st, err := NewShardedStore(ShardedStoreConfig{Blocks: 1 << 16, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			var clientSeq atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// b.Error, not b.Fatal: Fatal must not run off the
+				// benchmark goroutine.
+				r := rng.New(1000 + clientSeq.Add(1))
+				buf := bytes.Repeat([]byte{0x5A}, BlockSize)
+				for pb.Next() {
+					id := r.Uint64n(1 << 16)
+					if id%10 == 0 {
+						if err := st.Write(id, buf); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						if _, err := st.Read(id); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
 }
 
 func BenchmarkFig03_RingBandwidth(b *testing.B) {

@@ -23,10 +23,12 @@ import (
 	"time"
 
 	"palermo"
+	"palermo/internal/loadgen"
+	"palermo/internal/rng"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 3, 4, 9, 10, 11, 12, 13, 14a, 14b, 15, tab2, tab3, ablations, tenants")
+	fig := flag.String("fig", "", "figure to regenerate: 3, 4, 9, 10, 11, 12, 13, 14a, 14b, 15, tab2, tab3, ablations, tenants, store")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	requests := flag.Int("requests", 800, "measured ORAM requests per data point")
 	run := flag.String("run", "", "single run as Protocol:workload (e.g. Palermo:llm)")
@@ -47,7 +49,7 @@ func main() {
 		return
 	}
 	if *all {
-		for _, f := range []string{"tab2", "tab3", "3", "4", "9", "10", "11", "12", "13", "14a", "14b", "15", "ablations", "tenants"} {
+		for _, f := range []string{"tab2", "tab3", "3", "4", "9", "10", "11", "12", "13", "14a", "14b", "15", "ablations", "tenants", "store"} {
 			if err := figure(f, o); err != nil {
 				fatal(err)
 			}
@@ -153,6 +155,78 @@ func writeRecord(f string, o palermo.Options, wall time.Duration, metrics map[st
 	}
 	name := filepath.Join(benchDir, "BENCH_fig"+strings.ReplaceAll(f, "/", "_")+".json")
 	return os.WriteFile(name, append(buf, '\n'), 0o644)
+}
+
+// storeBench measures the serving path: ops/sec through the synchronous
+// Store and through ShardedStore at 1 and 4 shards (GOMAXPROCS closed-loop
+// clients), mirroring BenchmarkStoreOps/BenchmarkShardedStoreOps so the
+// service layer joins the BENCH perf trajectory. -requests sets the op
+// count per configuration.
+func storeBench(o palermo.Options, metrics map[string]float64) error {
+	const blocks = 1 << 16
+	ops := o.Requests * 4 // store ops are far cheaper than simulated requests
+
+	st, err := palermo.NewStore(palermo.StoreConfig{Blocks: blocks, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, palermo.BlockSize)
+	r := rng.New(o.Seed)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		id := r.Uint64n(blocks)
+		if id%10 == 0 {
+			err = st.Write(id, buf)
+		} else {
+			_, err = st.Read(id)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	storeOps := float64(ops) / time.Since(start).Seconds()
+	metrics["store_ops_per_sec"] = storeOps
+	fmt.Printf("Store                 %10.0f ops/sec (%d ops, amplification %.1f)\n",
+		storeOps, ops, st.Traffic().AmplificationFactor)
+
+	for _, shards := range []int{1, 4} {
+		if err := shardedBenchOne(o, shards, blocks, ops, metrics); err != nil {
+			return err
+		}
+	}
+	if base := metrics["sharded1_ops_per_sec"]; base > 0 {
+		metrics["shard_scaling_x"] = metrics["sharded4_ops_per_sec"] / base
+		fmt.Printf("scaling 1 -> 4 shards %9.2fx\n", metrics["shard_scaling_x"])
+	}
+	return nil
+}
+
+// shardedBenchOne measures one ShardedStore configuration through the
+// shared internal/loadgen driver; the deferred Close keeps error paths
+// from leaking shard workers into later figures.
+func shardedBenchOne(o palermo.Options, shards int, blocks uint64, ops int, metrics map[string]float64) error {
+	sst, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{
+		Blocks: blocks, Shards: shards, Seed: o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer sst.Close()
+	clients := runtime.GOMAXPROCS(0) * 2
+	res, err := loadgen.Run(sst, loadgen.Options{
+		Clients:   clients,
+		Ops:       ops,
+		ReadRatio: 0.9,
+		Batch:     1,
+		Seed:      o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	metrics[fmt.Sprintf("sharded%d_ops_per_sec", shards)] = res.OpsPerSec()
+	fmt.Printf("ShardedStore shards=%d %10.0f ops/sec (p50 %.0fµs, p99 %.0fµs, %d clients)\n",
+		shards, res.OpsPerSec(), res.Stats.ReadLat.P50Us, res.Stats.ReadLat.P99Us, clients)
+	return nil
 }
 
 // figure regenerates one figure, emits it, and (with -json) records its
@@ -300,6 +374,10 @@ func figure(f string, o palermo.Options) error {
 		metrics["path_mesh_gain_x"], metrics["ring_mesh_gain_x"] = pg.Gain(), rg.Gain()
 		fmt.Println(pg)
 		fmt.Println(rg)
+	case "store":
+		if err := storeBench(o, metrics); err != nil {
+			return err
+		}
 	case "tenants":
 		r, err := palermo.TenantIsolation(o)
 		if err != nil {

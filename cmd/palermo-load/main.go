@@ -1,0 +1,140 @@
+// Command palermo-load is a closed-loop load generator for the sharded
+// oblivious store service: N client goroutines issue read/write requests
+// against palermo.ShardedStore and the tool reports ops/sec plus latency
+// percentiles — the throughput-vs-parallelism scalability methodology of
+// the ThunderX2 HPC study applied to the serving path.
+//
+// Usage:
+//
+//	palermo-load                                  # 8 clients, 4 shards, 20000 ops
+//	palermo-load -shards 1 -clients 8             # the no-sharding baseline
+//	palermo-load -zipf 0.99 -read-ratio 0.95      # YCSB-style skewed reads
+//	palermo-load -batch 16                        # reads issued as 16-id batches
+//	palermo-load -json out/                       # also write out/BENCH_load.json
+//
+// Every run is deterministic for a given -seed: client RNG streams are
+// derived per client, and per-shard ORAM sequences depend only on each
+// shard's request subsequence (arrival interleaving varies, results and
+// obliviousness do not). The workload loop itself is internal/loadgen,
+// shared with palermo-bench's serving-path figure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"palermo"
+	"palermo/internal/loadgen"
+)
+
+func main() {
+	clients := flag.Int("clients", 8, "closed-loop client goroutines")
+	shards := flag.Int("shards", 4, "independent ORAM shards")
+	blocks := flag.Uint64("blocks", 1<<18, "store capacity in 64-byte blocks (0 = store default)")
+	ops := flag.Int("ops", 20000, "total operations across all clients")
+	readRatio := flag.Float64("read-ratio", 0.9, "fraction of operations that are reads")
+	zipf := flag.Float64("zipf", 0, "Zipf skew theta (0 = uniform; 0.99 ~ YCSB)")
+	batch := flag.Int("batch", 1, "reads per ReadBatch call (1 = single-op loop)")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	seed := flag.Uint64("seed", 1, "base seed (store shards and client streams derive from it)")
+	jsonDir := flag.String("json", "", "directory to write the BENCH_load.json perf record into")
+	flag.Parse()
+
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{
+		Blocks:     *blocks,
+		Shards:     *shards,
+		Seed:       *seed,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("palermo-load: %d shards, %d clients, %d ops (%.0f%% reads, zipf %.2f, batch %d) over %d blocks\n",
+		st.Shards(), *clients, *ops, *readRatio*100, *zipf, *batch, st.Blocks())
+
+	res, err := loadgen.Run(st, loadgen.Options{
+		Clients:   *clients,
+		Ops:       *ops,
+		ReadRatio: *readRatio,
+		ZipfTheta: *zipf,
+		Batch:     *batch,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		fatal(err)
+	}
+
+	stats := res.Stats
+	fmt.Printf("  wall %.2fs  ops/sec %.0f  (%d reads, %d writes, %d dedup fan-outs)\n",
+		res.Wall.Seconds(), res.OpsPerSec(), stats.Reads, stats.Writes, stats.DedupHits)
+	fmt.Printf("  read  lat p50 %.0fµs  p99 %.0fµs  mean %.0fµs  (n=%d)\n",
+		stats.ReadLat.P50Us, stats.ReadLat.P99Us, stats.ReadLat.MeanUs, stats.ReadLat.N)
+	if stats.WriteLat.N > 0 {
+		fmt.Printf("  write lat p50 %.0fµs  p99 %.0fµs  mean %.0fµs  (n=%d)\n",
+			stats.WriteLat.P50Us, stats.WriteLat.P99Us, stats.WriteLat.MeanUs, stats.WriteLat.N)
+	}
+	fmt.Printf("  DRAM lines/op %.1f  stash peak %d\n",
+		res.Traffic.AmplificationFactor, res.Traffic.StashPeak)
+
+	if *jsonDir != "" {
+		if err := writeRecord(*jsonDir, *ops, *seed, st.Shards(), res, map[string]float64{
+			"ops_per_sec":  res.OpsPerSec(),
+			"clients":      float64(*clients),
+			"read_ratio":   *readRatio,
+			"zipf_theta":   *zipf,
+			"read_p50_us":  stats.ReadLat.P50Us,
+			"read_p99_us":  stats.ReadLat.P99Us,
+			"write_p50_us": stats.WriteLat.P50Us,
+			"write_p99_us": stats.WriteLat.P99Us,
+			"dedup_hits":   float64(stats.DedupHits),
+			"lines_per_op": res.Traffic.AmplificationFactor,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// benchRecord matches the BENCH_*.json schema palermo-bench writes, so the
+// serving path joins the same perf trajectory.
+type benchRecord struct {
+	Figure      string             `json:"figure"`
+	Requests    int                `json:"requests"`
+	Seed        uint64             `json:"seed"`
+	Workers     int                `json:"workers"` // shard workers here
+	Cores       int                `json:"cores"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+func writeRecord(dir string, ops int, seed uint64, shards int, res loadgen.Result, metrics map[string]float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := benchRecord{
+		Figure:      "load",
+		Requests:    ops,
+		Seed:        seed,
+		Workers:     shards,
+		Cores:       runtime.GOMAXPROCS(0),
+		WallSeconds: res.Wall.Seconds(),
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_load.json"), append(buf, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "palermo-load:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Package loadgen is the shared closed-loop workload driver for the
+// sharded oblivious store service: N client goroutines issue a read/write
+// mix (optionally Zipf-skewed, optionally batch-read) against a
+// palermo.ShardedStore and the driver reports wall-clock plus the
+// service's own stats. Both cmd/palermo-load and cmd/palermo-bench's
+// serving-path figure run through this one implementation.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"palermo"
+	"palermo/internal/rng"
+)
+
+// Options configures one closed-loop run.
+type Options struct {
+	Clients   int     // concurrent client goroutines (>= 1)
+	Ops       int     // total operations across all clients (>= 1)
+	ReadRatio float64 // fraction of operations that are reads, in [0, 1]
+	ZipfTheta float64 // Zipf skew over the id space (0 = uniform)
+	Batch     int     // reads per ReadBatch call (1 = single-op loop)
+	Seed      uint64  // base seed; client streams derive from it
+}
+
+func (o *Options) validate() error {
+	if o.Clients < 1 || o.Ops < 1 || o.Batch < 1 {
+		return fmt.Errorf("loadgen: Clients, Ops, and Batch must be >= 1")
+	}
+	if o.ReadRatio < 0 || o.ReadRatio > 1 {
+		return fmt.Errorf("loadgen: ReadRatio must be in [0, 1]")
+	}
+	if o.ZipfTheta < 0 {
+		return fmt.Errorf("loadgen: ZipfTheta must be >= 0")
+	}
+	return nil
+}
+
+// Result is what a run measured. Stats/Traffic are snapshotted after the
+// last client finishes (the store is left open; the caller closes it).
+type Result struct {
+	Wall    time.Duration
+	Stats   palermo.ServiceStats
+	Traffic palermo.TrafficReport
+}
+
+// OpsPerSec returns completed operations per wall-clock second.
+func (r Result) OpsPerSec() float64 {
+	return float64(r.Stats.Reads+r.Stats.Writes) / r.Wall.Seconds()
+}
+
+// Run drives the store with o.Clients closed-loop clients until o.Ops
+// operations have completed, splitting the op budget evenly. Ids are drawn
+// from the store's full capacity, so the run is valid for any store the
+// caller built. The first client error aborts the run and is returned.
+func Run(st *palermo.ShardedStore, o Options) (Result, error) {
+	if err := o.validate(); err != nil {
+		return Result{}, err
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.Clients)
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		share := o.Ops / o.Clients
+		if c < o.Ops%o.Clients {
+			share++
+		}
+		wg.Add(1)
+		go func(c, share int) {
+			defer wg.Done()
+			if err := client(st, uint64(c), share, o); err != nil {
+				errCh <- err
+			}
+		}(c, share)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	return Result{Wall: wall, Stats: st.Stats(), Traffic: st.Traffic()}, nil
+}
+
+// client runs one closed-loop client: pick an id (uniform or Zipfian over
+// the store's capacity), issue a read or write, wait, repeat. Zipf rank 0
+// is the hottest id; striped routing spreads consecutive ranks across all
+// shards.
+func client(st *palermo.ShardedStore, id uint64, ops int, o Options) error {
+	blocks := st.Blocks()
+	r := rng.New(o.Seed + 0x2545f4914f6cdd1d*(id+1))
+	var z *rng.Zipf
+	if o.ZipfTheta > 0 {
+		z = rng.NewZipf(r, blocks, o.ZipfTheta)
+	}
+	next := func() uint64 {
+		if z != nil {
+			return z.Next()
+		}
+		return r.Uint64n(blocks)
+	}
+	buf := make([]byte, palermo.BlockSize)
+	ids := make([]uint64, 0, o.Batch)
+	for done := 0; done < ops; {
+		if r.Float64() >= o.ReadRatio {
+			buf[0] = byte(done)
+			buf[palermo.BlockSize-1] = byte(id)
+			if err := st.Write(next(), buf); err != nil {
+				return err
+			}
+			done++
+			continue
+		}
+		n := o.Batch
+		if remaining := ops - done; n > remaining {
+			n = remaining
+		}
+		ids = ids[:0]
+		for i := 0; i < n; i++ {
+			ids = append(ids, next())
+		}
+		if _, err := st.ReadBatch(ids); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}

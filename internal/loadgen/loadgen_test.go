@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"testing"
+
+	"palermo"
+)
+
+func TestRunDrivesStore(t *testing.T) {
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 12, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := Run(st, Options{
+		Clients:   4,
+		Ops:       500,
+		ReadRatio: 0.8,
+		ZipfTheta: 0.99,
+		Batch:     4,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.Reads + res.Stats.Writes; got != 500 {
+		t.Fatalf("completed %d ops, want 500", got)
+	}
+	if res.OpsPerSec() <= 0 || res.Wall <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Traffic.DRAMReads == 0 {
+		t.Fatal("no ORAM traffic recorded")
+	}
+	// The Zipf head concentrates duplicate ids inside the 4-wide read
+	// batches, so fan-out dedup must fire at least occasionally.
+	if res.Stats.DedupHits == 0 {
+		t.Fatal("skewed batched reads produced no dedup fan-outs")
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 10, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, o := range []Options{
+		{Clients: 0, Ops: 10, Batch: 1},
+		{Clients: 1, Ops: 0, Batch: 1},
+		{Clients: 1, Ops: 10, Batch: 0},
+		{Clients: 1, Ops: 10, Batch: 1, ReadRatio: 1.5},
+		{Clients: 1, Ops: 10, Batch: 1, ZipfTheta: -1},
+	} {
+		if _, err := Run(st, o); err == nil {
+			t.Fatalf("options %+v must be rejected", o)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package serve is the concurrent request layer over a set of sharded
+// oblivious-store backends: per-shard worker goroutines, bounded request
+// queues with back-pressure, intra-batch same-block read deduplication
+// (one ORAM access fans out to every waiter), channel-based futures, and
+// latency histograms (internal/stats).
+//
+// Concurrency discipline: each backend is confined to exactly one worker
+// goroutine — the engine-per-goroutine rule the sweep runner already
+// follows (DESIGN.md §4.2) — so ORAM engines need no locks and per-shard
+// request subsequences execute deterministically. Clients only touch
+// channels and their own futures. Back-pressure is the queue send itself:
+// when a shard's bounded queue is full, Submit blocks until the worker
+// drains, which bounds memory and keeps a closed-loop client honest.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"palermo/internal/stats"
+)
+
+// Op selects a request kind.
+type Op uint8
+
+// Request kinds.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+	opSync // run a closure on the worker goroutine (stats snapshots, tests)
+)
+
+// Req describes one operation of a batch submission. Data is required for
+// OpWrite and must be exactly the backend's block size.
+type Req struct {
+	Op   Op
+	ID   uint64 // shard-local block id
+	Data []byte
+}
+
+// Backend is one shard's store, owned by its worker goroutine.
+type Backend interface {
+	Read(local uint64) ([]byte, error)
+	Write(local uint64, data []byte) error
+}
+
+// Config tunes the service. The zero value uses the defaults.
+type Config struct {
+	// QueueDepth bounds each shard's request queue, counted in queued
+	// submissions (a batch counts once). Default 256.
+	QueueDepth int
+	// MaxBatch caps how many operations a worker coalesces into one
+	// served batch when draining its queue opportunistically. A single
+	// submitted batch is never split, so an atomic SubmitBatch larger than
+	// MaxBatch still dedups as one unit. Default 64.
+	MaxBatch int
+}
+
+func (c *Config) defaults() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+}
+
+// result is what a future resolves to.
+type result struct {
+	data []byte
+	err  error
+}
+
+// Future resolves to one request's outcome.
+type Future struct {
+	done chan result
+}
+
+// Wait blocks until the request completes and returns its payload (reads)
+// and error.
+func (f *Future) Wait() ([]byte, error) {
+	r := <-f.done
+	return r.data, r.err
+}
+
+// request is the internal queued form.
+type request struct {
+	op   Op
+	id   uint64
+	data []byte
+	fn   func() // opSync only
+	t0   time.Time
+	done chan result
+}
+
+// Service routes requests to per-shard workers.
+type Service struct {
+	cfg     Config
+	workers []*worker
+
+	mu     sync.RWMutex // guards closed vs. in-flight queue sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// worker owns one backend.
+type worker struct {
+	backend  Backend
+	queue    chan []*request
+	maxBatch int
+
+	// statMu guards the histograms and counters below; they are written by
+	// the worker once per completed request and read by Stats.
+	statMu   sync.Mutex
+	readLat  *stats.Histogram
+	writeLat *stats.Histogram
+	dedup    uint64
+}
+
+// New starts one worker goroutine per backend.
+func New(backends []Backend, cfg Config) *Service {
+	cfg.defaults()
+	s := &Service{cfg: cfg}
+	for _, b := range backends {
+		w := &worker{
+			backend:  b,
+			queue:    make(chan []*request, cfg.QueueDepth),
+			maxBatch: cfg.MaxBatch,
+			readLat:  newLatHistogram(),
+			writeLat: newLatHistogram(),
+		}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.run()
+		}()
+	}
+	return s
+}
+
+// newLatHistogram builds a latency histogram in microseconds: 4096
+// buckets of 5µs cover [0, ~20ms) with overflow counted. Percentiles come
+// from bucket counts (stats.Histogram.Quantile), so service memory stays
+// bounded no matter how many requests are served.
+func newLatHistogram() *stats.Histogram {
+	return stats.NewHistogram(4096, 5)
+}
+
+// Shards returns the number of shard workers.
+func (s *Service) Shards() int { return len(s.workers) }
+
+// Submit enqueues one operation for a shard and returns its future. It
+// blocks while the shard's queue is full (back-pressure). Write data is
+// copied, so the caller may reuse its buffer immediately.
+func (s *Service) Submit(shard int, op Op, id uint64, data []byte) (*Future, error) {
+	if op != OpRead && op != OpWrite {
+		return nil, fmt.Errorf("serve: invalid op %d", op)
+	}
+	r := &request{op: op, id: id, t0: time.Now(), done: make(chan result, 1)}
+	if op == OpWrite {
+		r.data = append([]byte(nil), data...)
+	}
+	if err := s.enqueue(shard, []*request{r}); err != nil {
+		return nil, err
+	}
+	return &Future{done: r.done}, nil
+}
+
+// SubmitBatch enqueues a batch atomically: the worker serves all of it as
+// one unit, so same-block reads inside the batch are guaranteed to
+// coalesce into a single ORAM access. Futures are returned in input order.
+func (s *Service) SubmitBatch(shard int, reqs []Req) ([]*Future, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	t0 := time.Now()
+	batch := make([]*request, len(reqs))
+	futs := make([]*Future, len(reqs))
+	for i, q := range reqs {
+		if q.Op != OpRead && q.Op != OpWrite {
+			return nil, fmt.Errorf("serve: invalid op %d at batch index %d", q.Op, i)
+		}
+		r := &request{op: q.Op, id: q.ID, t0: t0, done: make(chan result, 1)}
+		if q.Op == OpWrite {
+			r.data = append([]byte(nil), q.Data...)
+		}
+		batch[i] = r
+		futs[i] = &Future{done: r.done}
+	}
+	if err := s.enqueue(shard, batch); err != nil {
+		return nil, err
+	}
+	return futs, nil
+}
+
+// Read performs a synchronous oblivious read on a shard.
+func (s *Service) Read(shard int, id uint64) ([]byte, error) {
+	f, err := s.Submit(shard, OpRead, id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// Write performs a synchronous oblivious write on a shard.
+func (s *Service) Write(shard int, id uint64, data []byte) error {
+	f, err := s.Submit(shard, OpWrite, id, data)
+	if err != nil {
+		return err
+	}
+	_, err = f.Wait()
+	return err
+}
+
+// Sync runs fn on the shard's worker goroutine, after every operation
+// queued ahead of it, and returns once fn completes. It is the race-free
+// way to observe worker-owned state (backend counters, traces) while the
+// service is running.
+func (s *Service) Sync(shard int, fn func()) error {
+	r := &request{op: opSync, fn: fn, t0: time.Now(), done: make(chan result, 1)}
+	if err := s.enqueue(shard, []*request{r}); err != nil {
+		return err
+	}
+	<-r.done
+	return nil
+}
+
+// enqueue sends a batch to a shard's queue under the closed-state guard.
+// Holding the read lock across a blocking send is safe: workers drain until
+// their queue is closed, and Close cannot close queues until all in-flight
+// sends release the lock.
+func (s *Service) enqueue(shard int, batch []*request) error {
+	if shard < 0 || shard >= len(s.workers) {
+		return fmt.Errorf("serve: shard %d out of range [0,%d)", shard, len(s.workers))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("serve: service is closed")
+	}
+	s.workers[shard].queue <- batch
+	return nil
+}
+
+// Close stops accepting requests, drains every already-queued request to
+// completion, and waits for all workers to exit. Idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, w := range s.workers {
+		close(w.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Closed reports whether Close has begun.
+func (s *Service) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// WaitClosed blocks until every worker goroutine has exited. Only
+// meaningful once Close has begun (a concurrent Close may still be
+// draining queued requests when other callers observe closed errors);
+// calling it on an open service blocks until someone calls Close.
+func (s *Service) WaitClosed() { s.wg.Wait() }
+
+// run is the worker loop: receive a batch, opportunistically coalesce more
+// queued submissions up to maxBatch operations, serve, repeat. On queue
+// close, everything already queued is still served before exiting.
+func (w *worker) run() {
+	cache := make(map[uint64][]byte)
+	for {
+		batch, ok := <-w.queue
+		if !ok {
+			return
+		}
+		ops := batch
+		for len(ops) < w.maxBatch {
+			select {
+			case more, open := <-w.queue:
+				if !open {
+					w.serve(ops, cache)
+					return
+				}
+				ops = append(ops, more...)
+			default:
+				goto full
+			}
+		}
+	full:
+		w.serve(ops, cache)
+	}
+}
+
+// serve executes one coalesced batch in arrival order. cache maps block id
+// to the plaintext most recently produced inside this batch; a read whose
+// id is cached is served by fan-out instead of a second ORAM access.
+func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
+	clear(cache)
+	for _, r := range ops {
+		switch r.op {
+		case opSync:
+			r.fn()
+			r.done <- result{}
+		case OpRead:
+			if data, ok := cache[r.id]; ok {
+				w.statMu.Lock()
+				w.dedup++
+				w.statMu.Unlock()
+				w.finish(r, append([]byte(nil), data...), nil)
+				continue
+			}
+			data, err := w.backend.Read(r.id)
+			if err == nil {
+				cache[r.id] = append([]byte(nil), data...)
+			}
+			w.finish(r, data, err)
+		case OpWrite:
+			err := w.backend.Write(r.id, r.data)
+			if err == nil {
+				cache[r.id] = append([]byte(nil), r.data...)
+			} else {
+				delete(cache, r.id) // never serve a stale fan-out after a failed write
+			}
+			w.finish(r, nil, err)
+		}
+	}
+}
+
+// finish records latency and resolves the future (never blocks: done is
+// buffered).
+func (w *worker) finish(r *request, data []byte, err error) {
+	us := float64(time.Since(r.t0)) / float64(time.Microsecond)
+	w.statMu.Lock()
+	if r.op == OpRead {
+		w.readLat.Add(us)
+	} else {
+		w.writeLat.Add(us)
+	}
+	w.statMu.Unlock()
+	r.done <- result{data: data, err: err}
+}
+
+// LatencySummary condenses one operation class's latency distribution.
+type LatencySummary struct {
+	N            uint64
+	MeanUs       float64
+	P50Us, P99Us float64
+}
+
+// Stats is a point-in-time service snapshot.
+type Stats struct {
+	Reads, Writes uint64 // completed operations
+	DedupHits     uint64 // reads served by intra-batch fan-out
+	ReadLat       LatencySummary
+	WriteLat      LatencySummary
+}
+
+// Stats aggregates counters and latency percentiles across all shards. Safe
+// to call at any time, including while requests are in flight. Percentiles
+// are bucketed upper bounds (5µs resolution, clamped at the ~20ms
+// histogram range).
+func (s *Service) Stats() Stats {
+	var out Stats
+	reads, writes := newLatHistogram(), newLatHistogram()
+	for _, w := range s.workers {
+		w.statMu.Lock()
+		out.DedupHits += w.dedup
+		reads.Merge(w.readLat)
+		writes.Merge(w.writeLat)
+		w.statMu.Unlock()
+	}
+	out.Reads = reads.N()
+	out.Writes = writes.N()
+	out.ReadLat = summarize(reads)
+	out.WriteLat = summarize(writes)
+	return out
+}
+
+func summarize(h *stats.Histogram) LatencySummary {
+	return LatencySummary{
+		N:      h.N(),
+		MeanUs: h.Mean(),
+		P50Us:  h.Quantile(0.50),
+		P99Us:  h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memBackend is a deterministic in-memory Backend that counts accesses —
+// a stand-in for a shard so the service layer's scheduling, dedup, and
+// lifecycle can be tested in isolation.
+type memBackend struct {
+	blocks   map[uint64][]byte
+	accesses int // backend touches (what dedup is supposed to save)
+	failOn   uint64
+	hasFail  bool
+}
+
+func newMemBackend() *memBackend { return &memBackend{blocks: make(map[uint64][]byte)} }
+
+func (m *memBackend) Read(local uint64) ([]byte, error) {
+	m.accesses++
+	if m.hasFail && local == m.failOn {
+		return nil, fmt.Errorf("backend: injected failure on %d", local)
+	}
+	if b, ok := m.blocks[local]; ok {
+		return append([]byte(nil), b...), nil
+	}
+	return make([]byte, 64), nil
+}
+
+func (m *memBackend) Write(local uint64, data []byte) error {
+	m.accesses++
+	if m.hasFail && local == m.failOn {
+		return fmt.Errorf("backend: injected failure on %d", local)
+	}
+	m.blocks[local] = append([]byte(nil), data...)
+	return nil
+}
+
+func payload(v uint64) []byte {
+	b := make([]byte, 64)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestServeReadWrite(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{})
+	defer s.Close()
+	if err := s.Write(0, 5, payload(42)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(got) != 42 {
+		t.Fatal("round trip failed")
+	}
+	if _, err := s.Read(3, 0); err == nil {
+		t.Fatal("out-of-range shard must error")
+	}
+	if _, err := s.Submit(0, Op(9), 0, nil); err == nil {
+		t.Fatal("invalid op must error")
+	}
+}
+
+func TestServeBatchDedup(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{})
+	defer s.Close()
+	if err := s.Write(0, 7, payload(7)); err != nil {
+		t.Fatal(err)
+	}
+	var before int
+	if err := s.Sync(0, func() { before = b.accesses }); err != nil {
+		t.Fatal(err)
+	}
+
+	// 32 reads of the same block submitted atomically: exactly one backend
+	// access, every future resolves to an identical private copy.
+	reqs := make([]Req, 32)
+	for i := range reqs {
+		reqs[i] = Req{Op: OpRead, ID: 7}
+	}
+	futs, err := s.SubmitBatch(0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results [][]byte
+	for _, f := range futs {
+		data, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, data)
+	}
+	var after int
+	if err := s.Sync(0, func() { after = b.accesses }); err != nil {
+		t.Fatal(err)
+	}
+	if after-before != 1 {
+		t.Fatalf("32 same-block reads cost %d backend accesses, want 1", after-before)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, results[0]) {
+			t.Fatalf("waiter %d got a different payload", i)
+		}
+	}
+	// Fan-out copies are private: mutating one must not affect another.
+	results[0][0] ^= 0xFF
+	if bytes.Equal(results[0], results[1]) {
+		t.Fatal("waiters share a payload buffer")
+	}
+	if st := s.Stats(); st.DedupHits != 31 {
+		t.Fatalf("dedup hits = %d, want 31", st.DedupHits)
+	}
+}
+
+func TestServeBatchWriteThenRead(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{})
+	defer s.Close()
+	// In one atomic batch: write id 3, then read it twice. Reads must see
+	// the write (arrival order) and be served from the batch cache.
+	futs, err := s.SubmitBatch(0, []Req{
+		{Op: OpWrite, ID: 3, Data: payload(99)},
+		{Op: OpRead, ID: 3},
+		{Op: OpRead, ID: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := futs[0].Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs[1:] {
+		data, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(data) != 99 {
+			t.Fatal("read did not observe same-batch write")
+		}
+	}
+	var accesses int
+	if err := s.Sync(0, func() { accesses = b.accesses }); err != nil {
+		t.Fatal(err)
+	}
+	if accesses != 1 {
+		t.Fatalf("write+2 reads cost %d backend accesses, want 1 (reads fan out from the write)", accesses)
+	}
+}
+
+func TestServeFailedWriteNotCached(t *testing.T) {
+	b := newMemBackend()
+	b.hasFail, b.failOn = true, 4
+	s := New([]Backend{b}, Config{})
+	defer s.Close()
+	futs, err := s.SubmitBatch(0, []Req{
+		{Op: OpWrite, ID: 4, Data: payload(1)},
+		{Op: OpRead, ID: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := futs[0].Wait(); err == nil {
+		t.Fatal("injected write failure not reported")
+	}
+	// The read must hit the backend (and fail itself), never a stale cache.
+	if _, err := futs[1].Wait(); err == nil {
+		t.Fatal("read after failed write served from cache")
+	}
+}
+
+func TestServeSyncOrdering(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{QueueDepth: 64})
+	defer s.Close()
+	// Sync observes every operation queued ahead of it.
+	var futs []*Future
+	for i := 0; i < 20; i++ {
+		f, err := s.Submit(0, OpWrite, uint64(i), payload(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	var n int
+	if err := s.Sync(0, func() { n = len(b.blocks) }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("Sync ran before queued writes: saw %d blocks", n)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServeCloseDrainsAndRejects(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{QueueDepth: 128})
+	var futs []*Future
+	for i := 0; i < 50; i++ {
+		f, err := s.Submit(0, OpWrite, uint64(i), payload(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything queued before Close completed.
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(b.blocks) != 50 {
+		t.Fatalf("close dropped writes: %d/50 applied", len(b.blocks))
+	}
+	if _, err := s.Submit(0, OpRead, 0, nil); err == nil {
+		t.Fatal("submit after close must error")
+	}
+	if err := s.Sync(0, func() {}); err == nil {
+		t.Fatal("sync after close must error")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("close must be idempotent")
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestServeConcurrentClients(t *testing.T) {
+	// Many clients over few shards with a tiny queue, exercising
+	// back-pressure and the race detector across the full submit path.
+	backends := []Backend{newMemBackend(), newMemBackend()}
+	s := New(backends, Config{QueueDepth: 4, MaxBatch: 8})
+	defer s.Close()
+	const clients, opsPer = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				// Each client owns a disjoint id range so reads verify
+				// exactly against the client's own writes.
+				id := uint64(c*opsPer + i%7)
+				shard := c % 2
+				want := uint64(c<<32) | uint64(i)
+				if err := s.Write(shard, id, payload(want)); err != nil {
+					errs <- err
+					return
+				}
+				got, err := s.Read(shard, id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if binary.LittleEndian.Uint64(got) != want {
+					errs <- fmt.Errorf("client %d read stale data", c)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Reads != clients*opsPer || st.Writes != clients*opsPer {
+		t.Fatalf("stats ops: %+v", st)
+	}
+	if st.ReadLat.N != clients*opsPer || st.ReadLat.P99Us < st.ReadLat.P50Us {
+		t.Fatalf("latency summary implausible: %+v", st.ReadLat)
+	}
+}

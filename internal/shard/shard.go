@@ -1,0 +1,252 @@
+// Package shard partitions an oblivious block store across S independent
+// ORAM shards so that independent requests can execute concurrently — the
+// service-layer mirror of the paper's observation that ORAM throughput
+// scales with request-level parallelism (the PE mesh exploits it inside one
+// controller; sharding exploits it across controllers).
+//
+// Routing is a deterministic pure function of the public block id
+// (round-robin striping: shard = id mod S, local = id div S), so the shard
+// a request lands on reveals nothing beyond the id the client already
+// presented in plaintext at the trusted service boundary. Each shard owns a
+// private Ring engine, sealer counter-domain, and derived RNG seed; within
+// a shard the backend-visible path sequence stays exactly the single-store
+// guarantee (uniform, independent, remapped per access). DESIGN.md §6
+// records the full obliviousness argument against internal/security's §VI
+// framing.
+package shard
+
+import (
+	"fmt"
+
+	"palermo/internal/crypt"
+	"palermo/internal/oram"
+)
+
+// BlockBytes is the shard payload granularity (one cache line).
+const BlockBytes = crypt.BlockBytes
+
+// Router deterministically maps public block ids onto shards.
+//
+// Striping (id mod S) rather than range-partitioning keeps popular
+// low-numbered ids — the head of any Zipfian workload — spread across all
+// shards instead of piling onto shard 0.
+type Router struct {
+	shards int
+	blocks uint64
+}
+
+// NewRouter builds a router over a capacity of blocks ids and S shards.
+func NewRouter(blocks uint64, shards int) (Router, error) {
+	if blocks == 0 {
+		return Router{}, fmt.Errorf("shard: capacity must be > 0 blocks")
+	}
+	if shards < 1 {
+		return Router{}, fmt.Errorf("shard: shard count must be >= 1, got %d", shards)
+	}
+	if uint64(shards) > blocks {
+		return Router{}, fmt.Errorf("shard: %d shards exceed %d blocks (a shard would be empty)", shards, blocks)
+	}
+	return Router{shards: shards, blocks: blocks}, nil
+}
+
+// Shards returns the shard count.
+func (r Router) Shards() int { return r.shards }
+
+// Blocks returns the total capacity in blocks.
+func (r Router) Blocks() uint64 { return r.blocks }
+
+// Route maps a public block id to its (shard, shard-local id) coordinates.
+// It does not range-check id; callers validate against Blocks().
+func (r Router) Route(id uint64) (int, uint64) {
+	return int(id % uint64(r.shards)), id / uint64(r.shards)
+}
+
+// Global inverts Route: the public id of a shard's local block.
+func (r Router) Global(s int, local uint64) uint64 {
+	return local*uint64(r.shards) + uint64(s)
+}
+
+// ShardBlocks returns shard s's capacity: the number of public ids in
+// [0, Blocks) congruent to s mod Shards.
+func (r Router) ShardBlocks(s int) uint64 {
+	if uint64(s) >= r.blocks {
+		return 0
+	}
+	return (r.blocks - uint64(s) + uint64(r.shards) - 1) / uint64(r.shards)
+}
+
+// DeriveSeed returns shard i's engine/leaf-selection seed: one splitmix64
+// scramble of (base, i) so that adjacent base seeds or adjacent shard
+// indices still yield decorrelated per-shard RNG streams.
+func DeriveSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// TraceOp is one engine-touching operation in a shard's trace.
+type TraceOp struct {
+	Local uint64
+	Write bool
+}
+
+// Trace records the engine-touching operation subsequence a shard served
+// and the data-tree leaf each access exposed. Per-shard determinism (the
+// §5 contract extended to the service layer) means replaying Ops serially
+// into a fresh identically-seeded shard reproduces Leaves exactly.
+type Trace struct {
+	Ops    []TraceOp
+	Leaves []uint64
+}
+
+// Counters is a snapshot of a shard's operation and traffic counters.
+type Counters struct {
+	Reads, Writes         uint64 // store operations served by the engine
+	DRAMReads, DRAMWrites uint64 // 64-byte line movements the protocol generated
+	StashPeak             int
+}
+
+// Shard is one oblivious store partition: a private Palermo-variant Ring
+// engine plus a private sealer counter-domain. Not safe for concurrent
+// use — the service layer confines each shard to one worker goroutine
+// (the same engine-per-goroutine discipline as the sweep runner).
+type Shard struct {
+	index  int // shard coordinate (the id residue this shard serves)
+	stride int // total shard count (for local -> global id recovery)
+	blocks uint64
+	engine *oram.Ring
+	sealer *crypt.Sealer
+	sealed map[uint64]sealedBlock
+
+	reads, writes      uint64
+	trafficR, trafficW uint64
+
+	trace *Trace
+}
+
+type sealedBlock struct {
+	ct    []byte
+	epoch uint64
+}
+
+// New builds shard index of stride total shards with the given local
+// capacity and the exact engine seed to use (callers building a sharded
+// set derive per-shard seeds with DeriveSeed; a 1-shard caller like
+// palermo.Store passes its seed through unchanged). All shards share the
+// AES key; IV uniqueness across shards holds because blocks are sealed
+// under their global id (disjoint across shards), so independent
+// per-shard epoch counters can never collide on an (addr, epoch) pair.
+func New(index, stride int, blocks uint64, key []byte, engineSeed uint64) (*Shard, error) {
+	if index < 0 || stride < 1 || index >= stride {
+		return nil, fmt.Errorf("shard: invalid coordinates index=%d stride=%d", index, stride)
+	}
+	if blocks == 0 {
+		return nil, fmt.Errorf("shard: shard %d has zero capacity", index)
+	}
+	sealer, err := crypt.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	cfg := oram.PalermoRingConfig()
+	cfg.NLines = blocks
+	cfg.Seed = engineSeed
+	engine, err := oram.NewRing(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Shard{
+		index:  index,
+		stride: stride,
+		blocks: blocks,
+		engine: engine,
+		sealer: sealer,
+		sealed: make(map[uint64]sealedBlock),
+	}, nil
+}
+
+// Blocks returns the shard-local capacity.
+func (s *Shard) Blocks() uint64 { return s.blocks }
+
+// EnableTrace starts recording the operation/leaf trace. Call before the
+// shard starts serving (it is owned by the worker afterwards).
+func (s *Shard) EnableTrace() { s.trace = &Trace{} }
+
+// Trace returns the recorded trace (nil unless EnableTrace was called).
+// Only safe once the shard is quiesced (service closed or via Sync).
+func (s *Shard) Trace() *Trace { return s.trace }
+
+// Write stores a 64-byte block obliviously under the shard-local id.
+//
+// Errors here surface verbatim through the public Store/ShardedStore API,
+// so they carry the palermo: prefix and name the global (public) block id,
+// never the shard-local one.
+func (s *Shard) Write(local uint64, data []byte) error {
+	if local >= s.blocks {
+		return fmt.Errorf("palermo: internal: block %d outside shard %d capacity %d", s.Global(local), s.index, s.blocks)
+	}
+	if len(data) != BlockBytes {
+		return fmt.Errorf("palermo: block must be %d bytes, got %d", BlockBytes, len(data))
+	}
+	global := s.Global(local)
+	ct, epoch, err := s.sealer.Seal(global, data)
+	if err != nil {
+		return err
+	}
+	plan := s.engine.Access(local, true, epoch)
+	s.sealed[local] = sealedBlock{ct: ct, epoch: epoch}
+	s.writes++
+	s.trafficR += uint64(plan.Reads())
+	s.trafficW += uint64(plan.Writes())
+	s.record(local, true, plan.DataLeaf)
+	return nil
+}
+
+// Read fetches a block obliviously by shard-local id. Unwritten blocks read
+// as zeros after a full-protocol access, exactly like the single Store.
+func (s *Shard) Read(local uint64) ([]byte, error) {
+	if local >= s.blocks {
+		return nil, fmt.Errorf("palermo: internal: block %d outside shard %d capacity %d", s.Global(local), s.index, s.blocks)
+	}
+	plan := s.engine.Access(local, false, 0)
+	s.reads++
+	s.trafficR += uint64(plan.Reads())
+	s.trafficW += uint64(plan.Writes())
+	s.record(local, false, plan.DataLeaf)
+	sb, ok := s.sealed[local]
+	if !ok {
+		return make([]byte, BlockBytes), nil
+	}
+	if plan.Val != sb.epoch {
+		return nil, fmt.Errorf("palermo: protocol state diverged for block %d (epoch %d != %d)",
+			s.Global(local), plan.Val, sb.epoch)
+	}
+	return s.sealer.Open(s.Global(local), sb.epoch, sb.ct)
+}
+
+// Global returns the public id of a shard-local block.
+func (s *Shard) Global(local uint64) uint64 {
+	return local*uint64(s.stride) + uint64(s.index)
+}
+
+// Snapshot returns the shard's counters. Must run on the owning worker
+// goroutine (serve.Service.Sync) or after quiescence.
+func (s *Shard) Snapshot() Counters {
+	return Counters{
+		Reads: s.reads, Writes: s.writes,
+		DRAMReads: s.trafficR, DRAMWrites: s.trafficW,
+		StashPeak: s.engine.StashMax(0),
+	}
+}
+
+func (s *Shard) record(local uint64, write bool, leaf uint64) {
+	if s.trace == nil {
+		return
+	}
+	s.trace.Ops = append(s.trace.Ops, TraceOp{Local: local, Write: write})
+	s.trace.Leaves = append(s.trace.Leaves, leaf)
+}

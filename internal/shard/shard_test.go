@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+var testKey = []byte("shard-test-key16")
+
+func TestRouterPartition(t *testing.T) {
+	const blocks, shards = 1000, 7
+	r, err := NewRouter(blocks, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every id routes to exactly one in-range (shard, local) cell, Global
+	// inverts Route, and per-shard capacities sum to the total.
+	seen := make(map[[2]uint64]bool)
+	for id := uint64(0); id < blocks; id++ {
+		s, local := r.Route(id)
+		if s < 0 || s >= shards {
+			t.Fatalf("id %d routed to shard %d", id, s)
+		}
+		if local >= r.ShardBlocks(s) {
+			t.Fatalf("id %d local %d exceeds shard %d capacity %d", id, local, s, r.ShardBlocks(s))
+		}
+		if g := r.Global(s, local); g != id {
+			t.Fatalf("Global(Route(%d)) = %d", id, g)
+		}
+		cell := [2]uint64{uint64(s), local}
+		if seen[cell] {
+			t.Fatalf("cell %v hit twice", cell)
+		}
+		seen[cell] = true
+	}
+	var total uint64
+	for s := 0; s < shards; s++ {
+		total += r.ShardBlocks(s)
+	}
+	if total != blocks {
+		t.Fatalf("shard capacities sum to %d, want %d", total, blocks)
+	}
+}
+
+func TestRouterRejects(t *testing.T) {
+	if _, err := NewRouter(0, 1); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+	if _, err := NewRouter(10, 0); err == nil {
+		t.Fatal("zero shards must error")
+	}
+	if _, err := NewRouter(3, 4); err == nil {
+		t.Fatal("more shards than blocks must error")
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for base := uint64(1); base <= 4; base++ {
+		for i := 0; i < 16; i++ {
+			s := DeriveSeed(base, i)
+			if s == 0 {
+				t.Fatal("derived seed must be non-zero")
+			}
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	sh, err := New(1, 4, 1<<12, testKey, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, BlockBytes)
+	if err := sh.Write(9, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+	// Unwritten blocks read as zeros after a full-protocol access.
+	zero, err := sh.Read(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zero, make([]byte, BlockBytes)) {
+		t.Fatal("unwritten block must read as zeros")
+	}
+	// Errors: out-of-range and short blocks.
+	if err := sh.Write(1<<12, data); err == nil {
+		t.Fatal("out-of-range write must error")
+	}
+	if _, err := sh.Read(1 << 12); err == nil {
+		t.Fatal("out-of-range read must error")
+	}
+	if err := sh.Write(0, []byte("short")); err == nil {
+		t.Fatal("short block must error")
+	}
+	c := sh.Snapshot()
+	if c.Reads != 2 || c.Writes != 1 || c.DRAMReads == 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestShardDeterministicReplay(t *testing.T) {
+	// The same op subsequence into two identically-seeded shards exposes
+	// the same leaf sequence — the per-shard §5 determinism contract the
+	// service layer relies on.
+	run := func() *Trace {
+		sh, err := New(2, 4, 1<<10, testKey, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.EnableTrace()
+		data := bytes.Repeat([]byte{1}, BlockBytes)
+		for i := 0; i < 200; i++ {
+			local := uint64(i*37) % (1 << 10)
+			if i%3 == 0 {
+				if err := sh.Write(local, data); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := sh.Read(local); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return sh.Trace()
+	}
+	a, b := run(), run()
+	if len(a.Leaves) != len(b.Leaves) || len(a.Leaves) != 200 {
+		t.Fatalf("trace lengths %d vs %d", len(a.Leaves), len(b.Leaves))
+	}
+	for i := range a.Leaves {
+		if a.Leaves[i] != b.Leaves[i] || a.Ops[i] != b.Ops[i] {
+			t.Fatalf("trace diverged at op %d", i)
+		}
+	}
+}
+
+func TestShardSeedsDecorrelated(t *testing.T) {
+	// Identical op sequences on different shard indices must expose
+	// different leaf sequences (private RNG streams).
+	trace := func(index int) []uint64 {
+		sh, err := New(index, 4, 1<<10, testKey, DeriveSeed(1, index))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.EnableTrace()
+		for i := 0; i < 50; i++ {
+			if _, err := sh.Read(uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sh.Trace().Leaves
+	}
+	a, b := trace(0), trace(3)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different shards produced identical leaf sequences")
+	}
+}

@@ -155,6 +155,52 @@ func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
 // NumBuckets returns the bucket count.
 func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 
+// Overflow returns the count of observations at or above the bucketed
+// range.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Merge folds other's observations into h. Both histograms must have the
+// same bucket layout. Retained samples are merged only if h keeps them.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.bucketWidth != other.bucketWidth || len(h.buckets) != len(other.buckets) {
+		panic(fmt.Sprintf("stats: Merge of mismatched histograms (%d x %g vs %d x %g)",
+			len(h.buckets), h.bucketWidth, len(other.buckets), other.bucketWidth))
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.overflow += other.overflow
+	h.n += other.n
+	h.sum += other.sum
+	if h.keep {
+		h.samples = append(h.samples, other.samples...)
+	}
+}
+
+// Quantile returns an upper bound on the q-th quantile (0 < q <= 1) from
+// bucket counts alone: the upper edge of the bucket containing the
+// ceil(q*N)-th smallest observation. Observations beyond the bucketed
+// range clamp to the range maximum. Unlike Percentile it needs no
+// retained samples, so memory stays bounded regardless of N; the result
+// is exact to within one bucket width.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			return float64(i+1) * h.bucketWidth
+		}
+	}
+	return float64(len(h.buckets)) * h.bucketWidth
+}
+
 // GeoMean returns the geometric mean of vs; zero/negative inputs are invalid.
 func GeoMean(vs []float64) float64 {
 	if len(vs) == 0 {

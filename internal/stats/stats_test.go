@@ -47,6 +47,60 @@ func TestTimeWeightedReset(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+	// 100 observations, one per value 0.5, 1.5, ..., in bucket i for i/10.
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	// Each bucket holds 10; the 50th smallest sits in bucket 4 -> edge 5.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("Q(0.5) = %v, want 5", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("Q(0.99) = %v, want 10", got)
+	}
+	if got := h.Quantile(0.01); got != 1 {
+		t.Fatalf("Q(0.01) = %v, want 1", got)
+	}
+	// Overflowed observations clamp to the range maximum.
+	for i := 0; i < 1000; i++ {
+		h.Add(1e9)
+	}
+	if h.Overflow() != 1000 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow Q(0.99) = %v, want clamp to 10", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 1.0)
+	b := NewHistogram(10, 1.0)
+	for i := 0; i < 50; i++ {
+		a.Add(1.5) // bucket 1
+		b.Add(7.5) // bucket 7
+	}
+	b.Add(100) // overflow
+	a.Merge(b)
+	if a.N() != 101 || a.Bucket(1) != 50 || a.Bucket(7) != 50 || a.Overflow() != 1 {
+		t.Fatalf("merge: n=%d b1=%d b7=%d of=%d", a.N(), a.Bucket(1), a.Bucket(7), a.Overflow())
+	}
+	if got := a.Quantile(0.5); got != 8 {
+		t.Fatalf("merged Q(0.5) = %v, want 8", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched layouts must panic")
+		}
+	}()
+	a.Merge(NewHistogram(5, 1.0))
+}
+
 func TestHistogramBasics(t *testing.T) {
 	h := NewHistogram(10, 1.0)
 	h.KeepSamples()

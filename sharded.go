@@ -1,0 +1,243 @@
+package palermo
+
+// ShardedStore is the concurrent, sharded form of Store: block ids are
+// deterministically striped across S independent ORAM shards (each with a
+// private Ring engine, sealer counter-domain, and derived seed), and each
+// shard is served by a dedicated worker goroutine behind a bounded request
+// queue. Unlike Store it is safe for concurrent use from any number of
+// goroutines and its throughput scales with shards × cores.
+//
+//	st, _ := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 20, Shards: 4})
+//	defer st.Close()
+//	st.Write(42, payload)
+//	data, _ := st.Read(42)
+//	blocks, _ := st.ReadBatch([]uint64{1, 2, 3, 1}) // the two id-1 reads share one ORAM access
+//
+// Routing depends only on the public block id, so per-shard obliviousness
+// is exactly the single-store guarantee; DESIGN.md §6 states the argument
+// (and what the backend additionally learns: the id's residue mod Shards).
+
+import (
+	"fmt"
+
+	"palermo/internal/serve"
+	"palermo/internal/shard"
+)
+
+// MaxShards bounds ShardedStoreConfig.Shards: beyond a few thousand
+// workers the per-shard trees are tiny and goroutine overhead dominates.
+const MaxShards = 1024
+
+// ShardedStoreConfig configures a sharded oblivious store.
+type ShardedStoreConfig struct {
+	Blocks uint64 // total capacity in 64-byte blocks (default 2^20)
+	Shards int    // independent ORAM shards (default 4)
+	Key    []byte // AES key, 16/24/32 bytes (default: the Store demo key)
+	Seed   uint64 // base seed; each shard derives its own (default 1)
+
+	// QueueDepth bounds each shard's request queue (in submissions);
+	// a full queue blocks submitters (back-pressure). Default 256.
+	QueueDepth int
+	// MaxBatch caps how many queued operations one shard worker coalesces
+	// into a single dedup window. Default 64.
+	MaxBatch int
+}
+
+func (c *ShardedStoreConfig) defaults() {
+	if c.Blocks == 0 {
+		c.Blocks = 1 << 20
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Key == nil {
+		c.Key = []byte("palermo-demo-key")
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ShardedStore is a concurrent oblivious 64-byte-block store.
+type ShardedStore struct {
+	router shard.Router
+	shards []*shard.Shard
+	svc    *serve.Service
+}
+
+// NewShardedStore builds the shards and starts their workers.
+func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
+	cfg.defaults()
+	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
+		return nil, err
+	}
+	if cfg.Shards < 1 || cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("palermo: Shards must be in [1, %d], got %d", MaxShards, cfg.Shards)
+	}
+	if cfg.QueueDepth < 0 || cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("palermo: QueueDepth/MaxBatch must be >= 0")
+	}
+	router, err := shard.NewRouter(cfg.Blocks, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("palermo: %w", err)
+	}
+	st := &ShardedStore{router: router}
+	backends := make([]serve.Backend, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := shard.New(i, cfg.Shards, router.ShardBlocks(i), cfg.Key, shard.DeriveSeed(cfg.Seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("palermo: %w", err)
+		}
+		st.shards = append(st.shards, sh)
+		backends[i] = sh
+	}
+	st.svc = serve.New(backends, serve.Config{QueueDepth: cfg.QueueDepth, MaxBatch: cfg.MaxBatch})
+	return st, nil
+}
+
+// Blocks returns the total capacity in blocks.
+func (s *ShardedStore) Blocks() uint64 { return s.router.Blocks() }
+
+// Shards returns the shard count.
+func (s *ShardedStore) Shards() int { return s.router.Shards() }
+
+// Write stores a 64-byte block obliviously under the given block id. Safe
+// for concurrent use; writes to the same id from different goroutines are
+// serialized by the id's shard worker in arrival order.
+func (s *ShardedStore) Write(id uint64, data []byte) error {
+	if id >= s.Blocks() {
+		return fmt.Errorf("palermo: block %d outside capacity %d", id, s.Blocks())
+	}
+	if len(data) != BlockSize {
+		return fmt.Errorf("palermo: block must be %d bytes, got %d", BlockSize, len(data))
+	}
+	sh, local := s.router.Route(id)
+	return s.svc.Write(sh, local, data)
+}
+
+// Read fetches a block obliviously. Reading a never-written block returns a
+// zero block after a full-protocol access, like Store.Read.
+func (s *ShardedStore) Read(id uint64) ([]byte, error) {
+	if id >= s.Blocks() {
+		return nil, fmt.Errorf("palermo: block %d outside capacity %d", id, s.Blocks())
+	}
+	sh, local := s.router.Route(id)
+	return s.svc.Read(sh, local)
+}
+
+// ReadBatch fetches many blocks, submitting each shard's subset as one
+// atomic batch: duplicate ids inside the call are served by a single ORAM
+// access whose payload fans out to every position. Results are returned in
+// input order; on error, the first failure is returned after every
+// submitted request has completed.
+func (s *ShardedStore) ReadBatch(ids []uint64) ([][]byte, error) {
+	out := make([][]byte, len(ids))
+	for _, id := range ids {
+		if id >= s.Blocks() {
+			return nil, fmt.Errorf("palermo: block %d outside capacity %d", id, s.Blocks())
+		}
+	}
+	perShard := make([][]serve.Req, s.Shards())
+	perShardPos := make([][]int, s.Shards())
+	for i, id := range ids {
+		sh, local := s.router.Route(id)
+		perShard[sh] = append(perShard[sh], serve.Req{Op: serve.OpRead, ID: local})
+		perShardPos[sh] = append(perShardPos[sh], i)
+	}
+	return out, s.waitBatches(perShard, perShardPos, out)
+}
+
+// WriteBatch stores blocks[i] under ids[i] for every i, submitting each
+// shard's subset as one atomic batch. Ordering between entries targeting
+// the same id follows their position in the call.
+func (s *ShardedStore) WriteBatch(ids []uint64, blocks [][]byte) error {
+	if len(ids) != len(blocks) {
+		return fmt.Errorf("palermo: WriteBatch got %d ids but %d blocks", len(ids), len(blocks))
+	}
+	for i, id := range ids {
+		if id >= s.Blocks() {
+			return fmt.Errorf("palermo: block %d outside capacity %d", id, s.Blocks())
+		}
+		if len(blocks[i]) != BlockSize {
+			return fmt.Errorf("palermo: block must be %d bytes, got %d", BlockSize, len(blocks[i]))
+		}
+	}
+	perShard := make([][]serve.Req, s.Shards())
+	perShardPos := make([][]int, s.Shards())
+	for i, id := range ids {
+		sh, local := s.router.Route(id)
+		perShard[sh] = append(perShard[sh], serve.Req{Op: serve.OpWrite, ID: local, Data: blocks[i]})
+		perShardPos[sh] = append(perShardPos[sh], i)
+	}
+	return s.waitBatches(perShard, perShardPos, nil)
+}
+
+// waitBatches submits every shard's sub-batch, then waits for all futures,
+// scattering read payloads into out (when non-nil) by original position.
+func (s *ShardedStore) waitBatches(perShard [][]serve.Req, perShardPos [][]int, out [][]byte) error {
+	futs := make([][]*serve.Future, len(perShard))
+	var firstErr error
+	for sh, reqs := range perShard {
+		if len(reqs) == 0 {
+			continue
+		}
+		fs, err := s.svc.SubmitBatch(sh, reqs)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		futs[sh] = fs
+	}
+	for sh, fs := range futs {
+		for j, f := range fs {
+			data, err := f.Wait()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if out != nil && err == nil {
+				out[perShardPos[sh][j]] = data
+			}
+		}
+	}
+	return firstErr
+}
+
+// ServiceStats is the service-layer snapshot ShardedStore.Stats returns:
+// completed operations, dedup fan-out hits, and latency summaries.
+type ServiceStats = serve.Stats
+
+// Stats returns the service-layer snapshot: completed operations, dedup
+// fan-out hits, and latency percentiles. Safe to call at any time.
+func (s *ShardedStore) Stats() ServiceStats { return s.svc.Stats() }
+
+// Traffic aggregates the per-shard TrafficReports into the Store report
+// shape. Shard counters are snapshotted on each shard's own worker (via a
+// queue barrier), so the report is consistent with every operation that
+// completed before the call; after Close the counters are read directly.
+func (s *ShardedStore) Traffic() TrafficReport {
+	var rep TrafficReport
+	for i, sh := range s.shards {
+		var c shard.Counters
+		if err := s.svc.Sync(i, func() { c = sh.Snapshot() }); err != nil {
+			// Service closed: wait out any still-draining workers (Close
+			// may be concurrent), then the direct read is race-free.
+			s.svc.WaitClosed()
+			c = sh.Snapshot()
+		}
+		rep.Reads += c.Reads
+		rep.Writes += c.Writes
+		rep.DRAMReads += c.DRAMReads
+		rep.DRAMWrites += c.DRAMWrites
+		if c.StashPeak > rep.StashPeak {
+			rep.StashPeak = c.StashPeak
+		}
+	}
+	if ops := rep.Reads + rep.Writes; ops > 0 {
+		rep.AmplificationFactor = float64(rep.DRAMReads+rep.DRAMWrites) / float64(ops)
+	}
+	return rep
+}
+
+// Close stops accepting requests, drains everything already queued, and
+// waits for the shard workers to exit. Idempotent; operations submitted
+// after Close return an error.
+func (s *ShardedStore) Close() error { return s.svc.Close() }

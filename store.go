@@ -13,17 +13,40 @@ package palermo
 //
 // The Store tracks the traffic each operation would cost on the modeled
 // hardware (TrafficReport), but does not run the timing simulation; use
-// Run/the experiment harness for performance studies.
+// Run/the experiment harness for performance studies. For concurrent
+// callers and capacity scaling, see ShardedStore.
 
 import (
 	"fmt"
 
-	"palermo/internal/crypt"
-	"palermo/internal/oram"
+	"palermo/internal/shard"
 )
 
 // BlockSize is the store's block granularity.
-const BlockSize = crypt.BlockBytes
+const BlockSize = shard.BlockBytes
+
+// MaxBlocks is the largest capacity NewStore/NewShardedStore accept
+// (2^40 blocks = 64 TB). Beyond it, tree-depth arithmetic in the engine
+// layer would overflow; the constructors reject it eagerly instead.
+const MaxBlocks = 1 << 40
+
+// validateStoreParams rejects configurations that would otherwise fail
+// deep inside oram.NewRing (or not fail at all and overflow), with a
+// clear palermo:-prefixed error. Called after defaults are applied.
+func validateStoreParams(blocks uint64, key []byte) error {
+	if blocks == 0 {
+		return fmt.Errorf("palermo: Blocks must be > 0")
+	}
+	if blocks > MaxBlocks {
+		return fmt.Errorf("palermo: Blocks %d exceeds the maximum capacity of %d blocks", blocks, uint64(MaxBlocks))
+	}
+	switch len(key) {
+	case 16, 24, 32:
+		return nil
+	default:
+		return fmt.Errorf("palermo: Key must be 16, 24, or 32 bytes (AES-128/192/256), got %d", len(key))
+	}
+}
 
 // StoreConfig configures an oblivious store.
 type StoreConfig struct {
@@ -44,45 +67,27 @@ func (c *StoreConfig) defaults() {
 	}
 }
 
-// Store is an oblivious 64-byte-block store.
+// Store is an oblivious 64-byte-block store: the 1-shard special case of
+// the service layer's partition (the shard seals under global ids, which
+// coincide with block ids at stride 1, and uses Seed unchanged).
 type Store struct {
-	engine *oram.Ring
-	sealer *crypt.Sealer
-	// sealed holds ciphertexts by block id; the ORAM engine moves opaque
-	// references (the paper's simulator does the same — payload movement
-	// is position-independent once the protocol decides the addresses).
-	sealed map[uint64]sealedBlock
+	sh     *shard.Shard
 	blocks uint64
-
-	reads, writes      uint64
-	trafficR, trafficW uint64
 }
 
-type sealedBlock struct {
-	ct    []byte
-	epoch uint64
-}
-
-// NewStore builds a store.
+// NewStore builds a store. Invalid configurations (zero or overflowing
+// capacity after defaulting, bad key lengths) are rejected here rather
+// than surfacing as a deep engine failure.
 func NewStore(cfg StoreConfig) (*Store, error) {
 	cfg.defaults()
-	sealer, err := crypt.NewSealer(cfg.Key)
+	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
+		return nil, err
+	}
+	sh, err := shard.New(0, 1, cfg.Blocks, cfg.Key, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	ocfg := oram.PalermoRingConfig()
-	ocfg.NLines = cfg.Blocks
-	ocfg.Seed = cfg.Seed
-	engine, err := oram.NewRing(ocfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Store{
-		engine: engine,
-		sealer: sealer,
-		sealed: make(map[uint64]sealedBlock),
-		blocks: cfg.Blocks,
-	}, nil
+	return &Store{sh: sh, blocks: cfg.Blocks}, nil
 }
 
 // Blocks returns the capacity in blocks.
@@ -96,16 +101,7 @@ func (s *Store) Write(id uint64, data []byte) error {
 	if len(data) != BlockSize {
 		return fmt.Errorf("palermo: block must be %d bytes, got %d", BlockSize, len(data))
 	}
-	ct, epoch, err := s.sealer.Seal(id, data)
-	if err != nil {
-		return err
-	}
-	plan := s.engine.Access(id, true, epoch)
-	s.sealed[id] = sealedBlock{ct: ct, epoch: epoch}
-	s.writes++
-	s.trafficR += uint64(plan.Reads())
-	s.trafficW += uint64(plan.Writes())
-	return nil
+	return s.sh.Write(id, data)
 }
 
 // Read fetches a block obliviously. Reading a never-written block returns
@@ -115,19 +111,7 @@ func (s *Store) Read(id uint64) ([]byte, error) {
 	if id >= s.blocks {
 		return nil, fmt.Errorf("palermo: block %d outside capacity %d", id, s.blocks)
 	}
-	plan := s.engine.Access(id, false, 0)
-	s.reads++
-	s.trafficR += uint64(plan.Reads())
-	s.trafficW += uint64(plan.Writes())
-	sb, ok := s.sealed[id]
-	if !ok {
-		return make([]byte, BlockSize), nil
-	}
-	if plan.Val != sb.epoch {
-		return nil, fmt.Errorf("palermo: protocol state diverged for block %d (epoch %d != %d)",
-			id, plan.Val, sb.epoch)
-	}
-	return s.sealer.Open(id, sb.epoch, sb.ct)
+	return s.sh.Read(id)
 }
 
 // TrafficReport summarizes the DRAM cost the operations so far would incur.
@@ -141,14 +125,14 @@ type TrafficReport struct {
 
 // Traffic returns the accumulated report.
 func (s *Store) Traffic() TrafficReport {
-	ops := s.reads + s.writes
+	c := s.sh.Snapshot()
 	rep := TrafficReport{
-		Reads: s.reads, Writes: s.writes,
-		DRAMReads: s.trafficR, DRAMWrites: s.trafficW,
-		StashPeak: s.engine.StashMax(0),
+		Reads: c.Reads, Writes: c.Writes,
+		DRAMReads: c.DRAMReads, DRAMWrites: c.DRAMWrites,
+		StashPeak: c.StashPeak,
 	}
-	if ops > 0 {
-		rep.AmplificationFactor = float64(s.trafficR+s.trafficW) / float64(ops)
+	if ops := c.Reads + c.Writes; ops > 0 {
+		rep.AmplificationFactor = float64(c.DRAMReads+c.DRAMWrites) / float64(ops)
 	}
 	return rep
 }

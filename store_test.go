@@ -3,6 +3,7 @@ package palermo
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"palermo/internal/rng"
@@ -120,6 +121,32 @@ func TestStoreTrafficReport(t *testing.T) {
 	}
 	if rep.StashPeak <= 0 || rep.StashPeak > 256 {
 		t.Fatalf("stash peak %d", rep.StashPeak)
+	}
+}
+
+func TestStoreConfigValidation(t *testing.T) {
+	// Bad configurations fail eagerly in NewStore with a palermo:-prefixed
+	// error, never as a deep failure inside the engine layer.
+	cases := []StoreConfig{
+		{Blocks: MaxBlocks * 4},                  // overflow capacity
+		{Blocks: 1 << 10, Key: []byte("bad")},    // short key
+		{Blocks: 1 << 10, Key: make([]byte, 17)}, // off-size key
+		{Blocks: 1 << 10, Key: make([]byte, 64)}, // oversize key
+	}
+	for i, cfg := range cases {
+		_, err := NewStore(cfg)
+		if err == nil {
+			t.Fatalf("case %d: config %+v must be rejected", i, cfg)
+		}
+		if !strings.HasPrefix(err.Error(), "palermo:") {
+			t.Fatalf("case %d: error %q lacks palermo: prefix", i, err)
+		}
+	}
+	// All three AES key sizes are accepted.
+	for _, n := range []int{16, 24, 32} {
+		if _, err := NewStore(StoreConfig{Blocks: 1 << 10, Key: make([]byte, n)}); err != nil {
+			t.Fatalf("%d-byte key rejected: %v", n, err)
+		}
 	}
 }
 
