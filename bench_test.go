@@ -66,6 +66,39 @@ func BenchmarkStoreOps(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 }
 
+// BenchmarkStoreOpsDurable is BenchmarkStoreOps over the WAL backend:
+// same 90/10 read/write mix, every write appended to the group-committed
+// log. The delta against BenchmarkStoreOps is the durability tax the
+// BENCH_persist.json record tracks.
+func BenchmarkStoreOpsDurable(b *testing.B) {
+	st, err := NewStore(StoreConfig{
+		Blocks:  1 << 16,
+		Backend: BackendWAL,
+		Dir:     b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	buf := bytes.Repeat([]byte{0xA5}, BlockSize)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := r.Uint64n(1 << 16)
+		if id%10 == 0 {
+			if err := st.Write(id, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := st.Read(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
 // BenchmarkShardedStoreOps measures the concurrent service layer at 1, 2,
 // and 4 shards under GOMAXPROCS parallel closed-loop clients. On a 4-core
 // runner, 4 shards should deliver >= 2x the 1-shard ops/s (the serving-path

@@ -10,56 +10,112 @@
 //	palermo-load -shards 1 -clients 8             # the no-sharding baseline
 //	palermo-load -zipf 0.99 -read-ratio 0.95      # YCSB-style skewed reads
 //	palermo-load -batch 16                        # reads issued as 16-id batches
+//	palermo-load -duration 30s                    # time-bounded soak (no op arithmetic)
 //	palermo-load -json out/                       # also write out/BENCH_load.json
+//	palermo-load -dir /data/palermo               # durable WAL backend under -dir
+//	palermo-load -dir /data/palermo -verify       # reopen a -dir store and verify it
 //
 // Every run is deterministic for a given -seed: client RNG streams are
 // derived per client, and per-shard ORAM sequences depend only on each
 // shard's request subsequence (arrival interleaving varies, results and
 // obliviousness do not). The workload loop itself is internal/loadgen,
 // shared with palermo-bench's serving-path figure.
+//
+// With -dir, the run finishes with a deterministic stamp pass: payloads
+// derived from (-seed, id) are written to the first min(blocks, 1024) ids
+// before Close checkpoints the store. A second process running with the
+// same -dir/-seed/-shards/-blocks and -verify reopens the directory and
+// checks every stamped block reads back byte-identical — the
+// crash-recovery smoke CI runs on every push.
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"palermo"
 	"palermo/internal/loadgen"
+	"palermo/internal/rng"
 )
+
+// stampBlocks is how many ids the durable stamp pass writes.
+const stampBlocks = 1024
 
 func main() {
 	clients := flag.Int("clients", 8, "closed-loop client goroutines")
 	shards := flag.Int("shards", 4, "independent ORAM shards")
 	blocks := flag.Uint64("blocks", 1<<18, "store capacity in 64-byte blocks (0 = store default)")
-	ops := flag.Int("ops", 20000, "total operations across all clients")
+	ops := flag.Int("ops", 20000, "total operations across all clients (mutually exclusive with -duration)")
+	duration := flag.Duration("duration", 0, "time-bounded run length, e.g. 30s (mutually exclusive with -ops)")
 	readRatio := flag.Float64("read-ratio", 0.9, "fraction of operations that are reads")
 	zipf := flag.Float64("zipf", 0, "Zipf skew theta (0 = uniform; 0.99 ~ YCSB)")
 	batch := flag.Int("batch", 1, "reads per ReadBatch call (1 = single-op loop)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 	seed := flag.Uint64("seed", 1, "base seed (store shards and client streams derive from it)")
 	jsonDir := flag.String("json", "", "directory to write the BENCH_load.json perf record into")
+	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
+	groupCommit := flag.Int("group-commit", 0, "WAL appends per fsync batch (0 = default)")
+	verify := flag.Bool("verify", false, "reopen the -dir store and verify the stamped blocks instead of generating load")
 	flag.Parse()
 
-	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{
+	opsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ops" {
+			opsSet = true
+		}
+	})
+	if *duration > 0 && opsSet {
+		fatal(fmt.Errorf("-ops and -duration are mutually exclusive; pick one stopping rule"))
+	}
+	if *duration > 0 {
+		*ops = 0
+	}
+
+	cfg := palermo.ShardedStoreConfig{
 		Blocks:     *blocks,
 		Shards:     *shards,
 		Seed:       *seed,
 		QueueDepth: *queue,
-	})
+	}
+	if *dir != "" {
+		cfg.Backend = palermo.BackendWAL
+		cfg.Dir = *dir
+		cfg.GroupCommit = *groupCommit
+	}
+
+	if *verify {
+		if *dir == "" {
+			fatal(fmt.Errorf("-verify requires -dir"))
+		}
+		if err := verifyStore(cfg, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	st, err := palermo.NewShardedStore(cfg)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("palermo-load: %d shards, %d clients, %d ops (%.0f%% reads, zipf %.2f, batch %d) over %d blocks\n",
-		st.Shards(), *clients, *ops, *readRatio*100, *zipf, *batch, st.Blocks())
+	bound := fmt.Sprintf("%d ops", *ops)
+	if *duration > 0 {
+		bound = (*duration).String()
+	}
+	fmt.Printf("palermo-load: %d shards, %d clients, %s (%.0f%% reads, zipf %.2f, batch %d) over %d blocks\n",
+		st.Shards(), *clients, bound, *readRatio*100, *zipf, *batch, st.Blocks())
 
 	res, err := loadgen.Run(st, loadgen.Options{
 		Clients:   *clients,
 		Ops:       *ops,
+		Duration:  *duration,
 		ReadRatio: *readRatio,
 		ZipfTheta: *zipf,
 		Batch:     *batch,
@@ -67,6 +123,15 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *dir != "" {
+		n := stampCount(st.Blocks())
+		for id := uint64(0); id < n; id++ {
+			if err := st.Write(id, stampPayload(*seed, id)); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("  stamped %d verification blocks into %s\n", n, *dir)
 	}
 	if err := st.Close(); err != nil {
 		fatal(err)
@@ -85,7 +150,11 @@ func main() {
 		res.Traffic.AmplificationFactor, res.Traffic.StashPeak)
 
 	if *jsonDir != "" {
-		if err := writeRecord(*jsonDir, *ops, *seed, st.Shards(), res, map[string]float64{
+		reqs := *ops
+		if reqs == 0 { // time-bounded run: record the completed count
+			reqs = int(stats.Reads + stats.Writes)
+		}
+		if err := writeRecord(*jsonDir, reqs, *seed, st.Shards(), res, map[string]float64{
 			"ops_per_sec":  res.OpsPerSec(),
 			"clients":      float64(*clients),
 			"read_ratio":   *readRatio,
@@ -100,6 +169,57 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func stampCount(blocks uint64) uint64 {
+	if blocks < stampBlocks {
+		return blocks
+	}
+	return stampBlocks
+}
+
+// stampPayload derives the deterministic 64-byte verification payload for
+// (seed, id); the -verify process recomputes it independently.
+func stampPayload(seed, id uint64) []byte {
+	r := rng.New(seed ^ (0x9e3779b97f4a7c15 * (id + 1)))
+	buf := make([]byte, palermo.BlockSize)
+	for off := 0; off < palermo.BlockSize; off += 8 {
+		binary.LittleEndian.PutUint64(buf[off:], r.Uint64())
+	}
+	return buf
+}
+
+// verifyStore reopens a durable store and checks the stamp pass survived:
+// every stamped block must read back byte-identical, and the recovered
+// traffic counters must show the pre-restart history.
+func verifyStore(cfg palermo.ShardedStoreConfig, seed uint64) (err error) {
+	t0 := time.Now()
+	st, err := palermo.NewShardedStore(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := st.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("verify: close: %w", cerr)
+		}
+	}()
+	rep := st.Traffic()
+	if rep.Writes == 0 {
+		return fmt.Errorf("verify: reopened store recovered zero writes — nothing persisted in %s", cfg.Dir)
+	}
+	n := stampCount(st.Blocks())
+	for id := uint64(0); id < n; id++ {
+		got, err := st.Read(id)
+		if err != nil {
+			return fmt.Errorf("verify: read of stamped block %d: %w", id, err)
+		}
+		if want := stampPayload(seed, id); !bytes.Equal(got, want) {
+			return fmt.Errorf("verify: stamped block %d diverged after recovery", id)
+		}
+	}
+	fmt.Printf("palermo-load: verified %d stamped blocks in %.2fs (recovered history: %d reads, %d writes, stash peak %d)\n",
+		n, time.Since(t0).Seconds(), rep.Reads, rep.Writes, rep.StashPeak)
+	return nil
 }
 
 // benchRecord matches the BENCH_*.json schema palermo-bench writes, so the

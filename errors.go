@@ -1,0 +1,9 @@
+package palermo
+
+import "palermo/internal/serve"
+
+// ErrClosed is the sentinel every Store/ShardedStore operation returns
+// (possibly wrapped) once Close has begun. Test with errors.Is:
+//
+//	if errors.Is(err, palermo.ErrClosed) { ... }
+var ErrClosed = serve.ErrClosed

@@ -1,0 +1,79 @@
+// Package backend defines the pluggable block-state storage interface of
+// the oblivious store: the untrusted party of the paper's threat model
+// (§VI), which holds sealed payloads and — for durable implementations —
+// an opaque, controller-sealed metadata checkpoint.
+//
+// A Backend stores exactly the view the untrusted storage of §VI already
+// observes: (shard-local id, ciphertext, epoch) triples in access order.
+// Ids are public routing state (the client presented them in plaintext at
+// the trusted service boundary), ciphertexts are AES-CTR sealed under
+// per-seal unique IVs, and epochs are sealing counters the bucket headers
+// of a real design expose anyway. Persisting that view is therefore
+// obliviousness-neutral; DESIGN.md §7 states the full argument. Controller
+// metadata (position maps, stash residency) is the opposite — trusted
+// secrets — so Checkpoint only ever receives it pre-sealed as an opaque
+// blob.
+//
+// Implementations: memory (the process-private map the store always had —
+// the default) and wal (a CRC-framed append-only log with group-committed
+// fsync and compacted snapshots, surviving restarts and crashes).
+//
+// A Backend is confined to its shard's worker goroutine, exactly like the
+// ORAM engine above it, so implementations need no internal locking.
+package backend
+
+// Sealed is one sealed block as the untrusted storage sees it. Put takes
+// ownership of Ct and Get returns the stored slice; callers must not
+// mutate either (the sealing layer allocates a fresh ciphertext per seal).
+type Sealed struct {
+	Ct    []byte
+	Epoch uint64
+}
+
+// EpochReserveLocal is the reserved Local value marking an epoch
+// reservation in a recovered tail: no block was written, but the sealing
+// counter must advance to at least Epoch. Durable backends log one before
+// persisting each checkpoint so that a crash mid-checkpoint can never
+// lead a recovered sealer to re-issue the checkpoint blob's IV. Real ids
+// can never collide with it (capacities are capped far below 2^64).
+const EpochReserveLocal = ^uint64(0)
+
+// TailOp is one logged write a durable backend recovered after the last
+// checkpoint. The shard replays tail ops through its ORAM engine so the
+// protocol metadata (leaf maps, stash, bucket counters) re-converges with
+// the recovered sealed payloads. A TailOp with Local == EpochReserveLocal
+// carries no payload and only advances the sealing counter.
+type TailOp struct {
+	Local uint64
+	Epoch uint64
+}
+
+// Backend stores a shard's sealed blocks keyed by shard-local id, plus the
+// shard's sealed metadata checkpoints.
+type Backend interface {
+	// Get returns the sealed block stored under local, if any.
+	Get(local uint64) (Sealed, bool)
+	// Put stores a sealed block under local, overwriting any prior value.
+	// Durable implementations append the write to stable storage subject to
+	// their group-commit policy; an un-fsynced tail may be lost on crash.
+	Put(local uint64, sb Sealed) error
+	// Len returns the number of distinct ids currently stored.
+	Len() int
+	// Durable reports whether the backend survives process exit. Shards
+	// skip checkpoint encoding entirely for non-durable backends.
+	Durable() bool
+	// Checkpoint durably persists meta (an opaque, controller-sealed
+	// metadata blob encrypted under metaEpoch) together with every sealed
+	// block currently stored, then compacts the log. After a successful
+	// Checkpoint, recovery needs no tail replay.
+	Checkpoint(meta []byte, metaEpoch uint64) error
+	// Recovered returns what opening the backend found: the meta blob of
+	// the last completed Checkpoint (nil if none) and the ordered log tail
+	// written after it (empty after a clean Close).
+	Recovered() (meta []byte, metaEpoch uint64, tail []TailOp)
+	// Flush forces buffered writes to stable storage (no-op when not
+	// durable).
+	Flush() error
+	// Close flushes and releases resources. The backend is unusable after.
+	Close() error
+}

@@ -1,0 +1,49 @@
+// Package memory is the default block-state backend: the process-private
+// map the store has always used, extracted behind the backend interface.
+// It is byte-identical in behavior to the pre-backend store (the shard
+// determinism and replay tests enforce this) and evaporates on process
+// exit.
+package memory
+
+import "palermo/internal/backend"
+
+// Backend holds sealed blocks in a Go map.
+type Backend struct {
+	blocks map[uint64]backend.Sealed
+}
+
+// New creates an empty in-memory backend.
+func New() *Backend {
+	return &Backend{blocks: make(map[uint64]backend.Sealed)}
+}
+
+// Get implements backend.Backend.
+func (b *Backend) Get(local uint64) (backend.Sealed, bool) {
+	sb, ok := b.blocks[local]
+	return sb, ok
+}
+
+// Put implements backend.Backend.
+func (b *Backend) Put(local uint64, sb backend.Sealed) error {
+	b.blocks[local] = sb
+	return nil
+}
+
+// Len implements backend.Backend.
+func (b *Backend) Len() int { return len(b.blocks) }
+
+// Durable implements backend.Backend: memory never survives exit.
+func (b *Backend) Durable() bool { return false }
+
+// Checkpoint implements backend.Backend as a no-op (there is no stable
+// storage to compact; shards skip metadata encoding when !Durable).
+func (b *Backend) Checkpoint(meta []byte, metaEpoch uint64) error { return nil }
+
+// Recovered implements backend.Backend: a fresh map never recovers state.
+func (b *Backend) Recovered() ([]byte, uint64, []backend.TailOp) { return nil, 0, nil }
+
+// Flush implements backend.Backend as a no-op.
+func (b *Backend) Flush() error { return nil }
+
+// Close implements backend.Backend as a no-op.
+func (b *Backend) Close() error { return nil }

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Manifest pins a durable store directory to the configuration that
+// created it. Reopening with a different shard count would silently route
+// ids to the wrong per-shard logs, so the store verifies the manifest on
+// every open. The key is secret and deliberately absent: a wrong key
+// surfaces as a checkpoint-decode failure instead.
+type Manifest struct {
+	Version int    `json:"version"`
+	Blocks  uint64 `json:"blocks"`
+	Shards  int    `json:"shards"`
+}
+
+// ManifestVersion is the current on-disk layout version.
+const ManifestVersion = 1
+
+const manifestName = "manifest.json"
+
+// EnsureManifest writes the manifest on first open of dir and verifies it
+// against m on every later open. Creation is atomic AND exclusive
+// (durable temp file + hard link, which fails on an existing name), so
+// two concurrent first opens with different geometries cannot overwrite
+// each other — the loser falls through to verification and errors out.
+func EnsureManifest(dir string, m Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		buf, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		f, err := os.CreateTemp(dir, manifestName+"-*.tmp")
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		tmp := f.Name()
+		_, werr := f.Write(append(buf, '\n'))
+		if werr == nil {
+			werr = f.Sync() // contents durable before the name is
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("wal: %w", werr)
+		}
+		linkErr := os.Link(tmp, path)
+		os.Remove(tmp)
+		if linkErr == nil {
+			return syncDir(dir)
+		}
+		if !os.IsExist(linkErr) {
+			return fmt.Errorf("wal: %w", linkErr)
+		}
+		// Lost the creation race: verify against the winner's manifest.
+		if data, err = os.ReadFile(path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	} else if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		return fmt.Errorf("wal: corrupt %s: %w", path, err)
+	}
+	if got.Version != m.Version {
+		return fmt.Errorf("wal: %s was written by layout version %d, this build reads %d", dir, got.Version, m.Version)
+	}
+	if got.Blocks != m.Blocks || got.Shards != m.Shards {
+		return fmt.Errorf("wal: %s holds a %d-block/%d-shard store, config asks for %d/%d",
+			dir, got.Blocks, got.Shards, m.Blocks, m.Shards)
+	}
+	return nil
+}

@@ -1,0 +1,623 @@
+// Package wal is the durable block-state backend: a CRC-framed append-only
+// log of sealed writes with group-committed fsync, compacted periodically
+// into an atomically-replaced snapshot file, and replayed on open so a
+// store survives restarts and crashes.
+//
+// On-disk layout (one directory per shard):
+//
+//	snapshot   magic | seq | metaEpoch | metaLen | meta | nBlocks |
+//	           nBlocks × (local, epoch, ct[64]) | crc32(all preceding)
+//	wal.log    magic | seq | crc32(header), then records:
+//	           local(8) | epoch(8) | ct(64) | crc32(record)   = 84 bytes
+//
+// Both files are written through temp-file + rename, so each is either the
+// old version or the new one, never a torn mixture. The log's seq ties it
+// to the snapshot it follows: a crash between snapshot rename and log
+// reset leaves an older-seq log whose records are already folded into the
+// snapshot, and recovery discards it instead of double-applying.
+//
+// Recovery on Open loads the snapshot (if any), then replays log records
+// until the first short or CRC-failing record — the torn group-commit
+// tail a crash can leave — and truncates the file there, folding in a
+// durable epoch reservation covering the discarded records. A CRC failure
+// *followed by intact records* is storage corruption rather than a crash
+// tail, and Open refuses it instead of silently dropping the acknowledged
+// writes behind it. What a crash loses is therefore exactly the writes
+// the group-commit policy had not yet fsynced, and nothing else.
+//
+// The log records only (local id, ciphertext, epoch) in access order —
+// precisely the view the untrusted storage of the paper's §VI threat model
+// already observes — so durability adds no leakage (DESIGN.md §7). The
+// snapshot's metadata blob is controller state and arrives pre-sealed.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"palermo/internal/backend"
+	"palermo/internal/crypt"
+)
+
+const (
+	logMagic  = "PALWAL01"
+	snapMagic = "PALSNP01"
+
+	headerSize = 8 + 8 + 4                    // magic, seq, crc
+	recordSize = 8 + 8 + crypt.BlockBytes + 4 // local, epoch, ct, crc
+	logName    = "wal.log"
+	snapName   = "snapshot"
+
+	// DefaultGroupCommit is how many appended records share one fsync.
+	DefaultGroupCommit = 32
+)
+
+// Options tunes a WAL backend.
+type Options struct {
+	// GroupCommit is the number of Put records per fsync batch (default
+	// DefaultGroupCommit; 1 = synchronous durability for every write).
+	GroupCommit int
+}
+
+// MaxGroupCommit caps the fsync batch (and with it the write buffer and
+// the worst-case crash-loss window).
+const MaxGroupCommit = 1 << 16
+
+func (o *Options) defaults() {
+	if o.GroupCommit <= 0 {
+		o.GroupCommit = DefaultGroupCommit
+	}
+	if o.GroupCommit > MaxGroupCommit {
+		o.GroupCommit = MaxGroupCommit
+	}
+}
+
+// Backend is a durable block-state backend over one directory.
+type Backend struct {
+	dir string
+	opt Options
+
+	blocks map[uint64]backend.Sealed
+
+	meta      []byte // sealed metadata blob of the last checkpoint (nil if none)
+	metaEpoch uint64
+	tail      []backend.TailOp // log records recovered after the last checkpoint
+	seq       uint64           // checkpoint sequence the current log follows
+
+	logF    *os.File
+	lockF   *os.File // holds the directory's exclusive flock
+	bw      *bufio.Writer
+	pending int   // records appended since the last fsync
+	closed  bool  // Close called, or the backend wedged mid-operation
+	failErr error // the wedging error, surfaced again by Close
+}
+
+// Open creates or recovers the backend rooted at dir. The directory is
+// exclusively locked for the backend's lifetime; a second concurrent Open
+// (same or different process) fails instead of corrupting the live log.
+func Open(dir string, opt Options) (*Backend, error) {
+	opt.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{dir: dir, opt: opt, lockF: lock, blocks: make(map[uint64]backend.Sealed)}
+	fail := func(err error) (*Backend, error) {
+		b.unlock()
+		return nil, err
+	}
+	if err := b.loadSnapshot(); err != nil {
+		return fail(err)
+	}
+	if err := b.recoverLog(); err != nil {
+		return fail(err)
+	}
+	f, err := os.OpenFile(b.path(logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	b.logF = f
+	b.bw = bufio.NewWriterSize(f, b.opt.GroupCommit*recordSize+recordSize)
+	return b, nil
+}
+
+// unlock releases the directory lock (closing the fd drops the flock).
+func (b *Backend) unlock() {
+	if b.lockF != nil {
+		b.lockF.Close()
+		b.lockF = nil
+	}
+}
+
+func (b *Backend) path(name string) string { return filepath.Join(b.dir, name) }
+
+// Get implements backend.Backend.
+func (b *Backend) Get(local uint64) (backend.Sealed, bool) {
+	sb, ok := b.blocks[local]
+	return sb, ok
+}
+
+// Len implements backend.Backend.
+func (b *Backend) Len() int { return len(b.blocks) }
+
+// Durable implements backend.Backend.
+func (b *Backend) Durable() bool { return true }
+
+// Recovered implements backend.Backend.
+func (b *Backend) Recovered() ([]byte, uint64, []backend.TailOp) {
+	return b.meta, b.metaEpoch, b.tail
+}
+
+// closedErr is the failure every operation on a closed backend returns:
+// the wedging root cause when there is one, a plain closed error else.
+func (b *Backend) closedErr() error {
+	if b.failErr != nil {
+		return b.failErr
+	}
+	return fmt.Errorf("wal: backend is closed")
+}
+
+// Put implements backend.Backend: append a CRC-framed record and fsync
+// once every GroupCommit records.
+func (b *Backend) Put(local uint64, sb backend.Sealed) error {
+	if b.closed {
+		return b.closedErr()
+	}
+	if len(sb.Ct) != crypt.BlockBytes {
+		return fmt.Errorf("wal: ciphertext must be %d bytes, got %d", crypt.BlockBytes, len(sb.Ct))
+	}
+	if local == backend.EpochReserveLocal {
+		return fmt.Errorf("wal: block id %d is reserved", local)
+	}
+	if err := b.appendRecord(local, sb.Epoch, sb.Ct); err != nil {
+		return err
+	}
+	b.pending++
+	if b.pending >= b.opt.GroupCommit {
+		if err := b.Flush(); err != nil {
+			// Leave the in-memory map untouched: the engine above has not
+			// applied this write either, so live state stays consistent
+			// even though the record may land after a restart.
+			return err
+		}
+	}
+	b.blocks[local] = sb
+	return nil
+}
+
+// frameRecord builds one CRC-framed log record.
+func frameRecord(local, epoch uint64, ct []byte) [recordSize]byte {
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], local)
+	binary.LittleEndian.PutUint64(rec[8:16], epoch)
+	copy(rec[16:16+crypt.BlockBytes], ct)
+	crc := crc32.ChecksumIEEE(rec[:recordSize-4])
+	binary.LittleEndian.PutUint32(rec[recordSize-4:], crc)
+	return rec
+}
+
+// appendRecord frames and buffers one log record.
+func (b *Backend) appendRecord(local, epoch uint64, ct []byte) error {
+	rec := frameRecord(local, epoch, ct)
+	if _, err := b.bw.Write(rec[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Flush implements backend.Backend: drain the buffer and fsync the log.
+// On a closed or wedged backend it fails like Put does — returning nil
+// would let a caller believe buffered records reached stable storage.
+// Any flush or fsync failure wedges the backend: after a failed fsync
+// the kernel may discard dirty pages, and records already handed to the
+// page cache could otherwise become durable later even though their
+// writes were reported failed — acknowledgments and disk state would
+// diverge (the classic fsync-retry trap).
+func (b *Backend) Flush() error {
+	if b.closed {
+		return b.closedErr()
+	}
+	if err := b.bw.Flush(); err != nil {
+		return b.fail(fmt.Errorf("wal: %w", err))
+	}
+	if err := b.logF.Sync(); err != nil {
+		return b.fail(fmt.Errorf("wal: %w", err))
+	}
+	b.pending = 0
+	return nil
+}
+
+// Checkpoint implements backend.Backend: write a fresh snapshot of every
+// stored block plus the sealed metadata blob, then reset the log. The
+// snapshot lands first (temp + rename); only then is the log replaced with
+// an empty one carrying the new sequence number.
+func (b *Backend) Checkpoint(meta []byte, metaEpoch uint64) error {
+	if b.closed {
+		return b.closedErr()
+	}
+	// Durably reserve the blob's sealing epoch in the *current* log before
+	// any sealed snapshot byte reaches disk: if we crash mid-checkpoint,
+	// recovery folds the reservation in and the restored sealer can never
+	// re-issue this checkpoint's IV for different plaintext.
+	if err := b.appendRecord(backend.EpochReserveLocal, metaEpoch, make([]byte, crypt.BlockBytes)); err != nil {
+		return err
+	}
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	newSeq := b.seq + 1
+	if err := b.writeSnapshot(newSeq, meta, metaEpoch); err != nil {
+		return err
+	}
+	// The snapshot now carries newSeq. If the log cannot be swapped to
+	// match, the backend must wedge: appending to the old-seq log would
+	// acknowledge writes that a later recovery discards as pre-snapshot.
+	if err := b.resetLog(newSeq); err != nil {
+		return b.fail(err)
+	}
+	b.seq = newSeq
+	b.meta = append([]byte(nil), meta...)
+	b.metaEpoch = metaEpoch
+	b.tail = nil
+	return nil
+}
+
+// Close implements backend.Backend: flush, fsync, release the log and the
+// directory lock. Idempotent; a backend that wedged mid-operation
+// surfaces its wedging error here too.
+func (b *Backend) Close() error {
+	if b.closed {
+		return b.failErr
+	}
+	err := b.Flush()
+	if b.closed {
+		// Flush wedged the backend and already released every resource.
+		return b.failErr
+	}
+	b.closed = true
+	if cerr := b.logF.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	b.failErr = err // error-idempotent: a retried Close reports the same outcome
+	b.unlock()
+	return err
+}
+
+// writeSnapshot persists the full block set + metadata atomically.
+func (b *Backend) writeSnapshot(seq uint64, meta []byte, metaEpoch uint64) error {
+	tmp := b.path(snapName + ".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<16)
+
+	put64 := func(v uint64) error {
+		var u [8]byte
+		binary.LittleEndian.PutUint64(u[:], v)
+		_, err := w.Write(u[:])
+		return err
+	}
+	put32 := func(v uint32) error {
+		var u [4]byte
+		binary.LittleEndian.PutUint32(u[:], v)
+		_, err := w.Write(u[:])
+		return err
+	}
+
+	writeErr := func() error {
+		if _, err := w.Write([]byte(snapMagic)); err != nil {
+			return err
+		}
+		if err := put64(seq); err != nil {
+			return err
+		}
+		if err := put64(metaEpoch); err != nil {
+			return err
+		}
+		if err := put32(uint32(len(meta))); err != nil {
+			return err
+		}
+		if _, err := w.Write(meta); err != nil {
+			return err
+		}
+		if err := put64(uint64(len(b.blocks))); err != nil {
+			return err
+		}
+		for local, sb := range b.blocks {
+			if err := put64(local); err != nil {
+				return err
+			}
+			if err := put64(sb.Epoch); err != nil {
+				return err
+			}
+			if _, err := w.Write(sb.Ct); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		// Trailer CRC covers everything written so far; it does not pass
+		// through the hashing writer (w is already flushed).
+		var u [4]byte
+		binary.LittleEndian.PutUint32(u[:], crc.Sum32())
+		if _, err := f.Write(u[:]); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); writeErr == nil {
+		writeErr = cerr
+	}
+	if writeErr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", writeErr)
+	}
+	if err := os.Rename(tmp, b.path(snapName)); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(b.dir)
+}
+
+// resetLog atomically replaces the log with an empty one at seq, pointing
+// the append handle at the new file. Buffered records are discarded — the
+// snapshot written just before already folds them in. Any failure is
+// non-recoverable for the caller (Checkpoint wedges the backend): the
+// on-disk snapshot already carries seq, so continuing to append to an
+// older-seq log would feed writes a later recovery throws away.
+func (b *Backend) resetLog(seq uint64) error {
+	tmp := b.path(logName + ".tmp")
+	if err := writeLogHeader(tmp, seq); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, b.path(logName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(b.dir); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(b.path(logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	b.logF.Close()
+	b.logF = f
+	b.bw.Reset(f)
+	b.pending = 0
+	return nil
+}
+
+// fail wedges the backend after a non-recoverable mid-operation error:
+// every later operation fails fast instead of acknowledging writes that
+// can never durably land. Close re-surfaces the wedging error.
+func (b *Backend) fail(err error) error {
+	if !b.closed {
+		b.closed = true
+		b.failErr = err
+	}
+	if b.logF != nil {
+		b.logF.Close()
+		b.logF = nil
+	}
+	b.unlock()
+	return err
+}
+
+func writeLogHeader(path string, seq uint64) error {
+	var hdr [headerSize]byte
+	copy(hdr[0:8], logMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	_, werr := f.Write(hdr[:])
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return fmt.Errorf("wal: %w", werr)
+	}
+	return nil
+}
+
+// loadSnapshot reads and verifies the snapshot file, if present.
+func (b *Backend) loadSnapshot() error {
+	data, err := os.ReadFile(b.path(snapName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < 8+8+8+4+8+4 || string(data[:8]) != snapMagic {
+		return fmt.Errorf("wal: %s is not a palermo snapshot", b.path(snapName))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return fmt.Errorf("wal: snapshot CRC mismatch (corrupt %s)", b.path(snapName))
+	}
+	off := 8
+	b.seq = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	b.metaEpoch = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	metaLen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if off+metaLen > len(body) {
+		return fmt.Errorf("wal: snapshot metadata overruns file")
+	}
+	if metaLen > 0 {
+		b.meta = append([]byte(nil), body[off:off+metaLen]...)
+	}
+	off += metaLen
+	if off+8 > len(body) {
+		return fmt.Errorf("wal: snapshot block count overruns file")
+	}
+	n := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	const blockRec = 8 + 8 + crypt.BlockBytes
+	// Divide instead of multiplying: an absurd n would overflow n*blockRec
+	// and turn this validation into a slice-bounds panic below.
+	if rest := uint64(len(body) - off); rest/blockRec != n || rest%blockRec != 0 {
+		return fmt.Errorf("wal: snapshot holds %d bytes of blocks, expected %d records", len(body)-off, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		local := binary.LittleEndian.Uint64(body[off:])
+		epoch := binary.LittleEndian.Uint64(body[off+8:])
+		ct := append([]byte(nil), body[off+16:off+16+crypt.BlockBytes]...)
+		b.blocks[local] = backend.Sealed{Ct: ct, Epoch: epoch}
+		off += blockRec
+	}
+	return nil
+}
+
+// recoverLog replays the record tail of the current log, truncating at the
+// first torn or corrupt record, and discards a stale pre-checkpoint log.
+func (b *Backend) recoverLog() error {
+	path := b.path(logName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if b.seq > 0 {
+			// No crash ordering this code produces leaves a snapshot
+			// without a log (resetLog replaces it via rename) — the log
+			// was removed externally, along with any acknowledged
+			// post-checkpoint writes it held. Refuse rather than silently
+			// reinitializing over them.
+			return fmt.Errorf("wal: %s is missing but a checkpoint-%d snapshot exists (log removed externally)", path, b.seq)
+		}
+		return b.resetLogInit()
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < headerSize || string(data[:8]) != logMagic ||
+		crc32.ChecksumIEEE(data[:16]) != binary.LittleEndian.Uint32(data[16:20]) {
+		return fmt.Errorf("wal: %s has a corrupt header", path)
+	}
+	seq := binary.LittleEndian.Uint64(data[8:16])
+	if seq < b.seq {
+		// Crash between snapshot rename and log reset: every record in
+		// this log is already folded into the snapshot. Discard it.
+		return b.resetLogInit()
+	}
+	if seq > b.seq {
+		// A log ahead of the snapshot cannot come from any crash ordering
+		// this code produces (the log is reset strictly after the snapshot
+		// rename) — the snapshot is missing or rolled back. Refuse rather
+		// than silently reinitializing over acknowledged writes.
+		return fmt.Errorf("wal: %s is at checkpoint %d but the snapshot is at %d (missing or rolled-back snapshot)",
+			path, seq, b.seq)
+	}
+	off := headerSize
+	for off+recordSize <= len(data) {
+		rec := data[off : off+recordSize]
+		if crc32.ChecksumIEEE(rec[:recordSize-4]) != binary.LittleEndian.Uint32(rec[recordSize-4:]) {
+			// A torn tail ends the log; a bad record *followed by intact
+			// ones* is mid-log corruption of acknowledged writes (records
+			// are fixed-size, so alignment survives). Truncating through
+			// corruption would silently drop the valid records behind it —
+			// fail loudly and leave the file for inspection instead.
+			for o := off + recordSize; o+recordSize <= len(data); o += recordSize {
+				r2 := data[o : o+recordSize]
+				if crc32.ChecksumIEEE(r2[:recordSize-4]) == binary.LittleEndian.Uint32(r2[recordSize-4:]) {
+					return fmt.Errorf("wal: %s is corrupt at offset %d (intact records follow — not a crash tail)", path, off)
+				}
+			}
+			break
+		}
+		local := binary.LittleEndian.Uint64(rec[0:8])
+		epoch := binary.LittleEndian.Uint64(rec[8:16])
+		if local != backend.EpochReserveLocal {
+			ct := append([]byte(nil), rec[16:16+crypt.BlockBytes]...)
+			b.blocks[local] = backend.Sealed{Ct: ct, Epoch: epoch}
+		}
+		b.tail = append(b.tail, backend.TailOp{Local: local, Epoch: epoch})
+		off += recordSize
+	}
+	if off < len(data) {
+		// Torn group-commit tail: truncate to the last intact record. The
+		// discarded bytes were nevertheless observed by the (untrusted)
+		// disk, and every appended record consumes exactly one sealing
+		// epoch, so the crashed process consumed at most one epoch per
+		// discarded record past the last recovered one. Surface that bound
+		// as a synthetic reservation so the shard's sealer skips the
+		// observed-but-lost epochs instead of re-issuing their IVs.
+		torn := (uint64(len(data)-off) + recordSize - 1) / recordSize
+		last := b.metaEpoch
+		for _, op := range b.tail {
+			if op.Epoch > last {
+				last = op.Epoch
+			}
+		}
+		b.tail = append(b.tail, backend.TailOp{Local: backend.EpochReserveLocal, Epoch: last + torn})
+		// Persist the reservation over the torn bytes BEFORE truncating:
+		// a second crash at any point in this sequence either still sees
+		// the torn bytes (and recomputes the same bound) or sees the
+		// durable reservation — the disk-observed epochs are never
+		// forgotten. Only then is the leftover garbage cut off.
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		rec := frameRecord(backend.EpochReserveLocal, last+torn, make([]byte, crypt.BlockBytes))
+		_, werr := f.WriteAt(rec[:], int64(off))
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if werr == nil {
+			werr = f.Truncate(int64(off + recordSize))
+		}
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("wal: %w", werr)
+		}
+	}
+	return nil
+}
+
+// resetLogInit writes a fresh empty log during Open (no handle yet).
+func (b *Backend) resetLogInit() error {
+	tmp := b.path(logName + ".tmp")
+	if err := writeLogHeader(tmp, b.seq); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, b.path(logName)); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(b.dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

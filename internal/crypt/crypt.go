@@ -48,6 +48,43 @@ func (s *Sealer) Seal(addr uint64, plaintext []byte) (ciphertext []byte, epoch u
 	return out, s.epoch, nil
 }
 
+// Epoch returns the per-seal counter's current value. The durable store
+// checkpoints it so a restored sealer never re-issues an (addr, epoch) IV.
+func (s *Sealer) Epoch() uint64 { return s.epoch }
+
+// SetEpoch overwrites the counter. Callers restoring from a checkpoint must
+// pass a value at least as large as every epoch already sealed under this
+// key and address domain, or IVs would repeat.
+func (s *Sealer) SetEpoch(e uint64) { s.epoch = e }
+
+// MaxBlobBytes bounds Blob inputs: the blob IV reserves 3 low bytes of
+// counter space, so one (addr, epoch) keystream covers 2^24 AES blocks.
+const MaxBlobBytes = (1 << 24) * 16
+
+// Blob applies the AES-CTR keystream bound to (addr, epoch) over in and
+// returns the result; sealing and opening a variable-length blob are the
+// same operation. It exists for controller metadata (durable-store
+// checkpoints hold position maps and stash contents, which the untrusted
+// backend must never see in plaintext). The IV layout is the block
+// layout; uniqueness rests on two facts the guards enforce. Blob callers
+// use addresses disjoint from every block's (shard metadata counts down
+// from ^0, block ids are capped at 2^40), so blob and block keystreams
+// can never meet. And with epoch < 2^40, IV bytes 13-15 start at zero,
+// leaving 2^24 blocks of CTR counter headroom per (addr, epoch) — so two
+// blobs under distinct epochs cannot overlap while len(in) is at most
+// MaxBlobBytes.
+func (s *Sealer) Blob(addr, epoch uint64, in []byte) []byte {
+	if len(in) > MaxBlobBytes {
+		panic(fmt.Sprintf("crypt: blob of %d bytes exceeds the %d-byte CTR span", len(in), MaxBlobBytes))
+	}
+	if epoch >= 1<<40 {
+		panic(fmt.Sprintf("crypt: blob epoch %d exceeds the 40-bit IV field", epoch))
+	}
+	out := make([]byte, len(in))
+	s.xcrypt(addr, epoch, in, out)
+	return out
+}
+
 // Open decrypts a block sealed under (addr, epoch).
 func (s *Sealer) Open(addr, epoch uint64, ciphertext []byte) ([]byte, error) {
 	if len(ciphertext) != BlockBytes {

@@ -15,19 +15,27 @@ import (
 	"palermo/internal/rng"
 )
 
-// Options configures one closed-loop run.
+// Options configures one closed-loop run. Exactly one of Ops (op-bounded)
+// or Duration (time-bounded) selects the stopping rule.
 type Options struct {
-	Clients   int     // concurrent client goroutines (>= 1)
-	Ops       int     // total operations across all clients (>= 1)
-	ReadRatio float64 // fraction of operations that are reads, in [0, 1]
-	ZipfTheta float64 // Zipf skew over the id space (0 = uniform)
-	Batch     int     // reads per ReadBatch call (1 = single-op loop)
-	Seed      uint64  // base seed; client streams derive from it
+	Clients   int           // concurrent client goroutines (>= 1)
+	Ops       int           // total operations across all clients (op-bounded runs)
+	Duration  time.Duration // wall-clock budget (time-bounded runs, e.g. soaks)
+	ReadRatio float64       // fraction of operations that are reads, in [0, 1]
+	ZipfTheta float64       // Zipf skew over the id space (0 = uniform)
+	Batch     int           // reads per ReadBatch call (1 = single-op loop)
+	Seed      uint64        // base seed; client streams derive from it
 }
 
 func (o *Options) validate() error {
-	if o.Clients < 1 || o.Ops < 1 || o.Batch < 1 {
-		return fmt.Errorf("loadgen: Clients, Ops, and Batch must be >= 1")
+	if o.Clients < 1 || o.Batch < 1 {
+		return fmt.Errorf("loadgen: Clients and Batch must be >= 1")
+	}
+	if (o.Ops >= 1) == (o.Duration > 0) {
+		return fmt.Errorf("loadgen: exactly one of Ops and Duration must be set")
+	}
+	if o.Ops < 0 || o.Duration < 0 {
+		return fmt.Errorf("loadgen: Ops and Duration must not be negative")
 	}
 	if o.ReadRatio < 0 || o.ReadRatio > 1 {
 		return fmt.Errorf("loadgen: ReadRatio must be in [0, 1]")
@@ -52,9 +60,11 @@ func (r Result) OpsPerSec() float64 {
 }
 
 // Run drives the store with o.Clients closed-loop clients until o.Ops
-// operations have completed, splitting the op budget evenly. Ids are drawn
-// from the store's full capacity, so the run is valid for any store the
-// caller built. The first client error aborts the run and is returned.
+// operations have completed (op budget split evenly) or o.Duration
+// wall-clock has elapsed — whichever stopping rule Options selects. Ids
+// are drawn from the store's full capacity, so the run is valid for any
+// store the caller built. The first client error aborts the run and is
+// returned.
 func Run(st *palermo.ShardedStore, o Options) (Result, error) {
 	if err := o.validate(); err != nil {
 		return Result{}, err
@@ -62,6 +72,10 @@ func Run(st *palermo.ShardedStore, o Options) (Result, error) {
 	var wg sync.WaitGroup
 	errCh := make(chan error, o.Clients)
 	start := time.Now()
+	var deadline time.Time
+	if o.Duration > 0 {
+		deadline = start.Add(o.Duration)
+	}
 	for c := 0; c < o.Clients; c++ {
 		share := o.Ops / o.Clients
 		if c < o.Ops%o.Clients {
@@ -70,7 +84,7 @@ func Run(st *palermo.ShardedStore, o Options) (Result, error) {
 		wg.Add(1)
 		go func(c, share int) {
 			defer wg.Done()
-			if err := client(st, uint64(c), share, o); err != nil {
+			if err := client(st, uint64(c), share, deadline, o); err != nil {
 				errCh <- err
 			}
 		}(c, share)
@@ -85,10 +99,11 @@ func Run(st *palermo.ShardedStore, o Options) (Result, error) {
 }
 
 // client runs one closed-loop client: pick an id (uniform or Zipfian over
-// the store's capacity), issue a read or write, wait, repeat. Zipf rank 0
-// is the hottest id; striped routing spreads consecutive ranks across all
-// shards.
-func client(st *palermo.ShardedStore, id uint64, ops int, o Options) error {
+// the store's capacity), issue a read or write, wait, repeat — until its
+// op share is spent (op-bounded) or the deadline passes (time-bounded).
+// Zipf rank 0 is the hottest id; striped routing spreads consecutive
+// ranks across all shards.
+func client(st *palermo.ShardedStore, id uint64, ops int, deadline time.Time, o Options) error {
 	blocks := st.Blocks()
 	r := rng.New(o.Seed + 0x2545f4914f6cdd1d*(id+1))
 	var z *rng.Zipf
@@ -101,9 +116,16 @@ func client(st *palermo.ShardedStore, id uint64, ops int, o Options) error {
 		}
 		return r.Uint64n(blocks)
 	}
+	timed := !deadline.IsZero()
+	more := func(done int) bool {
+		if timed {
+			return time.Now().Before(deadline)
+		}
+		return done < ops
+	}
 	buf := make([]byte, palermo.BlockSize)
 	ids := make([]uint64, 0, o.Batch)
-	for done := 0; done < ops; {
+	for done := 0; more(done); {
 		if r.Float64() >= o.ReadRatio {
 			buf[0] = byte(done)
 			buf[palermo.BlockSize-1] = byte(id)
@@ -114,8 +136,10 @@ func client(st *palermo.ShardedStore, id uint64, ops int, o Options) error {
 			continue
 		}
 		n := o.Batch
-		if remaining := ops - done; n > remaining {
-			n = remaining
+		if !timed {
+			if remaining := ops - done; n > remaining {
+				n = remaining
+			}
 		}
 		ids = ids[:0]
 		for i := 0; i < n; i++ {

@@ -231,6 +231,12 @@ type BitRevCounter struct {
 // NewBitRevCounter creates a counter for a tree of the given depth.
 func NewBitRevCounter(depth int) *BitRevCounter { return &BitRevCounter{depth: depth} }
 
+// State returns the counter position for checkpointing.
+func (c *BitRevCounter) State() uint64 { return c.n }
+
+// Restore sets the counter position from a checkpoint.
+func (c *BitRevCounter) Restore(n uint64) { c.n = n % (1 << c.depth) }
+
 // Next returns the next eviction leaf.
 func (c *BitRevCounter) Next() uint64 {
 	v := c.n

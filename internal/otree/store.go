@@ -2,6 +2,7 @@ package otree
 
 import (
 	"fmt"
+	"sort"
 
 	"palermo/internal/rng"
 )
@@ -161,6 +162,43 @@ func (s *Store) WriteBucket(node uint64, blocks []BlockEntry) {
 	b := s.Bucket(node)
 	b.Blocks = append(b.Blocks[:0], blocks...)
 	b.clearUsed()
+}
+
+// BucketState is the serializable form of one materialized bucket, used by
+// durable-store checkpoints. Used mirrors the consumed-slot bitset.
+type BucketState struct {
+	Node     uint64
+	Blocks   []BlockEntry
+	Used     []uint64
+	Accessed int
+}
+
+// State exports every materialized bucket, sorted by node id so the
+// checkpoint layout is deterministic. Slices are copied.
+func (s *Store) State() []BucketState {
+	out := make([]BucketState, 0, len(s.buckets))
+	for node, b := range s.buckets {
+		out = append(out, BucketState{
+			Node:     node,
+			Blocks:   append([]BlockEntry(nil), b.Blocks...),
+			Used:     append([]uint64(nil), b.used...),
+			Accessed: b.Accessed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Restore replaces the store's contents with a previously exported State.
+func (s *Store) Restore(bs []BucketState) {
+	s.buckets = make(map[uint64]*Bucket, len(bs))
+	for _, st := range bs {
+		s.buckets[st.Node] = &Bucket{
+			Blocks:   append([]BlockEntry(nil), st.Blocks...),
+			used:     append([]uint64(nil), st.Used...),
+			Accessed: st.Accessed,
+		}
+	}
 }
 
 // Occupancy returns the number of valid real blocks in node (0 for

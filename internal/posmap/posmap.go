@@ -117,6 +117,39 @@ func (h *Hierarchy) SetLeaf(l int, idx uint64, leaf uint64) {
 	h.maps[l][idx] = uint32(leaf)
 }
 
+// State deep-copies the materialized leaf assignments of every level for a
+// durable-store checkpoint. Pending marks are transient protocol state and
+// are not captured; checkpoints run at quiescence.
+func (h *Hierarchy) State() []map[uint64]uint32 {
+	out := make([]map[uint64]uint32, h.levels)
+	for l, m := range h.maps {
+		cp := make(map[uint64]uint32, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[l] = cp
+	}
+	return out
+}
+
+// Restore replaces the leaf assignments with a previously exported State.
+func (h *Hierarchy) Restore(maps []map[uint64]uint32) error {
+	if len(maps) != h.levels {
+		return fmt.Errorf("posmap: checkpoint has %d levels, hierarchy has %d", len(maps), h.levels)
+	}
+	for l, m := range maps {
+		cp := make(map[uint64]uint32, len(m))
+		for k, v := range m {
+			if k >= h.blocks[l] {
+				return fmt.Errorf("posmap: checkpoint level %d index %d out of range %d", l, k, h.blocks[l])
+			}
+			cp[k] = v
+		}
+		h.maps[l] = cp
+	}
+	return nil
+}
+
 // MarkPending notes an in-flight access to block idx at level l (Palermo
 // Algorithm 2 marks PAs pending between remap and eviction). Calls nest.
 func (h *Hierarchy) MarkPending(l int, idx uint64) {

@@ -35,6 +35,19 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// State returns the generator's internal xoshiro256** state for
+// checkpointing (durable-store snapshots capture it so a restored engine
+// continues the exact random stream it would have produced).
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator with a previously captured State.
+func (r *Rand) Restore(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("rng: Restore of all-zero state")
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -14,12 +14,18 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"palermo/internal/stats"
 )
+
+// ErrClosed is returned by every operation submitted after Close has
+// begun. The public API re-exports it as palermo.ErrClosed, so callers
+// test for it with errors.Is instead of matching the message string.
+var ErrClosed = errors.New("serve: service is closed")
 
 // Op selects a request kind.
 type Op uint8
@@ -39,10 +45,13 @@ type Req struct {
 	Data []byte
 }
 
-// Backend is one shard's store, owned by its worker goroutine.
+// Backend is one shard's store, owned by its worker goroutine. Close is
+// called by the worker itself after its queue has drained, so a durable
+// backend flushes and checkpoints on the same goroutine that owns it.
 type Backend interface {
 	Read(local uint64) ([]byte, error)
 	Write(local uint64, data []byte) error
+	Close() error
 }
 
 // Config tunes the service. The zero value uses the defaults.
@@ -99,9 +108,11 @@ type Service struct {
 	cfg     Config
 	workers []*worker
 
-	mu     sync.RWMutex // guards closed vs. in-flight queue sends
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.RWMutex // guards closed vs. in-flight queue sends
+	closed   bool
+	wg       sync.WaitGroup
+	errOnce  sync.Once // collects worker close errors exactly once
+	closeErr error
 }
 
 // worker owns one backend.
@@ -116,6 +127,10 @@ type worker struct {
 	readLat  *stats.Histogram
 	writeLat *stats.Histogram
 	dedup    uint64
+
+	// closeErr is the backend's Close result, written by the worker
+	// goroutine before it exits and read only after wg.Wait.
+	closeErr error
 }
 
 // New starts one worker goroutine per backend.
@@ -238,27 +253,35 @@ func (s *Service) enqueue(shard int, batch []*request) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return fmt.Errorf("serve: service is closed")
+		return ErrClosed
 	}
 	s.workers[shard].queue <- batch
 	return nil
 }
 
 // Close stops accepting requests, drains every already-queued request to
-// completion, and waits for all workers to exit. Idempotent.
+// completion, closes each backend on its own worker goroutine (flushing
+// and checkpointing durable backends), and waits for all workers to exit.
+// Idempotent; every call returns the first backend close error.
 func (s *Service) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for _, w := range s.workers {
-		close(w.queue)
+	if !s.closed {
+		s.closed = true
+		for _, w := range s.workers {
+			close(w.queue)
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	s.errOnce.Do(func() {
+		for _, w := range s.workers {
+			if w.closeErr != nil {
+				s.closeErr = w.closeErr
+				break
+			}
+		}
+	})
+	return s.closeErr
 }
 
 // Closed reports whether Close has begun.
@@ -278,6 +301,7 @@ func (s *Service) WaitClosed() { s.wg.Wait() }
 // queued submissions up to maxBatch operations, serve, repeat. On queue
 // close, everything already queued is still served before exiting.
 func (w *worker) run() {
+	defer func() { w.closeErr = w.backend.Close() }()
 	cache := make(map[uint64][]byte)
 	for {
 		batch, ok := <-w.queue

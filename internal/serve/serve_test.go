@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -16,6 +17,8 @@ type memBackend struct {
 	accesses int // backend touches (what dedup is supposed to save)
 	failOn   uint64
 	hasFail  bool
+	closes   int   // Close calls observed (workers must close exactly once)
+	closeErr error // injected Close failure
 }
 
 func newMemBackend() *memBackend { return &memBackend{blocks: make(map[uint64][]byte)} }
@@ -38,6 +41,11 @@ func (m *memBackend) Write(local uint64, data []byte) error {
 	}
 	m.blocks[local] = append([]byte(nil), data...)
 	return nil
+}
+
+func (m *memBackend) Close() error {
+	m.closes++
+	return m.closeErr
 }
 
 func payload(v uint64) []byte {
@@ -237,6 +245,39 @@ func TestServeCloseDrainsAndRejects(t *testing.T) {
 	}
 	if !s.Closed() {
 		t.Fatal("Closed() = false after Close")
+	}
+	if b.closes != 1 {
+		t.Fatalf("backend closed %d times, want exactly once", b.closes)
+	}
+}
+
+func TestServeErrClosedSentinel(t *testing.T) {
+	s := New([]Backend{newMemBackend()}, Config{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(0, OpRead, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want errors.Is(_, ErrClosed)", err)
+	}
+	if _, err := s.SubmitBatch(0, []Req{{Op: OpRead, ID: 0}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitBatch after Close = %v, want errors.Is(_, ErrClosed)", err)
+	}
+}
+
+func TestServeClosePropagatesBackendError(t *testing.T) {
+	good, bad := newMemBackend(), newMemBackend()
+	bad.closeErr = fmt.Errorf("disk full")
+	s := New([]Backend{good, bad}, Config{})
+	if err := s.Close(); err == nil || err.Error() != "disk full" {
+		t.Fatalf("Close = %v, want the backend's close error", err)
+	}
+	// Repeated Close keeps returning the same error (idempotent outcome),
+	// without re-closing backends.
+	if err := s.Close(); err == nil || err.Error() != "disk full" {
+		t.Fatalf("second Close = %v, want the same error", err)
+	}
+	if good.closes != 1 || bad.closes != 1 {
+		t.Fatalf("backends closed (%d, %d) times, want exactly once each", good.closes, bad.closes)
 	}
 }
 

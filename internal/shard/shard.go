@@ -16,8 +16,13 @@
 package shard
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
 
+	"palermo/internal/backend"
+	"palermo/internal/backend/memory"
 	"palermo/internal/crypt"
 	"palermo/internal/oram"
 )
@@ -111,17 +116,27 @@ type Counters struct {
 	StashPeak             int
 }
 
+// DefaultCheckpointEvery is how many writes a durable shard absorbs
+// between automatic WAL-compaction checkpoints.
+const DefaultCheckpointEvery = 4096
+
 // Shard is one oblivious store partition: a private Palermo-variant Ring
-// engine plus a private sealer counter-domain. Not safe for concurrent
-// use — the service layer confines each shard to one worker goroutine
-// (the same engine-per-goroutine discipline as the sweep runner).
+// engine plus a private sealer counter-domain, with sealed payloads stored
+// through a pluggable backend (process-private map by default, durable WAL
+// optionally). Not safe for concurrent use — the service layer confines
+// each shard to one worker goroutine (the same engine-per-goroutine
+// discipline as the sweep runner).
 type Shard struct {
 	index  int // shard coordinate (the id residue this shard serves)
 	stride int // total shard count (for local -> global id recovery)
 	blocks uint64
 	engine *oram.Ring
 	sealer *crypt.Sealer
-	sealed map[uint64]sealedBlock
+	be     backend.Backend
+
+	ckptEvery uint64 // writes between automatic checkpoints (durable only)
+	sinceCkpt uint64
+	closed    bool
 
 	reads, writes      uint64
 	trafficR, trafficW uint64
@@ -129,9 +144,20 @@ type Shard struct {
 	trace *Trace
 }
 
-type sealedBlock struct {
-	ct    []byte
-	epoch uint64
+// shardState is the gob-encoded controller metadata a durable backend
+// checkpoints: the full ORAM engine state (leaf maps, stash residents,
+// bucket permutation counters) plus the sealer counter and the shard's
+// served-traffic counters. It is sealed before it leaves the trusted
+// boundary — it contains position maps, which the untrusted backend must
+// never see in plaintext.
+type shardState struct {
+	Index, Stride int
+	Blocks        uint64
+	SealEpoch     uint64
+	Reads, Writes uint64
+	TrafficR      uint64
+	TrafficW      uint64
+	Engine        *oram.RingState
 }
 
 // New builds shard index of stride total shards with the given local
@@ -141,7 +167,14 @@ type sealedBlock struct {
 // AES key; IV uniqueness across shards holds because blocks are sealed
 // under their global id (disjoint across shards), so independent
 // per-shard epoch counters can never collide on an (addr, epoch) pair.
-func New(index, stride int, blocks uint64, key []byte, engineSeed uint64) (*Shard, error) {
+//
+// be supplies sealed-payload storage; nil selects the default in-memory
+// backend (the pre-backend behavior, byte for byte). A durable backend
+// that recovered a checkpoint and/or a log tail is folded in here: the
+// engine restores the checkpointed metadata exactly, then replays the
+// tail's writes through the full protocol so metadata and payloads
+// re-converge (see Close for what a clean shutdown persists).
+func New(index, stride int, blocks uint64, key []byte, engineSeed uint64, be backend.Backend) (*Shard, error) {
 	if index < 0 || stride < 1 || index >= stride {
 		return nil, fmt.Errorf("shard: invalid coordinates index=%d stride=%d", index, stride)
 	}
@@ -159,15 +192,49 @@ func New(index, stride int, blocks uint64, key []byte, engineSeed uint64) (*Shar
 	if err != nil {
 		return nil, err
 	}
-	return &Shard{
-		index:  index,
-		stride: stride,
-		blocks: blocks,
-		engine: engine,
-		sealer: sealer,
-		sealed: make(map[uint64]sealedBlock),
-	}, nil
+	if be == nil {
+		be = memory.New()
+	}
+	s := &Shard{
+		index:     index,
+		stride:    stride,
+		blocks:    blocks,
+		engine:    engine,
+		sealer:    sealer,
+		be:        be,
+		ckptEvery: DefaultCheckpointEvery,
+	}
+	meta, metaEpoch, tail := be.Recovered()
+	if meta != nil || len(tail) > 0 {
+		if err := s.recover(meta, metaEpoch, tail); err != nil {
+			return nil, err
+		}
+	}
+	if be.Durable() && meta == nil {
+		// Establish a sealed snapshot the moment a durable directory has
+		// none — at creation, and again if a crash interrupted the
+		// creation checkpoint itself (tail recovered, no snapshot yet).
+		// Every later open then runs the checkpoint-decode key check, so a
+		// wrong key fails loudly instead of opening sealed payloads into
+		// silent garbage plaintext (AES-CTR carries no integrity).
+		if err := s.checkpoint(); err != nil {
+			be.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
+
+// SetCheckpointEvery tunes how many writes pass between automatic
+// WAL-compaction checkpoints (0 disables them; Close still checkpoints).
+// Call before the shard starts serving.
+func (s *Shard) SetCheckpointEvery(n uint64) { s.ckptEvery = n }
+
+// metaAddr is the shard's reserved sealing address for checkpoint blobs:
+// counted down from ^0 per shard so it can never collide with a block's
+// global id (capped at 2^40) and never collides across shards sharing one
+// key even though their epoch domains overlap.
+func (s *Shard) metaAddr() uint64 { return ^uint64(0) - uint64(s.index) }
 
 // Blocks returns the shard-local capacity.
 func (s *Shard) Blocks() uint64 { return s.blocks }
@@ -197,12 +264,27 @@ func (s *Shard) Write(local uint64, data []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := s.be.Put(local, backend.Sealed{Ct: ct, Epoch: epoch}); err != nil {
+		return fmt.Errorf("palermo: backend write of block %d: %w", global, err)
+	}
 	plan := s.engine.Access(local, true, epoch)
-	s.sealed[local] = sealedBlock{ct: ct, epoch: epoch}
 	s.writes++
 	s.trafficR += uint64(plan.Reads())
 	s.trafficW += uint64(plan.Writes())
 	s.record(local, true, plan.DataLeaf)
+	if s.ckptEvery > 0 && s.be.Durable() {
+		s.sinceCkpt++
+		// Compact only once the log tail is also a meaningful fraction of
+		// the stored blocks: a snapshot rewrites every block, so a pure
+		// write-count trigger would cost O(store size) I/O every
+		// ckptEvery writes on a populated store. This keeps compaction
+		// I/O amortized O(1) per logged write.
+		if s.sinceCkpt >= s.ckptEvery && s.sinceCkpt*4 >= uint64(s.be.Len()) {
+			if err := s.checkpoint(); err != nil {
+				return fmt.Errorf("palermo: checkpoint after block %d: %w", global, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -217,15 +299,15 @@ func (s *Shard) Read(local uint64) ([]byte, error) {
 	s.trafficR += uint64(plan.Reads())
 	s.trafficW += uint64(plan.Writes())
 	s.record(local, false, plan.DataLeaf)
-	sb, ok := s.sealed[local]
+	sb, ok := s.be.Get(local)
 	if !ok {
 		return make([]byte, BlockBytes), nil
 	}
-	if plan.Val != sb.epoch {
+	if plan.Val != sb.Epoch {
 		return nil, fmt.Errorf("palermo: protocol state diverged for block %d (epoch %d != %d)",
-			s.Global(local), plan.Val, sb.epoch)
+			s.Global(local), plan.Val, sb.Epoch)
 	}
-	return s.sealer.Open(s.Global(local), sb.epoch, sb.ct)
+	return s.sealer.Open(s.Global(local), sb.Epoch, sb.Ct)
 }
 
 // Global returns the public id of a shard-local block.
@@ -241,6 +323,121 @@ func (s *Shard) Snapshot() Counters {
 		DRAMReads: s.trafficR, DRAMWrites: s.trafficW,
 		StashPeak: s.engine.StashMax(0),
 	}
+}
+
+// checkpoint seals the shard's complete controller metadata and hands it
+// to the backend together with an implicit copy of every sealed block
+// (Backend.Checkpoint compacts the log around it). The blob's sealing
+// epoch is reserved from the shard's own counter *before* the state is
+// encoded, so the checkpointed SealEpoch already covers it and a restored
+// sealer can never re-issue the blob's IV.
+func (s *Shard) checkpoint() error {
+	if !s.be.Durable() {
+		return nil
+	}
+	blobEpoch := s.sealer.Epoch() + 1
+	if blobEpoch >= 1<<40 {
+		return fmt.Errorf("shard: sealing counter %d exhausted the 40-bit IV field; re-key the store", blobEpoch)
+	}
+	s.sealer.SetEpoch(blobEpoch)
+	st := shardState{
+		Index: s.index, Stride: s.stride, Blocks: s.blocks,
+		SealEpoch: blobEpoch,
+		Reads:     s.reads, Writes: s.writes,
+		TrafficR: s.trafficR, TrafficW: s.trafficW,
+		Engine: s.engine.State(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return fmt.Errorf("shard: encode checkpoint: %w", err)
+	}
+	if buf.Len() > crypt.MaxBlobBytes {
+		return fmt.Errorf("shard: checkpoint state is %d bytes, beyond the %d-byte sealing span (shard too populated for durable checkpoints)",
+			buf.Len(), crypt.MaxBlobBytes)
+	}
+	ct := s.sealer.Blob(s.metaAddr(), blobEpoch, buf.Bytes())
+	if err := s.be.Checkpoint(ct, blobEpoch); err != nil {
+		return err
+	}
+	s.sinceCkpt = 0
+	return nil
+}
+
+// recover folds a durable backend's recovered state into the freshly built
+// shard: restore the checkpointed engine/sealer/counters exactly, then
+// replay the log tail's writes through the full ORAM protocol so the
+// engine's per-block epochs re-converge with the recovered payloads. The
+// replayed accesses draw fresh (deterministic) leaves — recovery is a new
+// protocol history, not a replay of the lost one, which is exactly what
+// obliviousness requires (DESIGN.md §7).
+func (s *Shard) recover(meta []byte, metaEpoch uint64, tail []backend.TailOp) error {
+	if meta != nil {
+		if metaEpoch >= 1<<40 || len(meta) > crypt.MaxBlobBytes {
+			// Out of the sealing scheme's domain: no shard this code built
+			// could have written it. Surface the corrupt-store error path
+			// instead of tripping crypt's internal-invariant panics.
+			return fmt.Errorf("shard: checkpoint metadata out of range (epoch %d, %d bytes): corrupt store", metaEpoch, len(meta))
+		}
+		plain := s.sealer.Blob(s.metaAddr(), metaEpoch, meta)
+		var st shardState
+		if err := gob.NewDecoder(bytes.NewReader(plain)).Decode(&st); err != nil {
+			return fmt.Errorf("shard: checkpoint undecodable (wrong key or corrupt store): %w", err)
+		}
+		if st.Index != s.index || st.Stride != s.stride || st.Blocks != s.blocks {
+			return fmt.Errorf("shard: checkpoint is for shard %d/%d over %d blocks, opened as %d/%d over %d",
+				st.Index, st.Stride, st.Blocks, s.index, s.stride, s.blocks)
+		}
+		if err := s.engine.Restore(st.Engine); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		s.sealer.SetEpoch(st.SealEpoch)
+		s.reads, s.writes = st.Reads, st.Writes
+		s.trafficR, s.trafficW = st.TrafficR, st.TrafficW
+	}
+	replayed := uint64(0)
+	for _, op := range tail {
+		if op.Local == backend.EpochReserveLocal {
+			// Epoch reservation from an interrupted checkpoint: advance the
+			// sealer so the reserved IV is never re-issued; no block moved.
+			if op.Epoch > s.sealer.Epoch() {
+				s.sealer.SetEpoch(op.Epoch)
+			}
+			continue
+		}
+		if op.Local >= s.blocks {
+			return fmt.Errorf("shard: recovered write to block %d outside shard %d capacity %d",
+				op.Local, s.index, s.blocks)
+		}
+		plan := s.engine.Access(op.Local, true, op.Epoch)
+		s.writes++
+		replayed++
+		s.trafficR += uint64(plan.Reads())
+		s.trafficW += uint64(plan.Writes())
+		if op.Epoch > s.sealer.Epoch() {
+			s.sealer.SetEpoch(op.Epoch)
+		}
+	}
+	// The replayed records are still in the log: prime the compaction
+	// counter with them so a crash-looping service (always fewer than
+	// CheckpointEvery writes per life) cannot grow the log — and the tail
+	// replay time — without bound across restarts.
+	s.sinceCkpt = replayed
+	return nil
+}
+
+// Close checkpoints the shard's metadata (durable backends only) and
+// releases the backend. After a clean Close, reopening the same directory
+// restores the shard bit-exactly: payloads, protocol state, and traffic
+// counters. Idempotent. Both the checkpoint's and the backend's close
+// errors are surfaced — a wedged backend reports its root-cause error
+// through Close, which must not be masked by the checkpoint's generic
+// closed-guard failure.
+func (s *Shard) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return errors.Join(s.checkpoint(), s.be.Close())
 }
 
 func (s *Shard) record(local uint64, write bool, leaf uint64) {

@@ -3,6 +3,9 @@ package shard
 import (
 	"bytes"
 	"testing"
+
+	"palermo/internal/backend/wal"
+	"palermo/internal/rng"
 )
 
 var testKey = []byte("shard-test-key16")
@@ -42,6 +45,76 @@ func TestRouterPartition(t *testing.T) {
 	}
 }
 
+// TestRouterGlobalRouteRoundTrip property-tests the routing bijection:
+// Global(Route(id)) == id for random ids over random (blocks, shards)
+// configurations, including huge sparse id spaces.
+func TestRouterGlobalRouteRoundTrip(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		blocks := 1 + r.Uint64n(1<<40)
+		shards := 1 + r.Intn(MaxTestShards)
+		if uint64(shards) > blocks {
+			shards = int(blocks)
+		}
+		rt, err := NewRouter(blocks, shards)
+		if err != nil {
+			t.Fatalf("NewRouter(%d, %d): %v", blocks, shards, err)
+		}
+		for i := 0; i < 64; i++ {
+			id := r.Uint64n(blocks)
+			s, local := rt.Route(id)
+			if g := rt.Global(s, local); g != id {
+				t.Fatalf("blocks=%d shards=%d: Global(Route(%d)) = %d", blocks, shards, id, g)
+			}
+			if local >= rt.ShardBlocks(s) {
+				t.Fatalf("blocks=%d shards=%d: id %d local %d >= ShardBlocks(%d)=%d",
+					blocks, shards, id, local, s, rt.ShardBlocks(s))
+			}
+		}
+	}
+}
+
+// MaxTestShards bounds the property-test shard counts (mirrors the public
+// MaxShards cap without importing the root package).
+const MaxTestShards = 1024
+
+// TestRouterShardBlocksSum property-tests capacity partitioning:
+// ShardBlocks sums to Blocks() for every shard count from 1 up to and
+// including the shards == blocks edge, over assorted capacities.
+func TestRouterShardBlocksSum(t *testing.T) {
+	r := rng.New(7)
+	capacities := []uint64{1, 2, 3, 17, 64, 1000, 1 << 20}
+	for trial := 0; trial < 50; trial++ {
+		capacities = append(capacities, 1+r.Uint64n(1<<22))
+	}
+	for _, blocks := range capacities {
+		shardCounts := []uint64{1, 2, blocks / 2, blocks - 1, blocks}
+		for _, sc := range shardCounts {
+			if sc < 1 || sc > blocks || sc > MaxTestShards {
+				continue
+			}
+			rt, err := NewRouter(blocks, int(sc))
+			if err != nil {
+				t.Fatalf("NewRouter(%d, %d): %v", blocks, sc, err)
+			}
+			var total uint64
+			for s := 0; s < int(sc); s++ {
+				n := rt.ShardBlocks(s)
+				if n == 0 {
+					t.Fatalf("blocks=%d shards=%d: shard %d is empty", blocks, sc, s)
+				}
+				if sc == blocks && n != 1 {
+					t.Fatalf("blocks=%d shards=%d: shard %d holds %d blocks, want exactly 1", blocks, sc, s, n)
+				}
+				total += n
+			}
+			if total != rt.Blocks() {
+				t.Fatalf("blocks=%d shards=%d: ShardBlocks sums to %d, want %d", blocks, sc, total, rt.Blocks())
+			}
+		}
+	}
+}
+
 func TestRouterRejects(t *testing.T) {
 	if _, err := NewRouter(0, 1); err == nil {
 		t.Fatal("zero capacity must error")
@@ -71,7 +144,7 @@ func TestDeriveSeedDistinct(t *testing.T) {
 }
 
 func TestShardRoundTrip(t *testing.T) {
-	sh, err := New(1, 4, 1<<12, testKey, 1)
+	sh, err := New(1, 4, 1<<12, testKey, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +188,7 @@ func TestShardDeterministicReplay(t *testing.T) {
 	// the same leaf sequence — the per-shard §5 determinism contract the
 	// service layer relies on.
 	run := func() *Trace {
-		sh, err := New(2, 4, 1<<10, testKey, 7)
+		sh, err := New(2, 4, 1<<10, testKey, 7, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,11 +219,84 @@ func TestShardDeterministicReplay(t *testing.T) {
 	}
 }
 
+// TestShardCheckpointResumesExactly is the strongest restore property: a
+// shard checkpointed mid-sequence and reopened from disk continues with
+// the exact leaf trace an uninterrupted shard produces — engine RNG,
+// posmap, stash, bucket counters, and eviction cadence all resume
+// bit-exactly.
+func TestShardCheckpointResumesExactly(t *testing.T) {
+	const total, cut = 200, 120
+	data := bytes.Repeat([]byte{9}, BlockBytes)
+	step := func(sh *Shard, i int) {
+		local := uint64(i*13) % (1 << 10)
+		if i%3 != 2 {
+			if err := sh.Write(local, data); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := sh.Read(local); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Uninterrupted reference run.
+	ref, err := New(0, 1, 1<<10, testKey, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.EnableTrace()
+	for i := 0; i < total; i++ {
+		step(ref, i)
+	}
+
+	// Durable run: cut at op `cut`, Close (checkpoint), reopen, continue.
+	dir := t.TempDir()
+	open := func() *Shard {
+		be, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := New(0, 1, 1<<10, testKey, 5, be)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	sh := open()
+	for i := 0; i < cut; i++ {
+		step(sh, i)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sh = open()
+	sh.EnableTrace()
+	for i := cut; i < total; i++ {
+		step(sh, i)
+	}
+	got := sh.Trace().Leaves
+	wantLeaves := ref.Trace().Leaves[cut:]
+	if len(got) != len(wantLeaves) {
+		t.Fatalf("resumed trace has %d leaves, want %d", len(got), len(wantLeaves))
+	}
+	for i := range got {
+		if got[i] != wantLeaves[i] {
+			t.Fatalf("leaf trace diverged at post-restore op %d: %d != %d", i, got[i], wantLeaves[i])
+		}
+	}
+	c := sh.Snapshot()
+	if want := ref.Snapshot(); c != want {
+		t.Fatalf("resumed counters %+v, want %+v", c, want)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestShardSeedsDecorrelated(t *testing.T) {
 	// Identical op sequences on different shard indices must expose
 	// different leaf sequences (private RNG streams).
 	trace := func(index int) []uint64 {
-		sh, err := New(index, 4, 1<<10, testKey, DeriveSeed(1, index))
+		sh, err := New(index, 4, 1<<10, testKey, DeriveSeed(1, index), nil)
 		if err != nil {
 			t.Fatal(err)
 		}

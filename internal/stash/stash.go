@@ -201,6 +201,40 @@ func (s *Stash) EvictIntoNode(g otree.Geometry, node uint64, max int) []otree.Bl
 	return out
 }
 
+// State is the serializable stash state for durable-store checkpoints:
+// live entries in insertion order plus the statistics the serving layer
+// reports across a restart.
+type State struct {
+	Entries  []Entry
+	MaxSeen  int
+	Overflow uint64
+}
+
+// State exports the current state. Entries are in insertion order, so
+// restoring them with Put reproduces the eviction-selection order exactly.
+func (s *Stash) State() State {
+	st := State{MaxSeen: s.maxSeen, Overflow: s.overflow}
+	st.Entries = make([]Entry, 0, s.live)
+	s.ForEach(func(e Entry) { st.Entries = append(st.Entries, e) })
+	return st
+}
+
+// Restore replaces the stash contents and statistics with a previously
+// exported State. The configured capacity is kept.
+func (s *Stash) Restore(st State) {
+	s.slab = s.slab[:0]
+	s.head, s.tail, s.free = none, none, none
+	s.live = 0
+	s.index = make(map[otree.BlockID]int, len(st.Entries))
+	for _, e := range st.Entries {
+		s.Put(e)
+	}
+	// Put tracks peaks/overflow as if the entries were new insertions;
+	// the checkpointed statistics are authoritative.
+	s.maxSeen = st.MaxSeen
+	s.overflow = st.Overflow
+}
+
 // Sample records the current occupancy for stash-over-time plots (Fig 12).
 func (s *Stash) Sample() { s.samples = append(s.samples, s.live) }
 

@@ -41,6 +41,22 @@ type ShardedStoreConfig struct {
 	// MaxBatch caps how many queued operations one shard worker coalesces
 	// into a single dedup window. Default 64.
 	MaxBatch int
+
+	// Backend selects block-state storage: BackendMemory (default) or
+	// BackendWAL (requires Dir; each shard owns a sub-directory). See
+	// StoreConfig for the full semantics.
+	Backend string
+	// Dir is the durable store directory (BackendWAL only). Its manifest
+	// pins Blocks and Shards, so reopening with a different geometry fails
+	// instead of silently mis-routing ids.
+	Dir string
+	// CheckpointEvery is the minimum per-shard writes between automatic
+	// WAL-compaction checkpoints (default 4096; <0 disables periodic
+	// checkpoints; compaction also waits for the log tail to reach a
+	// quarter of the shard's stored blocks — see StoreConfig).
+	CheckpointEvery int
+	// GroupCommit is WAL appends per fsync batch (default 32).
+	GroupCommit int
 }
 
 func (c *ShardedStoreConfig) defaults() {
@@ -81,13 +97,26 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("palermo: %w", err)
 	}
+	if cfg.Backend == "" {
+		cfg.Backend = BackendMemory
+	}
+	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, cfg.Shards, cfg.GroupCommit)
+	if err != nil {
+		return nil, err
+	}
 	st := &ShardedStore{router: router}
 	backends := make([]serve.Backend, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := shard.New(i, cfg.Shards, router.ShardBlocks(i), cfg.Key, shard.DeriveSeed(cfg.Seed, i))
+		sh, err := shard.New(i, cfg.Shards, router.ShardBlocks(i), cfg.Key, shard.DeriveSeed(cfg.Seed, i), bes[i])
 		if err != nil {
+			for _, be := range bes {
+				if be != nil {
+					be.Close()
+				}
+			}
 			return nil, fmt.Errorf("palermo: %w", err)
 		}
+		applyCheckpointEvery(sh, cfg.CheckpointEvery)
 		st.shards = append(st.shards, sh)
 		backends[i] = sh
 	}
@@ -237,7 +266,10 @@ func (s *ShardedStore) Traffic() TrafficReport {
 	return rep
 }
 
-// Close stops accepting requests, drains everything already queued, and
-// waits for the shard workers to exit. Idempotent; operations submitted
-// after Close return an error.
+// Close stops accepting requests, drains everything already queued,
+// flushes and checkpoints each shard's backend on its own worker, and
+// waits for the workers to exit. Idempotent; operations submitted after
+// Close return an error satisfying errors.Is(err, ErrClosed). With the
+// WAL backend, a store reopened from the same Dir resumes exactly where
+// Close left it — payloads, protocol state, and traffic counters.
 func (s *ShardedStore) Close() error { return s.svc.Close() }

@@ -277,7 +277,7 @@ func TestShardedStorePathDeterminism(t *testing.T) {
 		if len(trace.Ops) == 0 {
 			t.Fatalf("shard %d served nothing", i)
 		}
-		replay, err := shard.New(i, shards, st.router.ShardBlocks(i), []byte("palermo-demo-key"), shard.DeriveSeed(seed, i))
+		replay, err := shard.New(i, shards, st.router.ShardBlocks(i), []byte("palermo-demo-key"), shard.DeriveSeed(seed, i), nil)
 		if err != nil {
 			t.Fatal(err)
 		}

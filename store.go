@@ -18,7 +18,10 @@ package palermo
 
 import (
 	"fmt"
+	"path/filepath"
 
+	"palermo/internal/backend"
+	"palermo/internal/backend/wal"
 	"palermo/internal/shard"
 )
 
@@ -48,11 +51,45 @@ func validateStoreParams(blocks uint64, key []byte) error {
 	}
 }
 
+// Block-state backend selectors for StoreConfig/ShardedStoreConfig.
+const (
+	// BackendMemory keeps sealed blocks in process-private maps — the
+	// default, byte-identical to the store's historical behavior. State
+	// evaporates on process exit.
+	BackendMemory = "memory"
+	// BackendWAL persists sealed blocks to Dir through a CRC-framed
+	// append-only log with group-committed fsync plus compacted metadata
+	// snapshots. A store reopened from the same Dir (and Key) resumes
+	// exactly where Close left it; a crash loses at most the un-fsynced
+	// group-commit tail. DESIGN.md §7 describes the format and why the
+	// persisted view leaks nothing beyond what §VI's untrusted storage
+	// already observes.
+	BackendWAL = "wal"
+)
+
 // StoreConfig configures an oblivious store.
 type StoreConfig struct {
 	Blocks uint64 // capacity in 64-byte blocks (default 2^20 = 64 MB)
 	Key    []byte // AES key, 16/24/32 bytes (default: a fixed demo key)
 	Seed   uint64 // leaf-selection seed (default 1)
+
+	// Backend selects block-state storage: BackendMemory (default) or
+	// BackendWAL. BackendWAL requires Dir.
+	Backend string
+	// Dir is the durable store directory (BackendWAL only). Reopening a
+	// populated Dir recovers the persisted state; the directory's manifest
+	// pins Blocks (and shard count) so a mismatched reopen fails loudly.
+	Dir string
+	// CheckpointEvery is the minimum writes between automatic
+	// WAL-compaction checkpoints (default 4096; <0 disables periodic
+	// checkpoints — Close still writes one). On populated stores
+	// compaction is additionally deferred until the log tail reaches a
+	// quarter of the stored blocks, keeping snapshot I/O amortized O(1)
+	// per write.
+	CheckpointEvery int
+	// GroupCommit is how many WAL appends share one fsync (default 32;
+	// 1 = synchronous durability per write).
+	GroupCommit int
 }
 
 func (c *StoreConfig) defaults() {
@@ -65,28 +102,90 @@ func (c *StoreConfig) defaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Backend == "" {
+		c.Backend = BackendMemory
+	}
+}
+
+// openBackends validates the backend selection and opens one backend per
+// shard (nil entries select the in-memory default). For BackendWAL the
+// directory gains a manifest pinning (blocks, shards) and one
+// sub-directory per shard, so a Store and a 1-shard ShardedStore are
+// interchangeable over the same Dir.
+func openBackends(kind, dir string, blocks uint64, shards, groupCommit int) ([]backend.Backend, error) {
+	switch kind {
+	case BackendMemory:
+		if dir != "" {
+			return nil, fmt.Errorf("palermo: Dir is set but Backend is %q (did you mean Backend: palermo.BackendWAL?)", kind)
+		}
+		return make([]backend.Backend, shards), nil
+	case BackendWAL:
+		if dir == "" {
+			return nil, fmt.Errorf("palermo: Backend %q requires Dir", kind)
+		}
+		if err := wal.EnsureManifest(dir, wal.Manifest{Version: wal.ManifestVersion, Blocks: blocks, Shards: shards}); err != nil {
+			return nil, fmt.Errorf("palermo: %w", err)
+		}
+		bes := make([]backend.Backend, shards)
+		for i := range bes {
+			be, err := wal.Open(filepath.Join(dir, fmt.Sprintf("shard-%04d", i)), wal.Options{GroupCommit: groupCommit})
+			if err != nil {
+				for _, open := range bes[:i] {
+					open.Close()
+				}
+				return nil, fmt.Errorf("palermo: %w", err)
+			}
+			bes[i] = be
+		}
+		return bes, nil
+	default:
+		return nil, fmt.Errorf("palermo: unknown Backend %q (want %q or %q)", kind, BackendMemory, BackendWAL)
+	}
+}
+
+// applyCheckpointEvery maps the config knob onto the shard: 0 keeps the
+// shard default, negative disables periodic checkpoints.
+func applyCheckpointEvery(sh *shard.Shard, every int) {
+	switch {
+	case every < 0:
+		sh.SetCheckpointEvery(0)
+	case every > 0:
+		sh.SetCheckpointEvery(uint64(every))
+	}
 }
 
 // Store is an oblivious 64-byte-block store: the 1-shard special case of
 // the service layer's partition (the shard seals under global ids, which
 // coincide with block ids at stride 1, and uses Seed unchanged).
 type Store struct {
-	sh     *shard.Shard
-	blocks uint64
+	sh       *shard.Shard
+	blocks   uint64
+	closed   bool
+	closeErr error // first Close outcome, re-returned on later calls
 }
 
 // NewStore builds a store. Invalid configurations (zero or overflowing
-// capacity after defaulting, bad key lengths) are rejected here rather
-// than surfacing as a deep engine failure.
+// capacity after defaulting, bad key lengths, backend/Dir mismatches) are
+// rejected here rather than surfacing as a deep engine failure. With
+// Backend: BackendWAL, a populated Dir is recovered: checkpointed state
+// restores exactly and any post-checkpoint log tail is replayed.
 func NewStore(cfg StoreConfig) (*Store, error) {
 	cfg.defaults()
 	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
 		return nil, err
 	}
-	sh, err := shard.New(0, 1, cfg.Blocks, cfg.Key, cfg.Seed)
+	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, 1, cfg.GroupCommit)
 	if err != nil {
 		return nil, err
 	}
+	sh, err := shard.New(0, 1, cfg.Blocks, cfg.Key, cfg.Seed, bes[0])
+	if err != nil {
+		if bes[0] != nil {
+			bes[0].Close()
+		}
+		return nil, fmt.Errorf("palermo: %w", err)
+	}
+	applyCheckpointEvery(sh, cfg.CheckpointEvery)
 	return &Store{sh: sh, blocks: cfg.Blocks}, nil
 }
 
@@ -95,6 +194,9 @@ func (s *Store) Blocks() uint64 { return s.blocks }
 
 // Write stores a 64-byte block obliviously under the given block id.
 func (s *Store) Write(id uint64, data []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
 	if id >= s.blocks {
 		return fmt.Errorf("palermo: block %d outside capacity %d", id, s.blocks)
 	}
@@ -108,10 +210,26 @@ func (s *Store) Write(id uint64, data []byte) error {
 // a zero block (the protocol performs the same path access either way, so
 // existence is not observable).
 func (s *Store) Read(id uint64) ([]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
 	if id >= s.blocks {
 		return nil, fmt.Errorf("palermo: block %d outside capacity %d", id, s.blocks)
 	}
 	return s.sh.Read(id)
+}
+
+// Close flushes and checkpoints a durable backend and releases it; a
+// memory-backed store just marks itself closed. Operations after Close
+// return ErrClosed. Idempotent: every call reports the first Close's
+// outcome, so a failed checkpoint is never silently swallowed by a retry.
+func (s *Store) Close() error {
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
+	s.closeErr = s.sh.Close()
+	return s.closeErr
 }
 
 // TrafficReport summarizes the DRAM cost the operations so far would incur.
