@@ -14,6 +14,19 @@
 //	palermo-load -json out/                       # also write out/BENCH_load.json
 //	palermo-load -dir /data/palermo               # durable WAL backend under -dir
 //	palermo-load -dir /data/palermo -verify       # reopen a -dir store and verify it
+//	palermo-load -addr 127.0.0.1:7070             # drive a palermo-server over TCP
+//	palermo-load -addr HOST:PORT -conns 4 -stamp  # pooled sockets + stamp for -verify
+//
+// With -addr the generator dials a running cmd/palermo-server instead of
+// building an in-process store: the same closed-loop workload runs over
+// real sockets through palermo.Client (request pipelining, automatic
+// batching of concurrent small ops), and the perf record is written as
+// BENCH_net.json instead of BENCH_load.json — so the network tax over the
+// in-process numbers is one diff away. Store geometry (shards, blocks,
+// durable dir) belongs to the server in this mode; the handshake reports
+// it back. -stamp writes the same deterministic verification payloads the
+// -dir mode stamps, so a durable server that is then shut down can be
+// re-verified locally with -dir/-verify (the net-smoke CI job's flow).
 //
 // Every run is deterministic for a given -seed: client RNG streams are
 // derived per client, and per-shard ORAM sequences depend only on each
@@ -63,6 +76,9 @@ func main() {
 	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
 	groupCommit := flag.Int("group-commit", 0, "WAL appends per fsync batch (0 = default)")
 	verify := flag.Bool("verify", false, "reopen the -dir store and verify the stamped blocks instead of generating load")
+	addr := flag.String("addr", "", "drive a remote palermo-server at HOST:PORT instead of an in-process store")
+	conns := flag.Int("conns", 1, "client connection-pool size (-addr mode)")
+	stamp := flag.Bool("stamp", false, "write the deterministic verification stamp after the run (implied by -dir; with -addr it lands in the server's durable dir)")
 	flag.Parse()
 
 	opsSet := false
@@ -70,12 +86,22 @@ func main() {
 		if f.Name == "ops" {
 			opsSet = true
 		}
+		if *addr != "" {
+			switch f.Name {
+			case "shards", "blocks", "queue", "dir", "group-commit", "verify":
+				fatal(fmt.Errorf("-%s configures an in-process store; with -addr it belongs to the server", f.Name))
+			}
+		}
 	})
 	if *duration > 0 && opsSet {
 		fatal(fmt.Errorf("-ops and -duration are mutually exclusive; pick one stopping rule"))
 	}
 	if *duration > 0 {
 		*ops = 0
+	}
+	if *addr != "" {
+		runRemote(*addr, *conns, *clients, *ops, *duration, *readRatio, *zipf, *batch, *seed, *stamp, *jsonDir)
+		return
 	}
 
 	cfg := palermo.ShardedStoreConfig{
@@ -124,19 +150,93 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *dir != "" {
-		n := stampCount(st.Blocks())
-		for id := uint64(0); id < n; id++ {
-			if err := st.Write(id, stampPayload(*seed, id)); err != nil {
-				fatal(err)
-			}
+	if *dir != "" || *stamp {
+		if err := stampTarget(st, *seed); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("  stamped %d verification blocks into %s\n", n, *dir)
 	}
 	if err := st.Close(); err != nil {
 		fatal(err)
 	}
 
+	printResult(res)
+	if *jsonDir != "" {
+		if err := writeRecord(*jsonDir, "load", *ops, *seed, st.Shards(), res,
+			loadMetrics(res, *clients, *readRatio, *zipf)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runRemote is the -addr mode: the identical closed-loop workload driven
+// through palermo.Client over real sockets against a running
+// cmd/palermo-server, recorded as BENCH_net.json.
+func runRemote(addr string, conns, clients, ops int, duration time.Duration, readRatio, zipf float64, batch int, seed uint64, stamp bool, jsonDir string) {
+	cl, err := palermo.Dial(addr, palermo.ClientConfig{Conns: conns})
+	if err != nil {
+		fatal(err)
+	}
+	bound := fmt.Sprintf("%d ops", ops)
+	if duration > 0 {
+		bound = duration.String()
+	}
+	fmt.Printf("palermo-load: remote %s (%d shards, %d conns), %d clients, %s (%.0f%% reads, zipf %.2f, batch %d) over %d blocks\n",
+		addr, cl.Shards(), conns, clients, bound, readRatio*100, zipf, batch, cl.Blocks())
+
+	res, err := loadgen.Run(cl, loadgen.Options{
+		Clients:   clients,
+		Ops:       ops,
+		Duration:  duration,
+		ReadRatio: readRatio,
+		ZipfTheta: zipf,
+		Batch:     batch,
+		Seed:      seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Snapshot the wire counters before the stamp pass so the recorded
+	// frame statistics describe the measured workload only.
+	net := cl.NetStats()
+	if stamp {
+		if err := stampTarget(cl, seed); err != nil {
+			fatal(err)
+		}
+	}
+	shards := cl.Shards()
+	if err := cl.Close(); err != nil {
+		fatal(err)
+	}
+
+	printResult(res)
+	fmt.Printf("  wire: %d frames for %d ops (%d coalesced into shared batch frames)\n",
+		net.FramesSent, net.Ops, net.MergedOps)
+	if jsonDir != "" {
+		metrics := loadMetrics(res, clients, readRatio, zipf)
+		metrics["conns"] = float64(conns)
+		metrics["frames_sent"] = float64(net.FramesSent)
+		metrics["merged_ops"] = float64(net.MergedOps)
+		if err := writeRecord(jsonDir, "net", ops, seed, shards, res, metrics); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// stampTarget writes the deterministic verification payloads a later
+// -verify pass recomputes. Works over both in-process stores and remote
+// clients (the stamp then lands in the server's durable dir).
+func stampTarget(st loadgen.Target, seed uint64) error {
+	n := stampCount(st.Blocks())
+	for id := uint64(0); id < n; id++ {
+		if err := st.Write(id, stampPayload(seed, id)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  stamped %d verification blocks\n", n)
+	return nil
+}
+
+func printResult(res loadgen.Result) {
 	stats := res.Stats
 	fmt.Printf("  wall %.2fs  ops/sec %.0f  (%d reads, %d writes, %d dedup fan-outs)\n",
 		res.Wall.Seconds(), res.OpsPerSec(), stats.Reads, stats.Writes, stats.DedupHits)
@@ -148,26 +248,21 @@ func main() {
 	}
 	fmt.Printf("  DRAM lines/op %.1f  stash peak %d\n",
 		res.Traffic.AmplificationFactor, res.Traffic.StashPeak)
+}
 
-	if *jsonDir != "" {
-		reqs := *ops
-		if reqs == 0 { // time-bounded run: record the completed count
-			reqs = int(stats.Reads + stats.Writes)
-		}
-		if err := writeRecord(*jsonDir, reqs, *seed, st.Shards(), res, map[string]float64{
-			"ops_per_sec":  res.OpsPerSec(),
-			"clients":      float64(*clients),
-			"read_ratio":   *readRatio,
-			"zipf_theta":   *zipf,
-			"read_p50_us":  stats.ReadLat.P50Us,
-			"read_p99_us":  stats.ReadLat.P99Us,
-			"write_p50_us": stats.WriteLat.P50Us,
-			"write_p99_us": stats.WriteLat.P99Us,
-			"dedup_hits":   float64(stats.DedupHits),
-			"lines_per_op": res.Traffic.AmplificationFactor,
-		}); err != nil {
-			fatal(err)
-		}
+func loadMetrics(res loadgen.Result, clients int, readRatio, zipf float64) map[string]float64 {
+	stats := res.Stats
+	return map[string]float64{
+		"ops_per_sec":  res.OpsPerSec(),
+		"clients":      float64(clients),
+		"read_ratio":   readRatio,
+		"zipf_theta":   zipf,
+		"read_p50_us":  stats.ReadLat.P50Us,
+		"read_p99_us":  stats.ReadLat.P99Us,
+		"write_p50_us": stats.WriteLat.P50Us,
+		"write_p99_us": stats.WriteLat.P99Us,
+		"dedup_hits":   float64(stats.DedupHits),
+		"lines_per_op": res.Traffic.AmplificationFactor,
 	}
 }
 
@@ -223,7 +318,9 @@ func verifyStore(cfg palermo.ShardedStoreConfig, seed uint64) (err error) {
 }
 
 // benchRecord matches the BENCH_*.json schema palermo-bench writes, so the
-// serving path joins the same perf trajectory.
+// serving path joins the same perf trajectory. The figure name ("load" for
+// in-process, "net" for -addr) doubles as the file name suffix, so one
+// sweep leaves both records side by side for the network-tax diff.
 type benchRecord struct {
 	Figure      string             `json:"figure"`
 	Requests    int                `json:"requests"`
@@ -234,12 +331,15 @@ type benchRecord struct {
 	Metrics     map[string]float64 `json:"metrics"`
 }
 
-func writeRecord(dir string, ops int, seed uint64, shards int, res loadgen.Result, metrics map[string]float64) error {
+func writeRecord(dir, figure string, ops int, seed uint64, shards int, res loadgen.Result, metrics map[string]float64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	if ops == 0 { // time-bounded run: record the completed count
+		ops = int(res.Stats.Reads + res.Stats.Writes)
+	}
 	rec := benchRecord{
-		Figure:      "load",
+		Figure:      figure,
 		Requests:    ops,
 		Seed:        seed,
 		Workers:     shards,
@@ -251,7 +351,8 @@ func writeRecord(dir string, ops int, seed uint64, shards int, res loadgen.Resul
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "BENCH_load.json"), append(buf, '\n'), 0o644)
+	name := "BENCH_" + figure + ".json"
+	return os.WriteFile(filepath.Join(dir, name), append(buf, '\n'), 0o644)
 }
 
 func fatal(err error) {

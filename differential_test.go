@@ -3,9 +3,15 @@ package palermo
 // Differential testing: every protocol engine — whatever its tree shape,
 // eviction discipline, or bypass tricks — implements the same logical
 // memory. Feeding the same operation sequence to all of them must produce
-// identical read results, or one of the designs corrupts data.
+// identical read results, or one of the designs corrupts data. The same
+// discipline extends up the stack: the network serving path
+// (Client → wire → netserve → ShardedStore) must be indistinguishable
+// from calling the store in-process, payload for payload and leaf for
+// leaf (TestNetDifferentialEquivalence).
 
 import (
+	"bytes"
+	"net"
 	"testing"
 
 	"palermo/internal/baselines"
@@ -103,6 +109,198 @@ func TestProtocolFunctionalEquivalence(t *testing.T) {
 		for l := 0; l < e.Levels(); l++ {
 			if m := e.StashMax(l); m > 1024 {
 				t.Fatalf("%s level %d stash peaked at %d", name, l, m)
+			}
+		}
+	}
+}
+
+// storeAPI is the operation surface shared by *ShardedStore and *Client:
+// the differential net test drives both through it with one recorded
+// sequence.
+type storeAPI interface {
+	Read(id uint64) ([]byte, error)
+	Write(id uint64, data []byte) error
+	ReadBatch(ids []uint64) ([][]byte, error)
+	WriteBatch(ids []uint64, blocks [][]byte) error
+}
+
+// netOp is one recorded operation of the differential sequence.
+type netOp struct {
+	kind   int // 0 read, 1 write, 2 readBatch, 3 writeBatch
+	id     uint64
+	ids    []uint64
+	blocks [][]byte
+}
+
+// recordNetOps builds a deterministic mixed sequence with id reuse and
+// intra-batch duplicates, so stash hits, dedup fan-outs, and per-shard
+// batching all trigger on both sides.
+func recordNetOps(blocks uint64, n int) []netOp {
+	r := rng.New(20250729)
+	ops := make([]netOp, n)
+	for i := range ops {
+		switch r.Uint64n(4) {
+		case 0:
+			ops[i] = netOp{kind: 0, id: r.Uint64n(blocks / 4)}
+		case 1:
+			ops[i] = netOp{kind: 1, id: r.Uint64n(blocks / 4)}
+		case 2:
+			ids := make([]uint64, 1+r.Uint64n(8))
+			for j := range ids {
+				if j > 0 && r.Uint64n(3) == 0 {
+					ids[j] = ids[j-1] // duplicate: exercises batch dedup
+				} else {
+					ids[j] = r.Uint64n(blocks / 4)
+				}
+			}
+			ops[i] = netOp{kind: 2, ids: ids}
+		default:
+			ids := make([]uint64, 1+r.Uint64n(4))
+			bls := make([][]byte, len(ids))
+			for j := range ids {
+				ids[j] = r.Uint64n(blocks / 4)
+				bls[j] = block(byte(r.Uint64()))
+			}
+			ops[i] = netOp{kind: 3, ids: ids, blocks: bls}
+		}
+	}
+	return ops
+}
+
+// playNetOps runs the sequence serially and returns every read payload in
+// order. Serial submission means both sides see identical per-shard
+// request subsequences, so the §5 determinism contract forces identical
+// leaf traces if the layers in between add nothing.
+func playNetOps(t *testing.T, api storeAPI, ops []netOp) [][]byte {
+	t.Helper()
+	var payloads [][]byte
+	for i, op := range ops {
+		switch op.kind {
+		case 0:
+			data, err := api.Read(op.id)
+			if err != nil {
+				t.Fatalf("op %d read: %v", i, err)
+			}
+			payloads = append(payloads, data)
+		case 1:
+			if err := api.Write(op.id, block(byte(i))); err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+		case 2:
+			got, err := api.ReadBatch(op.ids)
+			if err != nil {
+				t.Fatalf("op %d readBatch: %v", i, err)
+			}
+			payloads = append(payloads, got...)
+		default:
+			if err := api.WriteBatch(op.ids, op.blocks); err != nil {
+				t.Fatalf("op %d writeBatch: %v", i, err)
+			}
+		}
+	}
+	return payloads
+}
+
+// TestNetDifferentialEquivalence runs one recorded op sequence against an
+// in-process ShardedStore and against an identically-seeded store behind
+// Client → wire → netserve over a loopback socket, and demands the two
+// paths be indistinguishable: byte-identical read payloads, identical
+// service op counts, and identical per-shard leaf traces. Run under
+// -race, this is also the concurrency audit of the whole network stack.
+func TestNetDifferentialEquivalence(t *testing.T) {
+	const blocks = 1 << 12
+	const shards = 3
+	cfg := ShardedStoreConfig{Blocks: blocks, Shards: shards, Seed: 77}
+	ops := recordNetOps(blocks, 400)
+
+	// In-process reference run.
+	local, err := NewShardedStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range local.shards {
+		sh.EnableTrace()
+	}
+	wantPayloads := playNetOps(t, local, ops)
+	wantStats := local.Stats()
+	if err := local.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Network run: same store geometry behind a loopback server.
+	remoteStore, err := NewShardedStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range remoteStore.shards {
+		sh.EnableTrace()
+	}
+	srv, err := NewServer(remoteStore, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	cl, err := Dial(ln.Addr().String(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Blocks() != blocks || cl.Shards() != shards {
+		t.Fatalf("handshake geometry: %d blocks, %d shards", cl.Blocks(), cl.Shards())
+	}
+	gotPayloads := playNetOps(t, cl, ops)
+	gotStats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != ErrServerClosed {
+		t.Fatalf("Serve: %v", err)
+	}
+	if err := remoteStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical payloads, op for op.
+	if len(gotPayloads) != len(wantPayloads) {
+		t.Fatalf("network path returned %d read payloads, in-process %d", len(gotPayloads), len(wantPayloads))
+	}
+	for i := range wantPayloads {
+		if !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
+			t.Fatalf("read payload %d diverged between in-process and network paths", i)
+		}
+	}
+	// Identical service op counts (the Stats op itself is not counted).
+	if gotStats.Reads != wantStats.Reads || gotStats.Writes != wantStats.Writes ||
+		gotStats.DedupHits != wantStats.DedupHits {
+		t.Fatalf("stats diverged: net %d/%d/%d, in-process %d/%d/%d",
+			gotStats.Reads, gotStats.Writes, gotStats.DedupHits,
+			wantStats.Reads, wantStats.Writes, wantStats.DedupHits)
+	}
+	// Identical per-shard engine traces: same ops, same order, same leaves.
+	for i := range local.shards {
+		want, got := local.shards[i].Trace(), remoteStore.shards[i].Trace()
+		if len(want.Ops) == 0 {
+			t.Fatalf("shard %d served nothing", i)
+		}
+		if len(got.Ops) != len(want.Ops) {
+			t.Fatalf("shard %d: net path served %d engine ops, in-process %d", i, len(got.Ops), len(want.Ops))
+		}
+		for j := range want.Ops {
+			if got.Ops[j] != want.Ops[j] {
+				t.Fatalf("shard %d: op %d diverged (%+v != %+v)", i, j, got.Ops[j], want.Ops[j])
+			}
+			if got.Leaves[j] != want.Leaves[j] {
+				t.Fatalf("shard %d: leaf %d diverged (%d != %d)", i, j, got.Leaves[j], want.Leaves[j])
 			}
 		}
 	}

@@ -1,9 +1,11 @@
 // Package loadgen is the shared closed-loop workload driver for the
 // sharded oblivious store service: N client goroutines issue a read/write
-// mix (optionally Zipf-skewed, optionally batch-read) against a
-// palermo.ShardedStore and the driver reports wall-clock plus the
-// service's own stats. Both cmd/palermo-load and cmd/palermo-bench's
-// serving-path figure run through this one implementation.
+// mix (optionally Zipf-skewed, optionally batch-read) against any Target —
+// an in-process palermo.ShardedStore or a remote palermo.Client — and the
+// driver reports wall-clock plus the service's own stats. cmd/palermo-load
+// (both the in-process and the -addr socket mode) and cmd/palermo-bench's
+// serving-path figure run through this one implementation, so the network
+// tax is measured against an identical workload loop.
 package loadgen
 
 import (
@@ -14,6 +16,16 @@ import (
 	"palermo"
 	"palermo/internal/rng"
 )
+
+// Target is the store surface a run drives. Both *palermo.ShardedStore
+// and *palermo.Client satisfy it; Snapshot folds the two observability
+// calls into one so a remote target pays a single wire round trip.
+type Target interface {
+	Blocks() uint64
+	Write(id uint64, data []byte) error
+	ReadBatch(ids []uint64) ([][]byte, error)
+	Snapshot() (palermo.ServiceStats, palermo.TrafficReport, error)
+}
 
 // Options configures one closed-loop run. Exactly one of Ops (op-bounded)
 // or Duration (time-bounded) selects the stopping rule.
@@ -65,7 +77,7 @@ func (r Result) OpsPerSec() float64 {
 // are drawn from the store's full capacity, so the run is valid for any
 // store the caller built. The first client error aborts the run and is
 // returned.
-func Run(st *palermo.ShardedStore, o Options) (Result, error) {
+func Run(st Target, o Options) (Result, error) {
 	if err := o.validate(); err != nil {
 		return Result{}, err
 	}
@@ -95,7 +107,11 @@ func Run(st *palermo.ShardedStore, o Options) (Result, error) {
 	for err := range errCh {
 		return Result{}, err
 	}
-	return Result{Wall: wall, Stats: st.Stats(), Traffic: st.Traffic()}, nil
+	stats, traffic, err := st.Snapshot()
+	if err != nil {
+		return Result{}, fmt.Errorf("loadgen: final snapshot: %w", err)
+	}
+	return Result{Wall: wall, Stats: stats, Traffic: traffic}, nil
 }
 
 // client runs one closed-loop client: pick an id (uniform or Zipfian over
@@ -103,7 +119,7 @@ func Run(st *palermo.ShardedStore, o Options) (Result, error) {
 // op share is spent (op-bounded) or the deadline passes (time-bounded).
 // Zipf rank 0 is the hottest id; striped routing spreads consecutive
 // ranks across all shards.
-func client(st *palermo.ShardedStore, id uint64, ops int, deadline time.Time, o Options) error {
+func client(st Target, id uint64, ops int, deadline time.Time, o Options) error {
 	blocks := st.Blocks()
 	r := rng.New(o.Seed + 0x2545f4914f6cdd1d*(id+1))
 	var z *rng.Zipf

@@ -1,0 +1,377 @@
+// Package netserve is the TCP serving layer over a concurrent oblivious
+// store: it speaks the internal/wire protocol, pipelines requests, and
+// applies the same bounded-queue back-pressure discipline as the in-process
+// service layer (internal/serve), extended across a socket.
+//
+// Connection anatomy: each accepted connection gets a reader goroutine
+// (decodes frames, dispatches requests) and a writer goroutine (serializes
+// responses). Requests execute on their own goroutines — the store is
+// already concurrent — bounded by a per-connection in-flight window: when
+// MaxInFlight requests are outstanding the reader stops reading, TCP flow
+// control fills the client's send window, and a pipelining client blocks
+// exactly like an in-process submitter at a full shard queue.
+//
+// Failure discipline: a payload the store rejects is answered with a typed
+// status and the connection continues; a framing violation (bad magic,
+// wrong version, oversized length, truncation) poisons the stream, so the
+// connection is closed — but never the server. Close drains: in-flight
+// requests complete, their responses flush, then connections and the
+// listener shut down. DESIGN.md §8 records why this layer observes only
+// the §VI adversary's view.
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"palermo/internal/serve"
+	"palermo/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Close, like net/http's.
+var ErrServerClosed = errors.New("netserve: server closed")
+
+// Store is the concurrent oblivious store a server fronts. It must be safe
+// for concurrent use; *palermo.ShardedStore (behind the root package's
+// adapter) is the canonical implementation.
+type Store interface {
+	Read(id uint64) ([]byte, error)
+	Write(id uint64, data []byte) error
+	ReadBatch(ids []uint64) ([][]byte, error)
+	WriteBatch(ids []uint64, blocks [][]byte) error
+	Stats() wire.Stats
+}
+
+// Config tunes a server. The zero value uses the defaults.
+type Config struct {
+	// MaxInFlight bounds each connection's outstanding requests (frames
+	// dispatched but not yet answered). A full window stops the reader —
+	// socket-level back-pressure. Default 64.
+	MaxInFlight int
+	// MaxBatch caps the operation count one batch frame may carry; larger
+	// batches are answered with StatusBad. Default 4096 (the wire format
+	// itself never exceeds wire.MaxOps).
+	MaxBatch int
+	// IdleTimeout closes a connection that sends no frame for this long.
+	// Zero means no idle deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write, so a client that stops
+	// reading cannot wedge a connection's writer forever. Default 30s.
+	WriteTimeout time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 4096
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+}
+
+// Validate rejects nonsensical limits with a descriptive error.
+func (c Config) Validate() error {
+	if c.MaxInFlight < 0 || c.MaxBatch < 0 {
+		return fmt.Errorf("netserve: MaxInFlight/MaxBatch must be >= 0")
+	}
+	if c.MaxBatch > wire.MaxOps {
+		return fmt.Errorf("netserve: MaxBatch %d exceeds the wire format's %d-op frame limit", c.MaxBatch, wire.MaxOps)
+	}
+	if c.IdleTimeout < 0 || c.WriteTimeout < 0 {
+		return fmt.Errorf("netserve: IdleTimeout/WriteTimeout must be >= 0")
+	}
+	return nil
+}
+
+// Server serves one Store over TCP.
+type Server struct {
+	st  Store
+	cfg Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+	done   chan struct{}
+	connWG sync.WaitGroup
+}
+
+// New builds a server (validating cfg). Call Serve to start accepting.
+func New(st Store, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	return &Server{
+		st:    st,
+		cfg:   cfg,
+		conns: make(map[*conn]struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts connections on ln until Close, then returns
+// ErrServerClosed. Each connection is handled on its own goroutines.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		c := &conn{
+			srv: s,
+			nc:  nc,
+			out: make(chan []byte, s.cfg.MaxInFlight),
+			sem: make(chan struct{}, s.cfg.MaxInFlight),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go c.run()
+	}
+}
+
+// Addr returns the listener's address once Serve has been called
+// (nil before).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close gracefully shuts the server down: stop accepting, stop reading new
+// requests, let every in-flight request complete and its response flush,
+// then close all connections and return. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		// Unblock readers parked in ReadFrame: an immediate read deadline
+		// makes the blocking read return without tearing the socket down,
+		// so queued responses still flush.
+		for c := range s.conns {
+			c.nc.SetReadDeadline(time.Now())
+		}
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return nil
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// conn is one client connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan []byte   // encoded response frames awaiting the writer
+	sem chan struct{} // in-flight window tokens
+	wg  sync.WaitGroup
+}
+
+// run owns the connection lifecycle: spawn the writer, run the read loop,
+// then drain — wait for in-flight requests, flush their responses, close.
+func (c *conn) run() {
+	defer c.srv.connWG.Done()
+	defer c.srv.removeConn(c)
+	writerDone := make(chan struct{})
+	go c.writer(writerDone)
+	c.readLoop()
+	c.wg.Wait()  // every dispatched request has queued its response
+	close(c.out) // writer flushes the tail and exits
+	<-writerDone
+	c.nc.Close()
+}
+
+// readLoop decodes frames and dispatches requests until the stream ends,
+// a framing violation poisons it, or the server begins closing.
+func (c *conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		if !c.armReadDeadline() {
+			return // server closing: don't overwrite Close's immediate deadline
+		}
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			// io.EOF: client closed cleanly. Deadline: idle or server
+			// close. Typed wire errors: stream poisoned. All end the
+			// connection; none end the server.
+			return
+		}
+		if !wire.IsRequest(f.Op) {
+			// Framing is intact, so the request id is trustworthy and the
+			// connection recoverable: answer and continue.
+			c.respond(f.Op, f.ReqID, wire.AppendErrResp(nil, wire.StatusBad,
+				fmt.Sprintf("unknown op %d", f.Op)))
+			continue
+		}
+		select {
+		case c.sem <- struct{}{}: // in-flight window slot
+		case <-c.srv.done:
+			return
+		}
+		c.wg.Add(1)
+		go func(f wire.Frame) {
+			defer c.wg.Done()
+			defer func() { <-c.sem }()
+			c.respond(f.Op, f.ReqID, c.serve(f))
+		}(f)
+	}
+}
+
+// armReadDeadline re-arms the idle deadline for the next frame read, under
+// the server lock so it serializes against Close: either Close already
+// began (return false, the reader exits instead of parking for up to
+// IdleTimeout), or Close runs after and its immediate deadline wins.
+func (c *conn) armReadDeadline() bool {
+	s := c.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if idle := s.cfg.IdleTimeout; idle > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(idle))
+	}
+	return true
+}
+
+// respond queues one encoded response frame. The send cannot deadlock: the
+// writer drains out until it is closed, and out is closed only after wg
+// observes every dispatched request done.
+func (c *conn) respond(op byte, reqID uint64, payload []byte) {
+	c.out <- wire.AppendFrame(nil, wire.Resp(op), reqID, payload)
+}
+
+// writer serializes response frames. After a write error it closes the
+// socket — so the reader stops feeding a connection whose responses can
+// no longer be delivered — and keeps draining (discarding) so request
+// goroutines never block on the dead connection.
+func (c *conn) writer(done chan struct{}) {
+	defer close(done)
+	failed := false
+	for buf := range c.out {
+		if failed {
+			continue
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if _, err := c.nc.Write(buf); err != nil {
+			failed = true
+			c.nc.Close()
+		}
+	}
+}
+
+// serve executes one request and returns the encoded response payload.
+func (c *conn) serve(f wire.Frame) []byte {
+	switch f.Op {
+	case wire.OpRead:
+		id, err := wire.ParseReadReq(f.Payload)
+		if err != nil {
+			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+		}
+		data, err := c.srv.st.Read(id)
+		if err != nil {
+			return errResp(err)
+		}
+		return wire.AppendOKResp(make([]byte, 0, 1+wire.BlockBytes), data)
+
+	case wire.OpWrite:
+		id, block, err := wire.ParseWriteReq(f.Payload)
+		if err != nil {
+			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+		}
+		if err := c.srv.st.Write(id, block); err != nil {
+			return errResp(err)
+		}
+		return wire.AppendOKResp(nil, nil)
+
+	case wire.OpReadBatch:
+		ids, err := wire.ParseReadBatchReq(f.Payload)
+		if err != nil {
+			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+		}
+		if len(ids) > c.srv.cfg.MaxBatch {
+			return wire.AppendErrResp(nil, wire.StatusBad,
+				fmt.Sprintf("batch of %d ops exceeds the server limit of %d", len(ids), c.srv.cfg.MaxBatch))
+		}
+		blocks, err := c.srv.st.ReadBatch(ids)
+		if err != nil {
+			return errResp(err)
+		}
+		body, err := wire.AppendReadBatchResp(make([]byte, 0, 4+len(blocks)*wire.BlockBytes), blocks)
+		if err != nil {
+			return errResp(err)
+		}
+		return wire.AppendOKResp(make([]byte, 0, 1+len(body)), body)
+
+	case wire.OpWriteBatch:
+		ids, blocks, err := wire.ParseWriteBatchReq(f.Payload)
+		if err != nil {
+			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+		}
+		if len(ids) > c.srv.cfg.MaxBatch {
+			return wire.AppendErrResp(nil, wire.StatusBad,
+				fmt.Sprintf("batch of %d ops exceeds the server limit of %d", len(ids), c.srv.cfg.MaxBatch))
+		}
+		if err := c.srv.st.WriteBatch(ids, blocks); err != nil {
+			return errResp(err)
+		}
+		return wire.AppendOKResp(nil, nil)
+
+	case wire.OpStats:
+		ws := c.srv.st.Stats()
+		// Stamp the server's own limit so the handshake teaches clients
+		// how large a batch frame this server accepts.
+		ws.MaxBatch = uint32(c.srv.cfg.MaxBatch)
+		return wire.AppendOKResp(nil, wire.AppendStats(nil, ws))
+	}
+	return wire.AppendErrResp(nil, wire.StatusBad, fmt.Sprintf("unknown op %d", f.Op))
+}
+
+// errResp maps a store error onto a wire status: a closed/draining store
+// is distinguishable (the client maps it back to palermo.ErrClosed);
+// everything else carries its message.
+func errResp(err error) []byte {
+	if errors.Is(err, serve.ErrClosed) {
+		return wire.AppendErrResp(nil, wire.StatusClosed, err.Error())
+	}
+	return wire.AppendErrResp(nil, wire.StatusErr, err.Error())
+}

@@ -1,0 +1,576 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"palermo/internal/serve"
+	"palermo/internal/wire"
+)
+
+// fakeStore is a map-backed Store so these tests exercise the network
+// layer in isolation from the ORAM stack.
+type fakeStore struct {
+	mu     sync.Mutex
+	blocks map[uint64][]byte
+	reads  uint64
+	writes uint64
+
+	gate   chan struct{} // when non-nil, Read blocks until the gate closes
+	closed bool
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{blocks: make(map[uint64][]byte)}
+}
+
+func (f *fakeStore) Read(id uint64) ([]byte, error) {
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, serve.ErrClosed
+	}
+	f.reads++
+	if b, ok := f.blocks[id]; ok {
+		return append([]byte(nil), b...), nil
+	}
+	return make([]byte, wire.BlockBytes), nil
+}
+
+func (f *fakeStore) Write(id uint64, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return serve.ErrClosed
+	}
+	if len(data) != wire.BlockBytes {
+		return fmt.Errorf("fake: bad block size %d", len(data))
+	}
+	f.writes++
+	f.blocks[id] = append([]byte(nil), data...)
+	return nil
+}
+
+func (f *fakeStore) ReadBatch(ids []uint64) ([][]byte, error) {
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		b, err := f.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func (f *fakeStore) WriteBatch(ids []uint64, blocks [][]byte) error {
+	for i, id := range ids {
+		if err := f.Write(id, blocks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fakeStore) Stats() wire.Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return wire.Stats{Blocks: 1 << 12, Shards: 1, Reads: f.reads, Writes: f.writes}
+}
+
+// startServer runs a server over a loopback listener and returns its
+// address plus a shutdown func.
+func startServer(t *testing.T, st Store, cfg Config) (string, *Server) {
+	t.Helper()
+	srv, err := New(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+	return ln.Addr().String(), srv
+}
+
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+// request writes one frame and reads one response frame.
+func request(t *testing.T, nc net.Conn, op byte, reqID uint64, payload []byte) wire.Frame {
+	t.Helper()
+	if err := wire.WriteFrame(nc, op, reqID, payload); err != nil {
+		t.Fatal(err)
+	}
+	return readResp(t, nc)
+}
+
+func readResp(t *testing.T, nc net.Conn) wire.Frame {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// expectClosed asserts the server closes the connection (EOF/reset) rather
+// than hanging or answering.
+func expectClosed(t *testing.T, nc net.Conn) {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if f, err := wire.ReadFrame(nc); err == nil {
+		t.Fatalf("expected connection close, got frame op=%d", f.Op)
+	}
+}
+
+// countGoroutines snapshots the goroutine count after a settle loop so
+// runtime bookkeeping goroutines don't flake the leak check.
+func countGoroutines() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// waitGoroutines asserts the goroutine count returns to (at most) base.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		if n = countGoroutines(); n <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", base, n)
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	addr, _ := startServer(t, newFakeStore(), Config{})
+	nc := dialRaw(t, addr)
+
+	blk := bytes.Repeat([]byte{0x5A}, wire.BlockBytes)
+	f := request(t, nc, wire.OpWrite, 1, wire.AppendWriteReq(nil, 7, blk))
+	if st, _, msg, _ := wire.ParseResp(f.Payload); st != wire.StatusOK {
+		t.Fatalf("write failed: %v %q", st, msg)
+	}
+	f = request(t, nc, wire.OpRead, 2, wire.AppendReadReq(nil, 7))
+	if f.ReqID != 2 || f.Op != wire.Resp(wire.OpRead) {
+		t.Fatalf("response header: %+v", f)
+	}
+	_, body, _, err := wire.ParseResp(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.ParseReadResp(body)
+	if err != nil || !bytes.Equal(got, blk) {
+		t.Fatal("read returned wrong payload")
+	}
+	// Stats carries the handshake geometry and the server's batch limit.
+	f = request(t, nc, wire.OpStats, 3, nil)
+	_, body, _, _ = wire.ParseResp(f.Payload)
+	stats, err := wire.ParseStats(body)
+	if err != nil || stats.Blocks != 1<<12 || stats.Writes != 1 {
+		t.Fatalf("stats: %+v %v", stats, err)
+	}
+	if stats.MaxBatch != 4096 { // the config default, stamped by the server
+		t.Fatalf("handshake MaxBatch = %d, want 4096", stats.MaxBatch)
+	}
+}
+
+// TestClosePromptDespiteIdleDeadline: Close must not wait for a parked
+// reader's idle deadline — the shutdown path serializes deadline writes so
+// Close's immediate one wins.
+func TestClosePromptDespiteIdleDeadline(t *testing.T) {
+	st := newFakeStore()
+	srv, err := New(st, Config{IdleTimeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	nc := dialRaw(t, ln.Addr().String())
+	// One request so the reader has looped and re-armed its idle deadline.
+	request(t, nc, wire.OpStats, 1, nil)
+	t0 := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("Close took %v with an idle connection open", d)
+	}
+	if err := <-done; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestStalledReaderTornDown: a client that pipelines requests but never
+// reads responses must not wedge the connection forever — the writer's
+// deadline fires, the socket closes, and Close stays prompt.
+func TestStalledReaderTornDown(t *testing.T) {
+	base := countGoroutines()
+	st := newFakeStore()
+	srv, err := New(st, Config{MaxBatch: 4096, WriteTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	nc, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Pipeline several megabytes of ReadBatch responses and read none of
+	// them: the kernel buffers fill, the server's writer blocks, and its
+	// write deadline must tear the connection down.
+	ids := make([]uint64, 4096)
+	payload, err := wire.AppendReadBatchReq(nil, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if err := wire.WriteFrame(nc, wire.OpReadBatch, i, payload); err != nil {
+			break // server already closed its side — that's the point
+		}
+	}
+	t0 := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 10*time.Second {
+		t.Fatalf("Close took %v with a stalled-reader connection", d)
+	}
+	if err := <-done; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve: %v", err)
+	}
+	nc.Close()
+	waitGoroutines(t, base)
+}
+
+// TestPipelining sends a window of requests before reading any response
+// and matches responses back by request id.
+func TestPipelining(t *testing.T) {
+	addr, _ := startServer(t, newFakeStore(), Config{MaxInFlight: 8})
+	nc := dialRaw(t, addr)
+	const n = 32
+	for i := uint64(0); i < n; i++ {
+		if err := wire.WriteFrame(nc, wire.OpRead, i, wire.AppendReadReq(nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		f := readResp(t, nc)
+		if f.Op != wire.Resp(wire.OpRead) || seen[f.ReqID] {
+			t.Fatalf("bad or duplicate response: %+v", f)
+		}
+		seen[f.ReqID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("answered %d of %d pipelined requests", len(seen), n)
+	}
+}
+
+// TestInFlightWindow proves back-pressure: with MaxInFlight=2 and a gated
+// store, the server must never execute more than 2 requests concurrently.
+func TestInFlightWindow(t *testing.T) {
+	st := newFakeStore()
+	st.gate = make(chan struct{})
+	addr, _ := startServer(t, st, Config{MaxInFlight: 2})
+	nc := dialRaw(t, addr)
+	for i := uint64(0); i < 16; i++ {
+		if err := wire.WriteFrame(nc, wire.OpRead, i, wire.AppendReadReq(nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the reader time to dispatch as much as it will.
+	time.Sleep(100 * time.Millisecond)
+	st.mu.Lock()
+	dispatched := st.reads // gated reads increment only after the gate opens
+	st.mu.Unlock()
+	if dispatched != 0 {
+		t.Fatalf("gated store served %d reads early", dispatched)
+	}
+	close(st.gate)
+	for i := 0; i < 16; i++ {
+		readResp(t, nc)
+	}
+}
+
+func TestCorruptMagicClosesConn(t *testing.T) {
+	st := newFakeStore()
+	addr, _ := startServer(t, st, Config{})
+	nc := dialRaw(t, addr)
+	nc.Write(bytes.Repeat([]byte{0xFF}, wire.HeaderLen))
+	expectClosed(t, nc)
+
+	// The server survives: a fresh connection works.
+	nc2 := dialRaw(t, addr)
+	f := request(t, nc2, wire.OpStats, 1, nil)
+	if st, _, _, _ := wire.ParseResp(f.Payload); st != wire.StatusOK {
+		t.Fatal("server did not survive a corrupt-magic connection")
+	}
+}
+
+func TestBadVersionClosesConn(t *testing.T) {
+	addr, _ := startServer(t, newFakeStore(), Config{})
+	nc := dialRaw(t, addr)
+	hdr := wire.AppendFrame(nil, wire.OpStats, 1, nil)
+	hdr[2] = 99 // future protocol version
+	nc.Write(hdr)
+	expectClosed(t, nc)
+}
+
+func TestTruncatedFrameClosesConn(t *testing.T) {
+	addr, _ := startServer(t, newFakeStore(), Config{})
+	// Truncate at several points: mid-header and mid-payload.
+	full := wire.AppendFrame(nil, wire.OpWrite, 1,
+		wire.AppendWriteReq(nil, 3, make([]byte, wire.BlockBytes)))
+	for _, cut := range []int{3, wire.HeaderLen - 1, wire.HeaderLen + 10} {
+		nc := dialRaw(t, addr)
+		nc.Write(full[:cut])
+		if cw, ok := nc.(*net.TCPConn); ok {
+			cw.CloseWrite()
+		}
+		expectClosed(t, nc)
+	}
+}
+
+func TestOversizedLengthClosesConn(t *testing.T) {
+	addr, _ := startServer(t, newFakeStore(), Config{})
+	nc := dialRaw(t, addr)
+	hdr := wire.AppendFrame(nil, wire.OpRead, 1, nil)
+	binary.BigEndian.PutUint32(hdr[12:16], ^uint32(0)) // 4 GB claim
+	nc.Write(hdr)
+	expectClosed(t, nc)
+}
+
+// TestMalformedPayloadAnswered: framing is intact, so a bad payload gets a
+// typed StatusBad answer and the connection stays usable.
+func TestMalformedPayloadAnswered(t *testing.T) {
+	addr, _ := startServer(t, newFakeStore(), Config{MaxBatch: 4})
+	nc := dialRaw(t, addr)
+	cases := []struct {
+		op      byte
+		payload []byte
+	}{
+		{wire.OpRead, []byte{1, 2, 3}},             // short id
+		{wire.OpWrite, wire.AppendReadReq(nil, 1)}, // missing block
+		{wire.OpReadBatch, []byte{0, 0, 0, 0}},     // zero-count batch
+		{99, nil},                                  // unknown op
+		{wire.Resp(wire.OpRead), nil},              // a response sent as a request
+	}
+	for i, tc := range cases {
+		f := request(t, nc, tc.op, uint64(i+1), tc.payload)
+		st, _, msg, err := wire.ParseResp(f.Payload)
+		if err != nil || st != wire.StatusBad {
+			t.Fatalf("case %d: status %v (%q), err %v", i, st, msg, err)
+		}
+	}
+	// Over-limit batch: parseable, but beyond the server's MaxBatch.
+	big, err := wire.AppendReadBatchReq(nil, make([]uint64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := request(t, nc, wire.OpReadBatch, 42, big)
+	if st, _, _, _ := wire.ParseResp(f.Payload); st != wire.StatusBad {
+		t.Fatalf("over-limit batch: %v", st)
+	}
+	// Connection is still good.
+	f = request(t, nc, wire.OpStats, 43, nil)
+	if st, _, _, _ := wire.ParseResp(f.Payload); st != wire.StatusOK {
+		t.Fatal("connection poisoned by malformed payload")
+	}
+}
+
+// TestClosedStoreStatus: a draining store's error maps to StatusClosed.
+func TestClosedStoreStatus(t *testing.T) {
+	st := newFakeStore()
+	st.closed = true
+	addr, _ := startServer(t, st, Config{})
+	nc := dialRaw(t, addr)
+	f := request(t, nc, wire.OpRead, 1, wire.AppendReadReq(nil, 0))
+	if code, _, _, _ := wire.ParseResp(f.Payload); code != wire.StatusClosed {
+		t.Fatalf("closed store answered %v, want StatusClosed", code)
+	}
+}
+
+// TestMidRequestKill kills the connection while a request is executing:
+// the server must neither panic nor deadlock, and the follow-up check
+// proves it still serves.
+func TestMidRequestKill(t *testing.T) {
+	st := newFakeStore()
+	st.gate = make(chan struct{})
+	addr, srv := startServer(t, st, Config{})
+	nc := dialRaw(t, addr)
+	if err := wire.WriteFrame(nc, wire.OpRead, 1, wire.AppendReadReq(nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the request reach the gated store
+	nc.Close()                        // kill mid-request
+	close(st.gate)
+
+	nc2 := dialRaw(t, addr)
+	f := request(t, nc2, wire.OpStats, 1, nil)
+	if code, _, _, _ := wire.ParseResp(f.Payload); code != wire.StatusOK {
+		t.Fatal("server wedged after mid-request kill")
+	}
+	_ = srv
+}
+
+// TestIdleTimeout: a silent connection is reaped; an active one is not.
+func TestIdleTimeout(t *testing.T) {
+	addr, _ := startServer(t, newFakeStore(), Config{IdleTimeout: 100 * time.Millisecond})
+	nc := dialRaw(t, addr)
+	expectClosed(t, nc) // no traffic: the idle deadline closes it
+
+	nc2 := dialRaw(t, addr)
+	for i := 0; i < 3; i++ {
+		time.Sleep(50 * time.Millisecond) // under the idle limit each time
+		f := request(t, nc2, wire.OpStats, uint64(i), nil)
+		if code, _, _, _ := wire.ParseResp(f.Payload); code != wire.StatusOK {
+			t.Fatal("active connection reaped")
+		}
+	}
+}
+
+// TestGracefulDrain: Close must let an in-flight request finish and flush
+// its response before tearing the connection down.
+func TestGracefulDrain(t *testing.T) {
+	st := newFakeStore()
+	st.gate = make(chan struct{})
+	srv, err := New(st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	nc := dialRaw(t, ln.Addr().String())
+	if err := wire.WriteFrame(nc, wire.OpRead, 9, wire.AppendReadReq(nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // request is now parked on the gate
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	time.Sleep(20 * time.Millisecond)
+	close(st.gate) // let the in-flight request complete
+
+	f := readResp(t, nc) // its response must still arrive
+	if f.ReqID != 9 {
+		t.Fatalf("drained response id %d, want 9", f.ReqID)
+	}
+	<-closed
+	if err := <-done; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestNoGoroutineLeak runs every fault path above a shared baseline and
+// asserts the goroutine count returns to it — under -race this also shakes
+// out unsynchronized teardown.
+func TestNoGoroutineLeak(t *testing.T) {
+	base := countGoroutines()
+	st := newFakeStore()
+	srv, err := New(st, Config{MaxInFlight: 4, IdleTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+			switch i % 4 {
+			case 0: // healthy pipelined traffic
+				for j := uint64(0); j < 8; j++ {
+					wire.WriteFrame(nc, wire.OpRead, j, wire.AppendReadReq(nil, j))
+				}
+				for j := 0; j < 8; j++ {
+					nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+					if _, err := wire.ReadFrame(nc); err != nil {
+						return
+					}
+				}
+			case 1: // corrupt magic
+				nc.Write(bytes.Repeat([]byte{0xAB}, wire.HeaderLen))
+			case 2: // truncated frame then abandon
+				full := wire.AppendFrame(nil, wire.OpRead, 1, wire.AppendReadReq(nil, 0))
+				nc.Write(full[:wire.HeaderLen+2])
+			case 3: // mid-request kill
+				wire.WriteFrame(nc, wire.OpRead, 1, wire.AppendReadReq(nil, 0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	srv.Close()
+	if err := <-done; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestConfigValidate(t *testing.T) {
+	for i, cfg := range []Config{
+		{MaxInFlight: -1},
+		{MaxBatch: -1},
+		{MaxBatch: wire.MaxOps + 1},
+		{IdleTimeout: -time.Second},
+		{WriteTimeout: -time.Second},
+	} {
+		if _, err := New(newFakeStore(), cfg); err == nil {
+			t.Fatalf("case %d: config %+v must be rejected", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+// Package wire is the palermo network protocol: a compact length-prefixed
+// binary framing that carries oblivious-store operations between
+// palermo.Client and the internal/netserve TCP server.
+//
+// A frame is a fixed 16-byte header followed by a payload:
+//
+//	offset  size  field
+//	0       2     magic 0x504C ("PL"), big-endian
+//	2       1     protocol version (1)
+//	3       1     op code (request) or op|0x80 (response)
+//	4       8     request id, big-endian (echoed verbatim by the response)
+//	12      4     payload length, big-endian
+//
+// Request ids multiplex one connection: a client may pipeline many
+// requests and match responses by id in whatever order they complete.
+// Every decode path returns a typed error (ErrBadMagic, ErrBadVersion,
+// ErrFrameTooLarge, ErrTruncated, ErrMalformed) and never panics on
+// attacker-controlled bytes — the fuzz tests enforce it.
+//
+// The protocol deliberately carries only the §VI adversary's view:
+// public block ids and sealed 64-byte payloads (DESIGN.md §8).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	// Magic is the first two bytes of every frame ("PL").
+	Magic uint16 = 0x504C
+	// Version is the protocol revision this package speaks. A frame with a
+	// different version is rejected with ErrBadVersion so mixed deployments
+	// fail loudly instead of misparsing payloads.
+	Version byte = 1
+	// HeaderLen is the fixed frame-header size in bytes.
+	HeaderLen = 16
+	// BlockBytes is the store's payload granularity on the wire. A
+	// compile-time assertion in the root package ties it to
+	// palermo.BlockSize.
+	BlockBytes = 64
+	// MaxOps caps the operation count of one batch frame.
+	MaxOps = 1 << 16
+	// MaxPayload caps a frame's payload length: the largest legal frame is
+	// a WriteBatch of MaxOps (id, block) pairs plus its count prefix.
+	// Anything larger is rejected before allocation (ErrFrameTooLarge), so
+	// a corrupt or hostile length field cannot balloon server memory.
+	MaxPayload = 4 + MaxOps*(8+BlockBytes)
+)
+
+// Request op codes. A response echoes the request's op with RespFlag set.
+const (
+	OpRead       byte = 1
+	OpWrite      byte = 2
+	OpReadBatch  byte = 3
+	OpWriteBatch byte = 4
+	OpStats      byte = 5
+
+	// RespFlag marks a frame as a response to the op in the low bits.
+	RespFlag byte = 0x80
+)
+
+// IsRequest reports whether op is a known request code.
+func IsRequest(op byte) bool { return op >= OpRead && op <= OpStats }
+
+// Resp returns the response op code for a request op.
+func Resp(op byte) byte { return op | RespFlag }
+
+// Status is the first payload byte of every response.
+type Status byte
+
+// Response status codes.
+const (
+	StatusOK     Status = 0 // op-specific body follows
+	StatusClosed Status = 1 // store is closed/draining; message follows
+	StatusBad    Status = 2 // request was malformed or exceeded a limit
+	StatusErr    Status = 3 // store rejected the op; message follows
+)
+
+// Typed decode errors. Framing errors (magic/version/length/truncation)
+// poison the stream — the peer must close the connection; ErrMalformed is
+// scoped to one frame's payload and is answerable with StatusBad.
+var (
+	ErrBadMagic      = errors.New("wire: bad magic (not a palermo stream)")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds the protocol size limit")
+	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrMalformed     = errors.New("wire: malformed payload")
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Op      byte
+	ReqID   uint64
+	Payload []byte
+}
+
+// AppendFrame appends a complete frame (header + payload) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, op byte, reqID uint64, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, op)
+	dst = binary.BigEndian.AppendUint64(dst, reqID)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, op byte, reqID uint64, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload is %d bytes, limit %d", ErrFrameTooLarge, len(payload), MaxPayload)
+	}
+	buf := AppendFrame(make([]byte, 0, HeaderLen+len(payload)), op, reqID, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame from r. A clean EOF between
+// frames is returned as io.EOF; EOF inside a frame is ErrTruncated. The
+// returned payload is freshly allocated and owned by the caller.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if got := binary.BigEndian.Uint16(hdr[0:2]); got != Magic {
+		return Frame{}, fmt.Errorf("%w: got 0x%04x", ErrBadMagic, got)
+	}
+	if hdr[2] != Version {
+		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], Version)
+	}
+	f := Frame{Op: hdr[3], ReqID: binary.BigEndian.Uint64(hdr[4:12])}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: payload length %d, limit %d", ErrFrameTooLarge, n, MaxPayload)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+		}
+	}
+	return f, nil
+}
+
+// --- request payloads -------------------------------------------------
+
+// AppendReadReq appends a Read request payload (the block id).
+func AppendReadReq(dst []byte, id uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, id)
+}
+
+// ParseReadReq decodes a Read request payload.
+func ParseReadReq(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: Read payload is %d bytes, want 8", ErrMalformed, len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// AppendWriteReq appends a Write request payload (id + 64-byte block).
+func AppendWriteReq(dst []byte, id uint64, block []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	return append(dst, block...)
+}
+
+// ParseWriteReq decodes a Write request payload. The returned block
+// aliases p.
+func ParseWriteReq(p []byte) (uint64, []byte, error) {
+	if len(p) != 8+BlockBytes {
+		return 0, nil, fmt.Errorf("%w: Write payload is %d bytes, want %d", ErrMalformed, len(p), 8+BlockBytes)
+	}
+	return binary.BigEndian.Uint64(p), p[8:], nil
+}
+
+// AppendReadBatchReq appends a ReadBatch request payload (count + ids).
+func AppendReadBatchReq(dst []byte, ids []uint64) ([]byte, error) {
+	if len(ids) == 0 || len(ids) > MaxOps {
+		return dst, fmt.Errorf("%w: batch of %d ops, want 1..%d", ErrMalformed, len(ids), MaxOps)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = binary.BigEndian.AppendUint64(dst, id)
+	}
+	return dst, nil
+}
+
+// ParseReadBatchReq decodes a ReadBatch request payload.
+func ParseReadBatchReq(p []byte) ([]uint64, error) {
+	n, body, err := batchCount(p, 8)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = binary.BigEndian.Uint64(body[i*8:])
+	}
+	return ids, nil
+}
+
+// AppendWriteBatchReq appends a WriteBatch request payload
+// (count + (id, block) pairs).
+func AppendWriteBatchReq(dst []byte, ids []uint64, blocks [][]byte) ([]byte, error) {
+	if len(ids) == 0 || len(ids) > MaxOps {
+		return dst, fmt.Errorf("%w: batch of %d ops, want 1..%d", ErrMalformed, len(ids), MaxOps)
+	}
+	if len(ids) != len(blocks) {
+		return dst, fmt.Errorf("%w: %d ids but %d blocks", ErrMalformed, len(ids), len(blocks))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ids)))
+	for i, id := range ids {
+		if len(blocks[i]) != BlockBytes {
+			return dst, fmt.Errorf("%w: block %d is %d bytes, want %d", ErrMalformed, i, len(blocks[i]), BlockBytes)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, id)
+		dst = append(dst, blocks[i]...)
+	}
+	return dst, nil
+}
+
+// ParseWriteBatchReq decodes a WriteBatch request payload. Blocks alias p.
+func ParseWriteBatchReq(p []byte) ([]uint64, [][]byte, error) {
+	n, body, err := batchCount(p, 8+BlockBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]uint64, n)
+	blocks := make([][]byte, n)
+	for i := range ids {
+		rec := body[i*(8+BlockBytes):]
+		ids[i] = binary.BigEndian.Uint64(rec)
+		blocks[i] = rec[8 : 8+BlockBytes]
+	}
+	return ids, blocks, nil
+}
+
+// batchCount validates a batch payload's count prefix against its body
+// length and the MaxOps cap.
+func batchCount(p []byte, recSize int) (int, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("%w: batch payload is %d bytes, want >= 4", ErrMalformed, len(p))
+	}
+	n := binary.BigEndian.Uint32(p)
+	if n == 0 || n > MaxOps {
+		return 0, nil, fmt.Errorf("%w: batch count %d, want 1..%d", ErrMalformed, n, MaxOps)
+	}
+	if uint64(len(p)-4) != uint64(n)*uint64(recSize) {
+		return 0, nil, fmt.Errorf("%w: batch of %d claims %d body bytes, has %d", ErrMalformed, n, uint64(n)*uint64(recSize), len(p)-4)
+	}
+	return int(n), p[4:], nil
+}
+
+// --- response payloads ------------------------------------------------
+
+// AppendErrResp appends an error response payload: a non-OK status byte
+// followed by the error message.
+func AppendErrResp(dst []byte, st Status, msg string) []byte {
+	if st == StatusOK {
+		st = StatusErr
+	}
+	dst = append(dst, byte(st))
+	return append(dst, msg...)
+}
+
+// AppendOKResp appends a StatusOK byte followed by the op-specific body
+// (nil for Write/WriteBatch acks).
+func AppendOKResp(dst []byte, body []byte) []byte {
+	dst = append(dst, byte(StatusOK))
+	return append(dst, body...)
+}
+
+// ParseResp splits a response payload into its status, the op-specific
+// body (StatusOK), or the error message (otherwise).
+func ParseResp(p []byte) (Status, []byte, string, error) {
+	if len(p) < 1 {
+		return 0, nil, "", fmt.Errorf("%w: empty response payload", ErrMalformed)
+	}
+	st := Status(p[0])
+	if st == StatusOK {
+		return st, p[1:], "", nil
+	}
+	if st != StatusClosed && st != StatusBad && st != StatusErr {
+		return 0, nil, "", fmt.Errorf("%w: unknown status %d", ErrMalformed, st)
+	}
+	return st, nil, string(p[1:]), nil
+}
+
+// ParseReadResp decodes a Read response body (one block; aliases body).
+func ParseReadResp(body []byte) ([]byte, error) {
+	if len(body) != BlockBytes {
+		return nil, fmt.Errorf("%w: Read response body is %d bytes, want %d", ErrMalformed, len(body), BlockBytes)
+	}
+	return body, nil
+}
+
+// AppendReadBatchResp appends a ReadBatch response body (count + blocks).
+func AppendReadBatchResp(dst []byte, blocks [][]byte) ([]byte, error) {
+	if len(blocks) == 0 || len(blocks) > MaxOps {
+		return dst, fmt.Errorf("%w: batch of %d blocks, want 1..%d", ErrMalformed, len(blocks), MaxOps)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(blocks)))
+	for i, b := range blocks {
+		if len(b) != BlockBytes {
+			return dst, fmt.Errorf("%w: block %d is %d bytes, want %d", ErrMalformed, i, len(b), BlockBytes)
+		}
+		dst = append(dst, b...)
+	}
+	return dst, nil
+}
+
+// ParseReadBatchResp decodes a ReadBatch response body. Blocks alias body.
+func ParseReadBatchResp(body []byte) ([][]byte, error) {
+	n, rest, err := batchCount(body, BlockBytes)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = rest[i*BlockBytes : (i+1)*BlockBytes]
+	}
+	return blocks, nil
+}
+
+// --- stats ------------------------------------------------------------
+
+// Latency is one operation class's latency summary on the wire.
+type Latency struct {
+	N            uint64
+	MeanUs       float64
+	P50Us, P99Us float64
+}
+
+// Stats is the server snapshot a Stats op returns: store geometry and
+// limits (which double as the client's handshake — capacity, shards, and
+// the server's per-frame batch cap), service counters and latency
+// summaries, and the shard-level traffic counters.
+type Stats struct {
+	Blocks uint64
+	Shards uint32
+
+	Reads, Writes uint64 // service-layer completed operations
+	DedupHits     uint64
+	ReadLat       Latency
+	WriteLat      Latency
+
+	EngineReads, EngineWrites uint64 // shard engine operations
+	DRAMReads, DRAMWrites     uint64 // 64-byte line movements
+	StashPeak                 uint32
+
+	// MaxBatch is the largest batch frame (in ops) the server accepts;
+	// clients size their coalescing windows and reject oversized explicit
+	// batches against it. 0 = unknown (a pre-limit server).
+	MaxBatch uint32
+}
+
+// statsLen is the fixed encoded size of Stats.
+const statsLen = 8 + 4 + 3*8 + 2*(8+3*8) + 4*8 + 4 + 4
+
+// AppendStats appends the fixed-width Stats encoding.
+func AppendStats(dst []byte, s Stats) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, s.Blocks)
+	dst = binary.BigEndian.AppendUint32(dst, s.Shards)
+	dst = binary.BigEndian.AppendUint64(dst, s.Reads)
+	dst = binary.BigEndian.AppendUint64(dst, s.Writes)
+	dst = binary.BigEndian.AppendUint64(dst, s.DedupHits)
+	dst = appendLatency(dst, s.ReadLat)
+	dst = appendLatency(dst, s.WriteLat)
+	dst = binary.BigEndian.AppendUint64(dst, s.EngineReads)
+	dst = binary.BigEndian.AppendUint64(dst, s.EngineWrites)
+	dst = binary.BigEndian.AppendUint64(dst, s.DRAMReads)
+	dst = binary.BigEndian.AppendUint64(dst, s.DRAMWrites)
+	dst = binary.BigEndian.AppendUint32(dst, s.StashPeak)
+	return binary.BigEndian.AppendUint32(dst, s.MaxBatch)
+}
+
+// ParseStats decodes a Stats response body.
+func ParseStats(body []byte) (Stats, error) {
+	if len(body) != statsLen {
+		return Stats{}, fmt.Errorf("%w: Stats body is %d bytes, want %d", ErrMalformed, len(body), statsLen)
+	}
+	var s Stats
+	s.Blocks = binary.BigEndian.Uint64(body)
+	s.Shards = binary.BigEndian.Uint32(body[8:])
+	s.Reads = binary.BigEndian.Uint64(body[12:])
+	s.Writes = binary.BigEndian.Uint64(body[20:])
+	s.DedupHits = binary.BigEndian.Uint64(body[28:])
+	s.ReadLat = parseLatency(body[36:])
+	s.WriteLat = parseLatency(body[68:])
+	s.EngineReads = binary.BigEndian.Uint64(body[100:])
+	s.EngineWrites = binary.BigEndian.Uint64(body[108:])
+	s.DRAMReads = binary.BigEndian.Uint64(body[116:])
+	s.DRAMWrites = binary.BigEndian.Uint64(body[124:])
+	s.StashPeak = binary.BigEndian.Uint32(body[132:])
+	s.MaxBatch = binary.BigEndian.Uint32(body[136:])
+	return s, nil
+}
+
+func appendLatency(dst []byte, l Latency) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, l.N)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(l.MeanUs))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(l.P50Us))
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(l.P99Us))
+}
+
+func parseLatency(p []byte) Latency {
+	return Latency{
+		N:      binary.BigEndian.Uint64(p),
+		MeanUs: math.Float64frombits(binary.BigEndian.Uint64(p[8:])),
+		P50Us:  math.Float64frombits(binary.BigEndian.Uint64(p[16:])),
+		P99Us:  math.Float64frombits(binary.BigEndian.Uint64(p[24:])),
+	}
+}

@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func block(fill byte) []byte { return bytes.Repeat([]byte{fill}, BlockBytes) }
+
+func roundTripFrame(t *testing.T, op byte, reqID uint64, payload []byte) Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, op, reqID, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != op || f.ReqID != reqID || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("frame round trip mutated: %+v", f)
+	}
+	return f
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	roundTripFrame(t, OpRead, 0, AppendReadReq(nil, 42))
+	roundTripFrame(t, OpStats, ^uint64(0), nil)
+	roundTripFrame(t, Resp(OpWrite), 7, AppendOKResp(nil, nil))
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	good := AppendFrame(nil, OpRead, 1, AppendReadReq(nil, 5))
+
+	// Clean EOF between frames is io.EOF, not a typed corruption error.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+	// Truncation inside the header and inside the payload.
+	for _, cut := range []int{1, HeaderLen - 1, HeaderLen + 3} {
+		if _, err := ReadFrame(bytes.NewReader(good[:cut])); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatal("bad magic accepted")
+	}
+	// Unsupported version.
+	bad = append([]byte(nil), good...)
+	bad[2] = 9
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Fatal("bad version accepted")
+	}
+	// Oversized length field must be rejected before any allocation.
+	bad = append([]byte(nil), good...)
+	binary.BigEndian.PutUint32(bad[12:16], MaxPayload+1)
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("oversized length accepted")
+	}
+	if err := WriteFrame(io.Discard, OpRead, 1, make([]byte, MaxPayload+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestRequestPayloadRoundTrips(t *testing.T) {
+	if id, err := ParseReadReq(AppendReadReq(nil, 99)); err != nil || id != 99 {
+		t.Fatalf("read req: %d %v", id, err)
+	}
+	id, blk, err := ParseWriteReq(AppendWriteReq(nil, 3, block(0xAB)))
+	if err != nil || id != 3 || !bytes.Equal(blk, block(0xAB)) {
+		t.Fatalf("write req: %d %v", id, err)
+	}
+
+	ids := []uint64{0, 1, ^uint64(0), 42}
+	p, err := AppendReadBatchReq(nil, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReadBatchReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("read batch id %d mutated", i)
+		}
+	}
+
+	blocks := [][]byte{block(1), block(2), block(3), block(4)}
+	p, err = AppendWriteBatchReq(nil, ids, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, gotBlocks, err := ParseWriteBatchReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if gotIDs[i] != ids[i] || !bytes.Equal(gotBlocks[i], blocks[i]) {
+			t.Fatalf("write batch entry %d mutated", i)
+		}
+	}
+}
+
+func TestBatchBoundaries(t *testing.T) {
+	// Empty and oversize batches are rejected at encode time.
+	if _, err := AppendReadBatchReq(nil, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := AppendReadBatchReq(nil, make([]uint64, MaxOps+1)); !errors.Is(err, ErrMalformed) {
+		t.Fatal("oversize batch accepted")
+	}
+	if _, err := AppendWriteBatchReq(nil, []uint64{1, 2}, [][]byte{block(0)}); !errors.Is(err, ErrMalformed) {
+		t.Fatal("mismatched batch accepted")
+	}
+	if _, err := AppendWriteBatchReq(nil, []uint64{1}, [][]byte{[]byte("short")}); !errors.Is(err, ErrMalformed) {
+		t.Fatal("short block accepted")
+	}
+	// MaxOps exactly is legal.
+	big := make([]uint64, MaxOps)
+	p, err := AppendReadBatchReq(nil, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ParseReadBatchReq(p); err != nil || len(got) != MaxOps {
+		t.Fatalf("MaxOps batch: %d %v", len(got), err)
+	}
+	// A count prefix inconsistent with the body length is malformed.
+	binary.BigEndian.PutUint32(p, MaxOps-1)
+	if _, err := ParseReadBatchReq(p); !errors.Is(err, ErrMalformed) {
+		t.Fatal("inconsistent count accepted")
+	}
+}
+
+func TestResponses(t *testing.T) {
+	st, body, _, err := ParseResp(AppendOKResp(nil, block(7)))
+	if err != nil || st != StatusOK {
+		t.Fatalf("ok resp: %v %v", st, err)
+	}
+	if blk, err := ParseReadResp(body); err != nil || !bytes.Equal(blk, block(7)) {
+		t.Fatal("read resp body mutated")
+	}
+
+	st, _, msg, err := ParseResp(AppendErrResp(nil, StatusClosed, "drained"))
+	if err != nil || st != StatusClosed || msg != "drained" {
+		t.Fatalf("err resp: %v %q %v", st, msg, err)
+	}
+	// A StatusOK passed to AppendErrResp must not forge an OK response.
+	st, _, _, err = ParseResp(AppendErrResp(nil, StatusOK, "oops"))
+	if err != nil || st == StatusOK {
+		t.Fatalf("forged OK: %v %v", st, err)
+	}
+	if _, _, _, err := ParseResp(nil); !errors.Is(err, ErrMalformed) {
+		t.Fatal("empty response accepted")
+	}
+	if _, _, _, err := ParseResp([]byte{42}); !errors.Is(err, ErrMalformed) {
+		t.Fatal("unknown status accepted")
+	}
+
+	blocks := [][]byte{block(9), block(8)}
+	rb, err := AppendReadBatchResp(nil, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReadBatchResp(rb)
+	if err != nil || len(got) != 2 || !bytes.Equal(got[1], block(8)) {
+		t.Fatalf("read batch resp: %v", err)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := Stats{
+		Blocks: 1 << 20, Shards: 8,
+		Reads: 101, Writes: 17, DedupHits: 4,
+		ReadLat:     Latency{N: 101, MeanUs: 12.5, P50Us: 10, P99Us: 95},
+		WriteLat:    Latency{N: 17, MeanUs: 20.25, P50Us: 15, P99Us: 130},
+		EngineReads: 97, EngineWrites: 17,
+		DRAMReads: 12345, DRAMWrites: 6789, StashPeak: 33,
+		MaxBatch: 4096,
+	}
+	out, err := ParseStats(AppendStats(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("stats round trip mutated:\n in %+v\nout %+v", in, out)
+	}
+	if _, err := ParseStats([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatal("short stats accepted")
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to the frame and payload decoders:
+// they must return typed errors, never panic, and never over-allocate.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, OpRead, 1, AppendReadReq(nil, 5)))
+	f.Add(AppendFrame(nil, OpWrite, 2, AppendWriteReq(nil, 3, block(1))))
+	if p, err := AppendReadBatchReq(nil, []uint64{1, 2, 3}); err == nil {
+		f.Add(AppendFrame(nil, OpReadBatch, 3, p))
+	}
+	f.Add(AppendFrame(nil, Resp(OpStats), 4, AppendOKResp(nil, AppendStats(nil, Stats{Blocks: 8}))))
+	f.Add([]byte("PL\x01\x01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if err != io.EOF && !strings.HasPrefix(err.Error(), "wire: ") {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Whatever op the frame claims, every payload parser must be total.
+		ParseReadReq(fr.Payload)
+		ParseWriteReq(fr.Payload)
+		ParseReadBatchReq(fr.Payload)
+		ParseWriteBatchReq(fr.Payload)
+		if st, body, _, err := ParseResp(fr.Payload); err == nil && st == StatusOK {
+			ParseReadResp(body)
+			ParseReadBatchResp(body)
+			ParseStats(body)
+		}
+	})
+}
+
+// FuzzPayloadRoundTrip checks encode∘decode is the identity over all op
+// codes and boundary sizes the fuzzer reaches.
+func FuzzPayloadRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint16(1), byte(0))
+	f.Add(^uint64(0), uint16(0xFFFF), byte(0xFF))
+	f.Add(uint64(1<<40), uint16(7), byte(3))
+	f.Fuzz(func(t *testing.T, base uint64, n uint16, fill byte) {
+		if n == 0 {
+			n = 1
+		}
+		ids := make([]uint64, n)
+		blocks := make([][]byte, n)
+		for i := range ids {
+			ids[i] = base + uint64(i)
+			blocks[i] = block(fill + byte(i))
+		}
+		p, err := AppendReadBatchReq(nil, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIDs, err := ParseReadBatchReq(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := AppendWriteBatchReq(nil, ids, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wIDs, wBlocks, err := ParseWriteBatchReq(wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ids {
+			if gotIDs[i] != ids[i] || wIDs[i] != ids[i] || !bytes.Equal(wBlocks[i], blocks[i]) {
+				t.Fatalf("entry %d mutated", i)
+			}
+		}
+		// One full frame round trip through the stream layer.
+		fr := roundTripFrameF(t, OpReadBatch, base, p)
+		if !bytes.Equal(fr.Payload, p) {
+			t.Fatal("frame payload mutated")
+		}
+	})
+}
+
+func roundTripFrameF(t *testing.T, op byte, reqID uint64, payload []byte) Frame {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, op, reqID, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != op || f.ReqID != reqID {
+		t.Fatalf("frame header mutated: %+v", f)
+	}
+	return f
+}

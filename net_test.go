@@ -1,0 +1,453 @@
+package palermo
+
+// Tests for the public network surface: Server/Client config validation,
+// the automatic batching path, context cancellation, ErrClosed mapping
+// across the wire, and clean teardown (no goroutine leaks under -race).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startNetStore builds a small store, serves it on a loopback socket, and
+// returns a connected client. Cleanup tears everything down in order.
+func startNetStore(t *testing.T, storeCfg ShardedStoreConfig, srvCfg ServerConfig, clCfg ClientConfig) (*ShardedStore, *Client) {
+	t.Helper()
+	st, err := NewShardedStore(storeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(st, srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	cl, err := Dial(ln.Addr().String(), clCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v", err)
+		}
+		st.Close()
+	})
+	return st, cl
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 12, Shards: 2}, ServerConfig{}, ClientConfig{})
+	if err := cl.Write(9, block(0xC3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(9)
+	if err != nil || !bytes.Equal(got, block(0xC3)) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// Unwritten blocks read as zeros through the wire too.
+	zero, err := cl.Read(100)
+	if err != nil || !bytes.Equal(zero, make([]byte, BlockSize)) {
+		t.Fatalf("unwritten block: %v", err)
+	}
+	// Client-side validation mirrors the store's.
+	if err := cl.Write(1<<12, block(0)); err == nil || !strings.Contains(err.Error(), "outside capacity") {
+		t.Fatalf("out-of-range write: %v", err)
+	}
+	if _, err := cl.Read(1 << 12); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := cl.Write(0, []byte("short")); err == nil {
+		t.Fatal("short block accepted")
+	}
+	if err := cl.WriteBatch([]uint64{1, 2}, [][]byte{block(0)}); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+	// Empty batches are no-ops, like the in-process store.
+	if out, err := cl.ReadBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty ReadBatch: %v", err)
+	}
+	if err := cl.WriteBatch(nil, nil); err != nil {
+		t.Fatalf("empty WriteBatch: %v", err)
+	}
+}
+
+func TestClientExplicitBatch(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 12, Shards: 2}, ServerConfig{}, ClientConfig{})
+	ids := []uint64{1, 2, 3, 2, 1}
+	blocks := make([][]byte, len(ids))
+	for i, id := range ids {
+		blocks[i] = block(byte(id))
+	}
+	if err := cl.WriteBatch(ids, blocks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if !bytes.Equal(got[i], block(byte(id))) {
+			t.Fatalf("position %d (id %d): wrong payload", i, id)
+		}
+	}
+	// Duplicate ids inside one explicit batch still dedup server-side.
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DedupHits < 2 {
+		t.Fatalf("explicit batch produced %d dedup hits, want >= 2", stats.DedupHits)
+	}
+}
+
+// TestClientAutoBatching forces coalescing: with a 1-frame in-flight
+// window, concurrent single reads pile up in the mux queue and must ride
+// shared ReadBatch frames.
+func TestClientAutoBatching(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 12, Shards: 2}, ServerConfig{},
+		ClientConfig{MaxInFlight: 1, BatchWindow: 16})
+	if err := cl.Write(5, block(0x77)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := cl.Read(5)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, block(0x77)) {
+				errs <- errors.New("coalesced read returned wrong payload")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ns := cl.NetStats()
+	if ns.MergedOps == 0 {
+		t.Fatalf("no reads were coalesced: %+v", ns)
+	}
+	if ns.FramesSent >= ns.Ops {
+		t.Fatalf("batching saved no frames: %+v", ns)
+	}
+}
+
+// TestClientHonorsServerBatchLimit: the handshake teaches the client the
+// server's MaxBatch, so (a) coalesced frames stay under it even when
+// BatchWindow is larger, and (b) oversized explicit batches fail
+// client-side with a descriptive error instead of a remote StatusBad.
+func TestClientHonorsServerBatchLimit(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 12, Shards: 2},
+		ServerConfig{MaxBatch: 2},
+		ClientConfig{MaxInFlight: 1, BatchWindow: 16})
+	if err := cl.Write(3, block(0x42)); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent single reads pile up behind the 1-frame window; merged
+	// frames must be clamped to 2 ops, so every read still succeeds.
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := cl.Read(3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, block(0x42)) {
+				errs <- errors.New("clamped coalesced read returned wrong payload")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Explicit batches beyond the learned limit fail before the wire.
+	if _, err := cl.ReadBatch([]uint64{1, 2, 3}); err == nil || !strings.Contains(err.Error(), "server limit of 2") {
+		t.Fatalf("over-limit explicit batch: %v", err)
+	}
+	if err := cl.WriteBatch([]uint64{1, 2, 3}, [][]byte{block(1), block(2), block(3)}); err == nil || !strings.Contains(err.Error(), "server limit of 2") {
+		t.Fatalf("over-limit explicit write batch: %v", err)
+	}
+}
+
+// TestClientConcurrentHammer mirrors the ShardedStore hammer over the
+// wire: disjoint id ownership per goroutine, exact read verification.
+func TestClientConcurrentHammer(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 12, Shards: 2}, ServerConfig{},
+		ClientConfig{Conns: 2, BatchWindow: 8})
+	const clients = 8
+	const opsPer = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			last := make(map[uint64]byte)
+			for i := 0; i < opsPer; i++ {
+				id := uint64((i*clients+c)*7%(1<<12)/clients*clients) + uint64(c)
+				if id >= 1<<12 {
+					id = uint64(c)
+				}
+				if i%3 == 0 {
+					fill := byte(i + c)
+					if err := cl.Write(id, block(fill)); err != nil {
+						errs <- err
+						return
+					}
+					last[id] = fill
+				} else {
+					got, err := cl.Read(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := last[id]; got[0] != want || got[BlockSize-1] != want {
+						errs <- errors.New("hammer read corrupted")
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 12, Shards: 1}, ServerConfig{}, ClientConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.ReadCtx(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read: %v", err)
+	}
+	if err := cl.WriteCtx(ctx, 1, block(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled write: %v", err)
+	}
+	// The client survives cancellation: later calls still work.
+	if err := cl.Write(1, block(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(1)
+	if err != nil || !bytes.Equal(got, block(0x11)) {
+		t.Fatalf("post-cancel read: %v", err)
+	}
+	// A timeout that cannot be met abandons the wait, not the client.
+	short, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	if _, err := cl.ReadCtx(short, 1); !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("timeout read: %v", err)
+	}
+}
+
+// TestClientErrClosedMapping covers both closed surfaces: operations on a
+// closed client, and operations against a draining server-side store.
+func TestClientErrClosedMapping(t *testing.T) {
+	st, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 12, Shards: 1}, ServerConfig{}, ClientConfig{})
+	// Close the server-side store while the server still accepts frames:
+	// remote ops must come back as ErrClosed through the wire status.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Read(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("remote closed store: %v", err)
+	}
+	if err := cl.Write(1, block(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("remote closed store write: %v", err)
+	}
+	// Now close the client: local ErrClosed without touching the network.
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal("client Close must be idempotent")
+	}
+	if _, err := cl.Read(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed client: %v", err)
+	}
+	if _, err := cl.Stats(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed client stats: %v", err)
+	}
+}
+
+// TestClientSurvivesDeadServer: once the server is gone, every client
+// call — including ones racing into the send queue after the connection
+// died — must return an error promptly, never hang.
+func TestClientSurvivesDeadServer(t *testing.T) {
+	st, err := NewShardedStore(ShardedStoreConfig{Blocks: 1 << 10, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(st, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	cl, err := Dial(ln.Addr().String(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Write(1, block(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the whole server side.
+	srv.Close()
+	<-done
+	st.Close()
+	// Every subsequent call must fail within the test's patience — the
+	// old bug stranded callers whose submissions raced past the dead mux.
+	for i := 0; i < 20; i++ {
+		errCh := make(chan error, 1)
+		go func(i int) {
+			if i%2 == 0 {
+				_, err := cl.Read(1)
+				errCh <- err
+			} else {
+				errCh <- cl.Write(1, block(1))
+			}
+		}(i)
+		select {
+		case err := <-errCh:
+			if err == nil {
+				t.Fatalf("call %d against a dead server succeeded", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("call %d against a dead server hung", i)
+		}
+	}
+}
+
+// TestClientServerTeardownLeaksNothing spins the full stack up and down
+// and checks the goroutine count returns to baseline.
+func TestClientServerTeardownLeaksNothing(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		st, err := NewShardedStore(ShardedStoreConfig{Blocks: 1 << 10, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(st, ServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		cl, err := Dial(ln.Addr().String(), ClientConfig{Conns: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Write(1, block(1))
+		cl.Read(1)
+		cl.Close()
+		srv.Close()
+		<-done
+		st.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", base, runtime.NumGoroutine())
+}
+
+// TestServerConfigValidation table-drives every ServerConfig field's
+// rejection path, plus the nil-store guard.
+func TestServerConfigValidation(t *testing.T) {
+	st, err := NewShardedStore(ShardedStoreConfig{Blocks: 1 << 10, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cases := []struct {
+		name string
+		cfg  ServerConfig
+	}{
+		{"negative MaxInFlight", ServerConfig{MaxInFlight: -1}},
+		{"negative MaxBatch", ServerConfig{MaxBatch: -1}},
+		{"MaxBatch beyond wire limit", ServerConfig{MaxBatch: 1<<16 + 1}},
+		{"negative IdleTimeout", ServerConfig{IdleTimeout: -time.Second}},
+		{"negative WriteTimeout", ServerConfig{WriteTimeout: -time.Second}},
+	}
+	for _, tc := range cases {
+		if _, err := NewServer(st, tc.cfg); err == nil {
+			t.Errorf("%s: config %+v must be rejected", tc.name, tc.cfg)
+		} else if !strings.HasPrefix(err.Error(), "palermo:") {
+			t.Errorf("%s: error %q lacks palermo: prefix", tc.name, err)
+		}
+	}
+	if _, err := NewServer(nil, ServerConfig{}); err == nil {
+		t.Error("nil store must be rejected")
+	}
+}
+
+// TestClientConfigValidation table-drives every ClientConfig field's
+// rejection path. Dial validates before connecting, so no server needed.
+func TestClientConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ClientConfig
+	}{
+		{"negative Conns", ClientConfig{Conns: -1}},
+		{"negative MaxInFlight", ClientConfig{MaxInFlight: -1}},
+		{"negative BatchWindow", ClientConfig{BatchWindow: -1}},
+		{"BatchWindow beyond wire limit", ClientConfig{BatchWindow: 1<<16 + 1}},
+		{"negative DialTimeout", ClientConfig{DialTimeout: -time.Second}},
+	}
+	for _, tc := range cases {
+		if _, err := Dial("127.0.0.1:1", tc.cfg); err == nil {
+			t.Errorf("%s: config %+v must be rejected", tc.name, tc.cfg)
+		} else if !strings.HasPrefix(err.Error(), "palermo:") {
+			t.Errorf("%s: error %q lacks palermo: prefix", tc.name, err)
+		}
+	}
+	// A dead address surfaces a dial error, not a hang.
+	if _, err := Dial("127.0.0.1:1", ClientConfig{DialTimeout: 200 * time.Millisecond}); err == nil {
+		t.Error("dial to a dead port must fail")
+	}
+}

@@ -234,9 +234,22 @@ func (s *ShardedStore) waitBatches(perShard [][]serve.Req, perShardPos [][]int, 
 // completed operations, dedup fan-out hits, and latency summaries.
 type ServiceStats = serve.Stats
 
+// LatencySummary is one operation class's latency condensation inside
+// ServiceStats (count, mean, bucketed p50/p99 in microseconds).
+type LatencySummary = serve.LatencySummary
+
 // Stats returns the service-layer snapshot: completed operations, dedup
 // fan-out hits, and latency percentiles. Safe to call at any time.
 func (s *ShardedStore) Stats() ServiceStats { return s.svc.Stats() }
+
+// Snapshot returns Stats and Traffic together. It exists so in-process
+// stores and remote Clients satisfy one observation interface
+// (internal/loadgen.Target): a Client fetches both in a single wire op,
+// and the error reports a lost connection — which an in-process store
+// cannot experience, hence always nil here.
+func (s *ShardedStore) Snapshot() (ServiceStats, TrafficReport, error) {
+	return s.Stats(), s.Traffic(), nil
+}
 
 // Traffic aggregates the per-shard TrafficReports into the Store report
 // shape. Shard counters are snapshotted on each shard's own worker (via a

@@ -62,22 +62,51 @@ func TestShardedStoreErrors(t *testing.T) {
 	}
 }
 
+// TestShardedStoreConfigValidation table-drives every ShardedStoreConfig
+// field's rejection path; the valid-edge companion cases live below.
 func TestShardedStoreConfigValidation(t *testing.T) {
-	cases := []ShardedStoreConfig{
-		{Blocks: 1 << 10, Shards: -1},
-		{Blocks: 1 << 10, Shards: MaxShards + 1},
-		{Blocks: 2, Shards: 4}, // a shard would be empty
-		{Blocks: MaxBlocks * 2},
-		{Blocks: 1 << 10, Key: []byte("not-a-valid-aes-key")},
+	rejected := []struct {
+		field string
+		cfg   ShardedStoreConfig
+	}{
+		{"Shards negative", ShardedStoreConfig{Blocks: 1 << 10, Shards: -1}},
+		{"Shards beyond MaxShards", ShardedStoreConfig{Blocks: 1 << 10, Shards: MaxShards + 1}},
+		{"Shards exceed Blocks", ShardedStoreConfig{Blocks: 2, Shards: 4}}, // a shard would be empty
+		{"Blocks overflow", ShardedStoreConfig{Blocks: MaxBlocks * 2}},
+		{"Blocks just past cap", ShardedStoreConfig{Blocks: MaxBlocks + 1}},
+		{"Key bad length", ShardedStoreConfig{Blocks: 1 << 10, Key: []byte("not-a-valid-aes-key")}},
+		{"QueueDepth negative", ShardedStoreConfig{Blocks: 1 << 10, QueueDepth: -1}},
+		{"MaxBatch negative", ShardedStoreConfig{Blocks: 1 << 10, MaxBatch: -1}},
+		{"Backend unknown", ShardedStoreConfig{Blocks: 1 << 10, Backend: "etcd"}},
+		{"Backend memory with Dir", ShardedStoreConfig{Blocks: 1 << 10, Backend: BackendMemory, Dir: t.TempDir()}},
+		{"Backend wal without Dir", ShardedStoreConfig{Blocks: 1 << 10, Backend: BackendWAL}},
 	}
-	for i, cfg := range cases {
-		_, err := NewShardedStore(cfg)
+	for _, tc := range rejected {
+		_, err := NewShardedStore(tc.cfg)
 		if err == nil {
-			t.Fatalf("case %d: config %+v must be rejected", i, cfg)
+			t.Fatalf("%s: config %+v must be rejected", tc.field, tc.cfg)
 		}
 		if !strings.HasPrefix(err.Error(), "palermo:") {
-			t.Fatalf("case %d: error %q lacks palermo: prefix", i, err)
+			t.Fatalf("%s: error %q lacks palermo: prefix", tc.field, err)
 		}
+	}
+	accepted := []struct {
+		field string
+		cfg   ShardedStoreConfig
+	}{
+		{"zero value defaults", ShardedStoreConfig{}},
+		{"Shards equal Blocks", ShardedStoreConfig{Blocks: 8, Shards: 8}},
+		{"QueueDepth explicit", ShardedStoreConfig{Blocks: 1 << 10, QueueDepth: 1}},
+		{"MaxBatch explicit", ShardedStoreConfig{Blocks: 1 << 10, MaxBatch: 1}},
+		{"CheckpointEvery negative disables", ShardedStoreConfig{Blocks: 1 << 10, Shards: 2, Backend: BackendWAL, Dir: t.TempDir(), CheckpointEvery: -1}},
+		{"GroupCommit negative defaults", ShardedStoreConfig{Blocks: 1 << 10, Shards: 2, Backend: BackendWAL, Dir: t.TempDir(), GroupCommit: -1}},
+	}
+	for _, tc := range accepted {
+		st, err := NewShardedStore(tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: config %+v rejected: %v", tc.field, tc.cfg, err)
+		}
+		st.Close()
 	}
 }
 

@@ -124,29 +124,52 @@ func TestStoreTrafficReport(t *testing.T) {
 	}
 }
 
+// TestStoreConfigValidation table-drives every StoreConfig field: bad
+// configurations fail eagerly in NewStore with a palermo:-prefixed error
+// (never as a deep failure inside the engine layer), and each field's
+// legal edge values are accepted.
 func TestStoreConfigValidation(t *testing.T) {
-	// Bad configurations fail eagerly in NewStore with a palermo:-prefixed
-	// error, never as a deep failure inside the engine layer.
-	cases := []StoreConfig{
-		{Blocks: MaxBlocks * 4},                  // overflow capacity
-		{Blocks: 1 << 10, Key: []byte("bad")},    // short key
-		{Blocks: 1 << 10, Key: make([]byte, 17)}, // off-size key
-		{Blocks: 1 << 10, Key: make([]byte, 64)}, // oversize key
+	rejected := []struct {
+		field string
+		cfg   StoreConfig
+	}{
+		{"Blocks overflow", StoreConfig{Blocks: MaxBlocks * 4}},
+		{"Blocks just past cap", StoreConfig{Blocks: MaxBlocks + 1}},
+		{"Key short", StoreConfig{Blocks: 1 << 10, Key: []byte("bad")}},
+		{"Key off-size", StoreConfig{Blocks: 1 << 10, Key: make([]byte, 17)}},
+		{"Key oversize", StoreConfig{Blocks: 1 << 10, Key: make([]byte, 64)}},
+		{"Backend unknown", StoreConfig{Blocks: 1 << 10, Backend: "etcd"}},
+		{"Backend memory with Dir", StoreConfig{Blocks: 1 << 10, Backend: BackendMemory, Dir: t.TempDir()}},
+		{"Backend wal without Dir", StoreConfig{Blocks: 1 << 10, Backend: BackendWAL}},
 	}
-	for i, cfg := range cases {
-		_, err := NewStore(cfg)
+	for _, tc := range rejected {
+		_, err := NewStore(tc.cfg)
 		if err == nil {
-			t.Fatalf("case %d: config %+v must be rejected", i, cfg)
+			t.Fatalf("%s: config %+v must be rejected", tc.field, tc.cfg)
 		}
 		if !strings.HasPrefix(err.Error(), "palermo:") {
-			t.Fatalf("case %d: error %q lacks palermo: prefix", i, err)
+			t.Fatalf("%s: error %q lacks palermo: prefix", tc.field, err)
 		}
 	}
-	// All three AES key sizes are accepted.
-	for _, n := range []int{16, 24, 32} {
-		if _, err := NewStore(StoreConfig{Blocks: 1 << 10, Key: make([]byte, n)}); err != nil {
-			t.Fatalf("%d-byte key rejected: %v", n, err)
+	accepted := []struct {
+		field string
+		cfg   StoreConfig
+	}{
+		{"Key AES-128", StoreConfig{Blocks: 1 << 10, Key: make([]byte, 16)}},
+		{"Key AES-192", StoreConfig{Blocks: 1 << 10, Key: make([]byte, 24)}},
+		{"Key AES-256", StoreConfig{Blocks: 1 << 10, Key: make([]byte, 32)}},
+		{"Blocks zero defaults", StoreConfig{}},
+		{"Seed zero defaults", StoreConfig{Blocks: 1 << 10, Seed: 0}},
+		{"CheckpointEvery negative disables", StoreConfig{Blocks: 1 << 10, Backend: BackendWAL, Dir: t.TempDir(), CheckpointEvery: -1}},
+		{"GroupCommit negative defaults", StoreConfig{Blocks: 1 << 10, Backend: BackendWAL, Dir: t.TempDir(), GroupCommit: -1}},
+		{"GroupCommit synchronous", StoreConfig{Blocks: 1 << 10, Backend: BackendWAL, Dir: t.TempDir(), GroupCommit: 1}},
+	}
+	for _, tc := range accepted {
+		st, err := NewStore(tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: config %+v rejected: %v", tc.field, tc.cfg, err)
 		}
+		st.Close()
 	}
 }
 
