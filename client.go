@@ -24,6 +24,15 @@ package palermo
 // wait, and the eventual response is discarded. Operations against a
 // closed client or a draining server return an error satisfying
 // errors.Is(err, palermo.ErrClosed).
+//
+// A connection that breaks (server restart, idle-timeout reap, network
+// fault) fails its in-flight operations, and the next operation routed to
+// its pool slot re-dials transparently — a long-lived client survives
+// server idle disconnects. The redial repeats the Stats handshake, so a
+// restarted server's batch limit takes effect and a geometry change (a
+// different store at the same address) fails loudly instead of being
+// silently adapted to. Close waits for outstanding responses;
+// ClientConfig.CloseTimeout bounds that wait against a stalled peer.
 
 import (
 	"bufio"
@@ -53,6 +62,11 @@ type ClientConfig struct {
 	BatchWindow int
 	// DialTimeout bounds each connection attempt. Default 5s.
 	DialTimeout time.Duration
+	// CloseTimeout bounds how long Close waits for outstanding responses
+	// before force-closing the sockets and failing the pending operations
+	// (a stalled server or network otherwise wedges Close forever).
+	// 0 (the default) waits indefinitely.
+	CloseTimeout time.Duration
 }
 
 func (c *ClientConfig) defaults() {
@@ -80,6 +94,9 @@ func (c ClientConfig) validate() error {
 	if c.DialTimeout < 0 {
 		return fmt.Errorf("palermo: DialTimeout must be >= 0")
 	}
+	if c.CloseTimeout < 0 {
+		return fmt.Errorf("palermo: CloseTimeout must be >= 0")
+	}
 	return nil
 }
 
@@ -96,7 +113,8 @@ type ClientNetStats struct {
 // Client is a remote handle on a served store.
 type Client struct {
 	cfg    ClientConfig
-	conns  []*clientConn
+	addr   string
+	slots  []*connSlot
 	next   atomic.Uint64
 	blocks uint64
 	shards int
@@ -119,14 +137,16 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	cfg.defaults()
-	cl := &Client{cfg: cfg}
+	cl := &Client{cfg: cfg, addr: addr}
 	for i := 0; i < cfg.Conns; i++ {
 		nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("palermo: dial %s: %w", addr, err)
 		}
-		cl.conns = append(cl.conns, newClientConn(cl, nc))
+		slot := &connSlot{}
+		slot.cur.Store(newClientConn(cl, nc))
+		cl.slots = append(cl.slots, slot)
 	}
 	ws, err := cl.wireStats(context.Background())
 	if err != nil {
@@ -306,19 +326,55 @@ func (cl *Client) NetStats() ClientNetStats {
 
 // Close shuts the client down gracefully: stop accepting operations,
 // flush queued frames, wait for outstanding responses, then close the
-// connections. Idempotent. Operations after Close return ErrClosed.
+// connections. With a CloseTimeout configured, a peer that never answers
+// is abandoned after the deadline: the sockets are force-closed and the
+// pending operations fail with a connection-lost error. Idempotent.
+// Operations after Close return ErrClosed.
 func (cl *Client) Close() error {
+	// Arm the escape hatch before anything that can block: a submitter
+	// parked on a full send queue holds the read lock, so against a
+	// stalled peer even the write-lock acquisition below can wedge.
+	// Force-closing the live sockets breaks the jam — readers fail,
+	// readerDone closes, parked submitters bail out.
+	if cl.cfg.CloseTimeout > 0 {
+		t := time.AfterFunc(cl.cfg.CloseTimeout, func() {
+			for _, slot := range cl.slots {
+				slot.cur.Load().nc.Close()
+			}
+		})
+		defer t.Stop()
+	}
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
 		return nil
 	}
 	cl.closed = true
-	for _, cc := range cl.conns {
+	// Collect every connection ever created — the live one per slot plus
+	// the broken ones redials retired — and close their send queues. No
+	// redial can race this: redials run under the read lock.
+	var conns []*clientConn
+	for _, slot := range cl.slots {
+		conns = append(conns, slot.cur.Load())
+		conns = append(conns, slot.retired...)
+		slot.retired = nil
+	}
+	for _, cc := range conns {
 		close(cc.sendq)
 	}
 	cl.mu.Unlock()
-	for _, cc := range cl.conns {
+	// Second timer for the drain phase: it covers the exact connection
+	// set, including one a redial swapped in after the pre-lock timer
+	// fired (worst case the two phases each wait a full CloseTimeout).
+	if cl.cfg.CloseTimeout > 0 {
+		t := time.AfterFunc(cl.cfg.CloseTimeout, func() {
+			for _, cc := range conns {
+				cc.nc.Close() // readers fail, draining unblocks below
+			}
+		})
+		defer t.Stop()
+	}
+	for _, cc := range conns {
 		<-cc.muxDone
 		cc.drainInFlight()
 		cc.nc.Close()
@@ -335,11 +391,15 @@ func (cl *Client) do(ctx context.Context, ca *call) (callResult, error) {
 		cl.mu.RUnlock()
 		return callResult{}, fmt.Errorf("palermo: client: %w", ErrClosed)
 	}
-	cc := cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+	slot := cl.slots[cl.next.Add(1)%uint64(len(cl.slots))]
+	cc, err := slot.conn(cl)
+	if err != nil {
+		cl.mu.RUnlock()
+		return callResult{}, err
+	}
 	// Holding the read lock across the (blocking, back-pressured) send is
 	// the same discipline as serve.Service.enqueue: Close cannot close
 	// sendq until every in-flight send has released the lock.
-	var err error
 	select {
 	case cc.sendq <- ca:
 	case <-ctx.Done():
@@ -387,6 +447,79 @@ type pendingFrame struct {
 	calls  []*call
 }
 
+// connSlot is one position in the connection pool. The slot outlives any
+// single TCP connection: when the current one breaks, the next operation
+// routed here dials a replacement. Broken predecessors are parked in
+// retired (their mux keeps failing late submissions) until Close reaps
+// them.
+type connSlot struct {
+	mu      sync.Mutex // serializes redials; retired is guarded by cl.mu vs. Close
+	cur     atomic.Pointer[clientConn]
+	retired []*clientConn
+}
+
+// conn returns the slot's connection, transparently re-dialing a broken
+// one. Called with cl.mu read-held, so a successful redial can never race
+// Close (which holds the write lock to reap connections).
+func (s *connSlot) conn(cl *Client) (*clientConn, error) {
+	cc := s.cur.Load()
+	if !cc.isBroken() {
+		return cc, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cc = s.cur.Load(); !cc.isBroken() {
+		return cc, nil // another caller already replaced it
+	}
+	nc, err := net.DialTimeout("tcp", cl.addr, cl.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("palermo: client: redial %s: %w", cl.addr, err)
+	}
+	// Repeat the Stats handshake on the fresh socket: the server may have
+	// restarted since Dial, so the advertised batch limit must be
+	// refreshed — and a changed geometry means this is a different store,
+	// which silent adaptation would paper over.
+	ws, err := cl.rawHandshake(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("palermo: client: redial %s: handshake: %w", cl.addr, err)
+	}
+	if (cl.blocks != 0 || cl.shards != 0) && (ws.Blocks != cl.blocks || int(ws.Shards) != cl.shards) {
+		nc.Close()
+		return nil, fmt.Errorf("palermo: client: redial %s: server geometry changed (%d blocks / %d shards, client expects %d / %d); dial a new client",
+			cl.addr, ws.Blocks, ws.Shards, cl.blocks, cl.shards)
+	}
+	cl.serverMaxBatch.Store(uint64(ws.MaxBatch))
+	s.retired = append(s.retired, cc)
+	fresh := newClientConn(cl, nc)
+	s.cur.Store(fresh)
+	return fresh, nil
+}
+
+// rawHandshake performs one synchronous Stats exchange directly on a
+// socket that has no mux or reader yet (a redial's fresh connection).
+func (cl *Client) rawHandshake(nc net.Conn) (wire.Stats, error) {
+	if to := cl.cfg.DialTimeout; to > 0 {
+		nc.SetDeadline(time.Now().Add(to))
+		defer nc.SetDeadline(time.Time{})
+	}
+	if err := wire.WriteFrame(nc, wire.OpStats, 1, nil); err != nil {
+		return wire.Stats{}, err
+	}
+	f, err := wire.ReadFrame(nc)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	st, body, msg, err := wire.ParseResp(f.Payload)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	if st != wire.StatusOK {
+		return wire.Stats{}, remoteErr(st, msg)
+	}
+	return wire.ParseStats(body)
+}
+
 // clientConn is one pooled connection: a mux goroutine owns the write
 // side, a reader goroutine owns the read side.
 type clientConn struct {
@@ -416,6 +549,20 @@ func newClientConn(cl *Client, nc net.Conn) *clientConn {
 	go cc.mux()
 	go cc.reader()
 	return cc
+}
+
+// isBroken reports whether the connection can no longer carry operations
+// (its reader died or is about to: fail marks broken before readerDone
+// closes).
+func (cc *clientConn) isBroken() bool {
+	select {
+	case <-cc.readerDone:
+		return true
+	default:
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.broken != nil
 }
 
 func (cc *clientConn) brokenErr() error {
@@ -611,13 +758,30 @@ func (cc *clientConn) encode(ca *call) []byte {
 // Returns false when the connection is done for (the mux must exit).
 func (cc *clientConn) sendFrame(bw *bufio.Writer, reqID *uint64, op byte, payload []byte, pf *pendingFrame) bool {
 	select {
-	case cc.sem <- struct{}{}: // in-flight window: blocks when full
-	case <-cc.readerDone:
-		broken := cc.brokenErr()
-		for _, ca := range pf.calls {
-			ca.done <- callResult{err: broken}
+	case cc.sem <- struct{}{}: // in-flight window token free: proceed
+	default:
+		// The window is full. Frames this drain already buffered must
+		// reach the server before we block, or the responses that release
+		// tokens can never arrive — an unflushed frame holding the whole
+		// window would deadlock the connection (e.g. MaxInFlight 1 with a
+		// window that splits into a read group and a write group).
+		if err := bw.Flush(); err != nil {
+			cc.nc.Close() // reader notices and fails all pending
+			broken := cc.brokenErr()
+			for _, ca := range pf.calls {
+				ca.done <- callResult{err: broken}
+			}
+			return false
 		}
-		return false
+		select {
+		case cc.sem <- struct{}{}:
+		case <-cc.readerDone:
+			broken := cc.brokenErr()
+			for _, ca := range pf.calls {
+				ca.done <- callResult{err: broken}
+			}
+			return false
+		}
 	}
 	*reqID++
 	id := *reqID

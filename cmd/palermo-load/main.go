@@ -24,7 +24,11 @@
 // BENCH_net.json instead of BENCH_load.json — so the network tax over the
 // in-process numbers is one diff away. Store geometry (shards, blocks,
 // durable dir) belongs to the server in this mode; the handshake reports
-// it back. -stamp writes the same deterministic verification payloads the
+// it back. Counters are snapshotted before and after the run and recorded
+// as deltas, so driving a long-lived server (whose cumulative stats span
+// prior runs and other clients) still reports this run's work; latency
+// percentiles are exact only against a freshly started server (they
+// condense the server's lifetime histogram). -stamp writes the same deterministic verification payloads the
 // -dir mode stamps, so a durable server that is then shut down can be
 // re-verified locally with -dir/-verify (the net-smoke CI job's flow).
 //

@@ -58,8 +58,15 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// Result is what a run measured. Stats/Traffic are snapshotted after the
-// last client finishes (the store is left open; the caller closes it).
+// Result is what a run measured. Stats/Traffic describe this run only:
+// the target is snapshotted before the first client starts and after the
+// last one finishes, and the counters are the difference — so driving a
+// long-lived remote server (whose counters accumulate across runs and
+// clients) reports this run's work, not the server's lifetime totals.
+// Latency percentiles are the one exception: they condense the target's
+// cumulative histogram and cannot be un-mixed from two snapshots, so they
+// are exact for a fresh target and lifetime-weighted otherwise. The store
+// is left open; the caller closes it.
 type Result struct {
 	Wall    time.Duration
 	Stats   palermo.ServiceStats
@@ -80,6 +87,10 @@ func (r Result) OpsPerSec() float64 {
 func Run(st Target, o Options) (Result, error) {
 	if err := o.validate(); err != nil {
 		return Result{}, err
+	}
+	baseStats, baseTraffic, err := st.Snapshot()
+	if err != nil {
+		return Result{}, fmt.Errorf("loadgen: baseline snapshot: %w", err)
 	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, o.Clients)
@@ -111,7 +122,52 @@ func Run(st Target, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("loadgen: final snapshot: %w", err)
 	}
-	return Result{Wall: wall, Stats: stats, Traffic: traffic}, nil
+	return Result{
+		Wall:    wall,
+		Stats:   deltaStats(stats, baseStats),
+		Traffic: deltaTraffic(traffic, baseTraffic),
+	}, nil
+}
+
+// deltaStats subtracts the baseline snapshot so the result counts this
+// run's operations only.
+func deltaStats(end, base palermo.ServiceStats) palermo.ServiceStats {
+	end.Reads -= base.Reads
+	end.Writes -= base.Writes
+	end.DedupHits -= base.DedupHits
+	end.ReadLat = deltaLatency(end.ReadLat, base.ReadLat)
+	end.WriteLat = deltaLatency(end.WriteLat, base.WriteLat)
+	return end
+}
+
+// deltaLatency un-mixes the run's count and mean from the cumulative
+// summaries. Percentiles summarize the target's whole-lifetime histogram
+// and cannot be subtracted, so the end snapshot's values stand (exact
+// when base.N is zero, i.e. a fresh target).
+func deltaLatency(end, base palermo.LatencySummary) palermo.LatencySummary {
+	if base.N == 0 {
+		return end
+	}
+	out := palermo.LatencySummary{N: end.N - base.N, P50Us: end.P50Us, P99Us: end.P99Us}
+	if out.N > 0 {
+		out.MeanUs = (float64(end.N)*end.MeanUs - float64(base.N)*base.MeanUs) / float64(out.N)
+	}
+	return out
+}
+
+// deltaTraffic subtracts the baseline traffic counters and recomputes the
+// amplification factor over the run's own operations. StashPeak is a
+// lifetime high-water mark and is reported as-is.
+func deltaTraffic(end, base palermo.TrafficReport) palermo.TrafficReport {
+	end.Reads -= base.Reads
+	end.Writes -= base.Writes
+	end.DRAMReads -= base.DRAMReads
+	end.DRAMWrites -= base.DRAMWrites
+	end.AmplificationFactor = 0
+	if ops := end.Reads + end.Writes; ops > 0 {
+		end.AmplificationFactor = float64(end.DRAMReads+end.DRAMWrites) / float64(ops)
+	}
+	return end
 }
 
 // client runs one closed-loop client: pick an id (uniform or Zipfian over

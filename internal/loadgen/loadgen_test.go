@@ -39,6 +39,35 @@ func TestRunDrivesStore(t *testing.T) {
 	}
 }
 
+// TestRunReportsDeltasOnWarmTarget: driving a target that already carries
+// history (a long-lived server, a previous run) must report this run's
+// operations, not the target's cumulative lifetime counters.
+func TestRunReportsDeltasOnWarmTarget(t *testing.T) {
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 12, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	opts := Options{Clients: 2, Ops: 300, ReadRatio: 0.5, Batch: 2, Seed: 1}
+	if _, err := Run(st, opts); err != nil {
+		t.Fatal(err) // warm the target with 300 ops of history
+	}
+	res, err := Run(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.Reads + res.Stats.Writes; got != 300 {
+		t.Fatalf("warm-target run reported %d ops, want its own 300", got)
+	}
+	if res.Stats.ReadLat.N != res.Stats.Reads {
+		t.Fatalf("latency count %d does not match the run's %d reads",
+			res.Stats.ReadLat.N, res.Stats.Reads)
+	}
+	if res.Traffic.DRAMReads == 0 || res.Traffic.AmplificationFactor <= 0 {
+		t.Fatalf("run traffic not isolated from history: %+v", res.Traffic)
+	}
+}
+
 func TestRunValidates(t *testing.T) {
 	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 10, Shards: 1})
 	if err != nil {

@@ -256,21 +256,24 @@ func (c *conn) readLoop() {
 	}
 }
 
-// armReadDeadline re-arms the idle deadline for the next frame read, under
-// the server lock so it serializes against Close: either Close already
-// began (return false, the reader exits instead of parking for up to
-// IdleTimeout), or Close runs after and its immediate deadline wins.
+// armReadDeadline re-arms the idle deadline for the next frame read and
+// reports whether the reader should continue. Lock-free — the hot receive
+// path must not serialize every connection on the server mutex. The
+// ordering still protects Close's immediate deadline: close(s.done)
+// happens before Close's deadline sweep, so a reader whose idle deadline
+// could have overwritten the sweep necessarily observes done closed in
+// the re-check below and exits instead of parking for up to IdleTimeout.
 func (c *conn) armReadDeadline() bool {
 	s := c.srv
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
 	if idle := s.cfg.IdleTimeout; idle > 0 {
 		c.nc.SetReadDeadline(time.Now().Add(idle))
 	}
-	return true
+	select {
+	case <-s.done:
+		return false
+	default:
+		return true
+	}
 }
 
 // respond queues one encoded response frame. The send cannot deadlock: the

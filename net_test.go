@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"palermo/internal/wire"
 )
 
 // startNetStore builds a small store, serves it on a loopback socket, and
@@ -195,6 +197,203 @@ func TestClientHonorsServerBatchLimit(t *testing.T) {
 	}
 	if err := cl.WriteBatch([]uint64{1, 2, 3}, [][]byte{block(1), block(2), block(3)}); err == nil || !strings.Contains(err.Error(), "server limit of 2") {
 		t.Fatalf("over-limit explicit write batch: %v", err)
+	}
+}
+
+// TestClientMixedWindowSmallInFlight is the regression test for a mux
+// deadlock: a coalescing window holding both reads and writes splits into
+// two frames, and with MaxInFlight 1 the second frame used to block on
+// the in-flight window while the first sat unflushed in the bufio.Writer
+// — the server never saw it, so the token never came back and every
+// caller (and Close) hung forever. sendFrame must flush buffered frames
+// before blocking on the window.
+func TestClientMixedWindowSmallInFlight(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 10, Shards: 1}, ServerConfig{},
+		ClientConfig{MaxInFlight: 1, BatchWindow: 16})
+	const n = 64
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			if i%2 == 0 {
+				_, err := cl.Read(uint64(i))
+				done <- err
+			} else {
+				done <- cl.Write(uint64(i), block(byte(i)))
+			}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("mixed read/write window deadlocked with MaxInFlight 1")
+		}
+	}
+}
+
+// TestClientRedialsBrokenConn: a connection that dies under the client
+// (server idle-timeout reap, network fault) must not poison its pool slot
+// forever — the next operation routed there re-dials.
+func TestClientRedialsBrokenConn(t *testing.T) {
+	_, cl := startNetStore(t, ShardedStoreConfig{Blocks: 1 << 10, Shards: 1}, ServerConfig{}, ClientConfig{})
+	if err := cl.Write(7, block(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the pooled connection out from under the client, as an idle
+	// reap would, and wait until the client has noticed.
+	cc := cl.slots[0].cur.Load()
+	cc.nc.Close()
+	select {
+	case <-cc.readerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not notice the severed connection")
+	}
+	// Every subsequent operation must succeed over a fresh connection.
+	got, err := cl.Read(7)
+	if err != nil {
+		t.Fatalf("read after severed connection: %v", err)
+	}
+	if !bytes.Equal(got, block(0xAB)) {
+		t.Fatal("read after redial returned wrong payload")
+	}
+	if err := cl.Write(8, block(0xCD)); err != nil {
+		t.Fatalf("write after redial: %v", err)
+	}
+	if cur := cl.slots[0].cur.Load(); cur == cc {
+		t.Fatal("slot still holds the broken connection")
+	}
+}
+
+// TestClientCloseTimeout: Close against a peer that stalls completely
+// after the handshake must give up after CloseTimeout, failing every
+// pending operation instead of hanging forever. The nasty case: with a
+// stalled peer and MaxInFlight 1, one op holds the window token, one sits
+// in the send queue, and further submitters park inside do() holding the
+// client's read lock — so even Close's write-lock acquisition is wedged
+// until the force-close timer breaks the jam.
+func TestClientCloseTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A stalled server: answers the dial handshake's Stats op, then never
+	// reads another byte.
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		f, err := wire.ReadFrame(nc)
+		if err != nil || f.Op != wire.OpStats {
+			return
+		}
+		body := wire.AppendStats(nil, wire.Stats{Blocks: 1 << 10, Shards: 1})
+		wire.WriteFrame(nc, wire.Resp(wire.OpStats), f.ReqID, wire.AppendOKResp(nil, body))
+		<-stop
+	}()
+	cl, err := Dial(ln.Addr().String(), ClientConfig{
+		MaxInFlight:  1,
+		BatchWindow:  1, // no coalescing: every write is its own frame
+		CloseTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 6
+	writeErr := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		go func(i int) { writeErr <- cl.Write(uint64(i), block(byte(i))) }(i)
+	}
+	time.Sleep(200 * time.Millisecond) // let the writers park at every stage
+	closed := make(chan struct{})
+	go func() { cl.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung past CloseTimeout against a stalled server")
+	}
+	for i := 0; i < writers; i++ {
+		select {
+		case err := <-writeErr:
+			if err == nil {
+				t.Fatal("write against a stalled server reported success")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pending write not failed by the forced close")
+		}
+	}
+}
+
+// TestClientRedialRefreshesHandshake: a redial repeats the Stats
+// handshake, so a restarted server's new batch limit takes effect and a
+// restarted server with different geometry — a different store — is
+// rejected instead of silently adapted to.
+func TestClientRedialRefreshesHandshake(t *testing.T) {
+	start := func(addr string, blocks uint64, srvCfg ServerConfig) (*ShardedStore, *Server, net.Listener, chan error) {
+		st, err := NewShardedStore(ShardedStoreConfig{Blocks: blocks, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(st, srvCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		return st, srv, ln, done
+	}
+	stop := func(st *ShardedStore, srv *Server, done chan error) {
+		srv.Close()
+		<-done
+		st.Close()
+	}
+	st1, srv1, ln, done1 := start("127.0.0.1:0", 1<<10, ServerConfig{})
+	addr := ln.Addr().String()
+	cl, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Write(1, block(0xEE)); err != nil {
+		t.Fatal(err)
+	}
+	awaitBroken := func() {
+		cc := cl.slots[0].cur.Load()
+		select {
+		case <-cc.readerDone:
+		case <-time.After(5 * time.Second):
+			t.Fatal("client never noticed the server going away")
+		}
+	}
+	// Restart on the same address with a tighter batch limit: the redial
+	// must learn it, failing oversized explicit batches client-side.
+	stop(st1, srv1, done1)
+	awaitBroken()
+	st2, srv2, _, done2 := start(addr, 1<<10, ServerConfig{MaxBatch: 2})
+	if _, err := cl.Read(1); err != nil {
+		t.Fatalf("read after same-geometry restart: %v", err)
+	}
+	if _, err := cl.ReadBatch([]uint64{1, 2, 3}); err == nil || !strings.Contains(err.Error(), "server limit of 2") {
+		t.Fatalf("stale batch limit survived the redial: %v", err)
+	}
+	// Restart with a different geometry: ops must fail loudly, not adapt.
+	stop(st2, srv2, done2)
+	awaitBroken()
+	st3, srv3, _, done3 := start(addr, 1<<11, ServerConfig{})
+	defer stop(st3, srv3, done3)
+	if _, err := cl.Read(1); err == nil || !strings.Contains(err.Error(), "geometry changed") {
+		t.Fatalf("geometry change not rejected: %v", err)
 	}
 }
 
@@ -438,6 +637,7 @@ func TestClientConfigValidation(t *testing.T) {
 		{"negative BatchWindow", ClientConfig{BatchWindow: -1}},
 		{"BatchWindow beyond wire limit", ClientConfig{BatchWindow: 1<<16 + 1}},
 		{"negative DialTimeout", ClientConfig{DialTimeout: -time.Second}},
+		{"negative CloseTimeout", ClientConfig{CloseTimeout: -time.Second}},
 	}
 	for _, tc := range cases {
 		if _, err := Dial("127.0.0.1:1", tc.cfg); err == nil {
