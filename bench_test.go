@@ -66,15 +66,29 @@ func BenchmarkStoreOps(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 }
 
+// benchPipelineDepth reads the PALERMO_PIPELINE override (0/unset = the
+// config default; 1 = the serial executor) so the CI pipeline smoke and
+// BENCH_pipeline.json can compare depths on identical benchmarks.
+func benchPipelineDepth() int {
+	if s := os.Getenv("PALERMO_PIPELINE"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
 // BenchmarkStoreOpsDurable is BenchmarkStoreOps over the WAL backend:
 // same 90/10 read/write mix, every write appended to the group-committed
 // log. The delta against BenchmarkStoreOps is the durability tax the
-// BENCH_persist.json record tracks.
+// BENCH_persist.json record tracks; the delta between PALERMO_PIPELINE=1
+// and the default depth is the pipeline win BENCH_pipeline.json tracks.
 func BenchmarkStoreOpsDurable(b *testing.B) {
 	st, err := NewStore(StoreConfig{
-		Blocks:  1 << 16,
-		Backend: BackendWAL,
-		Dir:     b.TempDir(),
+		Blocks:        1 << 16,
+		Backend:       BackendWAL,
+		Dir:           b.TempDir(),
+		PipelineDepth: benchPipelineDepth(),
 	})
 	if err != nil {
 		b.Fatal(err)

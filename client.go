@@ -291,6 +291,8 @@ func (cl *Client) Snapshot() (ServiceStats, TrafficReport, error) {
 		Reads: ws.Reads, Writes: ws.Writes, DedupHits: ws.DedupHits,
 		ReadLat:  fromWireLatency(ws.ReadLat),
 		WriteLat: fromWireLatency(ws.WriteLat),
+		QueueLat: fromWireLatency(ws.QueueLat),
+		ExecLat:  fromWireLatency(ws.ExecLat),
 	}
 	tr := TrafficReport{
 		Reads: ws.EngineReads, Writes: ws.EngineWrites,

@@ -75,6 +75,7 @@ func main() {
 	zipf := flag.Float64("zipf", 0, "Zipf skew theta (0 = uniform; 0.99 ~ YCSB)")
 	batch := flag.Int("batch", 1, "reads per ReadBatch call (1 = single-op loop)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	pipeline := flag.Int("pipeline", 0, "per-shard pipeline depth (0 = default, 1 = serial workers)")
 	seed := flag.Uint64("seed", 1, "base seed (store shards and client streams derive from it)")
 	jsonDir := flag.String("json", "", "directory to write the BENCH_load.json perf record into")
 	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
@@ -109,10 +110,11 @@ func main() {
 	}
 
 	cfg := palermo.ShardedStoreConfig{
-		Blocks:     *blocks,
-		Shards:     *shards,
-		Seed:       *seed,
-		QueueDepth: *queue,
+		Blocks:        *blocks,
+		Shards:        *shards,
+		Seed:          *seed,
+		QueueDepth:    *queue,
+		PipelineDepth: *pipeline,
 	}
 	if *dir != "" {
 		cfg.Backend = palermo.BackendWAL
@@ -250,6 +252,8 @@ func printResult(res loadgen.Result) {
 		fmt.Printf("  write lat p50 %.0fµs  p99 %.0fµs  mean %.0fµs  (n=%d)\n",
 			stats.WriteLat.P50Us, stats.WriteLat.P99Us, stats.WriteLat.MeanUs, stats.WriteLat.N)
 	}
+	fmt.Printf("  queue wait p50 %.0fµs  p99 %.0fµs  |  execute p50 %.0fµs  p99 %.0fµs\n",
+		stats.QueueLat.P50Us, stats.QueueLat.P99Us, stats.ExecLat.P50Us, stats.ExecLat.P99Us)
 	fmt.Printf("  DRAM lines/op %.1f  stash peak %d\n",
 		res.Traffic.AmplificationFactor, res.Traffic.StashPeak)
 }
@@ -265,6 +269,10 @@ func loadMetrics(res loadgen.Result, clients int, readRatio, zipf float64) map[s
 		"read_p99_us":  stats.ReadLat.P99Us,
 		"write_p50_us": stats.WriteLat.P50Us,
 		"write_p99_us": stats.WriteLat.P99Us,
+		"queue_p50_us": stats.QueueLat.P50Us,
+		"queue_p99_us": stats.QueueLat.P99Us,
+		"exec_p50_us":  stats.ExecLat.P50Us,
+		"exec_p99_us":  stats.ExecLat.P99Us,
 		"dedup_hits":   float64(stats.DedupHits),
 		"lines_per_op": res.Traffic.AmplificationFactor,
 	}

@@ -34,6 +34,7 @@ func main() {
 	shards := flag.Int("shards", 4, "independent ORAM shards")
 	blocks := flag.Uint64("blocks", 1<<18, "store capacity in 64-byte blocks (0 = store default)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	pipeline := flag.Int("pipeline", 0, "per-shard pipeline depth (0 = default, 1 = serial workers)")
 	seed := flag.Uint64("seed", 1, "base seed (shards derive theirs from it)")
 	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
 	groupCommit := flag.Int("group-commit", 0, "WAL appends per fsync batch (0 = default)")
@@ -48,6 +49,7 @@ func main() {
 		Shards:          *shards,
 		Seed:            *seed,
 		QueueDepth:      *queue,
+		PipelineDepth:   *pipeline,
 		CheckpointEvery: *checkpointEvery,
 	}
 	if *dir != "" {

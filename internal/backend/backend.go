@@ -48,6 +48,65 @@ type TailOp struct {
 	Epoch uint64
 }
 
+// PutOp is one sealed-block store of a vector put: the unit a whole-access
+// (or whole-batch) path write is expressed in.
+type PutOp struct {
+	Local uint64
+	Sb    Sealed
+}
+
+// VectorBackend is the vector extension of Backend: whole-access block
+// sets move in one call instead of one call per block, so a durable
+// implementation can frame and commit them as a unit (the WAL appends one
+// CRC-framed record batch per PutMany and group-commits per access rather
+// than per block) and a remote one could round-trip them in one message.
+// Backends that do not implement it are adapted by Vector with per-block
+// loops.
+type VectorBackend interface {
+	Backend
+	// GetMany looks up locals[i] into out[i]/ok[i] for every i. The three
+	// slices must have equal length; out and ok are caller-allocated so a
+	// hot path can reuse them.
+	GetMany(locals []uint64, out []Sealed, ok []bool)
+	// PutMany stores every op, in order, as one unit. Durable
+	// implementations append the whole vector under a single batch frame
+	// and count it as one unit of the group-commit policy. On error the
+	// backend's single-Put failure semantics apply to the whole vector (a
+	// durable backend wedges; the in-memory state is not partially
+	// updated unless the implementation documents otherwise).
+	PutMany(ops []PutOp) error
+}
+
+// Vector returns b's native vector form when it implements VectorBackend,
+// or a loop adapter otherwise — so third-party Backend implementations
+// keep working under the pipelined executor unchanged.
+func Vector(b Backend) VectorBackend {
+	if vb, ok := b.(VectorBackend); ok {
+		return vb
+	}
+	return loopVector{b}
+}
+
+// loopVector adapts a scalar Backend with per-block loops. PutMany is not
+// atomic: a mid-vector error leaves earlier puts applied (exactly what N
+// scalar Puts would have done).
+type loopVector struct{ Backend }
+
+func (v loopVector) GetMany(locals []uint64, out []Sealed, ok []bool) {
+	for i, local := range locals {
+		out[i], ok[i] = v.Get(local)
+	}
+}
+
+func (v loopVector) PutMany(ops []PutOp) error {
+	for _, op := range ops {
+		if err := v.Put(op.Local, op.Sb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Backend stores a shard's sealed blocks keyed by shard-local id, plus the
 // shard's sealed metadata checkpoints.
 type Backend interface {

@@ -29,6 +29,22 @@ func (b *Backend) Put(local uint64, sb backend.Sealed) error {
 	return nil
 }
 
+// GetMany implements backend.VectorBackend with direct map lookups.
+func (b *Backend) GetMany(locals []uint64, out []backend.Sealed, ok []bool) {
+	for i, local := range locals {
+		out[i], ok[i] = b.blocks[local]
+	}
+}
+
+// PutMany implements backend.VectorBackend: the whole vector lands in the
+// map in order (never partially — map stores cannot fail).
+func (b *Backend) PutMany(ops []backend.PutOp) error {
+	for _, op := range ops {
+		b.blocks[op.Local] = op.Sb
+	}
+	return nil
+}
+
 // Len implements backend.Backend.
 func (b *Backend) Len() int { return len(b.blocks) }
 

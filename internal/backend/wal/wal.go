@@ -10,6 +10,16 @@
 //	wal.log    magic | seq | crc32(header), then records:
 //	           local(8) | epoch(8) | ct(64) | crc32(record)   = 84 bytes
 //
+// A PutMany vector of more than one block is framed as a record *batch*:
+// a header record (local = batchLocal, epoch = member count) followed by
+// the members as ordinary records. Batches are atomic under recovery —
+// applied only when every member is intact, discarded whole when a crash
+// tears them — so half a path write can never persist. Group commit
+// counts records, not calls, so commit cadence matches the scalar path;
+// with Options.CommitDepth > 1 the fsync itself runs on a committer
+// goroutine (the §9 commit pipeline), overlapping the next accesses'
+// engine work, with Flush/Checkpoint/Close acting as full barriers.
+//
 // Both files are written through temp-file + rename, so each is either the
 // old version or the new one, never a torn mixture. The log's seq ties it
 // to the snapshot it follows: a crash between snapshot rename and log
@@ -39,6 +49,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"palermo/internal/backend"
 	"palermo/internal/crypt"
@@ -55,6 +66,15 @@ const (
 
 	// DefaultGroupCommit is how many appended records share one fsync.
 	DefaultGroupCommit = 32
+
+	// batchLocal is the reserved Local value of a batch header record: the
+	// record's epoch field carries the count of records that follow as one
+	// atomic batch (a whole access's path write, appended by PutMany).
+	// Recovery applies a batch only if every member record is intact; a
+	// batch cut short by a crash is discarded whole, so a torn tail can
+	// never persist half a path write. Like EpochReserveLocal, real block
+	// ids (capped at 2^40) can never collide with it.
+	batchLocal = ^uint64(0) - 1
 )
 
 // Options tunes a WAL backend.
@@ -62,11 +82,25 @@ type Options struct {
 	// GroupCommit is the number of Put records per fsync batch (default
 	// DefaultGroupCommit; 1 = synchronous durability for every write).
 	GroupCommit int
+	// CommitDepth enables the commit pipeline: when > 1 (and GroupCommit
+	// > 1), a filled group-commit batch is flushed to the file by the
+	// owner goroutine and fsynced on a dedicated committer goroutine, so
+	// the owner overlaps the next accesses' engine work with the previous
+	// batch's fsync. Up to CommitDepth-1 fsyncs may be in flight; a full
+	// pipeline blocks the owner (bounded crash window). 0 or 1 keeps
+	// every fsync synchronous — bit-identical to the pre-pipeline
+	// behavior. GroupCommit == 1 always commits synchronously: it is the
+	// per-write durability promise, which an in-flight fsync would break.
+	CommitDepth int
 }
 
 // MaxGroupCommit caps the fsync batch (and with it the write buffer and
 // the worst-case crash-loss window).
 const MaxGroupCommit = 1 << 16
+
+// MaxCommitDepth caps the commit pipeline (and with it how many fsync
+// batches a crash can lose beyond the buffered tail).
+const MaxCommitDepth = 64
 
 func (o *Options) defaults() {
 	if o.GroupCommit <= 0 {
@@ -74,6 +108,12 @@ func (o *Options) defaults() {
 	}
 	if o.GroupCommit > MaxGroupCommit {
 		o.GroupCommit = MaxGroupCommit
+	}
+	if o.CommitDepth > MaxCommitDepth {
+		o.CommitDepth = MaxCommitDepth
+	}
+	if o.GroupCommit == 1 {
+		o.CommitDepth = 0 // per-write durability: never pipeline the fsync
 	}
 }
 
@@ -95,6 +135,22 @@ type Backend struct {
 	pending int   // records appended since the last fsync
 	closed  bool  // Close called, or the backend wedged mid-operation
 	failErr error // the wedging error, surfaced again by Close
+
+	// Commit pipeline (CommitDepth > 1): the owner goroutine flushes a
+	// filled batch to the file and hands the fsync to the committer, so
+	// the next accesses run while the batch reaches stable storage.
+	commitq     chan commitReq
+	committerWG chan struct{}
+	cmu         sync.Mutex
+	commitErr   error // first asynchronous fsync failure (wedges on next op)
+}
+
+// commitReq is one fsync handed to the committer goroutine. A non-nil
+// done makes the request a barrier: the sender receives this fsync's
+// outcome after every earlier request has completed.
+type commitReq struct {
+	f    *os.File
+	done chan error
 }
 
 // Open creates or recovers the backend rooted at dir. The directory is
@@ -126,7 +182,54 @@ func Open(dir string, opt Options) (*Backend, error) {
 	}
 	b.logF = f
 	b.bw = bufio.NewWriterSize(f, b.opt.GroupCommit*recordSize+recordSize)
+	if b.opt.CommitDepth > 1 {
+		b.commitq = make(chan commitReq, b.opt.CommitDepth-1)
+		b.committerWG = make(chan struct{})
+		go b.committer()
+	}
 	return b, nil
+}
+
+// committer is the fsync stage of the commit pipeline: it syncs batches in
+// submission order and records the first failure, which wedges the backend
+// on its next operation (the fsync-retry trap applies to pipelined commits
+// exactly as to synchronous ones).
+func (b *Backend) committer() {
+	defer close(b.committerWG)
+	for req := range b.commitq {
+		err := req.f.Sync()
+		if err != nil {
+			err = fmt.Errorf("wal: pipelined commit: %w", err)
+			b.cmu.Lock()
+			if b.commitErr == nil {
+				b.commitErr = err
+			}
+			b.cmu.Unlock()
+		}
+		if req.done != nil {
+			req.done <- err
+		}
+	}
+}
+
+// asyncErr returns the first pipelined-commit failure, if any.
+func (b *Backend) asyncErr() error {
+	if b.commitq == nil {
+		return nil
+	}
+	b.cmu.Lock()
+	defer b.cmu.Unlock()
+	return b.commitErr
+}
+
+// stopCommitter shuts the commit pipeline down and waits for it to drain.
+// Idempotent; safe when the pipeline was never started.
+func (b *Backend) stopCommitter() {
+	if b.commitq != nil {
+		close(b.commitq)
+		<-b.committerWG
+		b.commitq = nil
+	}
 }
 
 // unlock releases the directory lock (closing the fd drops the flock).
@@ -165,24 +268,33 @@ func (b *Backend) closedErr() error {
 	return fmt.Errorf("wal: backend is closed")
 }
 
-// Put implements backend.Backend: append a CRC-framed record and fsync
-// once every GroupCommit records.
+// validatePut rejects malformed or reserved-id puts before any byte is
+// framed.
+func validatePut(local uint64, sb backend.Sealed) error {
+	if len(sb.Ct) != crypt.BlockBytes {
+		return fmt.Errorf("wal: ciphertext must be %d bytes, got %d", crypt.BlockBytes, len(sb.Ct))
+	}
+	if local == backend.EpochReserveLocal || local == batchLocal {
+		return fmt.Errorf("wal: block id %d is reserved", local)
+	}
+	return nil
+}
+
+// Put implements backend.Backend: append a CRC-framed record and commit
+// (fsync, possibly pipelined) once every GroupCommit records.
 func (b *Backend) Put(local uint64, sb backend.Sealed) error {
 	if b.closed {
 		return b.closedErr()
 	}
-	if len(sb.Ct) != crypt.BlockBytes {
-		return fmt.Errorf("wal: ciphertext must be %d bytes, got %d", crypt.BlockBytes, len(sb.Ct))
-	}
-	if local == backend.EpochReserveLocal {
-		return fmt.Errorf("wal: block id %d is reserved", local)
+	if err := validatePut(local, sb); err != nil {
+		return err
 	}
 	if err := b.appendRecord(local, sb.Epoch, sb.Ct); err != nil {
 		return err
 	}
 	b.pending++
 	if b.pending >= b.opt.GroupCommit {
-		if err := b.Flush(); err != nil {
+		if err := b.commit(); err != nil {
 			// Leave the in-memory map untouched: the engine above has not
 			// applied this write either, so live state stays consistent
 			// even though the record may land after a restart.
@@ -190,6 +302,82 @@ func (b *Backend) Put(local uint64, sb backend.Sealed) error {
 		}
 	}
 	b.blocks[local] = sb
+	return nil
+}
+
+// GetMany implements backend.VectorBackend with direct map lookups.
+func (b *Backend) GetMany(locals []uint64, out []backend.Sealed, ok []bool) {
+	for i, local := range locals {
+		out[i], ok[i] = b.blocks[local]
+	}
+}
+
+// PutMany implements backend.VectorBackend: the whole vector is appended
+// as one CRC-framed record batch — a batch header naming the count, then
+// one record per block, recovered all-or-nothing — and counts len(ops)
+// records toward the group-commit policy (commit cadence is identical to
+// len(ops) scalar Puts; only the framing and the fsync overlap differ).
+// A single-op vector appends a plain record, byte-identical to Put.
+func (b *Backend) PutMany(ops []backend.PutOp) error {
+	if b.closed {
+		return b.closedErr()
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if len(ops) > MaxGroupCommit {
+		// The batch header's count shares the recovery sanity bound; a
+		// larger vector would be acknowledged now and rejected as mid-log
+		// corruption at the next Open.
+		return fmt.Errorf("wal: vector of %d blocks exceeds the %d-record batch limit", len(ops), MaxGroupCommit)
+	}
+	for _, op := range ops {
+		if err := validatePut(op.Local, op.Sb); err != nil {
+			return err
+		}
+	}
+	if len(ops) > 1 {
+		if err := b.appendRecord(batchLocal, uint64(len(ops)), zeroBlock[:]); err != nil {
+			return err
+		}
+	}
+	for _, op := range ops {
+		if err := b.appendRecord(op.Local, op.Sb.Epoch, op.Sb.Ct); err != nil {
+			return err
+		}
+	}
+	b.pending += len(ops)
+	if b.pending >= b.opt.GroupCommit {
+		if err := b.commit(); err != nil {
+			return err
+		}
+	}
+	for _, op := range ops {
+		b.blocks[op.Local] = op.Sb
+	}
+	return nil
+}
+
+// zeroBlock is the payload of header-only records (batch headers, epoch
+// reservations).
+var zeroBlock [crypt.BlockBytes]byte
+
+// commit completes one group-commit batch: synchronously (Flush) without a
+// pipeline, or by flushing the buffer and handing the fsync to the
+// committer goroutine with one. A full pipeline blocks here — bounding how
+// many acknowledged-but-unsynced batches a crash can lose.
+func (b *Backend) commit() error {
+	if b.commitq == nil {
+		return b.Flush()
+	}
+	if err := b.asyncErr(); err != nil {
+		return b.fail(err)
+	}
+	if err := b.bw.Flush(); err != nil {
+		return b.fail(fmt.Errorf("wal: %w", err))
+	}
+	b.commitq <- commitReq{f: b.logF}
+	b.pending = 0
 	return nil
 }
 
@@ -225,10 +413,23 @@ func (b *Backend) Flush() error {
 	if b.closed {
 		return b.closedErr()
 	}
+	if err := b.asyncErr(); err != nil {
+		return b.fail(err)
+	}
 	if err := b.bw.Flush(); err != nil {
 		return b.fail(fmt.Errorf("wal: %w", err))
 	}
-	if err := b.logF.Sync(); err != nil {
+	if b.commitq != nil {
+		// Full barrier: the fsync is enqueued behind every pipelined commit
+		// and its outcome received, so when Flush returns, every record the
+		// backend ever acknowledged is on stable storage (or the backend is
+		// wedged).
+		done := make(chan error, 1)
+		b.commitq <- commitReq{f: b.logF, done: done}
+		if err := <-done; err != nil {
+			return b.fail(err)
+		}
+	} else if err := b.logF.Sync(); err != nil {
 		return b.fail(fmt.Errorf("wal: %w", err))
 	}
 	b.pending = 0
@@ -283,6 +484,7 @@ func (b *Backend) Close() error {
 		return b.failErr
 	}
 	b.closed = true
+	b.stopCommitter()
 	if cerr := b.logF.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("wal: %w", cerr)
 	}
@@ -406,6 +608,7 @@ func (b *Backend) fail(err error) error {
 		b.closed = true
 		b.failErr = err
 	}
+	b.stopCommitter()
 	if b.logF != nil {
 		b.logF.Close()
 		b.logF = nil
@@ -526,24 +729,59 @@ func (b *Backend) recoverLog() error {
 			path, seq, b.seq)
 	}
 	off := headerSize
+scan:
 	for off+recordSize <= len(data) {
 		rec := data[off : off+recordSize]
-		if crc32.ChecksumIEEE(rec[:recordSize-4]) != binary.LittleEndian.Uint32(rec[recordSize-4:]) {
+		if !recordIntact(rec) {
 			// A torn tail ends the log; a bad record *followed by intact
 			// ones* is mid-log corruption of acknowledged writes (records
 			// are fixed-size, so alignment survives). Truncating through
 			// corruption would silently drop the valid records behind it —
 			// fail loudly and leave the file for inspection instead.
-			for o := off + recordSize; o+recordSize <= len(data); o += recordSize {
-				r2 := data[o : o+recordSize]
-				if crc32.ChecksumIEEE(r2[:recordSize-4]) == binary.LittleEndian.Uint32(r2[recordSize-4:]) {
-					return fmt.Errorf("wal: %s is corrupt at offset %d (intact records follow — not a crash tail)", path, off)
-				}
+			if err := corruptionCheck(data, off, off+recordSize, path); err != nil {
+				return err
 			}
 			break
 		}
 		local := binary.LittleEndian.Uint64(rec[0:8])
 		epoch := binary.LittleEndian.Uint64(rec[8:16])
+		if local == batchLocal {
+			// Batch header: the next `epoch` records form one atomic batch
+			// (a whole access's path write). Apply it only when every
+			// member is intact; a batch the crash cut short is discarded
+			// whole, so recovery never persists half an access.
+			n := int(epoch)
+			if epoch == 0 || epoch > MaxGroupCommit {
+				if err := corruptionCheck(data, off, off+recordSize, path); err != nil {
+					return err
+				}
+				break
+			}
+			if off+(n+1)*recordSize > len(data) {
+				break // file ends inside the batch: torn at the header
+			}
+			for j := 0; j < n; j++ {
+				mOff := off + (j+1)*recordSize
+				if !recordIntact(data[mOff : mOff+recordSize]) {
+					if err := corruptionCheck(data, mOff, mOff+recordSize, path); err != nil {
+						return err
+					}
+					break scan // torn inside the batch: truncate at the header
+				}
+			}
+			for j := 0; j < n; j++ {
+				m := data[off+(j+1)*recordSize:]
+				mLocal := binary.LittleEndian.Uint64(m[0:8])
+				mEpoch := binary.LittleEndian.Uint64(m[8:16])
+				if mLocal != backend.EpochReserveLocal {
+					ct := append([]byte(nil), m[16:16+crypt.BlockBytes]...)
+					b.blocks[mLocal] = backend.Sealed{Ct: ct, Epoch: mEpoch}
+				}
+				b.tail = append(b.tail, backend.TailOp{Local: mLocal, Epoch: mEpoch})
+			}
+			off += (n + 1) * recordSize
+			continue
+		}
 		if local != backend.EpochReserveLocal {
 			ct := append([]byte(nil), rec[16:16+crypt.BlockBytes]...)
 			b.blocks[local] = backend.Sealed{Ct: ct, Epoch: epoch}
@@ -592,6 +830,25 @@ func (b *Backend) recoverLog() error {
 		}
 		if werr != nil {
 			return fmt.Errorf("wal: %w", werr)
+		}
+	}
+	return nil
+}
+
+// recordIntact reports whether one fixed-size record passes its CRC.
+func recordIntact(rec []byte) bool {
+	return crc32.ChecksumIEEE(rec[:recordSize-4]) == binary.LittleEndian.Uint32(rec[recordSize-4:])
+}
+
+// corruptionCheck distinguishes a crash tail from mid-log corruption: a
+// bad record at badOff is a truncatable tail only if no intact record
+// follows scanFrom. Fixed-size framing keeps alignment, so any intact
+// record beyond the damage proves acknowledged writes would be dropped by
+// truncation — refuse instead.
+func corruptionCheck(data []byte, badOff, scanFrom int, path string) error {
+	for o := scanFrom; o+recordSize <= len(data); o += recordSize {
+		if recordIntact(data[o : o+recordSize]) {
+			return fmt.Errorf("wal: %s is corrupt at offset %d (intact records follow — not a crash tail)", path, badOff)
 		}
 	}
 	return nil

@@ -137,6 +137,8 @@ func deltaStats(end, base palermo.ServiceStats) palermo.ServiceStats {
 	end.DedupHits -= base.DedupHits
 	end.ReadLat = deltaLatency(end.ReadLat, base.ReadLat)
 	end.WriteLat = deltaLatency(end.WriteLat, base.WriteLat)
+	end.QueueLat = deltaLatency(end.QueueLat, base.QueueLat)
+	end.ExecLat = deltaLatency(end.ExecLat, base.ExecLat)
 	return end
 }
 

@@ -92,8 +92,9 @@ func (c Config) Validate() error {
 
 // Server serves one Store over TCP.
 type Server struct {
-	st  Store
-	cfg Config
+	st   Store
+	cfg  Config
+	pool wire.BufPool // frame buffers recycled across all connections
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -141,7 +142,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		c := &conn{
 			srv: s,
 			nc:  nc,
-			out: make(chan []byte, s.cfg.MaxInFlight),
+			out: make(chan *wire.FrameBuf, s.cfg.MaxInFlight),
 			sem: make(chan struct{}, s.cfg.MaxInFlight),
 		}
 		s.mu.Lock()
@@ -201,8 +202,8 @@ func (s *Server) removeConn(c *conn) {
 type conn struct {
 	srv *Server
 	nc  net.Conn
-	out chan []byte   // encoded response frames awaiting the writer
-	sem chan struct{} // in-flight window tokens
+	out chan *wire.FrameBuf // encoded response frames awaiting the writer
+	sem chan struct{}       // in-flight window tokens
 	wg  sync.WaitGroup
 }
 
@@ -228,7 +229,7 @@ func (c *conn) readLoop() {
 		if !c.armReadDeadline() {
 			return // server closing: don't overwrite Close's immediate deadline
 		}
-		f, err := wire.ReadFrame(br)
+		f, fb, err := wire.ReadFrameBuf(br, &c.srv.pool)
 		if err != nil {
 			// io.EOF: client closed cleanly. Deadline: idle or server
 			// close. Typed wire errors: stream poisoned. All end the
@@ -238,21 +239,29 @@ func (c *conn) readLoop() {
 		if !wire.IsRequest(f.Op) {
 			// Framing is intact, so the request id is trustworthy and the
 			// connection recoverable: answer and continue.
-			c.respond(f.Op, f.ReqID, wire.AppendErrResp(nil, wire.StatusBad,
-				fmt.Sprintf("unknown op %d", f.Op)))
+			c.srv.pool.Put(fb)
+			out := c.beginResp(f.Op, f.ReqID, 32)
+			out.B = wire.AppendErrResp(out.B, wire.StatusBad, fmt.Sprintf("unknown op %d", f.Op))
+			out.B = wire.EndFrame(out.B, 0)
+			c.out <- out
 			continue
 		}
 		select {
 		case c.sem <- struct{}{}: // in-flight window slot
 		case <-c.srv.done:
+			c.srv.pool.Put(fb)
 			return
 		}
 		c.wg.Add(1)
-		go func(f wire.Frame) {
+		go func(f wire.Frame, fb *wire.FrameBuf) {
 			defer c.wg.Done()
 			defer func() { <-c.sem }()
-			c.respond(f.Op, f.ReqID, c.serve(f))
-		}(f)
+			out := c.serve(f)
+			// The store copied what it needed (write payloads are copied at
+			// submission); the request frame is dead once served.
+			c.srv.pool.Put(fb)
+			c.out <- out
+		}(f, fb)
 	}
 }
 
@@ -276,105 +285,140 @@ func (c *conn) armReadDeadline() bool {
 	}
 }
 
-// respond queues one encoded response frame. The send cannot deadlock: the
-// writer drains out until it is closed, and out is closed only after wg
-// observes every dispatched request done.
-func (c *conn) respond(op byte, reqID uint64, payload []byte) {
-	c.out <- wire.AppendFrame(nil, wire.Resp(op), reqID, payload)
+// beginResp takes a pooled buffer and opens a response frame in it: the
+// caller appends the payload in place and seals it with wire.EndFrame —
+// one buffer per response, recycled after the write, no intermediate
+// payload allocation. sizeHint covers header + expected payload. Queueing
+// on c.out cannot deadlock: the writer drains out until it is closed, and
+// out is closed only after wg observes every dispatched request done.
+func (c *conn) beginResp(op byte, reqID uint64, sizeHint int) *wire.FrameBuf {
+	fb := c.srv.pool.Get(wire.HeaderLen + sizeHint)
+	fb.B = wire.BeginFrame(fb.B, wire.Resp(op), reqID)
+	return fb
 }
 
-// writer serializes response frames. After a write error it closes the
-// socket — so the reader stops feeding a connection whose responses can
-// no longer be delivered — and keeps draining (discarding) so request
-// goroutines never block on the dead connection.
+// writer serializes response frames, returning each buffer to the pool
+// once written. After a write error it closes the socket — so the reader
+// stops feeding a connection whose responses can no longer be delivered —
+// and keeps draining (discarding) so request goroutines never block on
+// the dead connection.
 func (c *conn) writer(done chan struct{}) {
 	defer close(done)
 	failed := false
-	for buf := range c.out {
-		if failed {
-			continue
+	for fb := range c.out {
+		if !failed {
+			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+			if _, err := c.nc.Write(fb.B); err != nil {
+				failed = true
+				c.nc.Close()
+			}
 		}
-		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		if _, err := c.nc.Write(buf); err != nil {
-			failed = true
-			c.nc.Close()
-		}
+		c.srv.pool.Put(fb)
 	}
 }
 
-// serve executes one request and returns the encoded response payload.
-func (c *conn) serve(f wire.Frame) []byte {
+// serve executes one request and returns its fully encoded response frame
+// in a pooled buffer (built in place: header, status, body — no
+// intermediate payload allocation).
+func (c *conn) serve(f wire.Frame) *wire.FrameBuf {
 	switch f.Op {
 	case wire.OpRead:
 		id, err := wire.ParseReadReq(f.Payload)
 		if err != nil {
-			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+			return c.badResp(f, err.Error())
 		}
 		data, err := c.srv.st.Read(id)
 		if err != nil {
-			return errResp(err)
+			return c.errResp(f, err)
 		}
-		return wire.AppendOKResp(make([]byte, 0, 1+wire.BlockBytes), data)
+		out := c.beginResp(f.Op, f.ReqID, 1+wire.BlockBytes)
+		out.B = wire.AppendOKResp(out.B, data)
+		return c.endResp(out)
 
 	case wire.OpWrite:
 		id, block, err := wire.ParseWriteReq(f.Payload)
 		if err != nil {
-			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+			return c.badResp(f, err.Error())
 		}
 		if err := c.srv.st.Write(id, block); err != nil {
-			return errResp(err)
+			return c.errResp(f, err)
 		}
-		return wire.AppendOKResp(nil, nil)
+		out := c.beginResp(f.Op, f.ReqID, 1)
+		out.B = wire.AppendOKResp(out.B, nil)
+		return c.endResp(out)
 
 	case wire.OpReadBatch:
 		ids, err := wire.ParseReadBatchReq(f.Payload)
 		if err != nil {
-			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+			return c.badResp(f, err.Error())
 		}
 		if len(ids) > c.srv.cfg.MaxBatch {
-			return wire.AppendErrResp(nil, wire.StatusBad,
-				fmt.Sprintf("batch of %d ops exceeds the server limit of %d", len(ids), c.srv.cfg.MaxBatch))
+			return c.badResp(f, fmt.Sprintf("batch of %d ops exceeds the server limit of %d", len(ids), c.srv.cfg.MaxBatch))
 		}
 		blocks, err := c.srv.st.ReadBatch(ids)
 		if err != nil {
-			return errResp(err)
+			return c.errResp(f, err)
 		}
-		body, err := wire.AppendReadBatchResp(make([]byte, 0, 4+len(blocks)*wire.BlockBytes), blocks)
+		out := c.beginResp(f.Op, f.ReqID, 1+4+len(blocks)*wire.BlockBytes)
+		out.B = append(out.B, byte(wire.StatusOK))
+		out.B, err = wire.AppendReadBatchResp(out.B, blocks)
 		if err != nil {
-			return errResp(err)
+			c.srv.pool.Put(out)
+			return c.errResp(f, err)
 		}
-		return wire.AppendOKResp(make([]byte, 0, 1+len(body)), body)
+		return c.endResp(out)
 
 	case wire.OpWriteBatch:
 		ids, blocks, err := wire.ParseWriteBatchReq(f.Payload)
 		if err != nil {
-			return wire.AppendErrResp(nil, wire.StatusBad, err.Error())
+			return c.badResp(f, err.Error())
 		}
 		if len(ids) > c.srv.cfg.MaxBatch {
-			return wire.AppendErrResp(nil, wire.StatusBad,
-				fmt.Sprintf("batch of %d ops exceeds the server limit of %d", len(ids), c.srv.cfg.MaxBatch))
+			return c.badResp(f, fmt.Sprintf("batch of %d ops exceeds the server limit of %d", len(ids), c.srv.cfg.MaxBatch))
 		}
 		if err := c.srv.st.WriteBatch(ids, blocks); err != nil {
-			return errResp(err)
+			return c.errResp(f, err)
 		}
-		return wire.AppendOKResp(nil, nil)
+		out := c.beginResp(f.Op, f.ReqID, 1)
+		out.B = wire.AppendOKResp(out.B, nil)
+		return c.endResp(out)
 
 	case wire.OpStats:
 		ws := c.srv.st.Stats()
 		// Stamp the server's own limit so the handshake teaches clients
 		// how large a batch frame this server accepts.
 		ws.MaxBatch = uint32(c.srv.cfg.MaxBatch)
-		return wire.AppendOKResp(nil, wire.AppendStats(nil, ws))
+		out := c.beginResp(f.Op, f.ReqID, 256)
+		out.B = append(out.B, byte(wire.StatusOK))
+		out.B = wire.AppendStats(out.B, ws)
+		return c.endResp(out)
 	}
-	return wire.AppendErrResp(nil, wire.StatusBad, fmt.Sprintf("unknown op %d", f.Op))
+	return c.badResp(f, fmt.Sprintf("unknown op %d", f.Op))
+}
+
+// endResp seals a response frame opened by beginResp.
+func (c *conn) endResp(out *wire.FrameBuf) *wire.FrameBuf {
+	out.B = wire.EndFrame(out.B, 0)
+	return out
+}
+
+// badResp encodes a StatusBad response for a malformed-but-framed request.
+func (c *conn) badResp(f wire.Frame, msg string) *wire.FrameBuf {
+	out := c.beginResp(f.Op, f.ReqID, 1+len(msg))
+	out.B = wire.AppendErrResp(out.B, wire.StatusBad, msg)
+	return c.endResp(out)
 }
 
 // errResp maps a store error onto a wire status: a closed/draining store
 // is distinguishable (the client maps it back to palermo.ErrClosed);
 // everything else carries its message.
-func errResp(err error) []byte {
+func (c *conn) errResp(f wire.Frame, err error) *wire.FrameBuf {
+	st := wire.StatusErr
 	if errors.Is(err, serve.ErrClosed) {
-		return wire.AppendErrResp(nil, wire.StatusClosed, err.Error())
+		st = wire.StatusClosed
 	}
-	return wire.AppendErrResp(nil, wire.StatusErr, err.Error())
+	msg := err.Error()
+	out := c.beginResp(f.Op, f.ReqID, 1+len(msg))
+	out.B = wire.AppendErrResp(out.B, st, msg)
+	return c.endResp(out)
 }

@@ -1,6 +1,7 @@
 package netserve
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
@@ -571,6 +572,65 @@ func TestConfigValidate(t *testing.T) {
 	} {
 		if _, err := New(newFakeStore(), cfg); err == nil {
 			t.Fatalf("case %d: config %+v must be rejected", i, cfg)
+		}
+	}
+}
+
+// BenchmarkServeLoopback measures one pipelined connection's round-trip
+// cost (and allocations) through the full server path: pooled frame
+// receive, request dispatch, in-place pooled response encode, writer.
+// The allocs/op figure is the pooled reply path's budget guard.
+func BenchmarkServeLoopback(b *testing.B) {
+	st := newFakeStore()
+	srv, err := New(st, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nc.Close()
+	bw := bufio.NewWriter(nc)
+	br := bufio.NewReader(nc)
+	req := wire.AppendFrame(nil, wire.OpWrite, 1, wire.AppendWriteReq(nil, 7, make([]byte, wire.BlockBytes)))
+
+	// Keep a modest request window in flight so the server's read, serve,
+	// and write stages all stay busy, like a real pipelining client.
+	const window = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	inflight := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := bw.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		inflight++
+		if inflight == window {
+			if err := bw.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			for ; inflight > 0; inflight-- {
+				if _, err := wire.ReadFrame(br); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	bw.Flush()
+	for ; inflight > 0; inflight-- {
+		if _, err := wire.ReadFrame(br); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -166,27 +166,11 @@ func (e *Ring) ResetPeaks() {
 }
 
 // Access implements Engine: one served LLC miss across the full hierarchy.
+// It is the serial composition of the staged pipeline — Plan then Apply
+// back to back with no I/O in between (see staged.go).
 func (e *Ring) Access(pa uint64, write bool, val uint64) *Plan {
-	if pa >= e.cfg.NLines {
-		panic(fmt.Sprintf("oram: PA %d outside protected space of %d lines", pa, e.cfg.NLines))
-	}
-	e.reqID++
-	plan := &Plan{ReqID: e.reqID, PA: pa, Write: write, Levels: make([]LevelAccess, len(e.spaces))}
-	groupIdx := pa / uint64(e.cfg.DataSlotLines)
-	for l := len(e.spaces) - 1; l >= 0; l-- {
-		idx := e.pm.Index(l, groupIdx)
-		if l == 0 {
-			plan.FromStash = e.spaces[0].Stash.Contains(otree.BlockID(idx))
-		}
-		la, got := e.accessLevel(l, idx, l == 0 && write, val)
-		plan.Levels[l] = la
-		if l == 0 {
-			plan.Val = got
-		}
-	}
-	plan.DataLeaf = e.lastDataLeaf
-	e.fillStashAfter(plan)
-	return plan
+	op := e.PlanAccess(pa, write, val)
+	return op.Apply()
 }
 
 // DummyAccess implements Engine: a full-protocol access along a fresh

@@ -1,0 +1,75 @@
+package oram
+
+import (
+	"testing"
+
+	"palermo/internal/rng"
+)
+
+// TestStagedAccessEquivalence: PlanAccess+Apply is Access, observable
+// state transition for state transition — same leaves, same values, same
+// traffic — and FetchSet names the access's data block group.
+func TestStagedAccessEquivalence(t *testing.T) {
+	mk := func() *Ring {
+		cfg := PalermoRingConfig()
+		cfg.NLines = 1 << 12
+		e, err := NewRing(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	serial, staged := mk(), mk()
+	r := rng.New(555)
+	for i := 0; i < 2000; i++ {
+		pa := r.Uint64n(1 << 10) // heavy reuse: stash hits, reshuffles, evictions
+		write := r.Float64() < 0.4
+		val := r.Uint64()
+
+		want := serial.Access(pa, write, val)
+
+		op := staged.PlanAccess(pa, write, val)
+		var ids [1]uint64
+		fetch := op.FetchSet(ids[:0])
+		if len(fetch) != 1 || fetch[0] != pa/uint64(staged.Config().DataSlotLines) {
+			t.Fatalf("op %d: FetchSet = %v, want the data block group of PA %d", i, fetch, pa)
+		}
+		if op.Write() != write {
+			t.Fatalf("op %d: Write() = %v", i, op.Write())
+		}
+		got := op.Apply()
+
+		if got.ReqID != want.ReqID || got.DataLeaf != want.DataLeaf ||
+			got.Val != want.Val || got.FromStash != want.FromStash {
+			t.Fatalf("op %d diverged: staged %+v, serial %+v", i, got, want)
+		}
+		if got.Reads() != want.Reads() || got.Writes() != want.Writes() {
+			t.Fatalf("op %d traffic diverged: staged %d/%d, serial %d/%d",
+				i, got.Reads(), got.Writes(), want.Reads(), want.Writes())
+		}
+	}
+	for l := 0; l < serial.Levels(); l++ {
+		if serial.StashLen(l) != staged.StashLen(l) {
+			t.Fatalf("level %d stash diverged: serial %d, staged %d", l, serial.StashLen(l), staged.StashLen(l))
+		}
+	}
+}
+
+// TestStagedAccessApplyTwicePanics: the engine refuses a double Apply —
+// it would corrupt commit order silently.
+func TestStagedAccessApplyTwicePanics(t *testing.T) {
+	cfg := DefaultRingConfig()
+	cfg.NLines = 1 << 8
+	e, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := e.PlanAccess(3, false, 0)
+	op.Apply()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Apply did not panic")
+		}
+	}()
+	op.Apply()
+}

@@ -11,6 +11,13 @@
 // channels and their own futures. Back-pressure is the queue send itself:
 // when a shard's bounded queue is full, Submit blocks until the worker
 // drains, which bounds memory and keeps a closed-loop client honest.
+//
+// With a StagedBackend and PipelineDepth > 1 the worker becomes a
+// depth-D software pipeline (DESIGN.md §9): request k's backend I/O and
+// WAL commit are in flight while request k+1's engine stage runs on the
+// worker. Engine work never leaves the worker goroutine and completions
+// resolve FIFO, so scheduling, dedup semantics, and per-shard
+// determinism are identical to the serial worker at every depth.
 package serve
 
 import (
@@ -54,6 +61,25 @@ type Backend interface {
 	Close() error
 }
 
+// Access is one staged operation a StagedBackend has begun: the engine
+// stage is done, the I/O stage is in flight. Wait resolves it (on the
+// worker goroutine).
+type Access interface {
+	Wait() ([]byte, error)
+}
+
+// StagedBackend is the optional Backend extension the pipelined worker
+// drives: Begin runs the access's deterministic engine stage and launches
+// its backend I/O vector, so the worker can begin the next request's
+// engine stage while up to PipelineDepth accesses' I/O (and a durable
+// backend's group commit) is in flight. shard.Shard implements it once
+// its pipeline is enabled.
+type StagedBackend interface {
+	Backend
+	BeginRead(local uint64) (Access, error)
+	BeginWrite(local uint64, data []byte) (Access, error)
+}
+
 // Config tunes the service. The zero value uses the defaults.
 type Config struct {
 	// QueueDepth bounds each shard's request queue, counted in queued
@@ -64,6 +90,12 @@ type Config struct {
 	// submitted batch is never split, so an atomic SubmitBatch larger than
 	// MaxBatch still dedups as one unit. Default 64.
 	MaxBatch int
+	// PipelineDepth is how many accesses a shard worker keeps in flight
+	// through a StagedBackend: request k's backend I/O and WAL commit
+	// overlap request k+1's engine stage. 1 serves strictly serially —
+	// bit-identical to the pre-pipeline worker; backends that are not
+	// StagedBackends always serve serially. Default 2.
+	PipelineDepth int
 }
 
 func (c *Config) defaults() {
@@ -72,6 +104,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 64
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 2
 	}
 }
 
@@ -95,12 +130,13 @@ func (f *Future) Wait() ([]byte, error) {
 
 // request is the internal queued form.
 type request struct {
-	op   Op
-	id   uint64
-	data []byte
-	fn   func() // opSync only
-	t0   time.Time
-	done chan result
+	op    Op
+	id    uint64
+	data  []byte
+	fn    func()    // opSync only
+	t0    time.Time // submission (queue entry)
+	tExec time.Time // worker pickup (queue exit); set by the worker
+	done  chan result
 }
 
 // Service routes requests to per-shard workers.
@@ -118,19 +154,43 @@ type Service struct {
 // worker owns one backend.
 type worker struct {
 	backend  Backend
+	staged   StagedBackend // non-nil: the pipelined executor is active
+	depth    int           // accesses kept in flight (PipelineDepth)
 	queue    chan []*request
 	maxBatch int
+
+	// Pipeline state (staged executor only). pipe is the in-flight FIFO;
+	// inflight counts per-id in-flight accesses begun in the current
+	// coalesced batch, so same-batch dedup still collapses duplicate reads
+	// onto one ORAM access; batchSeq tags pipe entries with their batch so
+	// a completion from a previous batch never pollutes the current
+	// batch's dedup cache.
+	pipe     []pendingOp
+	inflight map[uint64]int
+	batchSeq uint64
 
 	// statMu guards the histograms and counters below; they are written by
 	// the worker once per completed request and read by Stats.
 	statMu   sync.Mutex
 	readLat  *stats.Histogram
 	writeLat *stats.Histogram
+	queueLat *stats.Histogram // submission -> worker pickup
+	execLat  *stats.Histogram // worker pickup -> completion
 	dedup    uint64
 
 	// closeErr is the backend's Close result, written by the worker
 	// goroutine before it exits and read only after wg.Wait.
 	closeErr error
+}
+
+// pendingOp is one in-flight staged access awaiting completion.
+type pendingOp struct {
+	r    *request
+	acc  Access
+	id   uint64
+	wr   bool
+	data []byte // write plaintext, cached on success
+	seq  uint64 // batch tag (dedup-cache eligibility)
 }
 
 // New starts one worker goroutine per backend.
@@ -140,10 +200,17 @@ func New(backends []Backend, cfg Config) *Service {
 	for _, b := range backends {
 		w := &worker{
 			backend:  b,
+			depth:    cfg.PipelineDepth,
 			queue:    make(chan []*request, cfg.QueueDepth),
 			maxBatch: cfg.MaxBatch,
 			readLat:  newLatHistogram(),
 			writeLat: newLatHistogram(),
+			queueLat: newLatHistogram(),
+			execLat:  newLatHistogram(),
+		}
+		if sb, ok := b.(StagedBackend); ok && cfg.PipelineDepth > 1 {
+			w.staged = sb
+			w.inflight = make(map[uint64]int)
 		}
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
@@ -298,13 +365,32 @@ func (s *Service) Closed() bool {
 func (s *Service) WaitClosed() { s.wg.Wait() }
 
 // run is the worker loop: receive a batch, opportunistically coalesce more
-// queued submissions up to maxBatch operations, serve, repeat. On queue
-// close, everything already queued is still served before exiting.
+// queued submissions up to maxBatch operations, serve, repeat. With a
+// staged backend, in-flight accesses are carried across batches while the
+// queue stays busy — the cross-request overlap of the pipeline — and
+// drained whenever the queue goes idle, so a lone request never waits for
+// a successor. On queue close, everything already queued is still served
+// and the pipeline drained before the backend closes.
 func (w *worker) run() {
-	defer func() { w.closeErr = w.backend.Close() }()
 	cache := make(map[uint64][]byte)
+	defer func() {
+		w.drainPipe(cache)
+		w.closeErr = w.backend.Close()
+	}()
 	for {
-		batch, ok := <-w.queue
+		var batch []*request
+		var ok bool
+		if len(w.pipe) > 0 {
+			// Complete in-flight work before parking on an empty queue.
+			select {
+			case batch, ok = <-w.queue:
+			default:
+				w.drainPipe(cache)
+				batch, ok = <-w.queue
+			}
+		} else {
+			batch, ok = <-w.queue
+		}
 		if !ok {
 			return
 		}
@@ -331,12 +417,26 @@ func (w *worker) run() {
 // id is cached is served by fan-out instead of a second ORAM access.
 func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 	clear(cache)
+	if w.staged != nil {
+		w.batchSeq++
+		clear(w.inflight) // earlier batches' entries no longer feed this cache
+	}
+	now := time.Now()
 	for _, r := range ops {
+		r.tExec = now
 		switch r.op {
 		case opSync:
+			w.drainPipe(cache)
 			r.fn()
 			r.done <- result{}
 		case OpRead:
+			// Order same-id operations: an in-flight access to this id from
+			// the current batch must land (populating the cache) before the
+			// read is served — the serial executor's arrival-order/dedup
+			// semantics, preserved across the pipeline.
+			for w.staged != nil && w.inflight[r.id] > 0 {
+				w.completeOne(cache)
+			}
 			if data, ok := cache[r.id]; ok {
 				w.statMu.Lock()
 				w.dedup++
@@ -344,33 +444,99 @@ func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 				w.finish(r, append([]byte(nil), data...), nil)
 				continue
 			}
-			data, err := w.backend.Read(r.id)
-			if err == nil {
-				cache[r.id] = append([]byte(nil), data...)
+			if w.staged == nil {
+				data, err := w.backend.Read(r.id)
+				if err == nil {
+					cache[r.id] = append([]byte(nil), data...)
+				}
+				w.finish(r, data, err)
+				continue
 			}
-			w.finish(r, data, err)
+			if len(w.pipe) >= w.depth {
+				w.completeOne(cache)
+			}
+			acc, err := w.staged.BeginRead(r.id)
+			if err != nil {
+				w.finish(r, nil, err)
+				continue
+			}
+			w.pipe = append(w.pipe, pendingOp{r: r, acc: acc, id: r.id, seq: w.batchSeq})
+			w.inflight[r.id]++
 		case OpWrite:
-			err := w.backend.Write(r.id, r.data)
-			if err == nil {
-				cache[r.id] = append([]byte(nil), r.data...)
-			} else {
-				delete(cache, r.id) // never serve a stale fan-out after a failed write
+			if w.staged == nil {
+				err := w.backend.Write(r.id, r.data)
+				if err == nil {
+					cache[r.id] = append([]byte(nil), r.data...)
+				} else {
+					delete(cache, r.id) // never serve a stale fan-out after a failed write
+				}
+				w.finish(r, nil, err)
+				continue
 			}
-			w.finish(r, nil, err)
+			if len(w.pipe) >= w.depth {
+				w.completeOne(cache)
+			}
+			acc, err := w.staged.BeginWrite(r.id, r.data)
+			if err != nil {
+				delete(cache, r.id)
+				w.finish(r, nil, err)
+				continue
+			}
+			w.pipe = append(w.pipe, pendingOp{r: r, acc: acc, id: r.id, wr: true, data: r.data, seq: w.batchSeq})
+			w.inflight[r.id]++
 		}
 	}
 }
 
-// finish records latency and resolves the future (never blocks: done is
+// completeOne resolves the oldest in-flight access: wait out its I/O,
+// update the dedup cache (current-batch entries only), and finish its
+// future. Futures therefore resolve in begin order.
+func (w *worker) completeOne(cache map[uint64][]byte) {
+	p := w.pipe[0]
+	copy(w.pipe, w.pipe[1:])
+	w.pipe = w.pipe[:len(w.pipe)-1]
+	data, err := p.acc.Wait()
+	if p.seq == w.batchSeq {
+		if n := w.inflight[p.id]; n > 1 {
+			w.inflight[p.id] = n - 1
+		} else {
+			delete(w.inflight, p.id)
+		}
+		switch {
+		case p.wr && err == nil:
+			cache[p.id] = append([]byte(nil), p.data...)
+		case p.wr:
+			delete(cache, p.id) // never serve a stale fan-out after a failed write
+		case err == nil:
+			cache[p.id] = append([]byte(nil), data...)
+		}
+	}
+	w.finish(p.r, data, err)
+}
+
+// drainPipe completes every in-flight access.
+func (w *worker) drainPipe(cache map[uint64][]byte) {
+	for len(w.pipe) > 0 {
+		w.completeOne(cache)
+	}
+}
+
+// finish records latency — total per op class, plus the queue-wait and
+// execute split — and resolves the future (never blocks: done is
 // buffered).
 func (w *worker) finish(r *request, data []byte, err error) {
-	us := float64(time.Since(r.t0)) / float64(time.Microsecond)
+	now := time.Now()
+	us := float64(now.Sub(r.t0)) / float64(time.Microsecond)
+	queueUs := float64(r.tExec.Sub(r.t0)) / float64(time.Microsecond)
+	execUs := float64(now.Sub(r.tExec)) / float64(time.Microsecond)
 	w.statMu.Lock()
 	if r.op == OpRead {
 		w.readLat.Add(us)
 	} else {
 		w.writeLat.Add(us)
 	}
+	w.queueLat.Add(queueUs)
+	w.execLat.Add(execUs)
 	w.statMu.Unlock()
 	r.done <- result{data: data, err: err}
 }
@@ -382,12 +548,18 @@ type LatencySummary struct {
 	P50Us, P99Us float64
 }
 
-// Stats is a point-in-time service snapshot.
+// Stats is a point-in-time service snapshot. ReadLat/WriteLat are
+// submission-to-completion totals per op class; QueueLat/ExecLat split the
+// same interval (across both classes) into time spent waiting in the shard
+// queue versus executing on the worker, so a pipeline win (shorter
+// execute, emptier queue) is attributable from the snapshot alone.
 type Stats struct {
 	Reads, Writes uint64 // completed operations
 	DedupHits     uint64 // reads served by intra-batch fan-out
 	ReadLat       LatencySummary
 	WriteLat      LatencySummary
+	QueueLat      LatencySummary // queue entry -> worker pickup
+	ExecLat       LatencySummary // worker pickup -> completion
 }
 
 // Stats aggregates counters and latency percentiles across all shards. Safe
@@ -397,17 +569,22 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	var out Stats
 	reads, writes := newLatHistogram(), newLatHistogram()
+	queued, execed := newLatHistogram(), newLatHistogram()
 	for _, w := range s.workers {
 		w.statMu.Lock()
 		out.DedupHits += w.dedup
 		reads.Merge(w.readLat)
 		writes.Merge(w.writeLat)
+		queued.Merge(w.queueLat)
+		execed.Merge(w.execLat)
 		w.statMu.Unlock()
 	}
 	out.Reads = reads.N()
 	out.Writes = writes.N()
 	out.ReadLat = summarize(reads)
 	out.WriteLat = summarize(writes)
+	out.QueueLat = summarize(queued)
+	out.ExecLat = summarize(execed)
 	return out
 }
 

@@ -329,3 +329,216 @@ func TestServeConcurrentClients(t *testing.T) {
 		t.Fatalf("latency summary implausible: %+v", st.ReadLat)
 	}
 }
+
+// stagedMemBackend wraps memBackend with the StagedBackend surface: the
+// engine-stage analog (the backend map op and access count) runs at
+// Begin on the worker, while completion arrives asynchronously over a
+// channel — so the pipelined worker's FIFO, dedup, and ordering logic is
+// exercised with genuinely overlapped completions under -race.
+type stagedMemBackend struct {
+	*memBackend
+	beginReads, beginWrites int
+}
+
+type fakeAccess struct{ ch chan result }
+
+func (a fakeAccess) Wait() ([]byte, error) {
+	r := <-a.ch
+	return r.data, r.err
+}
+
+func (s *stagedMemBackend) BeginRead(id uint64) (Access, error) {
+	s.beginReads++
+	data, err := s.memBackend.Read(id)
+	ch := make(chan result, 1)
+	go func() { ch <- result{data: data, err: err} }()
+	return fakeAccess{ch}, nil
+}
+
+func (s *stagedMemBackend) BeginWrite(id uint64, data []byte) (Access, error) {
+	s.beginWrites++
+	err := s.memBackend.Write(id, data)
+	ch := make(chan result, 1)
+	go func() { ch <- result{err: err} }()
+	return fakeAccess{ch}, nil
+}
+
+// TestServePipelinedBatchDedup is TestServeBatchDedup through the
+// pipelined worker: duplicate reads inside an atomic batch still collapse
+// onto one backend access even with accesses in flight.
+func TestServePipelinedBatchDedup(t *testing.T) {
+	b := &stagedMemBackend{memBackend: newMemBackend()}
+	s := New([]Backend{b}, Config{PipelineDepth: 4})
+	defer s.Close()
+	if err := s.Write(0, 7, payload(7)); err != nil {
+		t.Fatal(err)
+	}
+	var before int
+	if err := s.Sync(0, func() { before = b.accesses }); err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Req, 32)
+	for i := range reqs {
+		reqs[i] = Req{Op: OpRead, ID: 7}
+	}
+	futs, err := s.SubmitBatch(0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results [][]byte
+	for _, f := range futs {
+		data, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, data)
+	}
+	var after int
+	if err := s.Sync(0, func() { after = b.accesses }); err != nil {
+		t.Fatal(err)
+	}
+	if after-before != 1 {
+		t.Fatalf("32 same-block reads cost %d backend accesses, want 1", after-before)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, results[0]) {
+			t.Fatalf("waiter %d got a different payload", i)
+		}
+	}
+	if st := s.Stats(); st.DedupHits != 31 {
+		t.Fatalf("dedup hits = %d, want 31", st.DedupHits)
+	}
+}
+
+// TestServePipelinedWriteThenRead: arrival-order visibility and fan-out
+// from an in-flight write, through the pipeline.
+func TestServePipelinedWriteThenRead(t *testing.T) {
+	b := &stagedMemBackend{memBackend: newMemBackend()}
+	s := New([]Backend{b}, Config{PipelineDepth: 4})
+	defer s.Close()
+	futs, err := s.SubmitBatch(0, []Req{
+		{Op: OpWrite, ID: 3, Data: payload(99)},
+		{Op: OpRead, ID: 3},
+		{Op: OpRead, ID: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := futs[0].Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs[1:] {
+		data, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(data) != 99 {
+			t.Fatal("read did not observe same-batch write")
+		}
+	}
+	var accesses int
+	if err := s.Sync(0, func() { accesses = b.accesses }); err != nil {
+		t.Fatal(err)
+	}
+	if accesses != 1 {
+		t.Fatalf("write+2 reads cost %d backend accesses, want 1 (reads fan out from the write)", accesses)
+	}
+}
+
+// TestServePipelinedFailedWriteNotCached: a failed in-flight write never
+// feeds the fan-out cache.
+func TestServePipelinedFailedWriteNotCached(t *testing.T) {
+	mb := newMemBackend()
+	mb.hasFail, mb.failOn = true, 4
+	b := &stagedMemBackend{memBackend: mb}
+	s := New([]Backend{b}, Config{PipelineDepth: 4})
+	defer s.Close()
+	futs, err := s.SubmitBatch(0, []Req{
+		{Op: OpWrite, ID: 4, Data: payload(1)},
+		{Op: OpRead, ID: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := futs[0].Wait(); err == nil {
+		t.Fatal("injected write failure not reported")
+	}
+	if _, err := futs[1].Wait(); err == nil {
+		t.Fatal("read after failed write served from cache")
+	}
+}
+
+// TestServePipelinedConcurrentClients is the pipelined variant of the
+// back-pressure/race audit, with a serial-depth control: the two
+// configurations must agree on every client's read-your-write view.
+func TestServePipelinedConcurrentClients(t *testing.T) {
+	for _, depth := range []int{1, 4} {
+		backends := []Backend{
+			&stagedMemBackend{memBackend: newMemBackend()},
+			&stagedMemBackend{memBackend: newMemBackend()},
+		}
+		s := New(backends, Config{QueueDepth: 4, MaxBatch: 8, PipelineDepth: depth})
+		const clients, opsPer = 8, 150
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < opsPer; i++ {
+					id := uint64(c*opsPer + i%7)
+					shard := c % 2
+					want := uint64(c<<32) | uint64(i)
+					if err := s.Write(shard, id, payload(want)); err != nil {
+						errs <- err
+						return
+					}
+					got, err := s.Read(shard, id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if binary.LittleEndian.Uint64(got) != want {
+						errs <- fmt.Errorf("depth %d: client %d read stale data", depth, c)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.Reads != clients*opsPer || st.Writes != clients*opsPer {
+			t.Fatalf("depth %d stats ops: %+v", depth, st)
+		}
+		if st.QueueLat.N != 2*clients*opsPer || st.ExecLat.N != st.QueueLat.N {
+			t.Fatalf("depth %d: queue/exec histograms missed ops: %+v", depth, st)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServeStatsBreakdown: the queue-wait/execute split covers every
+// completed op and stays internally consistent.
+func TestServeStatsBreakdown(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{})
+	defer s.Close()
+	for i := 0; i < 40; i++ {
+		if err := s.Write(0, uint64(i), payload(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.QueueLat.N != 40 || st.ExecLat.N != 40 {
+		t.Fatalf("breakdown N = %d/%d, want 40/40", st.QueueLat.N, st.ExecLat.N)
+	}
+	if st.QueueLat.P99Us < st.QueueLat.P50Us || st.ExecLat.P99Us < st.ExecLat.P50Us {
+		t.Fatalf("implausible breakdown summaries: %+v %+v", st.QueueLat, st.ExecLat)
+	}
+}

@@ -127,12 +127,23 @@ const DefaultCheckpointEvery = 4096
 // each shard to one worker goroutine (the same engine-per-goroutine
 // discipline as the sweep runner).
 type Shard struct {
-	index  int // shard coordinate (the id residue this shard serves)
-	stride int // total shard count (for local -> global id recovery)
-	blocks uint64
-	engine *oram.Ring
-	sealer *crypt.Sealer
-	be     backend.Backend
+	index   int // shard coordinate (the id residue this shard serves)
+	stride  int // total shard count (for local -> global id recovery)
+	blocks  uint64
+	engine  *oram.Ring
+	sealer  *crypt.Sealer
+	be      backend.Backend
+	durable bool
+
+	// Staged-execution state (staged.go). Until EnablePipeline, ioq is nil
+	// and the shard runs the serial executor.
+	ioq      chan ioReq
+	resq     chan ioRes // FIFO access results (Wait order == Begin order)
+	ioDone   chan struct{}
+	vbe      backend.VectorBackend
+	beginSeq uint64
+	waitSeq  uint64
+	ioErr    error // first I/O-stage failure: the shard wedges fail-fast
 
 	ckptEvery uint64 // writes between automatic checkpoints (durable only)
 	sinceCkpt uint64
@@ -192,6 +203,13 @@ func New(index, stride int, blocks uint64, key []byte, engineSeed uint64, be bac
 	if err != nil {
 		return nil, err
 	}
+	if engine.Config().DataSlotLines != 1 {
+		// The shard stores one sealed payload per engine PA, so the staged
+		// executor's FetchSet ids coincide with shard-local ids only at
+		// slot width 1. A wider engine here would silently split the read
+		// and write key spaces — refuse loudly instead.
+		return nil, fmt.Errorf("shard: engine DataSlotLines must be 1, got %d", engine.Config().DataSlotLines)
+	}
 	if be == nil {
 		be = memory.New()
 	}
@@ -202,6 +220,7 @@ func New(index, stride int, blocks uint64, key []byte, engineSeed uint64, be bac
 		engine:    engine,
 		sealer:    sealer,
 		be:        be,
+		durable:   be.Durable(),
 		ckptEvery: DefaultCheckpointEvery,
 	}
 	meta, metaEpoch, tail := be.Recovered()
@@ -253,6 +272,16 @@ func (s *Shard) Trace() *Trace { return s.trace }
 // so they carry the palermo: prefix and name the global (public) block id,
 // never the shard-local one.
 func (s *Shard) Write(local uint64, data []byte) error {
+	if s.ioq != nil {
+		// Staged executor owns the backend: route through it (Begin+Wait
+		// back to back is the depth-1 schedule of the pipeline).
+		a, err := s.BeginWrite(local, data)
+		if err != nil {
+			return err
+		}
+		_, err = a.Wait()
+		return err
+	}
 	if local >= s.blocks {
 		return fmt.Errorf("palermo: internal: block %d outside shard %d capacity %d", s.Global(local), s.index, s.blocks)
 	}
@@ -272,17 +301,25 @@ func (s *Shard) Write(local uint64, data []byte) error {
 	s.trafficR += uint64(plan.Reads())
 	s.trafficW += uint64(plan.Writes())
 	s.record(local, true, plan.DataLeaf)
-	if s.ckptEvery > 0 && s.be.Durable() {
-		s.sinceCkpt++
-		// Compact only once the log tail is also a meaningful fraction of
-		// the stored blocks: a snapshot rewrites every block, so a pure
-		// write-count trigger would cost O(store size) I/O every
-		// ckptEvery writes on a populated store. This keeps compaction
-		// I/O amortized O(1) per logged write.
-		if s.sinceCkpt >= s.ckptEvery && s.sinceCkpt*4 >= uint64(s.be.Len()) {
-			if err := s.checkpoint(); err != nil {
-				return fmt.Errorf("palermo: checkpoint after block %d: %w", global, err)
-			}
+	return s.maybeCheckpoint(global)
+}
+
+// maybeCheckpoint runs the deterministic compaction trigger after a
+// durable write. Compact only once the log tail is also a meaningful
+// fraction of the stored blocks: a snapshot rewrites every block, so a
+// pure write-count trigger would cost O(store size) I/O every ckptEvery
+// writes on a populated store. This keeps compaction I/O amortized O(1)
+// per logged write. Under the pipeline, beLen is a queue barrier, so the
+// trigger fires at exactly the same points of the operation stream as the
+// serial executor.
+func (s *Shard) maybeCheckpoint(global uint64) error {
+	if s.ckptEvery == 0 || !s.durable {
+		return nil
+	}
+	s.sinceCkpt++
+	if s.sinceCkpt >= s.ckptEvery && s.sinceCkpt*4 >= uint64(s.beLen()) {
+		if err := s.checkpoint(); err != nil {
+			return fmt.Errorf("palermo: checkpoint after block %d: %w", global, err)
 		}
 	}
 	return nil
@@ -291,6 +328,13 @@ func (s *Shard) Write(local uint64, data []byte) error {
 // Read fetches a block obliviously by shard-local id. Unwritten blocks read
 // as zeros after a full-protocol access, exactly like the single Store.
 func (s *Shard) Read(local uint64) ([]byte, error) {
+	if s.ioq != nil {
+		a, err := s.BeginRead(local)
+		if err != nil {
+			return nil, err
+		}
+		return a.Wait()
+	}
 	if local >= s.blocks {
 		return nil, fmt.Errorf("palermo: internal: block %d outside shard %d capacity %d", s.Global(local), s.index, s.blocks)
 	}
@@ -332,7 +376,7 @@ func (s *Shard) Snapshot() Counters {
 // encoded, so the checkpointed SealEpoch already covers it and a restored
 // sealer can never re-issue the blob's IV.
 func (s *Shard) checkpoint() error {
-	if !s.be.Durable() {
+	if !s.durable {
 		return nil
 	}
 	blobEpoch := s.sealer.Epoch() + 1
@@ -356,7 +400,14 @@ func (s *Shard) checkpoint() error {
 			buf.Len(), crypt.MaxBlobBytes)
 	}
 	ct := s.sealer.Blob(s.metaAddr(), blobEpoch, buf.Bytes())
-	if err := s.be.Checkpoint(ct, blobEpoch); err != nil {
+	if s.ioq != nil {
+		// Barrier through the I/O stage: every put queued ahead is applied
+		// before the backend snapshots, so the sealed engine state and the
+		// persisted block set describe the same operation-stream point.
+		if res := s.ioRound(ioReq{kind: ioCheckpoint, meta: ct, metaEpoch: blobEpoch}); res.err != nil {
+			return res.err
+		}
+	} else if err := s.be.Checkpoint(ct, blobEpoch); err != nil {
 		return err
 	}
 	s.sinceCkpt = 0
@@ -437,7 +488,15 @@ func (s *Shard) Close() error {
 		return nil
 	}
 	s.closed = true
-	return errors.Join(s.checkpoint(), s.be.Close())
+	ckErr := s.checkpoint()
+	var clErr error
+	if s.ioq != nil {
+		clErr = s.ioRound(ioReq{kind: ioClose}).err
+		<-s.ioDone
+	} else {
+		clErr = s.be.Close()
+	}
+	return errors.Join(ckErr, clErr)
 }
 
 func (s *Shard) record(local uint64, write bool, leaf uint64) {

@@ -1,0 +1,322 @@
+package shard
+
+import (
+	"fmt"
+
+	"palermo/internal/backend"
+)
+
+// This file is the shard's half of the pipelined executor (DESIGN.md §9):
+// every access splits into an engine stage — seal, oram.PlanAccess,
+// oram.Apply, counters, all on the shard's owner goroutine in submission
+// order, exactly the serial operation order — and an I/O stage, the
+// access's backend block vector, executed by a dedicated per-shard I/O
+// goroutine so it is in flight while the owner runs the next access's
+// engine stage. Consecutive queued puts coalesce into one
+// backend.PutMany, so a burst of writes reaches a durable backend as
+// CRC-framed record batches committed per access, not per block.
+//
+// Concurrency discipline: the ORAM engine, sealer, and counters stay
+// confined to the owner goroutine (the engine-per-goroutine rule); once
+// EnablePipeline is called, the backend is confined to the I/O goroutine
+// and every touch — gets, puts, checkpoints, Len, Close — flows through
+// the ordered request queue. Determinism is unchanged because the engine
+// stage order is the serial order and the queue preserves backend
+// operation order; only wall-clock overlap is new.
+
+// ioKind selects an I/O-stage operation.
+type ioKind uint8
+
+const (
+	ioPut ioKind = iota + 1
+	ioGet
+	ioLen
+	ioCheckpoint
+	ioClose
+)
+
+// ioReq is one operation of the shard's I/O stage.
+type ioReq struct {
+	kind      ioKind
+	put       backend.PutOp // ioPut
+	local     uint64        // ioGet
+	meta      []byte        // ioCheckpoint
+	metaEpoch uint64
+	done      chan ioRes // barrier ops only; nil routes the result to the shard's FIFO results channel
+}
+
+// ioRes resolves an ioReq.
+type ioRes struct {
+	sb  backend.Sealed // ioGet
+	ok  bool
+	n   int // ioLen
+	err error
+}
+
+// EnablePipeline switches the shard to staged execution with the given
+// pipeline depth: the I/O goroutine starts and owns the backend from here
+// on. Call once, before the shard starts serving, with depth > 1 (lower
+// depths keep the serial executor, which is the depth-1 pipeline).
+func (s *Shard) EnablePipeline(depth int) {
+	if depth <= 1 || s.ioq != nil {
+		return
+	}
+	s.vbe = backend.Vector(s.be)
+	s.ioq = make(chan ioReq, depth)
+	// Access results resolve through one FIFO channel: Wait order equals
+	// Begin order (the executor discipline), so per-access channels — an
+	// allocation and a sync object per op — are unnecessary. Capacity
+	// covers every outstanding access plus slack, so the I/O goroutine
+	// never blocks publishing a result.
+	s.resq = make(chan ioRes, depth+2)
+	s.ioDone = make(chan struct{})
+	go s.ioLoop()
+}
+
+// Pipelined reports whether staged execution is enabled.
+func (s *Shard) Pipelined() bool { return s.ioq != nil }
+
+// ioLoop is the I/O stage: execute queued requests in order, coalescing
+// consecutive puts into one vector so a durable backend frames and
+// commits them as a batch. Exits on ioClose (after closing the backend)
+// or when the queue is closed.
+func (s *Shard) ioLoop() {
+	defer close(s.ioDone)
+	var puts []backend.PutOp
+	flush := func() {
+		if len(puts) == 0 {
+			return
+		}
+		err := s.vbe.PutMany(puts)
+		for range puts {
+			s.resq <- ioRes{err: err}
+		}
+		puts = puts[:0]
+	}
+	for req := range s.ioq {
+		if req.kind != ioPut {
+			if s.ioExec(req) {
+				return
+			}
+			continue
+		}
+		puts = append(puts, req.put)
+	coalesce:
+		for {
+			select {
+			case nxt, open := <-s.ioq:
+				if !open {
+					flush()
+					return
+				}
+				if nxt.kind == ioPut {
+					puts = append(puts, nxt.put)
+					continue
+				}
+				flush()
+				if s.ioExec(nxt) {
+					return
+				}
+				break coalesce
+			default:
+				flush()
+				break coalesce
+			}
+		}
+	}
+	flush()
+}
+
+// ioExec runs one non-put request on the I/O goroutine; reports whether
+// the loop should exit (ioClose).
+func (s *Shard) ioExec(req ioReq) (stop bool) {
+	switch req.kind {
+	case ioGet:
+		var res ioRes
+		res.sb, res.ok = s.vbe.Get(req.local)
+		s.resq <- res
+	case ioLen:
+		req.done <- ioRes{n: s.vbe.Len()}
+	case ioCheckpoint:
+		req.done <- ioRes{err: s.vbe.Checkpoint(req.meta, req.metaEpoch)}
+	case ioClose:
+		req.done <- ioRes{err: s.vbe.Close()}
+		return true
+	}
+	return false
+}
+
+// ioRound runs one I/O request as a barrier: every request queued before
+// it (including coalesced puts) has executed when it returns.
+func (s *Shard) ioRound(req ioReq) ioRes {
+	req.done = make(chan ioRes, 1)
+	s.ioq <- req
+	return <-req.done
+}
+
+// beLen returns the backend's stored-block count through whichever
+// executor owns the backend. Under the pipeline this is a barrier, so the
+// count is exactly the serial executor's value at the same point of the
+// operation stream (the compaction trigger stays deterministic at any
+// depth).
+func (s *Shard) beLen() int {
+	if s.ioq != nil {
+		return s.ioRound(ioReq{kind: ioLen}).n
+	}
+	return s.be.Len()
+}
+
+// Access is one staged oblivious operation between its engine stage
+// (done when Begin returns) and its I/O completion. Wait must be called
+// on the shard's owner goroutine, exactly once per access, in Begin order
+// (the FIFO completion discipline both the serve worker and the
+// synchronous Store follow), with at most the pipeline depth of accesses
+// outstanding.
+type Access struct {
+	s      *Shard
+	write  bool
+	global uint64
+	expect uint64 // reads: the epoch the engine transition predicts
+	seq    uint64 // Begin order; Wait asserts FIFO discipline
+	res    ioRes
+	ready  bool
+}
+
+// BeginWrite runs the engine stage of an oblivious write — seal, the
+// Plan/Apply engine transition, counters — and launches its backend store
+// vector. The returned Access resolves when the record batch has been
+// accepted by the backend (durability follows the backend's group-commit
+// policy, as in the serial executor).
+func (s *Shard) BeginWrite(local uint64, data []byte) (*Access, error) {
+	if local >= s.blocks {
+		return nil, fmt.Errorf("palermo: internal: block %d outside shard %d capacity %d", s.Global(local), s.index, s.blocks)
+	}
+	if len(data) != BlockBytes {
+		return nil, fmt.Errorf("palermo: block must be %d bytes, got %d", BlockBytes, len(data))
+	}
+	if s.closed {
+		return nil, fmt.Errorf("palermo: shard %d is closed", s.index)
+	}
+	if s.ioErr != nil {
+		return nil, s.ioErr
+	}
+	global := s.Global(local)
+	ct, epoch, err := s.sealer.Seal(global, data)
+	if err != nil {
+		return nil, err
+	}
+	a := &Access{s: s, write: true, global: global}
+	if s.ioq != nil {
+		s.beginSeq++
+		a.seq = s.beginSeq
+		s.ioq <- ioReq{kind: ioPut, put: backend.PutOp{Local: local, Sb: backend.Sealed{Ct: ct, Epoch: epoch}}}
+	} else {
+		if err := s.be.Put(local, backend.Sealed{Ct: ct, Epoch: epoch}); err != nil {
+			return nil, fmt.Errorf("palermo: backend write of block %d: %w", global, err)
+		}
+		a.ready = true
+	}
+	st := s.engine.PlanAccess(local, true, epoch)
+	plan := st.Apply()
+	s.writes++
+	s.trafficR += uint64(plan.Reads())
+	s.trafficW += uint64(plan.Writes())
+	s.record(local, true, plan.DataLeaf)
+	if err := s.maybeCheckpoint(global); err != nil {
+		if s.ioq == nil {
+			return nil, err
+		}
+		if s.beginSeq-s.waitSeq == 1 {
+			// Only this access is outstanding: its completion slot can be
+			// consumed in FIFO order, so the checkpoint failure surfaces on
+			// this write exactly like the serial executor's.
+			a.Wait()
+			return nil, err
+		}
+		// Earlier accesses are still in flight (their completion slots are
+		// owned by the caller), so consuming ours here would mis-pair every
+		// outstanding access with the wrong I/O result. Wedge the shard
+		// instead: this write is complete, and every later Begin fails
+		// fast with the checkpoint error.
+		if s.ioErr == nil {
+			s.ioErr = err
+		}
+		return a, nil
+	}
+	return a, nil
+}
+
+// BeginRead runs the engine stage of an oblivious read and launches the
+// fetch of the access's planned block vector, which is in flight while
+// the engine transition (Apply) executes. Wait returns the plaintext.
+func (s *Shard) BeginRead(local uint64) (*Access, error) {
+	if local >= s.blocks {
+		return nil, fmt.Errorf("palermo: internal: block %d outside shard %d capacity %d", s.Global(local), s.index, s.blocks)
+	}
+	if s.closed {
+		return nil, fmt.Errorf("palermo: shard %d is closed", s.index)
+	}
+	if s.ioErr != nil {
+		return nil, s.ioErr
+	}
+	a := &Access{s: s, global: s.Global(local)}
+	st := s.engine.PlanAccess(local, false, 0)
+	if s.ioq != nil {
+		var ids [1]uint64
+		fetch := st.FetchSet(ids[:0])
+		s.beginSeq++
+		a.seq = s.beginSeq
+		s.ioq <- ioReq{kind: ioGet, local: fetch[0]}
+	}
+	plan := st.Apply()
+	a.expect = plan.Val
+	s.reads++
+	s.trafficR += uint64(plan.Reads())
+	s.trafficW += uint64(plan.Writes())
+	s.record(local, false, plan.DataLeaf)
+	if s.ioq == nil {
+		a.res.sb, a.res.ok = s.be.Get(local)
+		a.ready = true
+	}
+	return a, nil
+}
+
+// Wait resolves the access: the read plaintext (after the epoch
+// consistency check and unseal) or the write's backend outcome. An I/O
+// failure wedges the shard — every later Begin fails fast with the same
+// error, because the engine has already advanced past the lost write.
+func (a *Access) Wait() ([]byte, error) {
+	s := a.s
+	if !a.ready {
+		s.waitSeq++
+		if a.seq != s.waitSeq {
+			panic(fmt.Sprintf("shard: Access.Wait out of Begin order (access %d, expected %d)", a.seq, s.waitSeq))
+		}
+		a.res = <-s.resq
+		a.ready = true
+	}
+	if a.write {
+		if a.res.err != nil {
+			err := fmt.Errorf("palermo: backend write of block %d: %w", a.global, a.res.err)
+			if s.ioErr == nil {
+				s.ioErr = err
+			}
+			return nil, err
+		}
+		return nil, nil
+	}
+	if a.res.err != nil {
+		if s.ioErr == nil {
+			s.ioErr = a.res.err
+		}
+		return nil, a.res.err
+	}
+	if !a.res.ok {
+		return make([]byte, BlockBytes), nil
+	}
+	if a.expect != a.res.sb.Epoch {
+		return nil, fmt.Errorf("palermo: protocol state diverged for block %d (epoch %d != %d)",
+			a.global, a.expect, a.res.sb.Epoch)
+	}
+	return s.sealer.Open(a.global, a.res.sb.Epoch, a.res.sb.Ct)
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 const (
@@ -34,8 +35,10 @@ const (
 	Magic uint16 = 0x504C
 	// Version is the protocol revision this package speaks. A frame with a
 	// different version is rejected with ErrBadVersion so mixed deployments
-	// fail loudly instead of misparsing payloads.
-	Version byte = 1
+	// fail loudly instead of misparsing payloads. Version 2 extended the
+	// Stats body with the queue-wait/execute latency split (an
+	// incompatible fixed-width layout change).
+	Version byte = 2
 	// HeaderLen is the fixed frame-header size in bytes.
 	HeaderLen = 16
 	// BlockBytes is the store's payload granularity on the wire. A
@@ -118,27 +121,37 @@ func WriteFrame(w io.Writer, op byte, reqID uint64, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads and validates one frame from r. A clean EOF between
-// frames is returned as io.EOF; EOF inside a frame is ErrTruncated. The
-// returned payload is freshly allocated and owned by the caller.
-func ReadFrame(r io.Reader) (Frame, error) {
+// readHeader reads and validates a frame header, returning the frame (with
+// no payload yet) and the payload length.
+func readHeader(r io.Reader) (Frame, uint32, error) {
 	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return Frame{}, io.EOF
+			return Frame{}, 0, io.EOF
 		}
-		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+		return Frame{}, 0, fmt.Errorf("%w: header: %v", ErrTruncated, err)
 	}
 	if got := binary.BigEndian.Uint16(hdr[0:2]); got != Magic {
-		return Frame{}, fmt.Errorf("%w: got 0x%04x", ErrBadMagic, got)
+		return Frame{}, 0, fmt.Errorf("%w: got 0x%04x", ErrBadMagic, got)
 	}
 	if hdr[2] != Version {
-		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], Version)
+		return Frame{}, 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], Version)
 	}
 	f := Frame{Op: hdr[3], ReqID: binary.BigEndian.Uint64(hdr[4:12])}
 	n := binary.BigEndian.Uint32(hdr[12:16])
 	if n > MaxPayload {
-		return Frame{}, fmt.Errorf("%w: payload length %d, limit %d", ErrFrameTooLarge, n, MaxPayload)
+		return Frame{}, 0, fmt.Errorf("%w: payload length %d, limit %d", ErrFrameTooLarge, n, MaxPayload)
+	}
+	return f, n, nil
+}
+
+// ReadFrame reads and validates one frame from r. A clean EOF between
+// frames is returned as io.EOF; EOF inside a frame is ErrTruncated. The
+// returned payload is freshly allocated and owned by the caller.
+func ReadFrame(r io.Reader) (Frame, error) {
+	f, n, err := readHeader(r)
+	if err != nil {
+		return Frame{}, err
 	}
 	if n > 0 {
 		f.Payload = make([]byte, n)
@@ -147,6 +160,81 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		}
 	}
 	return f, nil
+}
+
+// --- pooled frame buffers ---------------------------------------------
+
+// FrameBuf is a pooled byte buffer carrying one frame payload (receive
+// path) or one encoded frame (reply path). B is valid until the buffer is
+// returned to its pool.
+type FrameBuf struct{ B []byte }
+
+// maxPooledBytes bounds what a pool retains: a rare multi-megabyte batch
+// frame should be garbage, not pinned forever in a pool slot.
+const maxPooledBytes = 64 << 10
+
+// BufPool recycles FrameBufs across a connection's hot receive/reply
+// path, eliminating the per-frame payload and response allocations. The
+// zero value is ready to use; it is safe for concurrent use.
+type BufPool struct{ p sync.Pool }
+
+// Get returns an empty buffer with at least the given capacity.
+func (bp *BufPool) Get(capacity int) *FrameBuf {
+	if v := bp.p.Get(); v != nil {
+		fb := v.(*FrameBuf)
+		if cap(fb.B) < capacity {
+			fb.B = make([]byte, 0, capacity)
+		}
+		fb.B = fb.B[:0]
+		return fb
+	}
+	return &FrameBuf{B: make([]byte, 0, capacity)}
+}
+
+// Put releases a buffer for reuse. Callers must not touch fb.B afterwards.
+func (bp *BufPool) Put(fb *FrameBuf) {
+	if fb == nil || cap(fb.B) > maxPooledBytes {
+		return
+	}
+	bp.p.Put(fb)
+}
+
+// ReadFrameBuf is ReadFrame with pooled payload storage: the returned
+// frame's payload aliases fb.B, and the caller must Put fb back once the
+// payload is dead. fb is nil exactly when err is non-nil or the payload
+// is empty.
+func ReadFrameBuf(r io.Reader, pool *BufPool) (f Frame, fb *FrameBuf, err error) {
+	f, n, err := readHeader(r)
+	if err != nil {
+		return Frame{}, nil, err
+	}
+	if n > 0 {
+		fb = pool.Get(int(n))
+		fb.B = fb.B[:n]
+		if _, err := io.ReadFull(r, fb.B); err != nil {
+			pool.Put(fb)
+			return Frame{}, nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+		}
+		f.Payload = fb.B
+	}
+	return f, fb, nil
+}
+
+// BeginFrame appends a frame header with a zero payload length to dst, so
+// a reply path can build the payload in place (one buffer, no copy) and
+// seal it with EndFrame.
+func BeginFrame(dst []byte, op byte, reqID uint64) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, op)
+	dst = binary.BigEndian.AppendUint64(dst, reqID)
+	return binary.BigEndian.AppendUint32(dst, 0)
+}
+
+// EndFrame patches the payload length of the frame that starts at index
+// start of buf (its header written by BeginFrame) and returns buf.
+func EndFrame(buf []byte, start int) []byte {
+	binary.BigEndian.PutUint32(buf[start+12:start+16], uint32(len(buf)-start-HeaderLen))
+	return buf
 }
 
 // --- request payloads -------------------------------------------------
@@ -348,6 +436,8 @@ type Stats struct {
 	DedupHits     uint64
 	ReadLat       Latency
 	WriteLat      Latency
+	QueueLat      Latency // shard-queue wait (submission -> worker pickup)
+	ExecLat       Latency // execute (worker pickup -> completion)
 
 	EngineReads, EngineWrites uint64 // shard engine operations
 	DRAMReads, DRAMWrites     uint64 // 64-byte line movements
@@ -360,7 +450,7 @@ type Stats struct {
 }
 
 // statsLen is the fixed encoded size of Stats.
-const statsLen = 8 + 4 + 3*8 + 2*(8+3*8) + 4*8 + 4 + 4
+const statsLen = 8 + 4 + 3*8 + 4*(8+3*8) + 4*8 + 4 + 4
 
 // AppendStats appends the fixed-width Stats encoding.
 func AppendStats(dst []byte, s Stats) []byte {
@@ -371,6 +461,8 @@ func AppendStats(dst []byte, s Stats) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, s.DedupHits)
 	dst = appendLatency(dst, s.ReadLat)
 	dst = appendLatency(dst, s.WriteLat)
+	dst = appendLatency(dst, s.QueueLat)
+	dst = appendLatency(dst, s.ExecLat)
 	dst = binary.BigEndian.AppendUint64(dst, s.EngineReads)
 	dst = binary.BigEndian.AppendUint64(dst, s.EngineWrites)
 	dst = binary.BigEndian.AppendUint64(dst, s.DRAMReads)
@@ -392,12 +484,14 @@ func ParseStats(body []byte) (Stats, error) {
 	s.DedupHits = binary.BigEndian.Uint64(body[28:])
 	s.ReadLat = parseLatency(body[36:])
 	s.WriteLat = parseLatency(body[68:])
-	s.EngineReads = binary.BigEndian.Uint64(body[100:])
-	s.EngineWrites = binary.BigEndian.Uint64(body[108:])
-	s.DRAMReads = binary.BigEndian.Uint64(body[116:])
-	s.DRAMWrites = binary.BigEndian.Uint64(body[124:])
-	s.StashPeak = binary.BigEndian.Uint32(body[132:])
-	s.MaxBatch = binary.BigEndian.Uint32(body[136:])
+	s.QueueLat = parseLatency(body[100:])
+	s.ExecLat = parseLatency(body[132:])
+	s.EngineReads = binary.BigEndian.Uint64(body[164:])
+	s.EngineWrites = binary.BigEndian.Uint64(body[172:])
+	s.DRAMReads = binary.BigEndian.Uint64(body[180:])
+	s.DRAMWrites = binary.BigEndian.Uint64(body[188:])
+	s.StashPeak = binary.BigEndian.Uint32(body[196:])
+	s.MaxBatch = binary.BigEndian.Uint32(body[200:])
 	return s, nil
 }
 

@@ -181,6 +181,8 @@ func TestStatsRoundTrip(t *testing.T) {
 		Reads: 101, Writes: 17, DedupHits: 4,
 		ReadLat:     Latency{N: 101, MeanUs: 12.5, P50Us: 10, P99Us: 95},
 		WriteLat:    Latency{N: 17, MeanUs: 20.25, P50Us: 15, P99Us: 130},
+		QueueLat:    Latency{N: 118, MeanUs: 3.5, P50Us: 2, P99Us: 40},
+		ExecLat:     Latency{N: 118, MeanUs: 16.75, P50Us: 13, P99Us: 110},
 		EngineReads: 97, EngineWrites: 17,
 		DRAMReads: 12345, DRAMWrites: 6789, StashPeak: 33,
 		MaxBatch: 4096,
@@ -286,4 +288,46 @@ func roundTripFrameF(t *testing.T, op byte, reqID uint64, payload []byte) Frame 
 		t.Fatalf("frame header mutated: %+v", f)
 	}
 	return f
+}
+
+// BenchmarkReadFrame measures the per-frame receive cost of the
+// allocating decoder (the baseline the pooled variant is compared to).
+func BenchmarkReadFrame(b *testing.B) {
+	one := AppendFrame(nil, OpWrite, 7, AppendWriteReq(nil, 42, make([]byte, BlockBytes)))
+	stream := bytes.Repeat(one, 1024)
+	r := bytes.NewReader(stream)
+	b.SetBytes(int64(len(one)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Len() < len(one) {
+			r.Reset(stream)
+		}
+		if _, err := ReadFrame(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFrameBuf is the pooled receive path netserve runs: the
+// payload buffer is recycled frame to frame (allocs/op must drop to ~0
+// against BenchmarkReadFrame).
+func BenchmarkReadFrameBuf(b *testing.B) {
+	one := AppendFrame(nil, OpWrite, 7, AppendWriteReq(nil, 42, make([]byte, BlockBytes)))
+	stream := bytes.Repeat(one, 1024)
+	r := bytes.NewReader(stream)
+	var pool BufPool
+	b.SetBytes(int64(len(one)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Len() < len(one) {
+			r.Reset(stream)
+		}
+		_, fb, err := ReadFrameBuf(r, &pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(fb)
+	}
 }

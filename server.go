@@ -126,6 +126,8 @@ func (a serverStore) Stats() wire.Stats {
 		DedupHits:   ss.DedupHits,
 		ReadLat:     toWireLatency(ss.ReadLat),
 		WriteLat:    toWireLatency(ss.WriteLat),
+		QueueLat:    toWireLatency(ss.QueueLat),
+		ExecLat:     toWireLatency(ss.ExecLat),
 		EngineReads: tr.Reads, EngineWrites: tr.Writes,
 		DRAMReads: tr.DRAMReads, DRAMWrites: tr.DRAMWrites,
 		StashPeak: uint32(tr.StashPeak),

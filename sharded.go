@@ -57,6 +57,13 @@ type ShardedStoreConfig struct {
 	CheckpointEvery int
 	// GroupCommit is WAL appends per fsync batch (default 32).
 	GroupCommit int
+	// PipelineDepth is each shard worker's in-flight access window: while
+	// request k's backend block vector (and WAL commit) is in flight,
+	// the worker runs request k+1's engine stage. 1 = strictly serial
+	// workers (the pre-pipeline behavior, bit-identical leaf traces and
+	// counters at every depth). Default 2; max MaxPipelineDepth. See
+	// StoreConfig.PipelineDepth for the durability interaction.
+	PipelineDepth int
 }
 
 func (c *ShardedStoreConfig) defaults() {
@@ -72,6 +79,9 @@ func (c *ShardedStoreConfig) defaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 2
+	}
 }
 
 // ShardedStore is a concurrent oblivious 64-byte-block store.
@@ -83,6 +93,9 @@ type ShardedStore struct {
 
 // NewShardedStore builds the shards and starts their workers.
 func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
+	if err := validatePipelineDepth(cfg.PipelineDepth); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
 		return nil, err
@@ -100,7 +113,7 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 	if cfg.Backend == "" {
 		cfg.Backend = BackendMemory
 	}
-	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, cfg.Shards, cfg.GroupCommit)
+	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, cfg.Shards, cfg.GroupCommit, cfg.PipelineDepth)
 	if err != nil {
 		return nil, err
 	}
@@ -117,11 +130,30 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 			return nil, fmt.Errorf("palermo: %w", err)
 		}
 		applyCheckpointEvery(sh, cfg.CheckpointEvery)
+		sh.EnablePipeline(cfg.PipelineDepth)
 		st.shards = append(st.shards, sh)
-		backends[i] = sh
+		backends[i] = stagedShard{sh}
 	}
-	st.svc = serve.New(backends, serve.Config{QueueDepth: cfg.QueueDepth, MaxBatch: cfg.MaxBatch})
+	st.svc = serve.New(backends, serve.Config{
+		QueueDepth:    cfg.QueueDepth,
+		MaxBatch:      cfg.MaxBatch,
+		PipelineDepth: cfg.PipelineDepth,
+	})
 	return st, nil
+}
+
+// stagedShard adapts *shard.Shard to serve.StagedBackend: the shard's
+// concrete Access pointer becomes the service-layer Access interface. The
+// serve worker only drives the staged methods when the shard's pipeline is
+// enabled (PipelineDepth > 1 — both are wired from the same config knob).
+type stagedShard struct{ *shard.Shard }
+
+func (s stagedShard) BeginRead(id uint64) (serve.Access, error) {
+	return s.Shard.BeginRead(id)
+}
+
+func (s stagedShard) BeginWrite(id uint64, data []byte) (serve.Access, error) {
+	return s.Shard.BeginWrite(id, data)
 }
 
 // Blocks returns the total capacity in blocks.

@@ -77,6 +77,8 @@ func TestShardedStoreConfigValidation(t *testing.T) {
 		{"Key bad length", ShardedStoreConfig{Blocks: 1 << 10, Key: []byte("not-a-valid-aes-key")}},
 		{"QueueDepth negative", ShardedStoreConfig{Blocks: 1 << 10, QueueDepth: -1}},
 		{"MaxBatch negative", ShardedStoreConfig{Blocks: 1 << 10, MaxBatch: -1}},
+		{"PipelineDepth negative", ShardedStoreConfig{Blocks: 1 << 10, PipelineDepth: -1}},
+		{"PipelineDepth beyond cap", ShardedStoreConfig{Blocks: 1 << 10, PipelineDepth: MaxPipelineDepth + 1}},
 		{"Backend unknown", ShardedStoreConfig{Blocks: 1 << 10, Backend: "etcd"}},
 		{"Backend memory with Dir", ShardedStoreConfig{Blocks: 1 << 10, Backend: BackendMemory, Dir: t.TempDir()}},
 		{"Backend wal without Dir", ShardedStoreConfig{Blocks: 1 << 10, Backend: BackendWAL}},
@@ -98,6 +100,8 @@ func TestShardedStoreConfigValidation(t *testing.T) {
 		{"Shards equal Blocks", ShardedStoreConfig{Blocks: 8, Shards: 8}},
 		{"QueueDepth explicit", ShardedStoreConfig{Blocks: 1 << 10, QueueDepth: 1}},
 		{"MaxBatch explicit", ShardedStoreConfig{Blocks: 1 << 10, MaxBatch: 1}},
+		{"PipelineDepth serial", ShardedStoreConfig{Blocks: 1 << 10, PipelineDepth: 1}},
+		{"PipelineDepth max", ShardedStoreConfig{Blocks: 1 << 10, PipelineDepth: MaxPipelineDepth}},
 		{"CheckpointEvery negative disables", ShardedStoreConfig{Blocks: 1 << 10, Shards: 2, Backend: BackendWAL, Dir: t.TempDir(), CheckpointEvery: -1}},
 		{"GroupCommit negative defaults", ShardedStoreConfig{Blocks: 1 << 10, Shards: 2, Backend: BackendWAL, Dir: t.TempDir(), GroupCommit: -1}},
 	}

@@ -90,6 +90,28 @@ type StoreConfig struct {
 	// GroupCommit is how many WAL appends share one fsync (default 32;
 	// 1 = synchronous durability per write).
 	GroupCommit int
+	// PipelineDepth is how many accesses the store's executor keeps in
+	// flight: an access's backend block vector (and, with BackendWAL, its
+	// group commit's fsync) is in flight while the next access's engine
+	// transition runs. Depth 1 executes strictly serially — bit-identical
+	// to the pre-pipeline store; the determinism contract (leaf traces,
+	// counters, recovered state) is identical at every depth. Default 2.
+	// With GroupCommit 1, fsyncs stay synchronous regardless (the
+	// per-write durability promise). Max MaxPipelineDepth.
+	PipelineDepth int
+}
+
+// MaxPipelineDepth caps PipelineDepth for both store flavors: beyond a
+// few dozen in-flight accesses the overlap is saturated and only the
+// crash-loss window of a durable backend keeps growing.
+const MaxPipelineDepth = 64
+
+// validatePipelineDepth rejects nonsensical depths; 0 means default.
+func validatePipelineDepth(d int) error {
+	if d < 0 || d > MaxPipelineDepth {
+		return fmt.Errorf("palermo: PipelineDepth must be in [0, %d], got %d", MaxPipelineDepth, d)
+	}
+	return nil
 }
 
 func (c *StoreConfig) defaults() {
@@ -105,6 +127,9 @@ func (c *StoreConfig) defaults() {
 	if c.Backend == "" {
 		c.Backend = BackendMemory
 	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 2
+	}
 }
 
 // openBackends validates the backend selection and opens one backend per
@@ -112,7 +137,7 @@ func (c *StoreConfig) defaults() {
 // directory gains a manifest pinning (blocks, shards) and one
 // sub-directory per shard, so a Store and a 1-shard ShardedStore are
 // interchangeable over the same Dir.
-func openBackends(kind, dir string, blocks uint64, shards, groupCommit int) ([]backend.Backend, error) {
+func openBackends(kind, dir string, blocks uint64, shards, groupCommit, pipelineDepth int) ([]backend.Backend, error) {
 	switch kind {
 	case BackendMemory:
 		if dir != "" {
@@ -128,7 +153,7 @@ func openBackends(kind, dir string, blocks uint64, shards, groupCommit int) ([]b
 		}
 		bes := make([]backend.Backend, shards)
 		for i := range bes {
-			be, err := wal.Open(filepath.Join(dir, fmt.Sprintf("shard-%04d", i)), wal.Options{GroupCommit: groupCommit})
+			be, err := wal.Open(filepath.Join(dir, fmt.Sprintf("shard-%04d", i)), wal.Options{GroupCommit: groupCommit, CommitDepth: pipelineDepth})
 			if err != nil {
 				for _, open := range bes[:i] {
 					open.Close()
@@ -170,11 +195,14 @@ type Store struct {
 // Backend: BackendWAL, a populated Dir is recovered: checkpointed state
 // restores exactly and any post-checkpoint log tail is replayed.
 func NewStore(cfg StoreConfig) (*Store, error) {
+	if err := validatePipelineDepth(cfg.PipelineDepth); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
 		return nil, err
 	}
-	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, 1, cfg.GroupCommit)
+	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, 1, cfg.GroupCommit, cfg.PipelineDepth)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +214,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 		return nil, fmt.Errorf("palermo: %w", err)
 	}
 	applyCheckpointEvery(sh, cfg.CheckpointEvery)
+	sh.EnablePipeline(cfg.PipelineDepth)
 	return &Store{sh: sh, blocks: cfg.Blocks}, nil
 }
 
