@@ -154,6 +154,79 @@ func BenchmarkShardedStoreOps(b *testing.B) {
 	}
 }
 
+// benchTreeTopLevels / benchPrefetch read the PALERMO_TREETOP and
+// PALERMO_PREFETCH overrides (mirroring PALERMO_PIPELINE) so the CI bench
+// smoke and BENCH_prefetch.json can compare serving configurations on the
+// identical benchmark: PALERMO_TREETOP pins the resident tree-top depth
+// (0/unset = byte-budget default), PALERMO_PREFETCH=1 turns the
+// batch-admission planner on.
+func benchTreeTopLevels() int {
+	if s := os.Getenv("PALERMO_TREETOP"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func benchPrefetch() bool {
+	return os.Getenv("PALERMO_PREFETCH") == "1"
+}
+
+// BenchmarkShardedServing is the serving-path configuration benchmark:
+// GOMAXPROCS closed-loop clients issuing Zipf-skewed (θ=0.99) 8-id read
+// batches with a 10% write mix against 4 shards — the workload the
+// tree-top cache and prefetch planner are built for. Sweep it with
+// PALERMO_TREETOP / PALERMO_PREFETCH / PALERMO_PIPELINE to regenerate
+// BENCH_prefetch.json and the EXPERIMENTS.md table.
+func BenchmarkShardedServing(b *testing.B) {
+	st, err := NewShardedStore(ShardedStoreConfig{
+		Blocks: 1 << 16, Shards: 4,
+		PipelineDepth: benchPipelineDepth(),
+		TreeTopLevels: benchTreeTopLevels(),
+		Prefetch:      benchPrefetch(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	var clientSeq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(2000 + clientSeq.Add(1))
+		z := rng.NewZipf(r, 1<<16, 0.99)
+		buf := bytes.Repeat([]byte{0x3C}, BlockSize)
+		ids := make([]uint64, 8)
+		for pb.Next() {
+			if r.Uint64n(10) == 0 {
+				if err := st.Write(z.Next(), buf); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			for i := range ids {
+				ids[i] = z.Next()
+			}
+			if _, err := st.ReadBatch(ids); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	tr := st.Traffic()
+	if ops := tr.Reads + tr.Writes; ops > 0 {
+		b.ReportMetric(float64(tr.DRAMReads+tr.DRAMWrites)/float64(ops), "dram_lines/op")
+		b.ReportMetric(float64(tr.TreeTopHits)/float64(ops), "treetop_hits/op")
+	}
+	if tr.PrefetchIssued > 0 {
+		b.ReportMetric(float64(tr.PrefetchUsed)/float64(tr.PrefetchIssued)*100, "prefetch_used_pct")
+	}
+}
+
 func BenchmarkFig03_RingBandwidth(b *testing.B) {
 	var sync float64
 	for i := 0; i < b.N; i++ {

@@ -76,8 +76,12 @@ func main() {
 	batch := flag.Int("batch", 1, "reads per ReadBatch call (1 = single-op loop)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 	pipeline := flag.Int("pipeline", 0, "per-shard pipeline depth (0 = default, 1 = serial workers)")
+	treetop := flag.Int("treetop", 0, "resident tree-top cache levels per engine space (0 = byte-budget default)")
+	prefetch := flag.Bool("prefetch", false, "enable the batch-admission prefetch planner (needs pipeline depth > 1)")
 	seed := flag.Uint64("seed", 1, "base seed (store shards and client streams derive from it)")
 	jsonDir := flag.String("json", "", "directory to write the BENCH_load.json perf record into")
+	figure := flag.String("figure", "", "override the perf-record figure name (default: load, or net with -addr)")
+	traceFile := flag.String("trace", "", "record per-shard serving leaf traces to this JSON file (in-process mode)")
 	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
 	groupCommit := flag.Int("group-commit", 0, "WAL appends per fsync batch (0 = default)")
 	verify := flag.Bool("verify", false, "reopen the -dir store and verify the stamped blocks instead of generating load")
@@ -93,7 +97,7 @@ func main() {
 		}
 		if *addr != "" {
 			switch f.Name {
-			case "shards", "blocks", "queue", "dir", "group-commit", "verify":
+			case "shards", "blocks", "queue", "dir", "group-commit", "verify", "treetop", "prefetch", "trace":
 				fatal(fmt.Errorf("-%s configures an in-process store; with -addr it belongs to the server", f.Name))
 			}
 		}
@@ -105,7 +109,11 @@ func main() {
 		*ops = 0
 	}
 	if *addr != "" {
-		runRemote(*addr, *conns, *clients, *ops, *duration, *readRatio, *zipf, *batch, *seed, *stamp, *jsonDir)
+		fig := "net"
+		if *figure != "" {
+			fig = *figure
+		}
+		runRemote(*addr, *conns, *clients, *ops, *duration, *readRatio, *zipf, *batch, *seed, *stamp, *jsonDir, fig)
 		return
 	}
 
@@ -115,6 +123,8 @@ func main() {
 		Seed:          *seed,
 		QueueDepth:    *queue,
 		PipelineDepth: *pipeline,
+		TreeTopLevels: *treetop,
+		Prefetch:      *prefetch,
 	}
 	if *dir != "" {
 		cfg.Backend = palermo.BackendWAL
@@ -135,6 +145,9 @@ func main() {
 	st, err := palermo.NewShardedStore(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceFile != "" {
+		st.EnableTraces()
 	}
 
 	bound := fmt.Sprintf("%d ops", *ops)
@@ -161,23 +174,54 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceFile != "" {
+		if err := writeTraces(*traceFile, st); err != nil {
+			fatal(err)
+		}
+	}
 	if err := st.Close(); err != nil {
 		fatal(err)
 	}
 
 	printResult(res)
 	if *jsonDir != "" {
-		if err := writeRecord(*jsonDir, "load", *ops, *seed, st.Shards(), res,
+		fig := "load"
+		if *figure != "" {
+			fig = *figure
+		}
+		if err := writeRecord(*jsonDir, fig, *ops, *seed, st.Shards(), res,
 			loadMetrics(res, *clients, *readRatio, *zipf)); err != nil {
 			fatal(err)
 		}
 	}
 }
 
+// writeTraces records every shard's serving leaf trace as JSON, the input
+// cmd/palermo-sec -serve consumes for the uniformity audit of the live
+// path. Captured after the run but before Close, while the workers are
+// idle — the traces cover the measured workload plus any stamp pass.
+func writeTraces(path string, st *palermo.ShardedStore) error {
+	traces := st.LeafTraces()
+	buf, err := json.MarshalIndent(traces, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	total := 0
+	for _, tr := range traces {
+		total += len(tr.Leaves)
+	}
+	fmt.Printf("  recorded %d serving leaf observations across %d shards to %s\n",
+		total, len(traces), path)
+	return nil
+}
+
 // runRemote is the -addr mode: the identical closed-loop workload driven
 // through palermo.Client over real sockets against a running
 // cmd/palermo-server, recorded as BENCH_net.json.
-func runRemote(addr string, conns, clients, ops int, duration time.Duration, readRatio, zipf float64, batch int, seed uint64, stamp bool, jsonDir string) {
+func runRemote(addr string, conns, clients, ops int, duration time.Duration, readRatio, zipf float64, batch int, seed uint64, stamp bool, jsonDir, figure string) {
 	cl, err := palermo.Dial(addr, palermo.ClientConfig{Conns: conns})
 	if err != nil {
 		fatal(err)
@@ -222,7 +266,7 @@ func runRemote(addr string, conns, clients, ops int, duration time.Duration, rea
 		metrics["conns"] = float64(conns)
 		metrics["frames_sent"] = float64(net.FramesSent)
 		metrics["merged_ops"] = float64(net.MergedOps)
-		if err := writeRecord(jsonDir, "net", ops, seed, shards, res, metrics); err != nil {
+		if err := writeRecord(jsonDir, figure, ops, seed, shards, res, metrics); err != nil {
 			fatal(err)
 		}
 	}
@@ -256,25 +300,37 @@ func printResult(res loadgen.Result) {
 		stats.QueueLat.P50Us, stats.QueueLat.P99Us, stats.ExecLat.P50Us, stats.ExecLat.P99Us)
 	fmt.Printf("  DRAM lines/op %.1f  stash peak %d\n",
 		res.Traffic.AmplificationFactor, res.Traffic.StashPeak)
+	tr := res.Traffic
+	if tr.TreeTopHits > 0 || tr.PrefetchIssued > 0 {
+		fmt.Printf("  tree-top hits %d (%.1f KiB of path I/O absorbed)  prefetch issued %d / used %d / stale %d\n",
+			tr.TreeTopHits, float64(tr.TreeTopHits)*palermo.BlockSize/1024,
+			tr.PrefetchIssued, tr.PrefetchUsed, tr.PrefetchStale)
+	}
 }
 
 func loadMetrics(res loadgen.Result, clients int, readRatio, zipf float64) map[string]float64 {
 	stats := res.Stats
 	return map[string]float64{
-		"ops_per_sec":  res.OpsPerSec(),
-		"clients":      float64(clients),
-		"read_ratio":   readRatio,
-		"zipf_theta":   zipf,
-		"read_p50_us":  stats.ReadLat.P50Us,
-		"read_p99_us":  stats.ReadLat.P99Us,
-		"write_p50_us": stats.WriteLat.P50Us,
-		"write_p99_us": stats.WriteLat.P99Us,
-		"queue_p50_us": stats.QueueLat.P50Us,
-		"queue_p99_us": stats.QueueLat.P99Us,
-		"exec_p50_us":  stats.ExecLat.P50Us,
-		"exec_p99_us":  stats.ExecLat.P99Us,
-		"dedup_hits":   float64(stats.DedupHits),
-		"lines_per_op": res.Traffic.AmplificationFactor,
+		"ops_per_sec":      res.OpsPerSec(),
+		"clients":          float64(clients),
+		"read_ratio":       readRatio,
+		"zipf_theta":       zipf,
+		"read_p50_us":      stats.ReadLat.P50Us,
+		"read_p99_us":      stats.ReadLat.P99Us,
+		"write_p50_us":     stats.WriteLat.P50Us,
+		"write_p99_us":     stats.WriteLat.P99Us,
+		"queue_p50_us":     stats.QueueLat.P50Us,
+		"queue_p99_us":     stats.QueueLat.P99Us,
+		"exec_p50_us":      stats.ExecLat.P50Us,
+		"exec_p99_us":      stats.ExecLat.P99Us,
+		"dedup_hits":       float64(stats.DedupHits),
+		"lines_per_op":     res.Traffic.AmplificationFactor,
+		"tree_top_hits":    float64(res.Traffic.TreeTopHits),
+		"bytes_saved":      float64(res.Traffic.TreeTopHits) * palermo.BlockSize,
+		"prefetch_issued":  float64(res.Traffic.PrefetchIssued),
+		"prefetch_used":    float64(res.Traffic.PrefetchUsed),
+		"prefetch_stale":   float64(res.Traffic.PrefetchStale),
+		"prefetch_planned": float64(stats.PrefetchPlanned),
 	}
 }
 

@@ -6,9 +6,18 @@
 //
 //	palermo-sec -workload redis -requests 4000
 //	palermo-sec -workload llm -protocol RingORAM
+//	palermo-sec -serve-trace traces.json
+//
+// -serve-trace switches the audit target from the simulator to the live
+// serving path: it consumes the per-shard leaf traces a
+// `palermo-load -trace FILE` run recorded (any config — tree-top cache
+// and prefetch planner included, since neither touches leaf selection)
+// and asserts each shard's exposed leaf stream is statistically uniform.
+// A non-uniform shard exits non-zero, so CI can gate on it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +32,15 @@ func main() {
 	protoName := flag.String("protocol", "Palermo", "protocol to analyze")
 	requests := flag.Int("requests", 4000, "measured ORAM requests")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	serveTrace := flag.String("serve-trace", "", "audit recorded serving leaf traces (palermo-load -trace output) instead of simulating")
 	flag.Parse()
+
+	if *serveTrace != "" {
+		if err := auditServingTraces(*serveTrace); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var proto palermo.Protocol
 	found := false
@@ -70,6 +87,46 @@ func main() {
 
 	fmt.Printf("DRAM view:      row-hit %.1f%%, bank-conflict %.1f%% (workload-independent under ORAM)\n",
 		res.Mem.RowHitRate*100, res.Mem.RowConflictRate*100)
+}
+
+// auditServingTraces runs the leaf-uniformity analysis over recorded
+// serving traces, one verdict per shard. Every shard must pass: the
+// serving path's obliviousness argument is per-shard (each shard is an
+// independent ORAM over its own id subspace), so a single skewed stream
+// is a finding even if the union happens to average out.
+func auditServingTraces(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var traces []palermo.LeafTrace
+	if err := json.Unmarshal(buf, &traces); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("%s holds no shard traces", path)
+	}
+	failed := 0
+	for _, tr := range traces {
+		if len(tr.Leaves) == 0 {
+			return fmt.Errorf("shard %d recorded no leaf observations — re-run palermo-load with -trace and a read workload", tr.Shard)
+		}
+		leaf, err := security.AnalyzeLeaves(tr.Leaves, tr.NumLeaves, 64)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", tr.Shard, err)
+		}
+		verdict := "PASS"
+		if !leaf.Uniform(0.001) {
+			verdict, failed = "FAIL", failed+1
+		}
+		fmt.Printf("shard %d: %d leaf observations over %d leaves — %s (%v)\n",
+			tr.Shard, len(tr.Leaves), tr.NumLeaves, verdict, leaf)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d shard leaf streams deviate from uniform", failed, len(traces))
+	}
+	fmt.Printf("serving path: all %d shard leaf streams indistinguishable from uniform\n", len(traces))
+	return nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 //	palermo-server -addr :7070 -shards 8            # public listener, 8 shards
 //	palermo-server -dir /data/palermo               # durable WAL backend under -dir
 //	palermo-server -max-inflight 128 -idle 5m       # per-conn window + idle reaping
+//	palermo-server -pipeline 4 -treetop 6 -prefetch # serving-path optimizations (§10)
 //
 // The server prints one "listening on" line once the socket is bound (CI
 // and scripts wait for it), then serves until SIGINT/SIGTERM. Shutdown is
@@ -35,6 +36,8 @@ func main() {
 	blocks := flag.Uint64("blocks", 1<<18, "store capacity in 64-byte blocks (0 = store default)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 	pipeline := flag.Int("pipeline", 0, "per-shard pipeline depth (0 = default, 1 = serial workers)")
+	treetop := flag.Int("treetop", 0, "resident tree-top cache levels per engine space (0 = byte-budget default)")
+	prefetch := flag.Bool("prefetch", false, "enable the batch-admission prefetch planner (needs pipeline depth > 1)")
 	seed := flag.Uint64("seed", 1, "base seed (shards derive theirs from it)")
 	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
 	groupCommit := flag.Int("group-commit", 0, "WAL appends per fsync batch (0 = default)")
@@ -50,6 +53,8 @@ func main() {
 		Seed:            *seed,
 		QueueDepth:      *queue,
 		PipelineDepth:   *pipeline,
+		TreeTopLevels:   *treetop,
+		Prefetch:        *prefetch,
 		CheckpointEvery: *checkpointEvery,
 	}
 	if *dir != "" {

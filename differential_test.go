@@ -11,6 +11,7 @@ package palermo
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"testing"
 
@@ -456,6 +457,174 @@ func TestPipelinedDurableEquivalence(t *testing.T) {
 	for i := range wantPayloads {
 		if !bytes.Equal(wantPayloads[i], crossPayloads[i]) {
 			t.Fatalf("cross-depth read %d diverged", i)
+		}
+	}
+}
+
+// TestCachePrefetchEquivalence is the protocol-neutrality contract for
+// this PR's serving-path optimizations: the same recorded op sequence
+// through a baseline pipelined ShardedStore and through every tree-top ×
+// prefetch configuration must be indistinguishable at the protocol level
+// — byte-identical read payloads, identical service op counts, and
+// identical per-shard engine traces (same ops, same order, same exposed
+// leaves). Only the DRAM traffic split may differ: cached levels move
+// lines from DRAMReads/DRAMWrites into TreeTopHits, and the accounting
+// identity (emitted + absorbed == baseline) must hold exactly.
+func TestCachePrefetchEquivalence(t *testing.T) {
+	const blocks = 1 << 12
+	const shards = 3
+	ops := recordNetOps(blocks, 400)
+
+	play := func(treetop int, prefetch bool) (payloads [][]byte, stats ServiceStats, traces []*shard.Trace, rep TrafficReport) {
+		t.Helper()
+		st, err := NewShardedStore(ShardedStoreConfig{
+			Blocks: blocks, Shards: shards, Seed: 77,
+			PipelineDepth: 4, TreeTopLevels: treetop, Prefetch: prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range st.shards {
+			sh.EnableTrace()
+		}
+		payloads = playNetOps(t, st, ops)
+		stats = st.Stats()
+		rep = st.Traffic()
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range st.shards {
+			traces = append(traces, sh.Trace())
+		}
+		return payloads, stats, traces, rep
+	}
+
+	wantPayloads, wantStats, wantTraces, wantRep := play(0, false)
+	baselineMoved := wantRep.DRAMReads + wantRep.DRAMWrites + wantRep.TreeTopHits
+	for _, tc := range []struct {
+		treetop  int
+		prefetch bool
+	}{{4, false}, {0, true}, {6, true}} {
+		gotPayloads, gotStats, gotTraces, gotRep := play(tc.treetop, tc.prefetch)
+		name := fmt.Sprintf("treetop=%d,prefetch=%v", tc.treetop, tc.prefetch)
+		for i := range wantPayloads {
+			if !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
+				t.Fatalf("%s: read payload %d diverged from baseline", name, i)
+			}
+		}
+		if gotStats.Reads != wantStats.Reads || gotStats.Writes != wantStats.Writes ||
+			gotStats.DedupHits != wantStats.DedupHits {
+			t.Fatalf("%s: service counts diverged: %d/%d/%d vs baseline %d/%d/%d",
+				name, gotStats.Reads, gotStats.Writes, gotStats.DedupHits,
+				wantStats.Reads, wantStats.Writes, wantStats.DedupHits)
+		}
+		for i := range wantTraces {
+			want, got := wantTraces[i], gotTraces[i]
+			if len(got.Ops) != len(want.Ops) {
+				t.Fatalf("%s: shard %d served %d engine ops, baseline %d", name, i, len(got.Ops), len(want.Ops))
+			}
+			for j := range want.Ops {
+				if got.Ops[j] != want.Ops[j] || got.Leaves[j] != want.Leaves[j] {
+					t.Fatalf("%s: shard %d op %d diverged from baseline", name, i, j)
+				}
+			}
+		}
+		// Total protocol lines are invariant; only their DRAM/absorbed
+		// split moves, and a deeper pinned top absorbs at least as much.
+		if moved := gotRep.DRAMReads + gotRep.DRAMWrites + gotRep.TreeTopHits; moved != baselineMoved {
+			t.Fatalf("%s: protocol line total %d != baseline %d (absorption must be exact)",
+				name, moved, baselineMoved)
+		}
+		// A pinned top absorbs at least what the byte-budget default does
+		// (at this small tree the budget already covers every level, so
+		// equality is the expected ceiling — the shrink curve itself is
+		// TestTreeTopLevelsNeutral's job).
+		if tc.treetop >= 6 && gotRep.TreeTopHits < wantRep.TreeTopHits {
+			t.Fatalf("%s: pinned top absorbed %d lines, baseline budget absorbed %d",
+				name, gotRep.TreeTopHits, wantRep.TreeTopHits)
+		}
+		if tc.prefetch && gotRep.PrefetchUsed == 0 {
+			t.Fatalf("%s: prefetch enabled but never used", name)
+		}
+	}
+}
+
+// TestDurableMixedConfigReopen: the durable format is config-neutral. A
+// directory written under one tree-top/prefetch configuration must reopen
+// bit-exact under any other — same recovered payloads, same recovered
+// engine behavior for a post-recovery op sequence — because neither
+// feature touches protocol state, only how its traffic is served.
+func TestDurableMixedConfigReopen(t *testing.T) {
+	const blocks = 1 << 10
+	dir := t.TempDir()
+	st, err := NewShardedStore(ShardedStoreConfig{
+		Blocks: blocks, Shards: 2, Seed: 13,
+		Backend: BackendWAL, Dir: dir, CheckpointEvery: 32, GroupCommit: 4,
+		PipelineDepth: 4, TreeTopLevels: 4, Prefetch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	wrote := make(map[uint64]byte)
+	for i := 0; i < 300; i++ {
+		id := r.Uint64n(blocks)
+		b := byte(i)
+		if err := st.Write(id, block(b)); err != nil {
+			t.Fatal(err)
+		}
+		wrote[id] = b
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func(treetop int, prefetch bool, depth int) [][]byte {
+		t.Helper()
+		st, err := NewShardedStore(ShardedStoreConfig{
+			Blocks: blocks, Shards: 2, Seed: 13,
+			Backend: BackendWAL, Dir: dir,
+			PipelineDepth: depth, TreeTopLevels: treetop, Prefetch: prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, b := range wrote {
+			got, err := st.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, block(b)) {
+				t.Fatalf("treetop=%d prefetch=%v: block %d lost its payload across reopen", treetop, prefetch, id)
+			}
+		}
+		// A deterministic post-recovery sequence probes the recovered
+		// engine state beyond the stamped blocks.
+		var payloads [][]byte
+		for i := uint64(0); i < 64; i++ {
+			data, err := st.Read(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads = append(payloads, data)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return payloads
+	}
+
+	want := reopen(0, false, 1) // serial baseline reopens the optimized dir
+	for _, tc := range []struct {
+		treetop  int
+		prefetch bool
+		depth    int
+	}{{4, true, 4}, {6, false, 2}} {
+		got := reopen(tc.treetop, tc.prefetch, tc.depth)
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("treetop=%d prefetch=%v: post-recovery read %d diverged", tc.treetop, tc.prefetch, i)
+			}
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"palermo"
 	"palermo/internal/rng"
+	"palermo/internal/stats"
 )
 
 // Target is the store surface a run drives. Both *palermo.ShardedStore
@@ -63,14 +64,28 @@ func (o *Options) validate() error {
 // last one finishes, and the counters are the difference — so driving a
 // long-lived remote server (whose counters accumulate across runs and
 // clients) reports this run's work, not the server's lifetime totals.
-// Latency percentiles are the one exception: they condense the target's
-// cumulative histogram and cannot be un-mixed from two snapshots, so they
-// are exact for a fresh target and lifetime-weighted otherwise. The store
-// is left open; the caller closes it.
+//
+// Latency percentiles in Stats are delta-correct too: the driver samples
+// every Write and ReadBatch call into its own run-local histograms
+// (RunReadLat/RunWriteLat), and when the target was warm at run start —
+// its cumulative histograms already held earlier runs' samples, which two
+// snapshots cannot un-mix — the run-local p50/p99 replace the lifetime-
+// weighted ones. Against a fresh target the server-side percentiles stand
+// (they additionally exclude client-side call overhead). QueueLat/ExecLat
+// split worker time and have no client-side observable, so they stay
+// lifetime-weighted on warm targets. The store is left open; the caller
+// closes it.
 type Result struct {
 	Wall    time.Duration
 	Stats   palermo.ServiceStats
 	Traffic palermo.TrafficReport
+
+	// RunReadLat/RunWriteLat summarize this run's own call latencies,
+	// sampled at the driver: one sample per ReadBatch call (so a batch
+	// counts once) and one per Write call. Always exact for the run,
+	// whatever the target's history.
+	RunReadLat  palermo.LatencySummary
+	RunWriteLat palermo.LatencySummary
 }
 
 // OpsPerSec returns completed operations per wall-clock second.
@@ -94,6 +109,7 @@ func Run(st Target, o Options) (Result, error) {
 	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, o.Clients)
+	samples := make([]*latSampler, o.Clients)
 	start := time.Now()
 	var deadline time.Time
 	if o.Duration > 0 {
@@ -104,10 +120,11 @@ func Run(st Target, o Options) (Result, error) {
 		if c < o.Ops%o.Clients {
 			share++
 		}
+		samples[c] = newLatSampler()
 		wg.Add(1)
 		go func(c, share int) {
 			defer wg.Done()
-			if err := client(st, uint64(c), share, deadline, o); err != nil {
+			if err := client(st, uint64(c), share, deadline, o, samples[c]); err != nil {
 				errCh <- err
 			}
 		}(c, share)
@@ -118,39 +135,77 @@ func Run(st Target, o Options) (Result, error) {
 	for err := range errCh {
 		return Result{}, err
 	}
-	stats, traffic, err := st.Snapshot()
+	endStats, traffic, err := st.Snapshot()
 	if err != nil {
 		return Result{}, fmt.Errorf("loadgen: final snapshot: %w", err)
 	}
-	return Result{
+	res := Result{
 		Wall:    wall,
-		Stats:   deltaStats(stats, baseStats),
 		Traffic: deltaTraffic(traffic, baseTraffic),
-	}, nil
+	}
+	reads, writes := newLatHistogram(), newLatHistogram()
+	for _, s := range samples {
+		reads.Merge(s.reads)
+		writes.Merge(s.writes)
+	}
+	res.RunReadLat = summarize(reads)
+	res.RunWriteLat = summarize(writes)
+	res.Stats = deltaStats(endStats, baseStats, res.RunReadLat, res.RunWriteLat)
+	return res, nil
+}
+
+// latSampler collects one client's call latencies (µs histograms, same
+// bucketing as the service's own).
+type latSampler struct {
+	reads, writes *stats.Histogram
+}
+
+func newLatSampler() *latSampler {
+	return &latSampler{reads: newLatHistogram(), writes: newLatHistogram()}
+}
+
+func newLatHistogram() *stats.Histogram { return stats.NewHistogram(4096, 5) }
+
+func summarize(h *stats.Histogram) palermo.LatencySummary {
+	return palermo.LatencySummary{
+		N:      h.N(),
+		MeanUs: h.Mean(),
+		P50Us:  h.Quantile(0.50),
+		P99Us:  h.Quantile(0.99),
+	}
 }
 
 // deltaStats subtracts the baseline snapshot so the result counts this
-// run's operations only.
-func deltaStats(end, base palermo.ServiceStats) palermo.ServiceStats {
+// run's operations only. runRead/runWrite are the driver's run-local call
+// summaries, substituted for the un-subtractable lifetime percentiles when
+// the target was warm.
+func deltaStats(end, base palermo.ServiceStats, runRead, runWrite palermo.LatencySummary) palermo.ServiceStats {
 	end.Reads -= base.Reads
 	end.Writes -= base.Writes
 	end.DedupHits -= base.DedupHits
-	end.ReadLat = deltaLatency(end.ReadLat, base.ReadLat)
-	end.WriteLat = deltaLatency(end.WriteLat, base.WriteLat)
-	end.QueueLat = deltaLatency(end.QueueLat, base.QueueLat)
-	end.ExecLat = deltaLatency(end.ExecLat, base.ExecLat)
+	end.PrefetchPlanned -= base.PrefetchPlanned
+	end.ReadLat = deltaLatency(end.ReadLat, base.ReadLat, runRead)
+	end.WriteLat = deltaLatency(end.WriteLat, base.WriteLat, runWrite)
+	end.QueueLat = deltaLatency(end.QueueLat, base.QueueLat, palermo.LatencySummary{})
+	end.ExecLat = deltaLatency(end.ExecLat, base.ExecLat, palermo.LatencySummary{})
 	return end
 }
 
 // deltaLatency un-mixes the run's count and mean from the cumulative
 // summaries. Percentiles summarize the target's whole-lifetime histogram
-// and cannot be subtracted, so the end snapshot's values stand (exact
-// when base.N is zero, i.e. a fresh target).
-func deltaLatency(end, base palermo.LatencySummary) palermo.LatencySummary {
+// and cannot be subtracted; against a fresh target (base.N == 0) the end
+// snapshot's values are already exact and stand, otherwise the run-local
+// sample percentiles replace them (when the caller measured any — the
+// QueueLat/ExecLat split has no client-side observable and passes a zero
+// summary, keeping the lifetime values).
+func deltaLatency(end, base, run palermo.LatencySummary) palermo.LatencySummary {
 	if base.N == 0 {
 		return end
 	}
 	out := palermo.LatencySummary{N: end.N - base.N, P50Us: end.P50Us, P99Us: end.P99Us}
+	if run.N > 0 {
+		out.P50Us, out.P99Us = run.P50Us, run.P99Us
+	}
 	if out.N > 0 {
 		out.MeanUs = (float64(end.N)*end.MeanUs - float64(base.N)*base.MeanUs) / float64(out.N)
 	}
@@ -165,6 +220,10 @@ func deltaTraffic(end, base palermo.TrafficReport) palermo.TrafficReport {
 	end.Writes -= base.Writes
 	end.DRAMReads -= base.DRAMReads
 	end.DRAMWrites -= base.DRAMWrites
+	end.TreeTopHits -= base.TreeTopHits
+	end.PrefetchIssued -= base.PrefetchIssued
+	end.PrefetchUsed -= base.PrefetchUsed
+	end.PrefetchStale -= base.PrefetchStale
 	end.AmplificationFactor = 0
 	if ops := end.Reads + end.Writes; ops > 0 {
 		end.AmplificationFactor = float64(end.DRAMReads+end.DRAMWrites) / float64(ops)
@@ -177,7 +236,7 @@ func deltaTraffic(end, base palermo.TrafficReport) palermo.TrafficReport {
 // op share is spent (op-bounded) or the deadline passes (time-bounded).
 // Zipf rank 0 is the hottest id; striped routing spreads consecutive
 // ranks across all shards.
-func client(st Target, id uint64, ops int, deadline time.Time, o Options) error {
+func client(st Target, id uint64, ops int, deadline time.Time, o Options, s *latSampler) error {
 	blocks := st.Blocks()
 	r := rng.New(o.Seed + 0x2545f4914f6cdd1d*(id+1))
 	var z *rng.Zipf
@@ -203,9 +262,11 @@ func client(st Target, id uint64, ops int, deadline time.Time, o Options) error 
 		if r.Float64() >= o.ReadRatio {
 			buf[0] = byte(done)
 			buf[palermo.BlockSize-1] = byte(id)
+			t0 := time.Now()
 			if err := st.Write(next(), buf); err != nil {
 				return err
 			}
+			s.writes.Add(float64(time.Since(t0).Microseconds()))
 			done++
 			continue
 		}
@@ -219,9 +280,11 @@ func client(st Target, id uint64, ops int, deadline time.Time, o Options) error 
 		for i := 0; i < n; i++ {
 			ids = append(ids, next())
 		}
+		t0 := time.Now()
 		if _, err := st.ReadBatch(ids); err != nil {
 			return err
 		}
+		s.reads.Add(float64(time.Since(t0).Microseconds()))
 		done += n
 	}
 	return nil

@@ -68,6 +68,54 @@ func TestRunReportsDeltasOnWarmTarget(t *testing.T) {
 	}
 }
 
+// TestRunWarmTargetPercentilesAreRunLocal: against a warm target the
+// service's cumulative histograms mix earlier runs' samples into the
+// lifetime p50/p99, which two snapshots cannot un-mix. The driver's own
+// per-call samples must take over: the reported percentiles come from
+// RunReadLat/RunWriteLat, and those summaries count exactly this run's
+// calls.
+func TestRunWarmTargetPercentilesAreRunLocal(t *testing.T) {
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 12, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	opts := Options{Clients: 2, Ops: 400, ReadRatio: 0.5, Batch: 2, Seed: 7}
+	if _, err := Run(st, opts); err != nil {
+		t.Fatal(err) // history the snapshots must factor out
+	}
+	res, err := Run(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sample per ReadBatch call and per Write call: reads/Batch calls
+	// (the op split guarantees whole batches here) plus the writes.
+	wantReadCalls := res.Stats.Reads / uint64(opts.Batch)
+	if res.RunReadLat.N != wantReadCalls {
+		t.Fatalf("run-local read summary counted %d calls, want %d",
+			res.RunReadLat.N, wantReadCalls)
+	}
+	if res.RunWriteLat.N != res.Stats.Writes {
+		t.Fatalf("run-local write summary counted %d calls, want %d writes",
+			res.RunWriteLat.N, res.Stats.Writes)
+	}
+	// The warm-target stats must carry the run-local percentiles, not the
+	// lifetime-weighted ones.
+	if res.Stats.ReadLat.P50Us != res.RunReadLat.P50Us ||
+		res.Stats.ReadLat.P99Us != res.RunReadLat.P99Us {
+		t.Fatalf("warm-target read percentiles %+v not substituted from run-local %+v",
+			res.Stats.ReadLat, res.RunReadLat)
+	}
+	if res.Stats.WriteLat.P50Us != res.RunWriteLat.P50Us ||
+		res.Stats.WriteLat.P99Us != res.RunWriteLat.P99Us {
+		t.Fatalf("warm-target write percentiles %+v not substituted from run-local %+v",
+			res.Stats.WriteLat, res.RunWriteLat)
+	}
+	if res.RunReadLat.P99Us < res.RunReadLat.P50Us || res.RunReadLat.MeanUs <= 0 {
+		t.Fatalf("implausible run-local read summary: %+v", res.RunReadLat)
+	}
+}
+
 func TestRunValidates(t *testing.T) {
 	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 10, Shards: 1})
 	if err != nil {

@@ -314,7 +314,7 @@ func (e *Path) accessLevelLeaf(l int, want otree.BlockID, leaf uint64, storeWrit
 	sp := e.spaces[l]
 	sp.Accesses++
 	la := LevelAccess{Level: l}
-	path := sp.Geo.PathNodes(nil, leaf)
+	path := sp.path(leaf)
 
 	// RP: read every slot of every bucket on the path (plus siblings for
 	// PageORAM) into the stash.
@@ -324,12 +324,7 @@ func (e *Path) accessLevelLeaf(l int, want otree.BlockID, leaf uint64, storeWrit
 		for _, be := range sp.Store.ResetPull(n) {
 			sp.Stash.Put(stashEntry(be, e.pm.Leaf(l, uint64(be.ID))))
 		}
-		if sp.Top.Cached(lvl) {
-			return
-		}
-		for s := 0; s < sp.Geo.Levels[lvl].Z; s++ {
-			rp.Reads = sp.appendSlotReads(rp.Reads, n, s)
-		}
+		sp.emitBucketRead(&rp, lvl, n, sp.Geo.Levels[lvl].Z)
 	}
 	for _, n := range path {
 		pull(n)
@@ -369,15 +364,7 @@ func (e *Path) accessLevelLeaf(l int, want otree.BlockID, leaf uint64, storeWrit
 		lvl := sp.Geo.NodeLevel(n)
 		pushed := sp.Stash.EvictIntoNode(sp.Geo, n, sp.Geo.Levels[lvl].Z)
 		sp.Store.WriteBucket(n, pushed)
-		if sp.Top.Cached(lvl) {
-			return
-		}
-		for s := 0; s < sp.Geo.Levels[lvl].Z; s++ {
-			base := sp.Geo.SlotAddr(n, s)
-			for k := 0; k < sp.Geo.SlotLines; k++ {
-				wb.Writes = append(wb.Writes, base+uint64(k)*otree.BlockBytes)
-			}
-		}
+		sp.emitBucketWrite(&wb, lvl, n, sp.Geo.Levels[lvl].Z)
 	}
 	for i := len(path) - 1; i >= 0; i-- {
 		writeBack(path[i])

@@ -47,7 +47,20 @@ type Phase struct {
 	Kind   PhaseKind
 	Reads  []uint64
 	Writes []uint64
+
+	// NR/NW count line movements whose addresses were elided — the
+	// serving engine's count-only mode (RingConfig.CountTraffic), where
+	// nothing replays the plan and materializing per-access address lists
+	// is pure allocation cost. Address-mode plans keep them zero, so
+	// ReadCount/WriteCount are the mode-independent totals.
+	NR, NW int
 }
+
+// ReadCount returns the phase's total line reads in either traffic mode.
+func (ph *Phase) ReadCount() int { return len(ph.Reads) + ph.NR }
+
+// WriteCount returns the phase's total line writes in either traffic mode.
+func (ph *Phase) WriteCount() int { return len(ph.Writes) + ph.NW }
 
 // LevelAccess is the traffic of one hierarchy level's tree access, with
 // phases in protocol execution order.
@@ -83,23 +96,23 @@ type Plan struct {
 	StashAfter []int
 }
 
-// Reads returns the total DRAM read count in the plan.
+// Reads returns the total DRAM read count in the plan (both traffic modes).
 func (p *Plan) Reads() int {
 	n := 0
 	for _, la := range p.Levels {
-		for _, ph := range la.Phases {
-			n += len(ph.Reads)
+		for i := range la.Phases {
+			n += la.Phases[i].ReadCount()
 		}
 	}
 	return n
 }
 
-// Writes returns the total DRAM write count in the plan.
+// Writes returns the total DRAM write count in the plan (both traffic modes).
 func (p *Plan) Writes() int {
 	n := 0
 	for _, la := range p.Levels {
-		for _, ph := range la.Phases {
-			n += len(ph.Writes)
+		for i := range la.Phases {
+			n += la.Phases[i].WriteCount()
 		}
 	}
 	return n

@@ -33,6 +33,20 @@ type RingConfig struct {
 	AlignBytes    uint64 // physical region alignment (DRAM row span)
 	Seed          uint64
 	Variant       RingVariant
+
+	// TreeTopLevels, when > 0, pins every level's tree-top cache to
+	// exactly that many resident levels (clamped per tree to its depth),
+	// overriding the TreeTopBytes budget — the serving path's explicit k
+	// knob. The cache gates traffic emission only, never protocol state:
+	// leaf sequences, stash contents, and checkpoint bytes are
+	// bit-identical at every k.
+	TreeTopLevels int
+
+	// CountTraffic elides DRAM address lists from plans (Phase.NR/NW
+	// carry the counts instead). For engines whose plans nobody replays —
+	// the serving shards — this removes the dominant per-access
+	// allocation; totals (Plan.Reads/Writes) are identical either way.
+	CountTraffic bool
 }
 
 // Validate fills defaults and checks invariants.
@@ -45,6 +59,9 @@ func (c *RingConfig) Validate() error {
 	}
 	if c.PosLevels < 0 {
 		return fmt.Errorf("oram: PosLevels must be >= 0")
+	}
+	if c.TreeTopLevels < 0 {
+		return fmt.Errorf("oram: TreeTopLevels must be >= 0, got %d", c.TreeTopLevels)
 	}
 	if c.DataSlotLines == 0 {
 		c.DataSlotLines = 1
@@ -122,9 +139,43 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 	e := &Ring{cfg: cfg, r: r, pm: pm}
 	for l, g := range geos {
 		pm.Attach(l, g.NumLeaves())
-		e.spaces = append(e.spaces, NewSpace(l, g, cfg.TreeTopBytes, r))
+		sp := NewSpace(l, g, cfg.TreeTopBytes, r)
+		if cfg.TreeTopLevels > 0 {
+			sp.SetTopLevels(cfg.TreeTopLevels)
+		}
+		sp.CountOnly = cfg.CountTraffic
+		e.spaces = append(e.spaces, sp)
 	}
 	return e, nil
+}
+
+// SetTopLevels pins every space's tree-top cache to exactly k levels
+// (overriding the byte-budget default) and extends the dense resident
+// bucket ranges to match. Traffic accounting is all it changes — protocol
+// trajectories stay bit-identical — so it is safe to call on a live engine
+// between accesses; callers normally invoke it right after NewRing.
+func (e *Ring) SetTopLevels(k int) {
+	for _, sp := range e.spaces {
+		sp.SetTopLevels(k)
+	}
+}
+
+// SetCountTraffic toggles count-only traffic mode (see RingConfig.CountTraffic).
+func (e *Ring) SetCountTraffic(on bool) {
+	for _, sp := range e.spaces {
+		sp.CountOnly = on
+	}
+}
+
+// TopHits returns the total 64-byte line movements the tree-top caches
+// absorbed across all levels (the serving layer's cache-resident hit
+// counter; bytes saved = 64 * TopHits).
+func (e *Ring) TopHits() uint64 {
+	var n uint64
+	for _, sp := range e.spaces {
+		n += sp.TopHits
+	}
+	return n
 }
 
 // Config returns the engine configuration (with defaults filled).
@@ -223,12 +274,12 @@ func (e *Ring) accessLevelLeaf(l int, want otree.BlockID, leaf uint64, storeWrit
 	la := LevelAccess{Level: l, Evict: evict}
 	leafOf := func(id otree.BlockID) uint64 { return e.pm.Leaf(l, uint64(id)) }
 
-	path := sp.Geo.PathNodes(nil, leaf)
+	path := sp.path(leaf)
 
-	// LM: load node metadata along the path.
+	// LM: load node metadata along the path (path index == tree level).
 	lm := Phase{Kind: PhaseLM}
-	for _, n := range path {
-		lm.Reads = sp.metaRead(lm.Reads, n)
+	for l, n := range path {
+		sp.emitMetaRead(&lm, l, n)
 	}
 	la.Phases = append(la.Phases, lm)
 
@@ -248,9 +299,9 @@ func (e *Ring) accessLevelLeaf(l int, want otree.BlockID, leaf uint64, storeWrit
 	rp := Phase{Kind: PhaseRP}
 	found := false
 	var got uint64
-	for _, n := range path {
+	for lv, n := range path {
 		entry, slot, ok := sp.Store.ReadSlot(n, want)
-		rp.Reads = sp.appendSlotReads(rp.Reads, n, slot)
+		sp.emitSlotRead(&rp, lv, n, slot)
 		if ok {
 			found = true
 			got = entry.Val

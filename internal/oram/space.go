@@ -18,6 +18,20 @@ type Space struct {
 	Evictor *otree.BitRevCounter
 
 	Accesses uint64 // accesses to this space (drives the A-period eviction)
+
+	// CountOnly elides DRAM address materialization: phases carry line
+	// counts (Phase.NR/NW) instead of address lists. The serving engine
+	// sets it — nothing there replays addresses — so the hot path skips
+	// the per-access slice growth; the simulator keeps full plans.
+	CountOnly bool
+
+	// TopHits counts the 64-byte line movements the tree-top cache
+	// absorbed (traffic the protocol generated against levels resident
+	// on-chip/in the per-shard cache, which therefore never reached DRAM
+	// or the backend). Bytes saved = 64 * TopHits.
+	TopHits uint64
+
+	pathBuf []uint64 // per-access path scratch (engine-per-goroutine rule)
 }
 
 // NewSpace builds a space over the given geometry.
@@ -27,7 +41,7 @@ const HardwareStashTags = 256
 func NewSpace(level int, g otree.Geometry, treeTopBytes uint64, r *rng.Rand) *Space {
 	st := stash.New()
 	st.SetCapacity(HardwareStashTags)
-	return &Space{
+	sp := &Space{
 		Level:   level,
 		Geo:     g,
 		Store:   otree.NewStore(g, r),
@@ -35,28 +49,110 @@ func NewSpace(level int, g otree.Geometry, treeTopBytes uint64, r *rng.Rand) *Sp
 		Top:     otree.NewTreeTop(g, treeTopBytes),
 		Evictor: otree.NewBitRevCounter(g.Depth),
 	}
+	sp.Store.EnableResidentTop(sp.Top.Levels())
+	return sp
 }
 
-// appendSlotReads appends the DRAM addresses of one logical slot touch
-// (SlotLines consecutive lines), skipping tree-top-cached levels.
-func (sp *Space) appendSlotReads(dst []uint64, node uint64, slot int) []uint64 {
-	lvl := sp.Geo.NodeLevel(node)
+// SetTopLevels pins the space's tree-top cache to exactly k levels
+// (overriding the byte-budget sizing) and extends the bucket store's dense
+// resident range to match. Traffic emission is the only thing the cache
+// gates — protocol state transitions never consult it — so any k yields
+// bit-identical leaf sequences, stash states, and checkpoint bytes.
+func (sp *Space) SetTopLevels(k int) {
+	sp.Top = otree.NewTreeTopLevels(sp.Geo, k)
+	sp.Store.EnableResidentTop(sp.Top.Levels())
+}
+
+// path fills the space's scratch path buffer for leaf (index = level).
+func (sp *Space) path(leaf uint64) []uint64 {
+	sp.pathBuf = sp.Geo.PathNodes(sp.pathBuf[:0], leaf)
+	return sp.pathBuf
+}
+
+// emitSlotRead accounts one logical slot read of node at level lvl
+// (SlotLines consecutive lines): tree-top-cached levels count as cache
+// hits, count-only mode bumps the phase counter, address mode appends the
+// DRAM addresses.
+func (sp *Space) emitSlotRead(ph *Phase, lvl int, node uint64, slot int) {
+	lines := sp.Geo.SlotLines
 	if sp.Top.Cached(lvl) {
-		return dst
+		sp.TopHits += uint64(lines)
+		return
+	}
+	if sp.CountOnly {
+		ph.NR += lines
+		return
 	}
 	base := sp.Geo.SlotAddr(node, slot)
-	for k := 0; k < sp.Geo.SlotLines; k++ {
-		dst = append(dst, base+uint64(k)*otree.BlockBytes)
+	for k := 0; k < lines; k++ {
+		ph.Reads = append(ph.Reads, base+uint64(k)*otree.BlockBytes)
 	}
-	return dst
 }
 
-// metaRead appends the node-metadata read address unless cached on-chip.
-func (sp *Space) metaRead(dst []uint64, node uint64) []uint64 {
-	if sp.Top.Cached(sp.Geo.NodeLevel(node)) {
-		return dst
+// emitBucketRead accounts slot reads of slots 0..slots-1 of node (the
+// padded whole-bucket pulls of resets and evictions).
+func (sp *Space) emitBucketRead(ph *Phase, lvl int, node uint64, slots int) {
+	lines := slots * sp.Geo.SlotLines
+	if sp.Top.Cached(lvl) {
+		sp.TopHits += uint64(lines)
+		return
 	}
-	return append(dst, sp.Geo.MetaAddr(node))
+	if sp.CountOnly {
+		ph.NR += lines
+		return
+	}
+	for s := 0; s < slots; s++ {
+		base := sp.Geo.SlotAddr(node, s)
+		for k := 0; k < sp.Geo.SlotLines; k++ {
+			ph.Reads = append(ph.Reads, base+uint64(k)*otree.BlockBytes)
+		}
+	}
+}
+
+// emitBucketWrite accounts slot writes of slots 0..slots-1 of node (the
+// fresh re-encryption of a whole bucket on reset/eviction write-back).
+func (sp *Space) emitBucketWrite(ph *Phase, lvl int, node uint64, slots int) {
+	lines := slots * sp.Geo.SlotLines
+	if sp.Top.Cached(lvl) {
+		sp.TopHits += uint64(lines)
+		return
+	}
+	if sp.CountOnly {
+		ph.NW += lines
+		return
+	}
+	for s := 0; s < slots; s++ {
+		base := sp.Geo.SlotAddr(node, s)
+		for k := 0; k < sp.Geo.SlotLines; k++ {
+			ph.Writes = append(ph.Writes, base+uint64(k)*otree.BlockBytes)
+		}
+	}
+}
+
+// emitMetaRead accounts the node-metadata line read.
+func (sp *Space) emitMetaRead(ph *Phase, lvl int, node uint64) {
+	if sp.Top.Cached(lvl) {
+		sp.TopHits++
+		return
+	}
+	if sp.CountOnly {
+		ph.NR++
+		return
+	}
+	ph.Reads = append(ph.Reads, sp.Geo.MetaAddr(node))
+}
+
+// emitMetaWrite accounts the node-metadata line rewrite.
+func (sp *Space) emitMetaWrite(ph *Phase, lvl int, node uint64) {
+	if sp.Top.Cached(lvl) {
+		sp.TopHits++
+		return
+	}
+	if sp.CountOnly {
+		ph.NW++
+		return
+	}
+	ph.Writes = append(ph.Writes, sp.Geo.MetaAddr(node))
 }
 
 // resetNode performs the functional half of ResetBucket (Algorithm 1 lines
@@ -74,24 +170,11 @@ func (sp *Space) resetNode(ph *Phase, node uint64, leaf uint64, leafOf func(otre
 	push := sp.Stash.EvictInto(sp.Geo, leaf, lvl, spec.Z)
 	sp.Store.WriteBucket(node, push)
 
-	if sp.Top.Cached(lvl) {
-		return // on-chip: no DRAM traffic
-	}
 	// Pull traffic is padded to Z slots for obliviousness; push traffic
 	// rewrites the whole bucket with fresh encryption.
-	for s := 0; s < spec.Z; s++ {
-		base := sp.Geo.SlotAddr(node, s)
-		for k := 0; k < sp.Geo.SlotLines; k++ {
-			ph.Reads = append(ph.Reads, base+uint64(k)*otree.BlockBytes)
-		}
-	}
-	for s := 0; s < spec.Slots(); s++ {
-		base := sp.Geo.SlotAddr(node, s)
-		for k := 0; k < sp.Geo.SlotLines; k++ {
-			ph.Writes = append(ph.Writes, base+uint64(k)*otree.BlockBytes)
-		}
-	}
-	ph.Writes = append(ph.Writes, sp.Geo.MetaAddr(node)) // metadata reset
+	sp.emitBucketRead(ph, lvl, node, spec.Z)
+	sp.emitBucketWrite(ph, lvl, node, spec.Slots())
+	sp.emitMetaWrite(ph, lvl, node) // metadata reset
 }
 
 // evictPath performs EvictPath (Algorithm 1 lines 35-40): pull every bucket
@@ -105,28 +188,14 @@ func (sp *Space) evictPath(ph *Phase, leafOf func(otree.BlockID) uint64) uint64 
 		for _, e := range sp.Store.ResetPull(node) {
 			sp.Stash.Put(stashEntry(e, leafOf(e.ID)))
 		}
-		if !sp.Top.Cached(l) {
-			for s := 0; s < sp.Geo.Levels[l].Z; s++ {
-				base := sp.Geo.SlotAddr(node, s)
-				for k := 0; k < sp.Geo.SlotLines; k++ {
-					ph.Reads = append(ph.Reads, base+uint64(k)*otree.BlockBytes)
-				}
-			}
-		}
+		sp.emitBucketRead(ph, l, node, sp.Geo.Levels[l].Z)
 	}
 	for l := sp.Geo.Depth; l >= 0; l-- {
 		node := sp.Geo.NodeAt(g, l)
 		push := sp.Stash.EvictInto(sp.Geo, g, l, sp.Geo.Levels[l].Z)
 		sp.Store.WriteBucket(node, push)
-		if !sp.Top.Cached(l) {
-			for s := 0; s < sp.Geo.Levels[l].Slots(); s++ {
-				base := sp.Geo.SlotAddr(node, s)
-				for k := 0; k < sp.Geo.SlotLines; k++ {
-					ph.Writes = append(ph.Writes, base+uint64(k)*otree.BlockBytes)
-				}
-			}
-			ph.Writes = append(ph.Writes, sp.Geo.MetaAddr(node))
-		}
+		sp.emitBucketWrite(ph, l, node, sp.Geo.Levels[l].Slots())
+		sp.emitMetaWrite(ph, l, node)
 	}
 	return g
 }

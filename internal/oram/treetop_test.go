@@ -1,0 +1,148 @@
+package oram
+
+import (
+	"reflect"
+	"testing"
+
+	"palermo/internal/rng"
+)
+
+func ringWith(t *testing.T, seed uint64, topLevels int, countTraffic bool) *Ring {
+	t.Helper()
+	e, err := NewRing(RingConfig{
+		NLines:        4096,
+		Z:             4,
+		S:             5,
+		A:             3,
+		PosLevels:     2,
+		Seed:          seed,
+		Variant:       VariantPalermo,
+		TreeTopLevels: topLevels,
+		CountTraffic:  countTraffic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+type accessTrace struct {
+	leaves []uint64
+	vals   []uint64
+	reads  []int
+	writes []int
+}
+
+func driveRing(e *Ring, n int) accessTrace {
+	r := rng.New(31)
+	var tr accessTrace
+	for i := 0; i < n; i++ {
+		pa := r.Uint64n(4096)
+		var plan *Plan
+		if r.Float64() < 0.4 {
+			plan = e.Access(pa, true, r.Uint64())
+		} else {
+			plan = e.Access(pa, false, 0)
+		}
+		tr.leaves = append(tr.leaves, plan.DataLeaf)
+		tr.vals = append(tr.vals, plan.Val)
+		tr.reads = append(tr.reads, plan.Reads())
+		tr.writes = append(tr.writes, plan.Writes())
+	}
+	return tr
+}
+
+// TestCountTrafficParity: count-only mode must report exactly the traffic
+// totals of address mode, access by access, while producing the identical
+// protocol trajectory (leaves and values).
+func TestCountTrafficParity(t *testing.T) {
+	addr := driveRing(ringWith(t, 5, 0, false), 2000)
+	cnt := driveRing(ringWith(t, 5, 0, true), 2000)
+	for i := range addr.leaves {
+		if addr.leaves[i] != cnt.leaves[i] || addr.vals[i] != cnt.vals[i] {
+			t.Fatalf("access %d: protocol trajectory diverged between traffic modes", i)
+		}
+		if addr.reads[i] != cnt.reads[i] || addr.writes[i] != cnt.writes[i] {
+			t.Fatalf("access %d: traffic totals diverged: addr r/w=%d/%d count r/w=%d/%d",
+				i, addr.reads[i], addr.writes[i], cnt.reads[i], cnt.writes[i])
+		}
+	}
+}
+
+// TestTreeTopLevelsNeutral: the tree-top cache gates traffic emission only.
+// Any k must leave the attacker-visible leaf sequence, returned values, and
+// exported engine state bit-identical; only DRAM traffic shrinks.
+func TestTreeTopLevelsNeutral(t *testing.T) {
+	base := ringWith(t, 9, 0, false)
+	bt := driveRing(base, 2000)
+	baseState := base.State()
+	prevTraffic := -1
+	for _, k := range []int{1, 2, 4, 8} {
+		e := ringWith(t, 9, k, false)
+		tr := driveRing(e, 2000)
+		total := 0
+		for i := range bt.leaves {
+			if bt.leaves[i] != tr.leaves[i] {
+				t.Fatalf("k=%d access %d: leaf sequence diverged (obliviousness-neutrality broken)", k, i)
+			}
+			if bt.vals[i] != tr.vals[i] {
+				t.Fatalf("k=%d access %d: value diverged", k, i)
+			}
+			if tr.reads[i] > bt.reads[i] || tr.writes[i] > bt.writes[i] {
+				t.Fatalf("k=%d access %d: cached config emitted MORE traffic", k, i)
+			}
+			total += tr.reads[i] + tr.writes[i]
+		}
+		if !reflect.DeepEqual(e.State(), baseState) {
+			t.Fatalf("k=%d: exported engine state diverged from k=0", k)
+		}
+		if e.TopHits() == 0 {
+			t.Fatalf("k=%d: no cache hits recorded", k)
+		}
+		if prevTraffic >= 0 && total > prevTraffic {
+			t.Fatalf("k=%d: traffic grew relative to smaller cache (%d > %d)", k, total, prevTraffic)
+		}
+		prevTraffic = total
+	}
+}
+
+// TestTreeTopHitsAccountTraffic: suppressed lines + emitted lines must equal
+// the k=0 line totals exactly — the cache absorbs traffic, never loses it.
+func TestTreeTopHitsAccountTraffic(t *testing.T) {
+	base := ringWith(t, 13, 0, false)
+	cached := ringWith(t, 13, 4, true)
+	bt := driveRing(base, 1500)
+	ct := driveRing(cached, 1500)
+	baseLines, cachedLines := 0, 0
+	for i := range bt.reads {
+		baseLines += bt.reads[i] + bt.writes[i]
+		cachedLines += ct.reads[i] + ct.writes[i]
+	}
+	if got := cachedLines + int(cached.TopHits()); got != baseLines {
+		t.Fatalf("line accounting leak: emitted %d + absorbed %d = %d, want %d",
+			cachedLines, cached.TopHits(), got, baseLines)
+	}
+	if cached.TopHits() == 0 {
+		t.Fatal("expected nonzero absorbed traffic at k=4")
+	}
+}
+
+// TestTreeTopCheckpointAcrossConfigs: a checkpoint taken at one k must
+// restore into an engine configured with a different k and continue with a
+// bit-identical trajectory (mixed-config durable reopen).
+func TestTreeTopCheckpointAcrossConfigs(t *testing.T) {
+	a := ringWith(t, 21, 0, false)
+	driveRing(a, 800)
+	st := a.State()
+	reopened := ringWith(t, 99, 3, true) // different seed: RNG state comes from the checkpoint
+	if err := reopened.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	ta := driveRing(a, 400)
+	tb := driveRing(reopened, 400)
+	for i := range ta.leaves {
+		if ta.leaves[i] != tb.leaves[i] || ta.vals[i] != tb.vals[i] {
+			t.Fatalf("access %d after mixed-config restore diverged", i)
+		}
+	}
+}

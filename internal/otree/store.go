@@ -41,12 +41,22 @@ func (b *Bucket) clearUsed() {
 
 // Store is a lazily-materialized bucket container for one ORAM tree. Buckets
 // are created on first touch so full-scale (16 GB-space) geometries run in
-// bounded memory.
+// bounded memory. The top of the tree — the nodes every path traverses —
+// can additionally be held in a dense resident array (EnableResidentTop),
+// replacing the map lookup on the hottest nodes with an index; residency is
+// a pure representation change and never alters which buckets exist.
 type Store struct {
 	g       Geometry
 	buckets map[uint64]*Bucket
+	top     []*Bucket // dense resident nodes [0, len(top)); nil = untouched
 	r       *rng.Rand
 }
+
+// maxResidentNodes bounds the dense resident array so a deep tree with a
+// large requested level count cannot allocate an absurd pointer table
+// (2^20 nodes ~ 8 MB; levels beyond stay in the map, correctness
+// unchanged).
+const maxResidentNodes = 1 << 20
 
 // NewStore creates an empty tree (every bucket holds only dummies).
 func NewStore(g Geometry, r *rng.Rand) *Store {
@@ -56,8 +66,49 @@ func NewStore(g Geometry, r *rng.Rand) *Store {
 // Geometry returns the tree geometry.
 func (s *Store) Geometry() Geometry { return s.g }
 
+// EnableResidentTop keeps the top k levels' buckets (nodes 0..2^k-2 in the
+// level-order numbering) in a dense array instead of the map. Call before
+// or after population; existing map entries in the resident range migrate.
+// Purely an access-path optimization: materialization order, State output,
+// and protocol behavior are bit-identical with residency on or off.
+func (s *Store) EnableResidentTop(levels int) {
+	if levels <= 0 {
+		return
+	}
+	if levels > s.g.Depth+1 {
+		levels = s.g.Depth + 1
+	}
+	n := uint64(1)<<levels - 1
+	if n > s.g.NumNodes() {
+		n = s.g.NumNodes()
+	}
+	if n > maxResidentNodes {
+		n = maxResidentNodes
+	}
+	if uint64(len(s.top)) >= n {
+		return
+	}
+	top := make([]*Bucket, n)
+	copy(top, s.top)
+	s.top = top
+	for node, b := range s.buckets {
+		if node < n {
+			s.top[node] = b
+			delete(s.buckets, node)
+		}
+	}
+}
+
 // Bucket materializes and returns the bucket for node.
 func (s *Store) Bucket(node uint64) *Bucket {
+	if node < uint64(len(s.top)) {
+		b := s.top[node]
+		if b == nil {
+			b = &Bucket{}
+			s.top[node] = b
+		}
+		return b
+	}
 	b, ok := s.buckets[node]
 	if !ok {
 		b = &Bucket{}
@@ -66,8 +117,26 @@ func (s *Store) Bucket(node uint64) *Bucket {
 	return b
 }
 
+// peek returns the bucket for node without materializing it.
+func (s *Store) peek(node uint64) (*Bucket, bool) {
+	if node < uint64(len(s.top)) {
+		b := s.top[node]
+		return b, b != nil
+	}
+	b, ok := s.buckets[node]
+	return b, ok
+}
+
 // Materialized returns the number of buckets touched so far.
-func (s *Store) Materialized() int { return len(s.buckets) }
+func (s *Store) Materialized() int {
+	n := len(s.buckets)
+	for _, b := range s.top {
+		if b != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // find returns the index of id in b.Blocks, or -1.
 func (b *Bucket) find(id BlockID) int {
@@ -133,7 +202,7 @@ func (s *Store) ReadSlot(node uint64, want BlockID) (e BlockEntry, slot int, ok 
 // NeedsReset reports whether the node has consumed its guaranteed dummy
 // budget: after S touches a further ReadSlot may find no unused dummy.
 func (s *Store) NeedsReset(node uint64, margin int) bool {
-	b, ok := s.buckets[node]
+	b, ok := s.peek(node)
 	if !ok {
 		return false
 	}
@@ -176,8 +245,8 @@ type BucketState struct {
 // State exports every materialized bucket, sorted by node id so the
 // checkpoint layout is deterministic. Slices are copied.
 func (s *Store) State() []BucketState {
-	out := make([]BucketState, 0, len(s.buckets))
-	for node, b := range s.buckets {
+	out := make([]BucketState, 0, s.Materialized())
+	export := func(node uint64, b *Bucket) {
 		out = append(out, BucketState{
 			Node:     node,
 			Blocks:   append([]BlockEntry(nil), b.Blocks...),
@@ -185,18 +254,35 @@ func (s *Store) State() []BucketState {
 			Accessed: b.Accessed,
 		})
 	}
+	for node, b := range s.top {
+		if b != nil {
+			export(uint64(node), b)
+		}
+	}
+	for node, b := range s.buckets {
+		export(node, b)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
 }
 
 // Restore replaces the store's contents with a previously exported State.
+// A configured resident top is kept (and repopulated from the state).
 func (s *Store) Restore(bs []BucketState) {
 	s.buckets = make(map[uint64]*Bucket, len(bs))
+	for i := range s.top {
+		s.top[i] = nil
+	}
 	for _, st := range bs {
-		s.buckets[st.Node] = &Bucket{
+		b := &Bucket{
 			Blocks:   append([]BlockEntry(nil), st.Blocks...),
 			used:     append([]uint64(nil), st.Used...),
 			Accessed: st.Accessed,
+		}
+		if st.Node < uint64(len(s.top)) {
+			s.top[st.Node] = b
+		} else {
+			s.buckets[st.Node] = b
 		}
 	}
 }
@@ -204,7 +290,7 @@ func (s *Store) Restore(bs []BucketState) {
 // Occupancy returns the number of valid real blocks in node (0 for
 // untouched buckets).
 func (s *Store) Occupancy(node uint64) int {
-	b, ok := s.buckets[node]
+	b, ok := s.peek(node)
 	if !ok {
 		return 0
 	}
@@ -214,6 +300,14 @@ func (s *Store) Occupancy(node uint64) int {
 // ForEachBlock calls fn for every valid real block in every materialized
 // bucket (testing/invariant checking).
 func (s *Store) ForEachBlock(fn func(node uint64, e BlockEntry)) {
+	for node, b := range s.top {
+		if b == nil {
+			continue
+		}
+		for _, e := range b.Blocks {
+			fn(uint64(node), e)
+		}
+	}
 	for node, b := range s.buckets {
 		for _, e := range b.Blocks {
 			fn(node, e)
@@ -241,6 +335,19 @@ func NewTreeTop(g Geometry, capacityBytes uint64) TreeTop {
 		}
 		used += levelBytes
 		k++
+	}
+	return TreeTop{levels: k}
+}
+
+// NewTreeTopLevels pins the cache to exactly k levels (clamped to the
+// tree's depth+1), bypassing the byte-budget sizing — the serving-path
+// TreeTopLevels knob. k <= 0 disables the cache entirely.
+func NewTreeTopLevels(g Geometry, k int) TreeTop {
+	if k < 0 {
+		k = 0
+	}
+	if k > g.Depth+1 {
+		k = g.Depth + 1
 	}
 	return TreeTop{levels: k}
 }

@@ -80,6 +80,17 @@ type StagedBackend interface {
 	BeginWrite(local uint64, data []byte) (Access, error)
 }
 
+// PrefetchBackend is the optional StagedBackend extension the batch-
+// admission planner drives: PrefetchRead announces an upcoming read so the
+// backend can move its payload fetch ahead of the access's engine stage
+// (declining — returning false — is always safe). The worker announces
+// only distinct ids whose first operation in the admitted batch is a read,
+// which is exactly the set its dedup discipline turns into one BeginRead
+// each — so every accepted announcement is claimed by the batch it planned.
+type PrefetchBackend interface {
+	PrefetchRead(local uint64) bool
+}
+
 // Config tunes the service. The zero value uses the defaults.
 type Config struct {
 	// QueueDepth bounds each shard's request queue, counted in queued
@@ -96,6 +107,13 @@ type Config struct {
 	// bit-identical to the pre-pipeline worker; backends that are not
 	// StagedBackends always serve serially. Default 2.
 	PipelineDepth int
+	// Prefetch turns on the batch-admission planner: when a backend is a
+	// PrefetchBackend (and the pipeline is active), each admitted batch's
+	// upcoming reads are announced up front so their payload fetches run
+	// ahead of the accesses' engine stages. Purely a scheduling change —
+	// served payloads, dedup semantics, and per-shard determinism are
+	// untouched (the differential suite pins this). Default off.
+	Prefetch bool
 }
 
 func (c *Config) defaults() {
@@ -169,6 +187,12 @@ type worker struct {
 	inflight map[uint64]int
 	batchSeq uint64
 
+	// Prefetch planner state (Config.Prefetch with a PrefetchBackend).
+	// pfSeen is the per-batch first-op scratch set.
+	prefetcher PrefetchBackend
+	pfSeen     map[uint64]bool
+	planned    uint64 // announcements the backend accepted (under statMu)
+
 	// statMu guards the histograms and counters below; they are written by
 	// the worker once per completed request and read by Stats.
 	statMu   sync.Mutex
@@ -211,6 +235,10 @@ func New(backends []Backend, cfg Config) *Service {
 		if sb, ok := b.(StagedBackend); ok && cfg.PipelineDepth > 1 {
 			w.staged = sb
 			w.inflight = make(map[uint64]int)
+			if pb, ok := b.(PrefetchBackend); ok && cfg.Prefetch {
+				w.prefetcher = pb
+				w.pfSeen = make(map[uint64]bool)
+			}
 		}
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
@@ -421,6 +449,9 @@ func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 		w.batchSeq++
 		clear(w.inflight) // earlier batches' entries no longer feed this cache
 	}
+	if w.prefetcher != nil {
+		w.plan(ops)
+	}
 	now := time.Now()
 	for _, r := range ops {
 		r.tExec = now
@@ -485,6 +516,34 @@ func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 			w.pipe = append(w.pipe, pendingOp{r: r, acc: acc, id: r.id, wr: true, data: r.data, seq: w.batchSeq})
 			w.inflight[r.id]++
 		}
+	}
+}
+
+// plan is the batch-admission prefetch pass (DESIGN.md §10): before any of
+// the batch executes, announce each distinct id whose first operation is a
+// read. Those are exactly the ids the dedup discipline turns into one
+// BeginRead each, so every accepted announcement is consumed within the
+// batch; ids first touched by a write are skipped (the write would just
+// invalidate the fetched payload).
+func (w *worker) plan(ops []*request) {
+	clear(w.pfSeen)
+	accepted := uint64(0)
+	for _, r := range ops {
+		if r.op != OpRead && r.op != OpWrite {
+			continue
+		}
+		if w.pfSeen[r.id] {
+			continue
+		}
+		w.pfSeen[r.id] = true
+		if r.op == OpRead && w.prefetcher.PrefetchRead(r.id) {
+			accepted++
+		}
+	}
+	if accepted > 0 {
+		w.statMu.Lock()
+		w.planned += accepted
+		w.statMu.Unlock()
 	}
 }
 
@@ -556,10 +615,14 @@ type LatencySummary struct {
 type Stats struct {
 	Reads, Writes uint64 // completed operations
 	DedupHits     uint64 // reads served by intra-batch fan-out
-	ReadLat       LatencySummary
-	WriteLat      LatencySummary
-	QueueLat      LatencySummary // queue entry -> worker pickup
-	ExecLat       LatencySummary // worker pickup -> completion
+	// PrefetchPlanned counts batch-admission read announcements the
+	// backend accepted (Config.Prefetch). How many were consumed or went
+	// stale is the backend's accounting (shard.Counters → TrafficReport).
+	PrefetchPlanned uint64
+	ReadLat         LatencySummary
+	WriteLat        LatencySummary
+	QueueLat        LatencySummary // queue entry -> worker pickup
+	ExecLat         LatencySummary // worker pickup -> completion
 }
 
 // Stats aggregates counters and latency percentiles across all shards. Safe
@@ -573,6 +636,7 @@ func (s *Service) Stats() Stats {
 	for _, w := range s.workers {
 		w.statMu.Lock()
 		out.DedupHits += w.dedup
+		out.PrefetchPlanned += w.planned
 		reads.Merge(w.readLat)
 		writes.Merge(w.writeLat)
 		queued.Merge(w.queueLat)

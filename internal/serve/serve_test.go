@@ -410,6 +410,100 @@ func TestServePipelinedBatchDedup(t *testing.T) {
 	}
 }
 
+// prefetchMemBackend adds the PrefetchBackend surface to the staged mock:
+// announcements are recorded (worker-goroutine calls, like BeginRead, so
+// plain fields suffice) and always accepted.
+type prefetchMemBackend struct {
+	*stagedMemBackend
+	announced []uint64
+}
+
+func (p *prefetchMemBackend) PrefetchRead(local uint64) bool {
+	p.announced = append(p.announced, local)
+	return true
+}
+
+// TestServePrefetchDedupOneAccess: an intra-batch duplicate read whose
+// path the planner prefetched still fans out — the planner announces the
+// id once (first-op-read dedup inside plan()), and the batch costs one
+// backend access however many waiters share it.
+func TestServePrefetchDedupOneAccess(t *testing.T) {
+	b := &prefetchMemBackend{stagedMemBackend: &stagedMemBackend{memBackend: newMemBackend()}}
+	s := New([]Backend{b}, Config{PipelineDepth: 4, Prefetch: true})
+	defer s.Close()
+	if err := s.Write(0, 7, payload(7)); err != nil {
+		t.Fatal(err)
+	}
+	var before int
+	if err := s.Sync(0, func() { before = b.accesses }); err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Req, 32)
+	for i := range reqs {
+		reqs[i] = Req{Op: OpRead, ID: 7}
+	}
+	futs, err := s.SubmitBatch(0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		data, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(data) != 7 {
+			t.Fatalf("waiter %d read wrong payload", i)
+		}
+	}
+	var after int
+	var announced []uint64
+	if err := s.Sync(0, func() { after = b.accesses; announced = append([]uint64(nil), b.announced...) }); err != nil {
+		t.Fatal(err)
+	}
+	if after-before != 1 {
+		t.Fatalf("32 same-block prefetched reads cost %d backend accesses, want 1", after-before)
+	}
+	if len(announced) != 1 || announced[0] != 7 {
+		t.Fatalf("planner announced %v, want exactly one announcement for id 7", announced)
+	}
+	st := s.Stats()
+	if st.DedupHits != 31 {
+		t.Fatalf("dedup hits = %d, want 31", st.DedupHits)
+	}
+	if st.PrefetchPlanned != 1 {
+		t.Fatalf("PrefetchPlanned = %d, want 1", st.PrefetchPlanned)
+	}
+}
+
+// TestServePrefetchSkipsWriteFirstIds: an id first touched by a write in
+// the batch must not be announced — its read would fan out from the write,
+// leaving the prefetched path unclaimed.
+func TestServePrefetchSkipsWriteFirstIds(t *testing.T) {
+	b := &prefetchMemBackend{stagedMemBackend: &stagedMemBackend{memBackend: newMemBackend()}}
+	s := New([]Backend{b}, Config{PipelineDepth: 4, Prefetch: true})
+	defer s.Close()
+	futs, err := s.SubmitBatch(0, []Req{
+		{Op: OpWrite, ID: 3, Data: payload(99)},
+		{Op: OpRead, ID: 3},
+		{Op: OpRead, ID: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var announced []uint64
+	if err := s.Sync(0, func() { announced = append([]uint64(nil), b.announced...) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(announced) != 1 || announced[0] != 5 {
+		t.Fatalf("planner announced %v, want only the read-first id 5", announced)
+	}
+}
+
 // TestServePipelinedWriteThenRead: arrival-order visibility and fan-out
 // from an in-flight write, through the pipeline.
 func TestServePipelinedWriteThenRead(t *testing.T) {

@@ -114,6 +114,17 @@ type Counters struct {
 	Reads, Writes         uint64 // store operations served by the engine
 	DRAMReads, DRAMWrites uint64 // 64-byte line movements the protocol generated
 	StashPeak             int
+
+	// TreeTopHits counts line movements the engine's tree-top cache
+	// absorbed (traffic against resident top levels that never left the
+	// controller; bytes saved = 64 * TreeTopHits). Since-open, like the
+	// prefetch counters below — observability, not durable protocol state.
+	TreeTopHits uint64
+
+	// Prefetch planner counters (staged.go): issued backend fetches, how
+	// many a read consumed, and how many were discarded as stale because a
+	// write to the same block landed between issue and use.
+	PrefetchIssued, PrefetchUsed, PrefetchStale uint64
 }
 
 // DefaultCheckpointEvery is how many writes a durable shard absorbs
@@ -145,12 +156,27 @@ type Shard struct {
 	waitSeq  uint64
 	ioErr    error // first I/O-stage failure: the shard wedges fail-fast
 
+	// Prefetch planner state (staged.go). Until EnablePrefetch, pfq is nil
+	// and PrefetchRead is a no-op. All fields owner-confined except pfq,
+	// which the I/O goroutine publishes prefetched payloads through.
+	pfq           chan ioRes
+	pfWindow      int
+	pfIssuedQ     []pfIssue           // issue-order FIFO (matches pfq result order)
+	pfParked      map[uint64][]pfSlot // results drained for other locals
+	pfPending     map[uint64]int      // issued-not-yet-consumed count per local
+	pfVer         map[uint64]uint64   // bumped by a write while a prefetch is pending
+	pfOutstanding int
+	pfIssuedN     uint64
+	pfUsedN       uint64
+	pfStaleN      uint64
+
 	ckptEvery uint64 // writes between automatic checkpoints (durable only)
 	sinceCkpt uint64
 	closed    bool
 
 	reads, writes      uint64
 	trafficR, trafficW uint64
+	topHitsBase        uint64 // checkpointed TopHits (engine counts since open)
 
 	trace *Trace
 }
@@ -168,6 +194,7 @@ type shardState struct {
 	Reads, Writes uint64
 	TrafficR      uint64
 	TrafficW      uint64
+	TopHits       uint64 // tree-top-absorbed lines (TrafficR/W's missing half)
 	Engine        *oram.RingState
 }
 
@@ -199,6 +226,11 @@ func New(index, stride int, blocks uint64, key []byte, engineSeed uint64, be bac
 	cfg := oram.PalermoRingConfig()
 	cfg.NLines = blocks
 	cfg.Seed = engineSeed
+	// Nothing in the serving path replays per-access DRAM address lists —
+	// shards consume only the plan's counts, value, and leaf — so the
+	// engine runs in count-only traffic mode and skips the per-access
+	// address-slice growth (the simulator keeps full address plans).
+	cfg.CountTraffic = true
 	engine, err := oram.NewRing(cfg)
 	if err != nil {
 		return nil, err
@@ -248,6 +280,23 @@ func New(index, stride int, blocks uint64, key []byte, engineSeed uint64, be bac
 // WAL-compaction checkpoints (0 disables them; Close still checkpoints).
 // Call before the shard starts serving.
 func (s *Shard) SetCheckpointEvery(n uint64) { s.ckptEvery = n }
+
+// SetTreeTopLevels pins the engine's tree-top cache to exactly k levels per
+// space (k <= 0 keeps the byte-budget default). Purely a traffic-accounting
+// change — leaf traces, payloads, and checkpoints are bit-identical at any
+// k (DESIGN.md §10) — but call it before the shard starts serving so
+// counter snapshots are taken against one consistent setting.
+func (s *Shard) SetTreeTopLevels(k int) {
+	if k > 0 {
+		s.engine.SetTopLevels(k)
+	}
+}
+
+// DataLeaves returns the data-tree leaf count of the shard's engine (the
+// modulus for uniformity analysis of recorded leaf traces).
+func (s *Shard) DataLeaves() uint64 {
+	return s.engine.Space(0).Geo.NumLeaves()
+}
 
 // metaAddr is the shard's reserved sealing address for checkpoint blobs:
 // counted down from ^0 per shard so it can never collide with a block's
@@ -365,7 +414,9 @@ func (s *Shard) Snapshot() Counters {
 	return Counters{
 		Reads: s.reads, Writes: s.writes,
 		DRAMReads: s.trafficR, DRAMWrites: s.trafficW,
-		StashPeak: s.engine.StashMax(0),
+		StashPeak:      s.engine.StashMax(0),
+		TreeTopHits:    s.topHitsBase + s.engine.TopHits(),
+		PrefetchIssued: s.pfIssuedN, PrefetchUsed: s.pfUsedN, PrefetchStale: s.pfStaleN,
 	}
 }
 
@@ -389,7 +440,8 @@ func (s *Shard) checkpoint() error {
 		SealEpoch: blobEpoch,
 		Reads:     s.reads, Writes: s.writes,
 		TrafficR: s.trafficR, TrafficW: s.trafficW,
-		Engine: s.engine.State(),
+		TopHits: s.topHitsBase + s.engine.TopHits(),
+		Engine:  s.engine.State(),
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
@@ -444,6 +496,7 @@ func (s *Shard) recover(meta []byte, metaEpoch uint64, tail []backend.TailOp) er
 		s.sealer.SetEpoch(st.SealEpoch)
 		s.reads, s.writes = st.Reads, st.Writes
 		s.trafficR, s.trafficW = st.TrafficR, st.TrafficW
+		s.topHitsBase = st.TopHits
 	}
 	replayed := uint64(0)
 	for _, op := range tail {

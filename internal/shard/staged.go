@@ -30,6 +30,7 @@ type ioKind uint8
 const (
 	ioPut ioKind = iota + 1
 	ioGet
+	ioPrefetch
 	ioLen
 	ioCheckpoint
 	ioClose
@@ -75,6 +76,114 @@ func (s *Shard) EnablePipeline(depth int) {
 
 // Pipelined reports whether staged execution is enabled.
 func (s *Shard) Pipelined() bool { return s.ioq != nil }
+
+// pfIssue is one planned prefetch awaiting its result: the shard-local id
+// it fetched and the block's write-version at issue time (staleness guard).
+type pfIssue struct {
+	local uint64
+	ver   uint64
+}
+
+// pfSlot is a prefetched payload drained off pfq but not yet consumed.
+type pfSlot struct {
+	res ioRes
+	ver uint64
+}
+
+// EnablePrefetch turns on the Palermo-style prefetch planner hooks: the
+// serving layer may announce upcoming reads with PrefetchRead, and the I/O
+// goroutine fetches their sealed payloads ahead of the accesses' engine
+// stages. window bounds how many prefetches may be outstanding (issued but
+// not yet consumed by a BeginRead); past it PrefetchRead declines rather
+// than blocks. Requires EnablePipeline first; call before serving starts.
+//
+// Determinism: a prefetch moves only backend Get traffic earlier. The
+// engine transition (RNG draws, stash/tree mutation, leaf selection) still
+// happens in Apply, on the owner goroutine, in submission order — so leaf
+// traces, payloads, and checkpoints are bit-identical with prefetch on or
+// off at any window (the differential suite pins this).
+func (s *Shard) EnablePrefetch(window int) {
+	if s.ioq == nil || s.pfq != nil || window < 1 {
+		return
+	}
+	s.pfWindow = window
+	s.pfq = make(chan ioRes, window)
+	s.pfParked = make(map[uint64][]pfSlot)
+	s.pfPending = make(map[uint64]int)
+	s.pfVer = make(map[uint64]uint64)
+}
+
+// PrefetchRead asks the I/O stage to fetch local's sealed payload ahead of
+// the read access the caller is about to submit. Returns whether a fetch
+// was issued (declined when the planner is off, the window is full, or the
+// shard is wedged). Owner goroutine only.
+//
+// Every issued prefetch must eventually be claimed by a BeginRead of the
+// same local (the serve worker's planner guarantees this: it announces only
+// distinct ids whose first batch op is a read, and the dedup cache makes
+// exactly one engine access per such id).
+func (s *Shard) PrefetchRead(local uint64) bool {
+	if s.pfq == nil || local >= s.blocks || s.closed || s.ioErr != nil {
+		return false
+	}
+	if s.pfOutstanding >= s.pfWindow {
+		return false
+	}
+	s.pfOutstanding++
+	s.pfPending[local]++
+	s.pfIssuedQ = append(s.pfIssuedQ, pfIssue{local: local, ver: s.pfVer[local]})
+	s.ioq <- ioReq{kind: ioPrefetch, local: local}
+	s.pfIssuedN++
+	return true
+}
+
+// takePrefetch claims the oldest outstanding prefetch of local, draining
+// pfq in issue order and parking other locals' results on the way. A result
+// whose version predates a later write to the block is stale: discarded and
+// counted, and the caller falls back to a demand fetch. Returns (result,
+// true) only for a fresh hit.
+func (s *Shard) takePrefetch(local uint64) (ioRes, bool) {
+	if s.pfq == nil || s.pfPending[local] == 0 {
+		return ioRes{}, false
+	}
+	for {
+		if q := s.pfParked[local]; len(q) > 0 {
+			sl := q[0]
+			if len(q) == 1 {
+				delete(s.pfParked, local)
+			} else {
+				s.pfParked[local] = q[1:]
+			}
+			return s.claimPrefetch(local, sl)
+		}
+		iss := s.pfIssuedQ[0]
+		s.pfIssuedQ = s.pfIssuedQ[1:]
+		res := <-s.pfq
+		if iss.local == local {
+			return s.claimPrefetch(local, pfSlot{res: res, ver: iss.ver})
+		}
+		s.pfParked[iss.local] = append(s.pfParked[iss.local], pfSlot{res: res, ver: iss.ver})
+	}
+}
+
+// claimPrefetch consumes one outstanding prefetch of local and applies the
+// staleness check: fresh results are used, stale ones (a write to the block
+// landed after the fetch was issued) are discarded so the caller demand-
+// fetches the current payload.
+func (s *Shard) claimPrefetch(local uint64, sl pfSlot) (ioRes, bool) {
+	s.pfOutstanding--
+	fresh := sl.ver == s.pfVer[local]
+	if s.pfPending[local]--; s.pfPending[local] == 0 {
+		delete(s.pfPending, local)
+		delete(s.pfVer, local)
+	}
+	if !fresh {
+		s.pfStaleN++
+		return ioRes{}, false
+	}
+	s.pfUsedN++
+	return sl.res, true
+}
 
 // ioLoop is the I/O stage: execute queued requests in order, coalescing
 // consecutive puts into one vector so a durable backend frames and
@@ -135,6 +244,13 @@ func (s *Shard) ioExec(req ioReq) (stop bool) {
 		var res ioRes
 		res.sb, res.ok = s.vbe.Get(req.local)
 		s.resq <- res
+	case ioPrefetch:
+		// Prefetch results resolve through their own channel so they never
+		// interleave with the access FIFO (resq's Wait-order discipline).
+		// pfq's capacity covers the issue window, so this send never blocks.
+		var res ioRes
+		res.sb, res.ok = s.vbe.Get(req.local)
+		s.pfq <- res
 	case ioLen:
 		req.done <- ioRes{n: s.vbe.Len()}
 	case ioCheckpoint:
@@ -207,6 +323,12 @@ func (s *Shard) BeginWrite(local uint64, data []byte) (*Access, error) {
 	}
 	a := &Access{s: s, write: true, global: global}
 	if s.ioq != nil {
+		if s.pfq != nil && s.pfPending[local] > 0 {
+			// A prefetch of this block is in flight or parked; this write
+			// supersedes its payload, so invalidate it (the consuming read
+			// will discard it as stale and demand-fetch the fresh epoch).
+			s.pfVer[local]++
+		}
 		s.beginSeq++
 		a.seq = s.beginSeq
 		s.ioq <- ioReq{kind: ioPut, put: backend.PutOp{Local: local, Sb: backend.Sealed{Ct: ct, Epoch: epoch}}}
@@ -264,9 +386,16 @@ func (s *Shard) BeginRead(local uint64) (*Access, error) {
 	if s.ioq != nil {
 		var ids [1]uint64
 		fetch := st.FetchSet(ids[:0])
-		s.beginSeq++
-		a.seq = s.beginSeq
-		s.ioq <- ioReq{kind: ioGet, local: fetch[0]}
+		if res, ok := s.takePrefetch(fetch[0]); ok {
+			// The planner already moved this payload: the access resolves
+			// immediately and never enters the FIFO completion queue.
+			a.res = res
+			a.ready = true
+		} else {
+			s.beginSeq++
+			a.seq = s.beginSeq
+			s.ioq <- ioReq{kind: ioGet, local: fetch[0]}
+		}
 	}
 	plan := st.Apply()
 	a.expect = plan.Val

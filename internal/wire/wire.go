@@ -36,9 +36,10 @@ const (
 	// Version is the protocol revision this package speaks. A frame with a
 	// different version is rejected with ErrBadVersion so mixed deployments
 	// fail loudly instead of misparsing payloads. Version 2 extended the
-	// Stats body with the queue-wait/execute latency split (an
-	// incompatible fixed-width layout change).
-	Version byte = 2
+	// Stats body with the queue-wait/execute latency split; version 3
+	// appended the tree-top cache and prefetch planner counters (both
+	// incompatible fixed-width layout changes).
+	Version byte = 3
 	// HeaderLen is the fixed frame-header size in bytes.
 	HeaderLen = 16
 	// BlockBytes is the store's payload granularity on the wire. A
@@ -447,10 +448,18 @@ type Stats struct {
 	// clients size their coalescing windows and reject oversized explicit
 	// batches against it. 0 = unknown (a pre-limit server).
 	MaxBatch uint32
+
+	// Version 3 counters: protocol lines the resident tree-top cache
+	// absorbed (bytes saved = 64 * TreeTopHits) and the prefetch planner's
+	// issued/consumed/invalidated fetch accounting.
+	TreeTopHits    uint64
+	PrefetchIssued uint64
+	PrefetchUsed   uint64
+	PrefetchStale  uint64
 }
 
 // statsLen is the fixed encoded size of Stats.
-const statsLen = 8 + 4 + 3*8 + 4*(8+3*8) + 4*8 + 4 + 4
+const statsLen = 8 + 4 + 3*8 + 4*(8+3*8) + 4*8 + 4 + 4 + 4*8
 
 // AppendStats appends the fixed-width Stats encoding.
 func AppendStats(dst []byte, s Stats) []byte {
@@ -468,7 +477,11 @@ func AppendStats(dst []byte, s Stats) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, s.DRAMReads)
 	dst = binary.BigEndian.AppendUint64(dst, s.DRAMWrites)
 	dst = binary.BigEndian.AppendUint32(dst, s.StashPeak)
-	return binary.BigEndian.AppendUint32(dst, s.MaxBatch)
+	dst = binary.BigEndian.AppendUint32(dst, s.MaxBatch)
+	dst = binary.BigEndian.AppendUint64(dst, s.TreeTopHits)
+	dst = binary.BigEndian.AppendUint64(dst, s.PrefetchIssued)
+	dst = binary.BigEndian.AppendUint64(dst, s.PrefetchUsed)
+	return binary.BigEndian.AppendUint64(dst, s.PrefetchStale)
 }
 
 // ParseStats decodes a Stats response body.
@@ -492,6 +505,10 @@ func ParseStats(body []byte) (Stats, error) {
 	s.DRAMWrites = binary.BigEndian.Uint64(body[188:])
 	s.StashPeak = binary.BigEndian.Uint32(body[196:])
 	s.MaxBatch = binary.BigEndian.Uint32(body[200:])
+	s.TreeTopHits = binary.BigEndian.Uint64(body[204:])
+	s.PrefetchIssued = binary.BigEndian.Uint64(body[212:])
+	s.PrefetchUsed = binary.BigEndian.Uint64(body[220:])
+	s.PrefetchStale = binary.BigEndian.Uint64(body[228:])
 	return s, nil
 }
 

@@ -185,7 +185,9 @@ func TestStatsRoundTrip(t *testing.T) {
 		ExecLat:     Latency{N: 118, MeanUs: 16.75, P50Us: 13, P99Us: 110},
 		EngineReads: 97, EngineWrites: 17,
 		DRAMReads: 12345, DRAMWrites: 6789, StashPeak: 33,
-		MaxBatch: 4096,
+		MaxBatch:       4096,
+		TreeTopHits:    543210,
+		PrefetchIssued: 88, PrefetchUsed: 80, PrefetchStale: 3,
 	}
 	out, err := ParseStats(AppendStats(nil, in))
 	if err != nil {

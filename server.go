@@ -130,7 +130,9 @@ func (a serverStore) Stats() wire.Stats {
 		ExecLat:     toWireLatency(ss.ExecLat),
 		EngineReads: tr.Reads, EngineWrites: tr.Writes,
 		DRAMReads: tr.DRAMReads, DRAMWrites: tr.DRAMWrites,
-		StashPeak: uint32(tr.StashPeak),
+		StashPeak:      uint32(tr.StashPeak),
+		TreeTopHits:    tr.TreeTopHits,
+		PrefetchIssued: tr.PrefetchIssued, PrefetchUsed: tr.PrefetchUsed, PrefetchStale: tr.PrefetchStale,
 	}
 }
 

@@ -64,6 +64,19 @@ type ShardedStoreConfig struct {
 	// counters at every depth). Default 2; max MaxPipelineDepth. See
 	// StoreConfig.PipelineDepth for the durability interaction.
 	PipelineDepth int
+	// TreeTopLevels pins each shard engine's resident tree-top cache to
+	// exactly this many levels (0 = hardware byte-budget default; max
+	// MaxTreeTopLevels). Access-pattern-neutral: per-shard leaf traces,
+	// payloads, and checkpoints are bit-identical at any setting — only
+	// backend/DRAM traffic shrinks. See StoreConfig.TreeTopLevels.
+	TreeTopLevels int
+	// Prefetch turns on the batch-admission prefetch planner: each shard
+	// worker announces an admitted batch's upcoming reads so their sealed-
+	// payload fetches run through the I/O goroutine ahead of the accesses'
+	// engine stages (DESIGN.md §10). Requires PipelineDepth > 1 to have
+	// any effect. Purely a scheduling change: served payloads, leaf
+	// traces, and dedup semantics are identical with it on or off.
+	Prefetch bool
 }
 
 func (c *ShardedStoreConfig) defaults() {
@@ -94,6 +107,9 @@ type ShardedStore struct {
 // NewShardedStore builds the shards and starts their workers.
 func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 	if err := validatePipelineDepth(cfg.PipelineDepth); err != nil {
+		return nil, err
+	}
+	if err := validateTreeTopLevels(cfg.TreeTopLevels); err != nil {
 		return nil, err
 	}
 	cfg.defaults()
@@ -130,7 +146,13 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 			return nil, fmt.Errorf("palermo: %w", err)
 		}
 		applyCheckpointEvery(sh, cfg.CheckpointEvery)
+		sh.SetTreeTopLevels(cfg.TreeTopLevels)
 		sh.EnablePipeline(cfg.PipelineDepth)
+		if cfg.Prefetch {
+			// The planner announces at most one read per distinct id of an
+			// admitted batch, so a batch-sized window never declines mid-plan.
+			sh.EnablePrefetch(maxInt(cfg.MaxBatch, serveDefaultMaxBatch))
+		}
 		st.shards = append(st.shards, sh)
 		backends[i] = stagedShard{sh}
 	}
@@ -138,8 +160,20 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 		QueueDepth:    cfg.QueueDepth,
 		MaxBatch:      cfg.MaxBatch,
 		PipelineDepth: cfg.PipelineDepth,
+		Prefetch:      cfg.Prefetch,
 	})
 	return st, nil
+}
+
+// serveDefaultMaxBatch mirrors serve.Config's MaxBatch default for sizing
+// the shard prefetch window when the config leaves MaxBatch zero.
+const serveDefaultMaxBatch = 64
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // stagedShard adapts *shard.Shard to serve.StagedBackend: the shard's
@@ -301,6 +335,10 @@ func (s *ShardedStore) Traffic() TrafficReport {
 		rep.Writes += c.Writes
 		rep.DRAMReads += c.DRAMReads
 		rep.DRAMWrites += c.DRAMWrites
+		rep.TreeTopHits += c.TreeTopHits
+		rep.PrefetchIssued += c.PrefetchIssued
+		rep.PrefetchUsed += c.PrefetchUsed
+		rep.PrefetchStale += c.PrefetchStale
 		if c.StashPeak > rep.StashPeak {
 			rep.StashPeak = c.StashPeak
 		}
@@ -309,6 +347,47 @@ func (s *ShardedStore) Traffic() TrafficReport {
 		rep.AmplificationFactor = float64(rep.DRAMReads+rep.DRAMWrites) / float64(ops)
 	}
 	return rep
+}
+
+// EnableTraces starts recording every shard's operation/leaf trace (the
+// attacker-visible path randomness each access exposes). Call before the
+// store starts serving; the traces grow without bound, so this is a
+// measurement/audit mode, not a production default.
+func (s *ShardedStore) EnableTraces() {
+	for _, sh := range s.shards {
+		sh.EnableTrace()
+	}
+}
+
+// LeafTrace is one shard's recorded serving trace for security analysis:
+// the leaf each engine access exposed, and the shard's data-tree leaf
+// count (the uniformity modulus).
+type LeafTrace struct {
+	Shard     int      `json:"shard"`
+	NumLeaves uint64   `json:"num_leaves"`
+	Leaves    []uint64 `json:"leaves"`
+}
+
+// LeafTraces snapshots every shard's recorded leaf trace (nil Leaves for
+// shards without EnableTraces). Traces are copied on each shard's own
+// worker goroutine, so the call is safe while the store is serving.
+func (s *ShardedStore) LeafTraces() []LeafTrace {
+	out := make([]LeafTrace, len(s.shards))
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		copyTrace := func() {
+			out[i].Shard = i
+			out[i].NumLeaves = sh.DataLeaves()
+			if tr := sh.Trace(); tr != nil {
+				out[i].Leaves = append([]uint64(nil), tr.Leaves...)
+			}
+		}
+		if err := s.svc.Sync(i, copyTrace); err != nil {
+			s.svc.WaitClosed()
+			copyTrace()
+		}
+	}
+	return out
 }
 
 // Close stops accepting requests, drains everything already queued,

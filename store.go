@@ -99,6 +99,14 @@ type StoreConfig struct {
 	// With GroupCommit 1, fsyncs stay synchronous regardless (the
 	// per-write durability promise). Max MaxPipelineDepth.
 	PipelineDepth int
+	// TreeTopLevels pins the engine's per-space tree-top cache to exactly
+	// this many resident levels (0 keeps the hardware byte-budget default,
+	// ~6 levels; max MaxTreeTopLevels). Every path access touches the top
+	// levels regardless of the key, so residency is access-pattern-neutral:
+	// leaf traces, payloads, and checkpoints are bit-identical at any
+	// setting (DESIGN.md §10) — only the DRAM traffic report shrinks
+	// (TrafficReport.TreeTopHits counts the absorbed lines).
+	TreeTopLevels int
 }
 
 // MaxPipelineDepth caps PipelineDepth for both store flavors: beyond a
@@ -106,10 +114,23 @@ type StoreConfig struct {
 // crash-loss window of a durable backend keeps growing.
 const MaxPipelineDepth = 64
 
+// MaxTreeTopLevels caps TreeTopLevels for both store flavors: 2^24 resident
+// buckets is already far past any engine geometry's depth (the engine
+// clamps to its actual depth), so larger values are configuration typos.
+const MaxTreeTopLevels = 24
+
 // validatePipelineDepth rejects nonsensical depths; 0 means default.
 func validatePipelineDepth(d int) error {
 	if d < 0 || d > MaxPipelineDepth {
 		return fmt.Errorf("palermo: PipelineDepth must be in [0, %d], got %d", MaxPipelineDepth, d)
+	}
+	return nil
+}
+
+// validateTreeTopLevels rejects nonsensical cache pins; 0 means default.
+func validateTreeTopLevels(k int) error {
+	if k < 0 || k > MaxTreeTopLevels {
+		return fmt.Errorf("palermo: TreeTopLevels must be in [0, %d], got %d", MaxTreeTopLevels, k)
 	}
 	return nil
 }
@@ -198,6 +219,9 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if err := validatePipelineDepth(cfg.PipelineDepth); err != nil {
 		return nil, err
 	}
+	if err := validateTreeTopLevels(cfg.TreeTopLevels); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
 		return nil, err
@@ -214,6 +238,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 		return nil, fmt.Errorf("palermo: %w", err)
 	}
 	applyCheckpointEvery(sh, cfg.CheckpointEvery)
+	sh.SetTreeTopLevels(cfg.TreeTopLevels)
 	sh.EnablePipeline(cfg.PipelineDepth)
 	return &Store{sh: sh, blocks: cfg.Blocks}, nil
 }
@@ -268,6 +293,18 @@ type TrafficReport struct {
 	DRAMWrites          uint64
 	AmplificationFactor float64 // DRAM lines moved per operation
 	StashPeak           int
+
+	// TreeTopHits counts protocol line movements the resident tree-top
+	// cache absorbed — traffic that never reached DRAM/the backend. The
+	// protocol's total line cost is DRAMReads + DRAMWrites + TreeTopHits
+	// (bytes saved = 64 * TreeTopHits); AmplificationFactor counts only
+	// the lines actually moved.
+	TreeTopHits uint64
+
+	// Prefetch planner accounting (ShardedStoreConfig.Prefetch): payload
+	// fetches issued at batch admission, how many a read consumed, and how
+	// many a superseding write invalidated before use.
+	PrefetchIssued, PrefetchUsed, PrefetchStale uint64
 }
 
 // Traffic returns the accumulated report.
@@ -276,7 +313,9 @@ func (s *Store) Traffic() TrafficReport {
 	rep := TrafficReport{
 		Reads: c.Reads, Writes: c.Writes,
 		DRAMReads: c.DRAMReads, DRAMWrites: c.DRAMWrites,
-		StashPeak: c.StashPeak,
+		StashPeak:      c.StashPeak,
+		TreeTopHits:    c.TreeTopHits,
+		PrefetchIssued: c.PrefetchIssued, PrefetchUsed: c.PrefetchUsed, PrefetchStale: c.PrefetchStale,
 	}
 	if ops := c.Reads + c.Writes; ops > 0 {
 		rep.AmplificationFactor = float64(c.DRAMReads+c.DRAMWrites) / float64(ops)
