@@ -118,6 +118,7 @@ type Client struct {
 	next   atomic.Uint64
 	blocks uint64
 	shards int
+	epoch  uint64 // geometry epoch pinned at Dial (0 from a standalone server)
 
 	// serverMaxBatch is the per-frame op limit the handshake learned (0
 	// until then): the mux clamps its coalescing window to it and explicit
@@ -155,6 +156,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	}
 	cl.blocks = ws.Blocks
 	cl.shards = int(ws.Shards)
+	cl.epoch = ws.Epoch
 	cl.serverMaxBatch.Store(uint64(ws.MaxBatch))
 	return cl, nil
 }
@@ -174,6 +176,13 @@ func (cl *Client) Blocks() uint64 { return cl.blocks }
 
 // Shards returns the served store's shard count.
 func (cl *Client) Shards() int { return cl.shards }
+
+// Epoch returns the geometry epoch the Dial handshake pinned: the cluster
+// placement version the server held then, or 0 from a standalone server.
+// A redial to a server whose epoch has moved fails loudly ("geometry
+// changed"), so a Client never silently serves across a placement flip —
+// ClusterClient re-dials with a fresh manifest instead.
+func (cl *Client) Epoch() uint64 { return cl.epoch }
 
 // Read fetches a block obliviously from the remote store.
 func (cl *Client) Read(id uint64) ([]byte, error) {
@@ -307,6 +316,41 @@ func (cl *Client) Snapshot() (ServiceStats, TrafficReport, error) {
 	return ss, tr, nil
 }
 
+// Manifest fetches the server's current placement manifest as canonical
+// JSON (see internal/cluster). A standalone server has no manifest and
+// answers with an error.
+func (cl *Client) Manifest() ([]byte, error) {
+	return cl.ManifestCtx(context.Background())
+}
+
+// ManifestCtx is Manifest with cancellation.
+func (cl *Client) ManifestCtx(ctx context.Context) ([]byte, error) {
+	r, err := cl.do(ctx, &call{op: wire.OpManifest})
+	if err != nil {
+		return nil, err
+	}
+	return r.raw, nil
+}
+
+// Migrate asks the server — which must own the shard — to push it to the
+// cluster node at target and cut ownership over (the admin trigger behind
+// palermo-ctl migrate). Blocks until the migration commits or fails; the
+// call returning nil means the placement flipped and the shard is now
+// served by target.
+func (cl *Client) Migrate(shard int, target string) error {
+	return cl.MigrateCtx(context.Background(), shard, target)
+}
+
+// MigrateCtx is Migrate with cancellation. Cancelling abandons the wait,
+// not the migration: a request already sent may still complete remotely.
+func (cl *Client) MigrateCtx(ctx context.Context, shard int, target string) error {
+	if shard < 0 || shard >= cl.shards {
+		return fmt.Errorf("palermo: shard %d outside store's %d shards", shard, cl.shards)
+	}
+	_, err := cl.do(ctx, &call{op: wire.OpMigrate, id: uint64(shard), target: target})
+	return err
+}
+
 func fromWireLatency(l wire.Latency) LatencySummary {
 	return LatencySummary{N: l.N, MeanUs: l.MeanUs, P50Us: l.P50Us, P99Us: l.P99Us}
 }
@@ -432,12 +476,14 @@ type call struct {
 	data   []byte
 	ids    []uint64
 	blocks [][]byte
+	target string          // OpMigrate: receiving node address
 	done   chan callResult // buffered; resolved exactly once
 }
 
 type callResult struct {
 	data  []byte
 	batch [][]byte
+	raw   []byte // OpManifest: response body, verbatim
 	stats wire.Stats
 	err   error
 }
@@ -488,10 +534,10 @@ func (s *connSlot) conn(cl *Client) (*clientConn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("palermo: client: redial %s: handshake: %w", cl.addr, err)
 	}
-	if (cl.blocks != 0 || cl.shards != 0) && (ws.Blocks != cl.blocks || int(ws.Shards) != cl.shards) {
+	if (cl.blocks != 0 || cl.shards != 0) && (ws.Blocks != cl.blocks || int(ws.Shards) != cl.shards || ws.Epoch != cl.epoch) {
 		nc.Close()
-		return nil, fmt.Errorf("palermo: client: redial %s: server geometry changed (%d blocks / %d shards, client expects %d / %d); dial a new client",
-			cl.addr, ws.Blocks, ws.Shards, cl.blocks, cl.shards)
+		return nil, fmt.Errorf("palermo: client: redial %s: server geometry changed (%d blocks / %d shards, epoch %d; client expects %d / %d, epoch %d); dial a new client",
+			cl.addr, ws.Blocks, ws.Shards, ws.Epoch, cl.blocks, cl.shards, cl.epoch)
 	}
 	cl.serverMaxBatch.Store(uint64(ws.MaxBatch))
 	s.retired = append(s.retired, cc)
@@ -754,8 +800,11 @@ func (cc *clientConn) encode(ca *call) []byte {
 	case wire.OpWriteBatch:
 		p, _ := wire.AppendWriteBatchReq(nil, ca.ids, ca.blocks)
 		return p
+	case wire.OpMigrate:
+		p, _ := wire.AppendMigrateReq(nil, uint32(ca.id), ca.target)
+		return p
 	}
-	return nil // OpStats
+	return nil // OpStats, OpManifest
 }
 
 // sendFrame registers the pending entry and writes one request frame.
@@ -895,6 +944,10 @@ func (cc *clientConn) resolve(pf *pendingFrame, f wire.Frame) {
 	case wire.OpStats:
 		stats, derr := wire.ParseStats(body)
 		pf.calls[0].done <- callResult{stats: stats, err: derr}
+	case wire.OpManifest:
+		pf.calls[0].done <- callResult{raw: append([]byte(nil), body...)}
+	case wire.OpMigrate:
+		pf.calls[0].done <- callResult{}
 	default:
 		for _, ca := range pf.calls {
 			ca.done <- callResult{err: fmt.Errorf("palermo: client: unexpected response op %d", f.Op)}
@@ -908,6 +961,12 @@ func (cc *clientConn) resolve(pf *pendingFrame, f wire.Frame) {
 func remoteErr(st wire.Status, msg string) error {
 	if st == wire.StatusClosed {
 		return fmt.Errorf("palermo: remote store closed: %w", ErrClosed)
+	}
+	if st == wire.StatusWrongEpoch {
+		if msg == "" {
+			return ErrWrongEpoch
+		}
+		return fmt.Errorf("%s: %w", msg, ErrWrongEpoch)
 	}
 	if msg == "" {
 		msg = fmt.Sprintf("remote error (status %d)", st)

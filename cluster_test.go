@@ -1,0 +1,349 @@
+package palermo
+
+// Cluster-layer tests: the multi-node serving path (ClusterClient →
+// placement routing → per-node wire → ClusterNode) must be
+// indistinguishable from one in-process ShardedStore — byte for byte,
+// count for count, and leaf for leaf — including across a live shard
+// migration, whose exact-state handoff makes the migrated shard's
+// protocol history the concatenation of the source's trace prefix and
+// the target's suffix. Run under -race these are also the concurrency
+// audit of the scatter/gather client and the migration barrier.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"palermo/internal/cluster"
+)
+
+// testClusterNode is one running node of a test cluster.
+type testClusterNode struct {
+	addr string
+	node *ClusterNode
+	srv  *Server
+	done chan error
+}
+
+func (tn *testClusterNode) stop(t *testing.T) {
+	t.Helper()
+	if err := tn.srv.Close(); err != nil {
+		t.Fatalf("node %s: server close: %v", tn.addr, err)
+	}
+	if err := <-tn.done; err != ErrServerClosed {
+		t.Fatalf("node %s: serve: %v", tn.addr, err)
+	}
+	if err := tn.node.Close(); err != nil {
+		t.Fatalf("node %s: node close: %v", tn.addr, err)
+	}
+}
+
+// startClusterPair boots a two-node cluster over loopback: listeners are
+// bound first so their concrete addresses can be written into the
+// manifest, then each node loads the manifest and serves its ranges.
+func startClusterPair(t *testing.T, cfg ShardedStoreConfig, trace bool) (*testClusterNode, *testClusterNode) {
+	t.Helper()
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	man, err := cluster.EvenSplit(cfg.Blocks, uint32(cfg.Shards), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*testClusterNode, 2)
+	for i := range nodes {
+		node, err := NewClusterNode(ClusterNodeConfig{Addr: addrs[i], Store: cfg}, man)
+		if err != nil {
+			t.Fatalf("node %s: %v", addrs[i], err)
+		}
+		if trace {
+			node.EnableTraces()
+		}
+		srv, err := NewClusterServer(node, ServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func(srv *Server, ln net.Listener) { done <- srv.Serve(ln) }(srv, lns[i])
+		nodes[i] = &testClusterNode{addr: addrs[i], node: node, srv: srv, done: done}
+	}
+	return nodes[0], nodes[1]
+}
+
+// clusterLeafTraces concatenates both nodes' traces per shard, source
+// node first: for a shard migrated a→b, a's retired trace is the prefix
+// of the shard's protocol history and b's live trace the suffix.
+func clusterLeafTraces(a, b *testClusterNode) map[int][]uint64 {
+	out := make(map[int][]uint64)
+	for _, traces := range [][]LeafTrace{a.node.LeafTraces(), b.node.LeafTraces()} {
+		for _, tr := range traces {
+			if len(tr.Leaves) > 0 {
+				out[tr.Shard] = append(out[tr.Shard], tr.Leaves...)
+			}
+		}
+	}
+	return out
+}
+
+// TestClusterDifferentialEquivalence runs one recorded op sequence
+// against an in-process ShardedStore and against a two-node cluster
+// behind ClusterClient, and demands the paths be indistinguishable:
+// byte-identical read payloads, identical service op counts, identical
+// engine traffic, and element-wise identical per-shard leaf traces. The
+// migration subtest additionally moves shard 0 to the other node midway
+// through the sequence — the client rides out the epoch bump
+// transparently, and the migrated shard's concatenated source+target
+// trace must still equal the single-store reference, which is the
+// end-to-end proof that migration hands over exact protocol state.
+func TestClusterDifferentialEquivalence(t *testing.T) {
+	const blocks = 1 << 12
+	const shards = 3
+	cfg := ShardedStoreConfig{Blocks: blocks, Shards: shards, Seed: 77}
+	ops := recordNetOps(blocks, 400)
+
+	// In-process reference run.
+	local, err := NewShardedStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.EnableTraces()
+	wantPayloads := playNetOps(t, local, ops)
+	wantStats := local.Stats()
+	wantTraffic := local.Traffic()
+	wantTraces := local.LeafTraces()
+	if err := local.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(t *testing.T, migrateAt int) {
+		a, b := startClusterPair(t, cfg, true)
+		defer b.stop(t)
+		defer a.stop(t)
+		cc, err := DialCluster([]string{a.addr, b.addr}, ClientConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cc.Close()
+		if cc.Blocks() != blocks || cc.Shards() != shards || cc.Epoch() != 1 {
+			t.Fatalf("cluster geometry: %d blocks, %d shards, epoch %d", cc.Blocks(), cc.Shards(), cc.Epoch())
+		}
+		var gotPayloads [][]byte
+		if migrateAt < 0 {
+			gotPayloads = playNetOps(t, cc, ops)
+		} else {
+			gotPayloads = playNetOps(t, cc, ops[:migrateAt])
+			// Live migration mid-sequence: shard 0 moves a → b while the
+			// client still routes by the epoch-1 manifest.
+			if err := a.node.Migrate(0, b.addr); err != nil {
+				t.Fatalf("migrate shard 0: %v", err)
+			}
+			if got := a.node.Epoch(); got != 2 {
+				t.Fatalf("source epoch after migration = %d, want 2", got)
+			}
+			gotPayloads = append(gotPayloads, playNetOpsFrom(t, cc, ops[migrateAt:], migrateAt)...)
+			if got := cc.Epoch(); got != 2 {
+				t.Fatalf("client epoch after riding out the migration = %d, want 2", got)
+			}
+		}
+		gotStats, gotTraffic, err := cc.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(gotPayloads) != len(wantPayloads) {
+			t.Fatalf("cluster path returned %d read payloads, in-process %d", len(gotPayloads), len(wantPayloads))
+		}
+		for i := range wantPayloads {
+			if !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
+				t.Fatalf("read payload %d diverged between in-process and cluster paths", i)
+			}
+		}
+		if gotStats.Reads != wantStats.Reads || gotStats.Writes != wantStats.Writes ||
+			gotStats.DedupHits != wantStats.DedupHits {
+			t.Fatalf("stats diverged: cluster %d/%d/%d, in-process %d/%d/%d",
+				gotStats.Reads, gotStats.Writes, gotStats.DedupHits,
+				wantStats.Reads, wantStats.Writes, wantStats.DedupHits)
+		}
+		if gotTraffic.Reads != wantTraffic.Reads || gotTraffic.Writes != wantTraffic.Writes ||
+			gotTraffic.DRAMReads != wantTraffic.DRAMReads || gotTraffic.DRAMWrites != wantTraffic.DRAMWrites {
+			t.Fatalf("engine traffic diverged: cluster %+v, in-process %+v", gotTraffic, wantTraffic)
+		}
+		gotTraces := clusterLeafTraces(a, b)
+		for _, want := range wantTraces {
+			got := gotTraces[want.Shard]
+			if len(want.Leaves) == 0 {
+				t.Fatalf("shard %d served nothing in the reference run", want.Shard)
+			}
+			if len(got) != len(want.Leaves) {
+				t.Fatalf("shard %d: cluster exposed %d leaves, in-process %d", want.Shard, len(got), len(want.Leaves))
+			}
+			for j := range want.Leaves {
+				if got[j] != want.Leaves[j] {
+					t.Fatalf("shard %d: leaf %d diverged (%d != %d)", want.Shard, j, got[j], want.Leaves[j])
+				}
+			}
+		}
+	}
+
+	t.Run("static", func(t *testing.T) { run(t, -1) })
+	t.Run("migration", func(t *testing.T) { run(t, 200) })
+}
+
+// TestClusterWrongEpochReroute pins the staleness contract: after a
+// migration, a client still routing by the old manifest gets its frame
+// rejected whole with a wrong-epoch status (nothing executed), while the
+// cluster client refetches and re-routes transparently with every
+// operation executing exactly once — counts prove no loss or duplication.
+func TestClusterWrongEpochReroute(t *testing.T) {
+	const blocks = 1 << 12
+	const shards = 3
+	cfg := ShardedStoreConfig{Blocks: blocks, Shards: shards, Seed: 9}
+	a, b := startClusterPair(t, cfg, false)
+	defer b.stop(t)
+	defer a.stop(t)
+
+	// A cluster client dialed before the migration (stale manifest) and a
+	// plain client pinned to the source node.
+	cc, err := DialCluster([]string{a.addr, b.addr}, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	direct, err := Dial(a.addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+
+	// Shard-0 ids (id mod 3 == 0), written pre-migration through the
+	// cluster client: 4 writes.
+	ids := []uint64{0, 3, 6, 9}
+	for i, id := range ids {
+		if err := cc.Write(id, block(byte(0xA0+i))); err != nil {
+			t.Fatalf("write %d: %v", id, err)
+		}
+	}
+
+	// A frame for a shard the node does not own is rejected typed, both
+	// before and after the migration flips ownership.
+	directB, err := Dial(b.addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer directB.Close()
+	if _, err := directB.Read(0); !errors.Is(err, ErrWrongEpoch) {
+		t.Fatalf("read of unowned shard on target = %v, want ErrWrongEpoch", err)
+	}
+
+	if err := a.node.Migrate(0, b.addr); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+
+	// The source now rejects shard 0 — whole frame, nothing executed.
+	if _, err := direct.Read(0); !errors.Is(err, ErrWrongEpoch) {
+		t.Fatalf("stale read on source = %v, want ErrWrongEpoch", err)
+	}
+	// A batch mixing a migrated and a kept shard through the stale-manifest
+	// cluster client: the rejected group re-routes, the kept group does not
+	// re-execute.
+	got, err := cc.ReadBatch(ids)
+	if err != nil {
+		t.Fatalf("post-migration batch through stale client: %v", err)
+	}
+	for i, id := range ids {
+		if want := block(byte(0xA0 + i)); !bytes.Equal(got[i], want) {
+			t.Fatalf("block %d diverged after migration", id)
+		}
+	}
+	if got := cc.Epoch(); got != 2 {
+		t.Fatalf("client epoch after re-route = %d, want 2", got)
+	}
+
+	// Exactly-once accounting: 4 writes + 4 reads total across the
+	// cluster, the wrong-epoch rejections and retries adding nothing.
+	ss, _, err := cc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Writes != uint64(len(ids)) || ss.Reads != uint64(len(ids)) {
+		t.Fatalf("cluster served %d writes / %d reads, want %d / %d (lost or duplicated ops)",
+			ss.Writes, ss.Reads, len(ids), len(ids))
+	}
+}
+
+// TestClientRedialRejectsEpochBump extends the redial-handshake
+// regression (TestClientRedialRefreshesHandshake) to the cluster's
+// geometry epoch: a plain Client pins the epoch at Dial, so a redial
+// against a node whose placement has since moved must fail loudly as a
+// geometry change instead of silently adapting to the new placement.
+func TestClientRedialRejectsEpochBump(t *testing.T) {
+	const blocks = 1 << 12
+	cfg := ShardedStoreConfig{Blocks: blocks, Shards: 3, Seed: 5}
+	a, b := startClusterPair(t, cfg, false)
+	defer b.stop(t)
+
+	cl, err := Dial(a.addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Epoch() != 1 {
+		t.Fatalf("handshake epoch = %d, want 1", cl.Epoch())
+	}
+	// Shard 1 stays on node a across the migration; id 1 lives there.
+	if err := cl.Write(1, block(0xEE)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.node.Migrate(0, b.addr); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	// The live connection keeps serving still-owned shards (ownership is
+	// checked per frame, not per connection).
+	if _, err := cl.Read(1); err != nil {
+		t.Fatalf("read of kept shard after epoch bump: %v", err)
+	}
+
+	// Bounce the node's listener: the client's next op redials and repeats
+	// the handshake, which now reports epoch 2 against the pinned 1.
+	if err := a.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-a.done; err != ErrServerClosed {
+		t.Fatal(err)
+	}
+	cc := cl.slots[0].cur.Load()
+	select {
+	case <-cc.readerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never noticed the server going away")
+	}
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewClusterServer(a.node, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.Serve(ln) }()
+	defer func() {
+		srv2.Close()
+		<-done2
+		a.node.Close()
+	}()
+	_, err = cl.Read(1)
+	if err == nil || !strings.Contains(err.Error(), "geometry changed") || !strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("epoch bump not rejected on redial: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command palermo-ctl administers a palermo cluster: it writes the
+// initial placement manifest, inspects a live node's manifest, and
+// triggers live shard migrations.
+//
+// Usage:
+//
+//	palermo-ctl init -blocks 262144 -shards 4 -nodes 127.0.0.1:7070,127.0.0.1:7071 -o manifest.json
+//	palermo-ctl manifest -addr 127.0.0.1:7070
+//	palermo-ctl migrate -from 127.0.0.1:7070 -shard 2 -to 127.0.0.1:7071
+//
+// init splits the shard space into contiguous ranges across the listed
+// nodes (geometry epoch 1) and writes the manifest file every
+// `palermo-server -manifest` node loads at startup. manifest prints the
+// placement a running node is serving under — after migrations this is
+// the authority, not the startup file. migrate asks the source node to
+// stream one shard to the target and flip ownership live; clients learn
+// the new placement through wrong-epoch rejections and manifest refetch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"palermo"
+	"palermo/internal/cluster"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "init":
+		cmdInit(os.Args[2:])
+	case "manifest":
+		cmdManifest(os.Args[2:])
+	case "migrate":
+		cmdMigrate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `palermo-ctl: cluster administration
+  palermo-ctl init -blocks N -shards S -nodes a,b,... -o manifest.json
+  palermo-ctl manifest -addr host:port
+  palermo-ctl migrate -from host:port -shard S -to host:port`)
+	os.Exit(2)
+}
+
+func cmdInit(args []string) {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	blocks := fs.Uint64("blocks", 1<<18, "store capacity in 64-byte blocks")
+	shards := fs.Int("shards", 4, "independent ORAM shards")
+	nodes := fs.String("nodes", "", "comma-separated node addresses, in shard-range order")
+	out := fs.String("o", "manifest.json", "output manifest path")
+	fs.Parse(args)
+	addrs := splitAddrs(*nodes)
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("init needs -nodes a,b,..."))
+	}
+	if *shards <= 0 {
+		fatal(fmt.Errorf("init needs -shards > 0"))
+	}
+	man, err := cluster.EvenSplit(*blocks, uint32(*shards), addrs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := man.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("palermo-ctl: wrote %s (epoch %d, %d blocks, %d shards across %d nodes)\n",
+		*out, man.Epoch, man.Blocks, man.Shards, len(addrs))
+	for _, addr := range man.Nodes() {
+		fmt.Printf("  %s: shards %v\n", addr, man.Owned(addr))
+	}
+}
+
+func cmdManifest(args []string) {
+	fs := flag.NewFlagSet("manifest", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "cluster node address")
+	fs.Parse(args)
+	cl, err := palermo.Dial(*addr, palermo.ClientConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	raw, err := cl.Manifest()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *addr, err))
+	}
+	os.Stdout.Write(raw)
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+		fmt.Println()
+	}
+}
+
+func cmdMigrate(args []string) {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	from := fs.String("from", "", "source node address (current shard owner)")
+	shard := fs.Int("shard", -1, "shard index to migrate")
+	to := fs.String("to", "", "target node address")
+	fs.Parse(args)
+	if *from == "" || *to == "" || *shard < 0 {
+		fatal(fmt.Errorf("migrate needs -from, -shard, and -to"))
+	}
+	cl, err := palermo.Dial(*from, palermo.ClientConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Migrate(*shard, *to); err != nil {
+		fatal(fmt.Errorf("migrate shard %d %s -> %s: %w", *shard, *from, *to, err))
+	}
+	fmt.Printf("palermo-ctl: shard %d migrated %s -> %s\n", *shard, *from, *to)
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "palermo-ctl:", err)
+	os.Exit(1)
+}

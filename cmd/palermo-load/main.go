@@ -16,13 +16,18 @@
 //	palermo-load -dir /data/palermo -verify       # reopen a -dir store and verify it
 //	palermo-load -addr 127.0.0.1:7070             # drive a palermo-server over TCP
 //	palermo-load -addr HOST:PORT -conns 4 -stamp  # pooled sockets + stamp for -verify
+//	palermo-load -addr A:7070,B:7070 -stamp       # drive a cluster through DialCluster
 //
 // With -addr the generator dials a running cmd/palermo-server instead of
 // building an in-process store: the same closed-loop workload runs over
 // real sockets through palermo.Client (request pipelining, automatic
 // batching of concurrent small ops), and the perf record is written as
 // BENCH_net.json instead of BENCH_load.json — so the network tax over the
-// in-process numbers is one diff away. Store geometry (shards, blocks,
+// in-process numbers is one diff away. Comma-separated addresses select
+// the cluster-routing client instead: every id is routed to its owning
+// node via the placement manifest, batches scatter/gather across nodes,
+// live migrations mid-run are ridden out transparently, and the record
+// becomes BENCH_cluster.json. Store geometry (shards, blocks,
 // durable dir) belongs to the server in this mode; the handshake reports
 // it back. Counters are snapshotted before and after the run and recorded
 // as deltas, so driving a long-lived server (whose cumulative stats span
@@ -57,7 +62,10 @@ import (
 	"runtime"
 	"time"
 
+	"strings"
+
 	"palermo"
+	"palermo/internal/cluster"
 	"palermo/internal/loadgen"
 	"palermo/internal/rng"
 )
@@ -109,11 +117,15 @@ func main() {
 		*ops = 0
 	}
 	if *addr != "" {
+		addrs := splitAddrs(*addr)
 		fig := "net"
+		if len(addrs) > 1 {
+			fig = "cluster"
+		}
 		if *figure != "" {
 			fig = *figure
 		}
-		runRemote(*addr, *conns, *clients, *ops, *duration, *readRatio, *zipf, *batch, *seed, *stamp, *jsonDir, fig)
+		runRemote(addrs, *conns, *clients, *ops, *duration, *readRatio, *zipf, *batch, *seed, *stamp, *jsonDir, fig)
 		return
 	}
 
@@ -136,7 +148,18 @@ func main() {
 		if *dir == "" {
 			fatal(fmt.Errorf("-verify requires -dir"))
 		}
-		if err := verifyStore(cfg, *seed); err != nil {
+		// A directory a cluster node wrote carries its persisted node
+		// state; verify it as that node (only its owned shards exist).
+		ns, err := cluster.LoadNodeState(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		if ns != nil {
+			err = verifyClusterNode(ns, cfg, *seed)
+		} else {
+			err = verifyStore(cfg, *seed)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -218,20 +241,44 @@ func writeTraces(path string, st *palermo.ShardedStore) error {
 	return nil
 }
 
+// remoteTarget is what runRemote needs from a dialed handle; both
+// *palermo.Client (one address) and *palermo.ClusterClient (several)
+// provide it.
+type remoteTarget interface {
+	loadgen.Target
+	Shards() int
+	NetStats() palermo.ClientNetStats
+	Close() error
+}
+
 // runRemote is the -addr mode: the identical closed-loop workload driven
 // through palermo.Client over real sockets against a running
-// cmd/palermo-server, recorded as BENCH_net.json.
-func runRemote(addr string, conns, clients, ops int, duration time.Duration, readRatio, zipf float64, batch int, seed uint64, stamp bool, jsonDir, figure string) {
-	cl, err := palermo.Dial(addr, palermo.ClientConfig{Conns: conns})
-	if err != nil {
-		fatal(err)
+// cmd/palermo-server, recorded as BENCH_net.json. Several comma-separated
+// addresses dial the cluster-routing client instead (BENCH_cluster.json).
+func runRemote(addrs []string, conns, clients, ops int, duration time.Duration, readRatio, zipf float64, batch int, seed uint64, stamp bool, jsonDir, figure string) {
+	var cl remoteTarget
+	var where string
+	if len(addrs) > 1 {
+		cc, err := palermo.DialCluster(addrs, palermo.ClientConfig{Conns: conns})
+		if err != nil {
+			fatal(err)
+		}
+		cl = cc
+		where = fmt.Sprintf("cluster %s (epoch %d)", strings.Join(addrs, ","), cc.Epoch())
+	} else {
+		c, err := palermo.Dial(addrs[0], palermo.ClientConfig{Conns: conns})
+		if err != nil {
+			fatal(err)
+		}
+		cl = c
+		where = "remote " + addrs[0]
 	}
 	bound := fmt.Sprintf("%d ops", ops)
 	if duration > 0 {
 		bound = duration.String()
 	}
-	fmt.Printf("palermo-load: remote %s (%d shards, %d conns), %d clients, %s (%.0f%% reads, zipf %.2f, batch %d) over %d blocks\n",
-		addr, cl.Shards(), conns, clients, bound, readRatio*100, zipf, batch, cl.Blocks())
+	fmt.Printf("palermo-load: %s (%d shards, %d conns), %d clients, %s (%.0f%% reads, zipf %.2f, batch %d) over %d blocks\n",
+		where, cl.Shards(), conns, clients, bound, readRatio*100, zipf, batch, cl.Blocks())
 
 	res, err := loadgen.Run(cl, loadgen.Options{
 		Clients:   clients,
@@ -383,6 +430,63 @@ func verifyStore(cfg palermo.ShardedStoreConfig, seed uint64) (err error) {
 	fmt.Printf("palermo-load: verified %d stamped blocks in %.2fs (recovered history: %d reads, %d writes, stash peak %d)\n",
 		n, time.Since(t0).Seconds(), rep.Reads, rep.Writes, rep.StashPeak)
 	return nil
+}
+
+// verifyClusterNode reopens one cluster node's directory offline (no
+// listener) and checks every stamped block among the shards the node's
+// persisted manifest assigns to it. Ids the node does not own live on
+// other nodes and are skipped — each node's directory verifies its own
+// slice, and running -verify per node covers the whole stamp.
+func verifyClusterNode(ns *cluster.NodeState, cfg palermo.ShardedStoreConfig, seed uint64) (err error) {
+	t0 := time.Now()
+	// Geometry is the manifest's, not the flags' (the flag defaults are
+	// for standalone stores and need not match this cluster).
+	cfg.Blocks, cfg.Shards = 0, 0
+	node, err := palermo.NewClusterNode(palermo.ClusterNodeConfig{Addr: ns.Addr, Store: cfg}, ns.Manifest)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := node.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("verify: close: %w", cerr)
+		}
+	}()
+	rep := node.Traffic()
+	if rep.Writes == 0 {
+		return fmt.Errorf("verify: reopened node recovered zero writes — nothing persisted in %s", cfg.Dir)
+	}
+	n := stampCount(node.Blocks())
+	checked := uint64(0)
+	for id := uint64(0); id < n; id++ {
+		if !node.Owns(id) {
+			continue
+		}
+		got, err := node.Read(id)
+		if err != nil {
+			return fmt.Errorf("verify: read of stamped block %d: %w", id, err)
+		}
+		if want := stampPayload(seed, id); !bytes.Equal(got, want) {
+			return fmt.Errorf("verify: stamped block %d diverged after recovery", id)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("verify: node %s owns none of the %d stamped blocks", ns.Addr, n)
+	}
+	fmt.Printf("palermo-load: verified %d of %d stamped blocks on node %s in %.2fs (epoch %d, shards %v; recovered history: %d reads, %d writes)\n",
+		checked, n, ns.Addr, time.Since(t0).Seconds(), node.Epoch(), node.OwnedShards(), rep.Reads, rep.Writes)
+	return nil
+}
+
+// splitAddrs parses the -addr flag's comma-separated address list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // benchRecord matches the BENCH_*.json schema palermo-bench writes, so the

@@ -9,6 +9,19 @@
 //	palermo-server -dir /data/palermo               # durable WAL backend under -dir
 //	palermo-server -max-inflight 128 -idle 5m       # per-conn window + idle reaping
 //	palermo-server -pipeline 4 -treetop 6 -prefetch # serving-path optimizations (§10)
+//	palermo-server -config node.json                # flags from a reviewed JSON file
+//	palermo-server -manifest cluster.json -addr ... # cluster node: serve owned shards only
+//
+// -config loads the same keys as the flags from a JSON file (see
+// internal/cluster.ServerConfig); a flag explicitly set on the command
+// line overrides its file value, so `-config node.json -addr :7071`
+// reuses one file across nodes.
+//
+// -manifest selects cluster mode: the node loads the placement manifest
+// (palermo-ctl init writes one), serves only the contiguous shard ranges
+// the manifest assigns to -addr, answers manifest fetches, and accepts
+// live shard migrations. Requests for shards it does not own are rejected
+// with a wrong-epoch status so stale clients refetch and re-route.
 //
 // The server prints one "listening on" line once the socket is bound (CI
 // and scripts wait for it), then serves until SIGINT/SIGTERM. Shutdown is
@@ -28,6 +41,7 @@ import (
 	"time"
 
 	"palermo"
+	"palermo/internal/cluster"
 )
 
 func main() {
@@ -45,9 +59,29 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "per-connection in-flight request window (0 = default 64)")
 	maxBatch := flag.Int("max-batch", 0, "largest accepted batch frame in ops (0 = default 4096)")
 	idle := flag.Duration("idle", 2*time.Minute, "close connections idle for this long (0 = never)")
+	configPath := flag.String("config", "", "JSON config file; explicitly-set flags override its values")
+	manifest := flag.String("manifest", "", "placement manifest path (selects cluster mode)")
 	flag.Parse()
 
-	cfg := palermo.ShardedStoreConfig{
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *configPath != "" {
+		fc, err := cluster.LoadConfig(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		// A flag given on the command line wins over its config-file value.
+		applyConfig(fc, set, addr, shards, blocks, queue, pipeline, treetop, prefetch,
+			seed, dir, groupCommit, checkpointEvery, maxInFlight, maxBatch, idle, manifest)
+		if fc.Blocks != 0 {
+			set["blocks"] = true
+		}
+		if fc.Shards != 0 {
+			set["shards"] = true
+		}
+	}
+
+	storeCfg := palermo.ShardedStoreConfig{
 		Blocks:          *blocks,
 		Shards:          *shards,
 		Seed:            *seed,
@@ -58,19 +92,39 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 	}
 	if *dir != "" {
-		cfg.Backend = palermo.BackendWAL
-		cfg.Dir = *dir
-		cfg.GroupCommit = *groupCommit
+		storeCfg.Backend = palermo.BackendWAL
+		storeCfg.Dir = *dir
+		storeCfg.GroupCommit = *groupCommit
 	}
-	st, err := palermo.NewShardedStore(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	srv, err := palermo.NewServer(st, palermo.ServerConfig{
+	srvCfg := palermo.ServerConfig{
 		MaxInFlight: *maxInFlight,
 		MaxBatch:    *maxBatch,
 		IdleTimeout: *idle,
-	})
+	}
+	durability := "in-memory"
+	if *dir != "" {
+		durability = "durable in " + *dir
+	}
+
+	if *manifest != "" {
+		// Geometry belongs to the manifest in cluster mode: the flag
+		// defaults give way, while explicitly-set values are validated
+		// against it (a mismatch is a configuration error, not adapted to).
+		if !set["blocks"] {
+			storeCfg.Blocks = 0
+		}
+		if !set["shards"] {
+			storeCfg.Shards = 0
+		}
+		runCluster(*addr, *manifest, storeCfg, srvCfg, durability)
+		return
+	}
+
+	st, err := palermo.NewShardedStore(storeCfg)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := palermo.NewServer(st, srvCfg)
 	if err != nil {
 		st.Close()
 		fatal(err)
@@ -80,15 +134,48 @@ func main() {
 		st.Close()
 		fatal(err)
 	}
-	durability := "in-memory"
-	if *dir != "" {
-		durability = "durable in " + *dir
-	}
 	fmt.Printf("palermo-server: listening on %s (%d shards, %d blocks, %s)\n",
 		ln.Addr(), st.Shards(), st.Blocks(), durability)
+	serveLoop(ln, srv, st.Close, func() (uint64, uint64) {
+		ss := st.Stats()
+		return ss.Reads, ss.Writes
+	})
+}
 
-	// Serve until a signal, then drain the network layer before the store
-	// so every accepted request completes against an open store.
+// runCluster serves one cluster node: the manifest decides which shards
+// this address owns, and the node handles manifest fetches, wrong-epoch
+// rejection of misrouted requests, and live shard migration.
+func runCluster(addr, manifestPath string, storeCfg palermo.ShardedStoreConfig, srvCfg palermo.ServerConfig, durability string) {
+	man, err := cluster.Load(manifestPath)
+	if err != nil {
+		fatal(err)
+	}
+	node, err := palermo.NewClusterNode(palermo.ClusterNodeConfig{Addr: addr, Store: storeCfg}, man)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := palermo.NewClusterServer(node, srvCfg)
+	if err != nil {
+		node.Close()
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		node.Close()
+		fatal(err)
+	}
+	fmt.Printf("palermo-server: listening on %s (cluster node %s, epoch %d, owns shards %v of %d, %d blocks, %s)\n",
+		ln.Addr(), node.Addr(), node.Epoch(), node.OwnedShards(), node.Shards(), node.Blocks(), durability)
+	serveLoop(ln, srv, node.Close, func() (uint64, uint64) {
+		ws := node.Stats()
+		return ws.Reads, ws.Writes
+	})
+}
+
+// serveLoop serves until a signal, then drains the network layer before
+// closing the store so every accepted request completes against an open
+// store.
+func serveLoop(ln net.Listener, srv *palermo.Server, closeStore func() error, stats func() (uint64, uint64)) {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
@@ -97,18 +184,72 @@ func main() {
 	case sig := <-sigc:
 		fmt.Printf("palermo-server: %v — draining\n", sig)
 	case err := <-serveErr:
-		st.Close()
+		closeStore()
 		fatal(err)
 	}
 	if err := srv.Close(); err != nil {
-		st.Close()
+		closeStore()
 		fatal(err)
 	}
-	ss := st.Stats()
-	if err := st.Close(); err != nil {
+	reads, writes := stats()
+	if err := closeStore(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("palermo-server: stopped (%d reads, %d writes served)\n", ss.Reads, ss.Writes)
+	fmt.Printf("palermo-server: stopped (%d reads, %d writes served)\n", reads, writes)
+}
+
+// applyConfig copies every config-file value whose flag the command line
+// did not explicitly set. Zero-valued config keys leave the flag default
+// alone (the file mirrors the flags' zero-means-default convention).
+func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
+	addr *string, shards *int, blocks *uint64, queue, pipeline, treetop *int, prefetch *bool,
+	seed *uint64, dir *string, groupCommit, checkpointEvery, maxInFlight, maxBatch *int,
+	idle *time.Duration, manifest *string) {
+	if !set["addr"] && fc.Addr != "" {
+		*addr = fc.Addr
+	}
+	if !set["shards"] && fc.Shards != 0 {
+		*shards = fc.Shards
+	}
+	if !set["blocks"] && fc.Blocks != 0 {
+		*blocks = fc.Blocks
+	}
+	if !set["queue"] && fc.Queue != 0 {
+		*queue = fc.Queue
+	}
+	if !set["pipeline"] && fc.Pipeline != 0 {
+		*pipeline = fc.Pipeline
+	}
+	if !set["treetop"] && fc.TreeTop != 0 {
+		*treetop = fc.TreeTop
+	}
+	if !set["prefetch"] && fc.Prefetch {
+		*prefetch = true
+	}
+	if !set["seed"] && fc.Seed != 0 {
+		*seed = fc.Seed
+	}
+	if !set["dir"] && fc.Dir != "" {
+		*dir = fc.Dir
+	}
+	if !set["group-commit"] && fc.GroupCommit != 0 {
+		*groupCommit = fc.GroupCommit
+	}
+	if !set["checkpoint-every"] && fc.CheckpointEvery != 0 {
+		*checkpointEvery = fc.CheckpointEvery
+	}
+	if !set["max-inflight"] && fc.MaxInFlight != 0 {
+		*maxInFlight = fc.MaxInFlight
+	}
+	if !set["max-batch"] && fc.MaxBatch != 0 {
+		*maxBatch = fc.MaxBatch
+	}
+	if !set["idle"] && fc.Idle != 0 {
+		*idle = time.Duration(fc.Idle)
+	}
+	if !set["manifest"] && fc.Manifest != "" {
+		*manifest = fc.Manifest
+	}
 }
 
 func fatal(err error) {

@@ -175,8 +175,19 @@ func recordNetOps(blocks uint64, n int) []netOp {
 // leaf traces if the layers in between add nothing.
 func playNetOps(t *testing.T, api storeAPI, ops []netOp) [][]byte {
 	t.Helper()
+	return playNetOpsFrom(t, api, ops, 0)
+}
+
+// playNetOpsFrom plays a tail of a recorded sequence: base is the index
+// of ops[0] in the full recording, so write payloads (derived from the
+// global op index) match a reference run that played the whole sequence.
+// The cluster differential test uses it to split one sequence around a
+// live migration.
+func playNetOpsFrom(t *testing.T, api storeAPI, ops []netOp, base int) [][]byte {
+	t.Helper()
 	var payloads [][]byte
 	for i, op := range ops {
+		i += base
 		switch op.kind {
 		case 0:
 			data, err := api.Read(op.id)

@@ -1,9 +1,23 @@
 package palermo
 
-import "palermo/internal/serve"
+import (
+	"palermo/internal/netserve"
+	"palermo/internal/serve"
+)
 
 // ErrClosed is the sentinel every Store/ShardedStore operation returns
 // (possibly wrapped) once Close has begun. Test with errors.Is:
 //
 //	if errors.Is(err, palermo.ErrClosed) { ... }
 var ErrClosed = serve.ErrClosed
+
+// ErrWrongEpoch is the sentinel a cluster node returns (possibly wrapped)
+// for a request that named a shard the node does not own at its current
+// geometry epoch — typically because a live migration moved the shard
+// since the client fetched its placement manifest. The rejected frame
+// executed none of its operations, so the correct reaction is exactly
+// what ClusterClient does transparently: refetch the manifest, re-route,
+// and retry. Test with errors.Is:
+//
+//	if errors.Is(err, palermo.ErrWrongEpoch) { ... }
+var ErrWrongEpoch = netserve.ErrWrongEpoch

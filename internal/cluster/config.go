@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ServerConfig is the declarative form of cmd/palermo-server's flag set:
+// one reviewed JSON artifact instead of a dozen flags (ROADMAP item 5b),
+// shared between standalone servers and cluster nodes. Zero values mean
+// the same defaults as the corresponding flags. The field comments name
+// the flag each key mirrors.
+type ServerConfig struct {
+	Addr string `json:"addr,omitempty"` // -addr: TCP listen address (and, in cluster mode, this node's manifest identity)
+
+	Shards          int    `json:"shards,omitempty"`           // -shards
+	Blocks          uint64 `json:"blocks,omitempty"`           // -blocks
+	Seed            uint64 `json:"seed,omitempty"`             // -seed
+	Queue           int    `json:"queue,omitempty"`            // -queue
+	Pipeline        int    `json:"pipeline,omitempty"`         // -pipeline
+	TreeTop         int    `json:"treetop,omitempty"`          // -treetop
+	Prefetch        bool   `json:"prefetch,omitempty"`         // -prefetch
+	Dir             string `json:"dir,omitempty"`              // -dir: durable WAL directory
+	GroupCommit     int    `json:"group_commit,omitempty"`     // -group-commit
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"` // -checkpoint-every
+
+	MaxInFlight int      `json:"max_inflight,omitempty"` // -max-inflight
+	MaxBatch    int      `json:"max_batch,omitempty"`    // -max-batch
+	Idle        Duration `json:"idle,omitempty"`         // -idle, as a Go duration string ("2m")
+
+	// Manifest selects cluster mode: the path of the placement manifest
+	// this node loads at startup (see Manifest/Load). The node serves only
+	// the shard ranges the manifest assigns to Addr.
+	Manifest string `json:"manifest,omitempty"`
+}
+
+// LoadConfig reads and strictly parses a ServerConfig file: unknown keys
+// are rejected so a typo fails loudly instead of silently defaulting.
+func LoadConfig(path string) (*ServerConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	var c ServerConfig
+	if err := strictUnmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("cluster: config %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// strictUnmarshal is json.Unmarshal with unknown fields rejected.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("2m", "90s") and unmarshals from either a string or integer
+// nanoseconds, so configs read the way the flags do.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "2m"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		dd, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("cluster: bad duration %q: %w", s, err)
+		}
+		*d = Duration(dd)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("cluster: duration must be a string like \"2m\" or integer nanoseconds")
+	}
+	*d = Duration(n)
+	return nil
+}

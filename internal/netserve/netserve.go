@@ -35,6 +35,15 @@ import (
 // ErrServerClosed is returned by Serve after Close, like net/http's.
 var ErrServerClosed = errors.New("netserve: server closed")
 
+// ErrWrongEpoch marks a request that named a shard this node does not own
+// at its current geometry epoch — the shard migrated away (or never landed
+// here). Stores wrap it so errResp answers with wire.StatusWrongEpoch, the
+// loud-failure half of the cluster re-route contract: the client refetches
+// the placement manifest and retries against the new owner. A frame
+// answered this way executed none of its operations, so the retry can
+// never duplicate work.
+var ErrWrongEpoch = errors.New("wrong geometry epoch: shard not owned by this node")
+
 // Store is the concurrent oblivious store a server fronts. It must be safe
 // for concurrent use; *palermo.ShardedStore (behind the root package's
 // adapter) is the canonical implementation.
@@ -44,6 +53,18 @@ type Store interface {
 	ReadBatch(ids []uint64) ([][]byte, error)
 	WriteBatch(ids []uint64, blocks [][]byte) error
 	Stats() wire.Stats
+}
+
+// ExtStore is the optional Store extension for request ops beyond the core
+// read/write/stats set — the cluster layer's manifest fetch and migration
+// frames. ServeExt receives the op and its payload verbatim (the payload
+// aliases a pooled frame buffer: copy anything retained past the call) and
+// the returned body is sent as the StatusOK response payload. Errors map
+// through the same status table as core ops (ErrWrongEpoch →
+// StatusWrongEpoch, serve.ErrClosed → StatusClosed, else StatusErr).
+// Stores that do not implement ExtStore answer such ops with StatusBad.
+type ExtStore interface {
+	ServeExt(op byte, payload []byte) ([]byte, error)
 }
 
 // Config tunes a server. The zero value uses the defaults.
@@ -393,6 +414,17 @@ func (c *conn) serve(f wire.Frame) *wire.FrameBuf {
 		out.B = wire.AppendStats(out.B, ws)
 		return c.endResp(out)
 	}
+	// Every other op wire.IsRequest admits (manifest fetch, the migrate
+	// family) belongs to the store's extension surface, if it has one.
+	if ext, ok := c.srv.st.(ExtStore); ok {
+		body, err := ext.ServeExt(f.Op, f.Payload)
+		if err != nil {
+			return c.errResp(f, err)
+		}
+		out := c.beginResp(f.Op, f.ReqID, 1+len(body))
+		out.B = wire.AppendOKResp(out.B, body)
+		return c.endResp(out)
+	}
 	return c.badResp(f, fmt.Sprintf("unknown op %d", f.Op))
 }
 
@@ -414,8 +446,11 @@ func (c *conn) badResp(f wire.Frame, msg string) *wire.FrameBuf {
 // everything else carries its message.
 func (c *conn) errResp(f wire.Frame, err error) *wire.FrameBuf {
 	st := wire.StatusErr
-	if errors.Is(err, serve.ErrClosed) {
+	switch {
+	case errors.Is(err, serve.ErrClosed):
 		st = wire.StatusClosed
+	case errors.Is(err, ErrWrongEpoch):
+		st = wire.StatusWrongEpoch
 	}
 	msg := err.Error()
 	out := c.beginResp(f.Op, f.ReqID, 1+len(msg))

@@ -630,18 +630,32 @@ type Stats struct {
 // are bucketed upper bounds (5µs resolution, clamped at the ~20ms
 // histogram range).
 func (s *Service) Stats() Stats {
+	return MergeStats([]*Service{s})
+}
+
+// MergeStats aggregates the snapshots of several Services with exactly the
+// arithmetic Stats applies across one Service's workers: counters sum and
+// latency histograms merge at the bucket level, so the combined percentiles
+// are those of the pooled samples — not a lossy summary-of-summaries. The
+// cluster node uses it to report one service snapshot across its per-shard
+// Services (including the retired ones of migrated-away shards, whose
+// served-operation history stays on this node). Safe at any time; a closed
+// Service contributes its final counters.
+func MergeStats(svcs []*Service) Stats {
 	var out Stats
 	reads, writes := newLatHistogram(), newLatHistogram()
 	queued, execed := newLatHistogram(), newLatHistogram()
-	for _, w := range s.workers {
-		w.statMu.Lock()
-		out.DedupHits += w.dedup
-		out.PrefetchPlanned += w.planned
-		reads.Merge(w.readLat)
-		writes.Merge(w.writeLat)
-		queued.Merge(w.queueLat)
-		execed.Merge(w.execLat)
-		w.statMu.Unlock()
+	for _, s := range svcs {
+		for _, w := range s.workers {
+			w.statMu.Lock()
+			out.DedupHits += w.dedup
+			out.PrefetchPlanned += w.planned
+			reads.Merge(w.readLat)
+			writes.Merge(w.writeLat)
+			queued.Merge(w.queueLat)
+			execed.Merge(w.execLat)
+			w.statMu.Unlock()
+		}
 	}
 	out.Reads = reads.N()
 	out.Writes = writes.N()

@@ -1,0 +1,180 @@
+package shard
+
+// Live-migration primitives (DESIGN.md §11): a shard leaves its node as
+// (1) a snapshot of every sealed block the backend stores, (2) a teed tail
+// of the sealed writes that landed while the snapshot streamed, and (3) a
+// sealed export of the exact controller metadata (ExportMeta — the
+// checkpoint blob, returned instead of persisted). The receiving node
+// rebuilds the shard with ImportBlocks + RestoreMeta: because the engine
+// state is restored bit-exactly rather than re-derived by protocol replay,
+// the migrated shard continues the SAME protocol history — leaf traces,
+// counters, and sealing epochs pick up precisely where the source stopped,
+// which is what lets the differential suite demand trace identity across a
+// mid-sequence migration.
+//
+// Everything here is owner-goroutine-confined, like the rest of the shard:
+// the cluster node calls these inside serve.Service.Sync closures.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"palermo/internal/backend"
+	"palermo/internal/crypt"
+)
+
+// SealedBlock is one sealed payload in migration transit: the shard-local
+// id plus exactly what the untrusted backend stores — ciphertext and
+// sealing epoch. Streaming these between nodes is obliviousness-neutral
+// for the same reason persisting them is (DESIGN.md §7): it is the view
+// the §VI untrusted party already observes.
+type SealedBlock struct {
+	Local uint64
+	Epoch uint64
+	Ct    []byte
+}
+
+// ExportBlocks snapshots every sealed block currently stored — migration
+// phase 1, taken while the shard keeps serving. Under the pipeline it runs
+// as an I/O-queue barrier, so the snapshot is consistent with every write
+// queued before the call; pair it with StartTee in the same Sync closure
+// and the snapshot plus the tee cover the write stream exactly once.
+func (s *Shard) ExportBlocks() ([]SealedBlock, error) {
+	if s.closed {
+		return nil, fmt.Errorf("shard: shard %d is closed", s.index)
+	}
+	if s.ioErr != nil {
+		return nil, s.ioErr
+	}
+	if s.ioq != nil {
+		res := s.ioRound(ioReq{kind: ioSnapshot})
+		return res.snap, res.err
+	}
+	return s.snapshotBlocks(s.be.Get), nil
+}
+
+// snapshotBlocks collects the stored blocks by probing every local id
+// (backends expose no iterator; capacities are small enough that a linear
+// probe is cheap). Ciphertexts are copied so the snapshot stays valid
+// while the shard keeps writing.
+func (s *Shard) snapshotBlocks(get func(uint64) (backend.Sealed, bool)) []SealedBlock {
+	var out []SealedBlock
+	for local := uint64(0); local < s.blocks; local++ {
+		if sb, ok := get(local); ok {
+			out = append(out, SealedBlock{
+				Local: local,
+				Epoch: sb.Epoch,
+				Ct:    append([]byte(nil), sb.Ct...),
+			})
+		}
+	}
+	return out
+}
+
+// StartTee begins duplicating every subsequently sealed write into an
+// owner-confined buffer, so the writes that land while the phase-1
+// snapshot streams to the target are not lost. Call it in the same Sync
+// closure as ExportBlocks; StopTee (under the cutover barrier) returns
+// the buffered tail.
+func (s *Shard) StartTee() {
+	s.teeOn = true
+	s.teeBuf = nil
+}
+
+// StopTee ends the tee and returns the sealed writes it captured, in
+// arrival order (later entries supersede earlier ones for the same local,
+// exactly like replaying the puts).
+func (s *Shard) StopTee() []SealedBlock {
+	buf := s.teeBuf
+	s.teeOn = false
+	s.teeBuf = nil
+	return buf
+}
+
+// teeWrite records one sealed write while the tee is armed. The ct slice
+// is aliased, not copied: the sealer allocates a fresh ciphertext per seal
+// and no layer mutates it afterwards.
+func (s *Shard) teeWrite(local uint64, ct []byte, epoch uint64) {
+	if !s.teeOn {
+		return
+	}
+	s.teeBuf = append(s.teeBuf, SealedBlock{Local: local, Epoch: epoch, Ct: ct})
+}
+
+// ExportMeta seals and returns the shard's exact controller metadata — the
+// checkpoint blob, handed to the caller instead of the backend. Call it
+// quiesced (inside a Sync closure, which drains the pipeline): the blob
+// then describes the precise end of the shard's served history, and
+// RestoreMeta on the receiving side continues that history bit-exactly.
+// Like checkpoint, the blob's sealing epoch is reserved from the shard's
+// own counter first, so a restored sealer can never re-issue its IV.
+func (s *Shard) ExportMeta() ([]byte, uint64, error) {
+	blobEpoch := s.sealer.Epoch() + 1
+	if blobEpoch >= 1<<40 {
+		return nil, 0, fmt.Errorf("shard: sealing counter %d exhausted the 40-bit IV field; re-key the store", blobEpoch)
+	}
+	s.sealer.SetEpoch(blobEpoch)
+	st := shardState{
+		Index: s.index, Stride: s.stride, Blocks: s.blocks,
+		SealEpoch: blobEpoch,
+		Reads:     s.reads, Writes: s.writes,
+		TrafficR: s.trafficR, TrafficW: s.trafficW,
+		TopHits: s.topHitsBase + s.engine.TopHits(),
+		Engine:  s.engine.State(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, 0, fmt.Errorf("shard: encode migration state: %w", err)
+	}
+	if buf.Len() > crypt.MaxBlobBytes {
+		return nil, 0, fmt.Errorf("shard: migration state is %d bytes, beyond the %d-byte sealing span",
+			buf.Len(), crypt.MaxBlobBytes)
+	}
+	return s.sealer.Blob(s.metaAddr(), blobEpoch, buf.Bytes()), blobEpoch, nil
+}
+
+// ImportBlocks loads a migrated shard's sealed payloads into the backend.
+// Pre-serving only: call on a freshly built shard, before EnablePipeline,
+// followed by RestoreMeta (the payloads are meaningless until the engine
+// metadata that indexes them is restored).
+func (s *Shard) ImportBlocks(blocks []SealedBlock) error {
+	if s.ioq != nil {
+		return fmt.Errorf("shard: ImportBlocks must run before EnablePipeline")
+	}
+	for _, b := range blocks {
+		if b.Local >= s.blocks {
+			return fmt.Errorf("shard: imported block %d outside shard %d capacity %d", b.Local, s.index, s.blocks)
+		}
+		sb := backend.Sealed{Ct: append([]byte(nil), b.Ct...), Epoch: b.Epoch}
+		if err := s.be.Put(b.Local, sb); err != nil {
+			return fmt.Errorf("shard: import of block %d: %w", b.Local, err)
+		}
+	}
+	return nil
+}
+
+// RestoreMeta restores a migrated shard's exact controller state from an
+// ExportMeta blob: engine, sealer counter, and traffic counters, exactly
+// the checkpoint-recovery path with no tail to replay. Pre-serving only.
+func (s *Shard) RestoreMeta(meta []byte, metaEpoch uint64) error {
+	if s.ioq != nil {
+		return fmt.Errorf("shard: RestoreMeta must run before EnablePipeline")
+	}
+	return s.recover(meta, metaEpoch, nil)
+}
+
+// ForceCheckpoint persists a checkpoint now (durable backends; a no-op
+// otherwise). The migration sink calls it right after RestoreMeta so the
+// imported shard's first durable state is the migrated one — a crash
+// before the first periodic checkpoint otherwise recovers the pre-import
+// creation state.
+func (s *Shard) ForceCheckpoint() error { return s.checkpoint() }
+
+// Retire marks the shard surrendered by a completed migration: further
+// checkpoints (including Close's farewell checkpoint) become no-ops. The
+// new owner continues this shard's sealing-epoch domain from the exported
+// counter, so a farewell checkpoint here would seal a second blob under
+// the same (metaAddr, epoch) IV pair — AES-CTR IV reuse. A retired shard
+// must serve no further operations (the node removes its slot first).
+func (s *Shard) Retire() { s.retired = true }

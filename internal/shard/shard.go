@@ -173,6 +173,12 @@ type Shard struct {
 	ckptEvery uint64 // writes between automatic checkpoints (durable only)
 	sinceCkpt uint64
 	closed    bool
+	retired   bool // surrendered by a completed migration: checkpoints become no-ops (migrate.go)
+
+	// Migration tee state (migrate.go): while teeOn, every sealed write is
+	// also appended to teeBuf for the in-flight migration's tail.
+	teeOn  bool
+	teeBuf []SealedBlock
 
 	reads, writes      uint64
 	trafficR, trafficW uint64
@@ -345,6 +351,7 @@ func (s *Shard) Write(local uint64, data []byte) error {
 	if err := s.be.Put(local, backend.Sealed{Ct: ct, Epoch: epoch}); err != nil {
 		return fmt.Errorf("palermo: backend write of block %d: %w", global, err)
 	}
+	s.teeWrite(local, ct, epoch)
 	plan := s.engine.Access(local, true, epoch)
 	s.writes++
 	s.trafficR += uint64(plan.Reads())
@@ -427,7 +434,10 @@ func (s *Shard) Snapshot() Counters {
 // encoded, so the checkpointed SealEpoch already covers it and a restored
 // sealer can never re-issue the blob's IV.
 func (s *Shard) checkpoint() error {
-	if !s.durable {
+	// A retired shard (surrendered by migration) must never seal another
+	// checkpoint blob: the new owner continues this shard's sealing-epoch
+	// counter, so a farewell blob here would reuse its next IV (migrate.go).
+	if !s.durable || s.retired {
 		return nil
 	}
 	blobEpoch := s.sealer.Epoch() + 1

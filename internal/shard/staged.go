@@ -34,6 +34,7 @@ const (
 	ioLen
 	ioCheckpoint
 	ioClose
+	ioSnapshot // migration phase 1: collect every stored sealed block (migrate.go)
 )
 
 // ioReq is one operation of the shard's I/O stage.
@@ -48,10 +49,11 @@ type ioReq struct {
 
 // ioRes resolves an ioReq.
 type ioRes struct {
-	sb  backend.Sealed // ioGet
-	ok  bool
-	n   int // ioLen
-	err error
+	sb   backend.Sealed // ioGet
+	ok   bool
+	n    int           // ioLen
+	snap []SealedBlock // ioSnapshot
+	err  error
 }
 
 // EnablePipeline switches the shard to staged execution with the given
@@ -258,6 +260,11 @@ func (s *Shard) ioExec(req ioReq) (stop bool) {
 	case ioClose:
 		req.done <- ioRes{err: s.vbe.Close()}
 		return true
+	case ioSnapshot:
+		// Collected on the I/O goroutine — the backend's owner under the
+		// pipeline — so the snapshot is consistent with every put queued
+		// before this barrier (migrate.go, migration phase 1).
+		req.done <- ioRes{snap: s.snapshotBlocks(s.vbe.Get)}
 	}
 	return false
 }
@@ -332,10 +339,12 @@ func (s *Shard) BeginWrite(local uint64, data []byte) (*Access, error) {
 		s.beginSeq++
 		a.seq = s.beginSeq
 		s.ioq <- ioReq{kind: ioPut, put: backend.PutOp{Local: local, Sb: backend.Sealed{Ct: ct, Epoch: epoch}}}
+		s.teeWrite(local, ct, epoch)
 	} else {
 		if err := s.be.Put(local, backend.Sealed{Ct: ct, Epoch: epoch}); err != nil {
 			return nil, fmt.Errorf("palermo: backend write of block %d: %w", global, err)
 		}
+		s.teeWrite(local, ct, epoch)
 		a.ready = true
 	}
 	st := s.engine.PlanAccess(local, true, epoch)

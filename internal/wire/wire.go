@@ -38,8 +38,10 @@ const (
 	// fail loudly instead of misparsing payloads. Version 2 extended the
 	// Stats body with the queue-wait/execute latency split; version 3
 	// appended the tree-top cache and prefetch planner counters (both
-	// incompatible fixed-width layout changes).
-	Version byte = 3
+	// incompatible fixed-width layout changes); version 4 added the cluster
+	// layer: geometry epoch + owned-shard-range fields in Stats, the
+	// Manifest op, the Migrate* op family, and StatusWrongEpoch.
+	Version byte = 4
 	// HeaderLen is the fixed frame-header size in bytes.
 	HeaderLen = 16
 	// BlockBytes is the store's payload granularity on the wire. A
@@ -63,12 +65,32 @@ const (
 	OpWriteBatch byte = 4
 	OpStats      byte = 5
 
+	// OpManifest asks a node for its current placement manifest (the
+	// response body is the manifest's canonical JSON encoding, opaque to
+	// this package).
+	OpManifest byte = 6
+
+	// The migrate op family streams one shard's sealed state from its
+	// owning node to a joining node (DESIGN.md §11). Begin opens a staging
+	// session, Blocks carries sealed block records (snapshot and tail use
+	// the same frame), Meta carries the sealed engine-state blob in chunks,
+	// Commit installs the shard under the new geometry epoch, Abort
+	// discards the staging session. OpMigrate is the admin trigger
+	// (palermo-ctl -> source node): push the named shard to the target
+	// address and cut over.
+	OpMigrateBegin  byte = 7
+	OpMigrateBlocks byte = 8
+	OpMigrateMeta   byte = 9
+	OpMigrateCommit byte = 10
+	OpMigrateAbort  byte = 11
+	OpMigrate       byte = 12
+
 	// RespFlag marks a frame as a response to the op in the low bits.
 	RespFlag byte = 0x80
 )
 
 // IsRequest reports whether op is a known request code.
-func IsRequest(op byte) bool { return op >= OpRead && op <= OpStats }
+func IsRequest(op byte) bool { return op >= OpRead && op <= OpMigrate }
 
 // Resp returns the response op code for a request op.
 func Resp(op byte) byte { return op | RespFlag }
@@ -78,10 +100,11 @@ type Status byte
 
 // Response status codes.
 const (
-	StatusOK     Status = 0 // op-specific body follows
-	StatusClosed Status = 1 // store is closed/draining; message follows
-	StatusBad    Status = 2 // request was malformed or exceeded a limit
-	StatusErr    Status = 3 // store rejected the op; message follows
+	StatusOK         Status = 0 // op-specific body follows
+	StatusClosed     Status = 1 // store is closed/draining; message follows
+	StatusBad        Status = 2 // request was malformed or exceeded a limit
+	StatusErr        Status = 3 // store rejected the op; message follows
+	StatusWrongEpoch Status = 4 // node no longer owns the shard; refetch the manifest
 )
 
 // Typed decode errors. Framing errors (magic/version/length/truncation)
@@ -374,7 +397,7 @@ func ParseResp(p []byte) (Status, []byte, string, error) {
 	if st == StatusOK {
 		return st, p[1:], "", nil
 	}
-	if st != StatusClosed && st != StatusBad && st != StatusErr {
+	if st != StatusClosed && st != StatusBad && st != StatusErr && st != StatusWrongEpoch {
 		return 0, nil, "", fmt.Errorf("%w: unknown status %d", ErrMalformed, st)
 	}
 	return st, nil, string(p[1:]), nil
@@ -414,6 +437,193 @@ func ParseReadBatchResp(body []byte) ([][]byte, error) {
 		blocks[i] = rest[i*BlockBytes : (i+1)*BlockBytes]
 	}
 	return blocks, nil
+}
+
+// --- migration --------------------------------------------------------
+
+const (
+	// MaxMigrateBlocks caps the sealed block records one OpMigrateBlocks
+	// frame may carry (8 + 80*count must stay under MaxPayload).
+	MaxMigrateBlocks = 1 << 15
+	// MaxMetaChunk caps one OpMigrateMeta chunk; engine-state blobs larger
+	// than this are split across frames (crypt.MaxBlobBytes far exceeds
+	// one frame's payload cap).
+	MaxMetaChunk = 1 << 21
+
+	migrateBlockRec = 8 + 8 + BlockBytes // local id, seal epoch, ciphertext
+)
+
+// MigrateBegin opens a migration staging session on the target node. The
+// geometry fields let the target refuse a shard that cannot belong to its
+// store (wrong stride, capacity, or an epoch at or behind its own).
+type MigrateBegin struct {
+	Shard       uint32 // global shard index being migrated
+	Stride      uint32 // total shard count S of the cluster geometry
+	Blocks      uint64 // global store capacity in blocks
+	ShardBlocks uint64 // blocks local to this shard (Router.ShardBlocks)
+	Epoch       uint64 // sender's current geometry epoch
+}
+
+// AppendMigrateBeginReq appends a MigrateBegin request payload.
+func AppendMigrateBeginReq(dst []byte, mb MigrateBegin) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, mb.Shard)
+	dst = binary.BigEndian.AppendUint32(dst, mb.Stride)
+	dst = binary.BigEndian.AppendUint64(dst, mb.Blocks)
+	dst = binary.BigEndian.AppendUint64(dst, mb.ShardBlocks)
+	return binary.BigEndian.AppendUint64(dst, mb.Epoch)
+}
+
+// ParseMigrateBeginReq decodes a MigrateBegin request payload.
+func ParseMigrateBeginReq(p []byte) (MigrateBegin, error) {
+	if len(p) != 32 {
+		return MigrateBegin{}, fmt.Errorf("%w: MigrateBegin payload is %d bytes, want 32", ErrMalformed, len(p))
+	}
+	return MigrateBegin{
+		Shard:       binary.BigEndian.Uint32(p),
+		Stride:      binary.BigEndian.Uint32(p[4:]),
+		Blocks:      binary.BigEndian.Uint64(p[8:]),
+		ShardBlocks: binary.BigEndian.Uint64(p[16:]),
+		Epoch:       binary.BigEndian.Uint64(p[24:]),
+	}, nil
+}
+
+// MigrateBlock is one sealed block record in an OpMigrateBlocks frame:
+// the shard-local id, the seal epoch (IV component), and the 64-byte
+// ciphertext exactly as the backend stores it.
+type MigrateBlock struct {
+	Local uint64
+	Epoch uint64
+	Ct    []byte
+}
+
+// AppendMigrateBlocksReq appends an OpMigrateBlocks request payload
+// (shard + count + fixed-width records). Snapshot streaming and the
+// cutover tail use the same frame.
+func AppendMigrateBlocksReq(dst []byte, shard uint32, recs []MigrateBlock) ([]byte, error) {
+	if len(recs) == 0 || len(recs) > MaxMigrateBlocks {
+		return dst, fmt.Errorf("%w: %d migrate block records, want 1..%d", ErrMalformed, len(recs), MaxMigrateBlocks)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, shard)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(recs)))
+	for i, r := range recs {
+		if len(r.Ct) != BlockBytes {
+			return dst, fmt.Errorf("%w: record %d ciphertext is %d bytes, want %d", ErrMalformed, i, len(r.Ct), BlockBytes)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, r.Local)
+		dst = binary.BigEndian.AppendUint64(dst, r.Epoch)
+		dst = append(dst, r.Ct...)
+	}
+	return dst, nil
+}
+
+// ParseMigrateBlocksReq decodes an OpMigrateBlocks request payload. The
+// returned ciphertexts alias p.
+func ParseMigrateBlocksReq(p []byte) (uint32, []MigrateBlock, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("%w: MigrateBlocks payload is %d bytes, want >= 8", ErrMalformed, len(p))
+	}
+	shard := binary.BigEndian.Uint32(p)
+	n := binary.BigEndian.Uint32(p[4:])
+	if n == 0 || n > MaxMigrateBlocks {
+		return 0, nil, fmt.Errorf("%w: migrate block count %d, want 1..%d", ErrMalformed, n, MaxMigrateBlocks)
+	}
+	body := p[8:]
+	if uint64(len(body)) != uint64(n)*migrateBlockRec {
+		return 0, nil, fmt.Errorf("%w: %d migrate records claim %d body bytes, have %d", ErrMalformed, n, uint64(n)*migrateBlockRec, len(body))
+	}
+	recs := make([]MigrateBlock, n)
+	for i := range recs {
+		rec := body[i*migrateBlockRec:]
+		recs[i] = MigrateBlock{
+			Local: binary.BigEndian.Uint64(rec),
+			Epoch: binary.BigEndian.Uint64(rec[8:]),
+			Ct:    rec[16 : 16+BlockBytes],
+		}
+	}
+	return shard, recs, nil
+}
+
+// AppendMigrateMetaReq appends an OpMigrateMeta request payload: one
+// chunk of the sealed engine-state blob. total is the full blob length,
+// off this chunk's offset; the target reassembles in order.
+func AppendMigrateMetaReq(dst []byte, shard uint32, metaEpoch uint64, total, off uint32, chunk []byte) ([]byte, error) {
+	if len(chunk) == 0 || len(chunk) > MaxMetaChunk {
+		return dst, fmt.Errorf("%w: meta chunk of %d bytes, want 1..%d", ErrMalformed, len(chunk), MaxMetaChunk)
+	}
+	if uint64(off)+uint64(len(chunk)) > uint64(total) {
+		return dst, fmt.Errorf("%w: meta chunk [%d,%d) exceeds total %d", ErrMalformed, off, int(off)+len(chunk), total)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, shard)
+	dst = binary.BigEndian.AppendUint64(dst, metaEpoch)
+	dst = binary.BigEndian.AppendUint32(dst, total)
+	dst = binary.BigEndian.AppendUint32(dst, off)
+	return append(dst, chunk...), nil
+}
+
+// ParseMigrateMetaReq decodes an OpMigrateMeta request payload. The chunk
+// aliases p.
+func ParseMigrateMetaReq(p []byte) (shard uint32, metaEpoch uint64, total, off uint32, chunk []byte, err error) {
+	if len(p) < 21 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: MigrateMeta payload is %d bytes, want >= 21", ErrMalformed, len(p))
+	}
+	shard = binary.BigEndian.Uint32(p)
+	metaEpoch = binary.BigEndian.Uint64(p[4:])
+	total = binary.BigEndian.Uint32(p[12:])
+	off = binary.BigEndian.Uint32(p[16:])
+	chunk = p[20:]
+	if len(chunk) > MaxMetaChunk || uint64(off)+uint64(len(chunk)) > uint64(total) {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: meta chunk [%d,%d) against total %d", ErrMalformed, off, int(off)+len(chunk), total)
+	}
+	return shard, metaEpoch, total, off, chunk, nil
+}
+
+// AppendMigrateCommitReq appends an OpMigrateCommit request payload.
+func AppendMigrateCommitReq(dst []byte, shard uint32, newEpoch uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, shard)
+	return binary.BigEndian.AppendUint64(dst, newEpoch)
+}
+
+// ParseMigrateCommitReq decodes an OpMigrateCommit request payload.
+func ParseMigrateCommitReq(p []byte) (uint32, uint64, error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("%w: MigrateCommit payload is %d bytes, want 12", ErrMalformed, len(p))
+	}
+	return binary.BigEndian.Uint32(p), binary.BigEndian.Uint64(p[4:]), nil
+}
+
+// AppendMigrateAbortReq appends an OpMigrateAbort request payload.
+func AppendMigrateAbortReq(dst []byte, shard uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, shard)
+}
+
+// ParseMigrateAbortReq decodes an OpMigrateAbort request payload.
+func ParseMigrateAbortReq(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("%w: MigrateAbort payload is %d bytes, want 4", ErrMalformed, len(p))
+	}
+	return binary.BigEndian.Uint32(p), nil
+}
+
+// maxMigrateAddr bounds the target address string in an OpMigrate admin
+// request.
+const maxMigrateAddr = 256
+
+// AppendMigrateReq appends an OpMigrate admin request payload (shard +
+// target node address).
+func AppendMigrateReq(dst []byte, shard uint32, target string) ([]byte, error) {
+	if target == "" || len(target) > maxMigrateAddr {
+		return dst, fmt.Errorf("%w: migrate target address of %d bytes, want 1..%d", ErrMalformed, len(target), maxMigrateAddr)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, shard)
+	return append(dst, target...), nil
+}
+
+// ParseMigrateReq decodes an OpMigrate admin request payload.
+func ParseMigrateReq(p []byte) (uint32, string, error) {
+	if len(p) < 5 || len(p) > 4+maxMigrateAddr {
+		return 0, "", fmt.Errorf("%w: Migrate payload is %d bytes, want 5..%d", ErrMalformed, len(p), 4+maxMigrateAddr)
+	}
+	return binary.BigEndian.Uint32(p), string(p[4:]), nil
 }
 
 // --- stats ------------------------------------------------------------
@@ -456,10 +666,19 @@ type Stats struct {
 	PrefetchIssued uint64
 	PrefetchUsed   uint64
 	PrefetchStale  uint64
+
+	// Version 4 cluster fields. Epoch is the node's current geometry
+	// epoch (0 = standalone, no placement manifest). FirstShard and
+	// OwnedShards describe the contiguous shard range this node serves;
+	// a standalone server reports 0..Shards. Clients pin the epoch at
+	// handshake and treat any later change as a geometry change.
+	Epoch       uint64
+	FirstShard  uint32
+	OwnedShards uint32
 }
 
 // statsLen is the fixed encoded size of Stats.
-const statsLen = 8 + 4 + 3*8 + 4*(8+3*8) + 4*8 + 4 + 4 + 4*8
+const statsLen = 8 + 4 + 3*8 + 4*(8+3*8) + 4*8 + 4 + 4 + 4*8 + 8 + 4 + 4
 
 // AppendStats appends the fixed-width Stats encoding.
 func AppendStats(dst []byte, s Stats) []byte {
@@ -481,7 +700,10 @@ func AppendStats(dst []byte, s Stats) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, s.TreeTopHits)
 	dst = binary.BigEndian.AppendUint64(dst, s.PrefetchIssued)
 	dst = binary.BigEndian.AppendUint64(dst, s.PrefetchUsed)
-	return binary.BigEndian.AppendUint64(dst, s.PrefetchStale)
+	dst = binary.BigEndian.AppendUint64(dst, s.PrefetchStale)
+	dst = binary.BigEndian.AppendUint64(dst, s.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, s.FirstShard)
+	return binary.BigEndian.AppendUint32(dst, s.OwnedShards)
 }
 
 // ParseStats decodes a Stats response body.
@@ -509,6 +731,9 @@ func ParseStats(body []byte) (Stats, error) {
 	s.PrefetchIssued = binary.BigEndian.Uint64(body[212:])
 	s.PrefetchUsed = binary.BigEndian.Uint64(body[220:])
 	s.PrefetchStale = binary.BigEndian.Uint64(body[228:])
+	s.Epoch = binary.BigEndian.Uint64(body[236:])
+	s.FirstShard = binary.BigEndian.Uint32(body[244:])
+	s.OwnedShards = binary.BigEndian.Uint32(body[248:])
 	return s, nil
 }
 

@@ -133,6 +133,8 @@ func (a serverStore) Stats() wire.Stats {
 		StashPeak:      uint32(tr.StashPeak),
 		TreeTopHits:    tr.TreeTopHits,
 		PrefetchIssued: tr.PrefetchIssued, PrefetchUsed: tr.PrefetchUsed, PrefetchStale: tr.PrefetchStale,
+		// A standalone server has no placement: epoch 0, every shard owned.
+		Epoch: 0, FirstShard: 0, OwnedShards: uint32(a.st.Shards()),
 	}
 }
 
