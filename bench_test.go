@@ -78,17 +78,42 @@ func benchPipelineDepth() int {
 	return 0
 }
 
-// BenchmarkStoreOpsDurable is BenchmarkStoreOps over the WAL backend:
-// same 90/10 read/write mix, every write appended to the group-committed
-// log. The delta against BenchmarkStoreOps is the durability tax the
-// BENCH_persist.json record tracks; the delta between PALERMO_PIPELINE=1
-// and the default depth is the pipeline win BENCH_pipeline.json tracks.
+// benchEngine / benchCryptoWorkers read the PALERMO_ENGINE and
+// PALERMO_CRYPTO_WORKERS overrides so the CI engine smoke and
+// BENCH_engine.json can compare storage engines and crypto-pool widths on
+// the identical benchmark: PALERMO_ENGINE picks "wal" (default) or
+// "blockfile", PALERMO_CRYPTO_WORKERS sets the parallel seal/unseal pool
+// (0/unset = inline crypto).
+func benchEngine() string {
+	if s := os.Getenv("PALERMO_ENGINE"); s != "" {
+		return s
+	}
+	return BackendWAL
+}
+
+func benchCryptoWorkers() int {
+	if s := os.Getenv("PALERMO_CRYPTO_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// BenchmarkStoreOpsDurable is BenchmarkStoreOps over a durable engine
+// (PALERMO_ENGINE; WAL by default): same 90/10 read/write mix, every
+// write committed under the group-commit policy. The delta against
+// BenchmarkStoreOps is the durability tax the BENCH_persist.json record
+// tracks; the delta between PALERMO_PIPELINE=1 and the default depth is
+// the pipeline win BENCH_pipeline.json tracks; the engine and
+// crypto-worker deltas are BENCH_engine.json's.
 func BenchmarkStoreOpsDurable(b *testing.B) {
 	st, err := NewStore(StoreConfig{
 		Blocks:        1 << 16,
-		Backend:       BackendWAL,
+		Engine:        benchEngine(),
 		Dir:           b.TempDir(),
 		PipelineDepth: benchPipelineDepth(),
+		CryptoWorkers: benchCryptoWorkers(),
 	})
 	if err != nil {
 		b.Fatal(err)

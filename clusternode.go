@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"palermo/internal/backend"
+	"palermo/internal/backend/blockfile"
 	"palermo/internal/backend/wal"
 	"palermo/internal/cluster"
 	"palermo/internal/netserve"
@@ -135,6 +136,15 @@ func NewClusterNode(cfg ClusterNodeConfig, man *cluster.Manifest) (*ClusterNode,
 	if err := validateTreeTopLevels(sc.TreeTopLevels); err != nil {
 		return nil, err
 	}
+	if err := validateCryptoWorkers(sc.CryptoWorkers); err != nil {
+		return nil, err
+	}
+	engine, err := resolveEngine(sc.Engine, sc.Backend)
+	if err != nil {
+		return nil, err
+	}
+	sc.Backend = engine
+	sc.Engine = ""
 	sc.defaults()
 	if err := validateStoreParams(sc.Blocks, sc.Key); err != nil {
 		return nil, err
@@ -156,16 +166,18 @@ func NewClusterNode(cfg ClusterNodeConfig, man *cluster.Manifest) (*ClusterNode,
 			sc.Backend = BackendMemory
 		}
 	}
-	if sc.Backend == BackendWAL {
+	if sc.Backend == BackendWAL || sc.Backend == BackendBlockfile {
 		if sc.Dir == "" {
-			return nil, fmt.Errorf("palermo: the %q backend requires Dir", BackendWAL)
+			return nil, fmt.Errorf("palermo: the %q engine requires Dir", sc.Backend)
 		}
 		// The directory manifest pins the GLOBAL geometry — every node of
-		// the cluster agrees on (Blocks, Shards) even though each holds
-		// only its own shard subdirectories.
-		if err := wal.EnsureManifest(sc.Dir, wal.Manifest{Version: wal.ManifestVersion, Blocks: sc.Blocks, Shards: sc.Shards}); err != nil {
+		// the cluster agrees on (Blocks, Shards, engine) even though each
+		// holds only its own shard subdirectories.
+		if err := wal.EnsureManifest(sc.Dir, wal.Manifest{Version: wal.ManifestVersion, Blocks: sc.Blocks, Shards: sc.Shards, Engine: sc.Backend}); err != nil {
 			return nil, fmt.Errorf("palermo: %w", err)
 		}
+	} else if sc.Backend != BackendMemory {
+		return nil, fmt.Errorf("palermo: unknown Engine %q (want %q, %q, or %q)", sc.Backend, BackendMemory, BackendWAL, BackendBlockfile)
 	}
 	n := &ClusterNode{
 		cfg:       sc,
@@ -192,17 +204,26 @@ func NewClusterNode(cfg ClusterNodeConfig, man *cluster.Manifest) (*ClusterNode,
 	return n, nil
 }
 
+// openShardBackend opens one shard sub-directory under the node's
+// configured engine (nil for the in-memory engine).
+func (n *ClusterNode) openShardBackend(dir string) (backend.Backend, error) {
+	switch n.cfg.Backend {
+	case BackendWAL:
+		return wal.Open(dir, wal.Options{GroupCommit: n.cfg.GroupCommit, CommitDepth: n.cfg.PipelineDepth})
+	case BackendBlockfile:
+		return blockfile.Open(dir, blockfile.Options{GroupCommit: n.cfg.GroupCommit})
+	default:
+		return nil, nil
+	}
+}
+
 // openSlot builds one owned shard and its single-worker service, using
 // the same assembly as NewShardedStore so a cluster of nodes is
 // protocol-identical to one in-process ShardedStore.
 func (n *ClusterNode) openSlot(s int) (*clusterSlot, error) {
-	var be backend.Backend
-	if n.cfg.Backend == BackendWAL {
-		w, err := wal.Open(n.shardDir(s), wal.Options{GroupCommit: n.cfg.GroupCommit, CommitDepth: n.cfg.PipelineDepth})
-		if err != nil {
-			return nil, fmt.Errorf("palermo: shard %d: %w", s, err)
-		}
-		be = w
+	be, err := n.openShardBackend(n.shardDir(s))
+	if err != nil {
+		return nil, fmt.Errorf("palermo: shard %d: %w", s, err)
 	}
 	sh, err := shard.New(s, n.cfg.Shards, n.router.ShardBlocks(s), n.cfg.Key, shard.DeriveSeed(n.cfg.Seed, s), be)
 	if err != nil {
@@ -225,6 +246,7 @@ func (n *ClusterNode) startSlot(sh *shard.Shard) *clusterSlot {
 		sh.EnableTrace()
 	}
 	sh.EnablePipeline(n.cfg.PipelineDepth)
+	sh.EnableCryptoPool(n.cfg.CryptoWorkers)
 	if n.cfg.Prefetch {
 		sh.EnablePrefetch(maxInt(n.cfg.MaxBatch, serveDefaultMaxBatch))
 	}
@@ -784,7 +806,7 @@ func (n *ClusterNode) sinkCommit(s uint32, newEpoch uint64) error {
 		return fmt.Errorf("palermo: migrate: commit epoch %d, want %d", newEpoch, sink.begin.Epoch+1)
 	}
 	var be backend.Backend
-	if n.cfg.Backend == BackendWAL {
+	if n.cfg.Backend != BackendMemory {
 		// A previous ownership of this shard (before an earlier migration
 		// away) left a subdirectory whose recovered state diverges from
 		// the incoming one: wipe it, this import IS the shard's state.
@@ -792,7 +814,7 @@ func (n *ClusterNode) sinkCommit(s uint32, newEpoch uint64) error {
 		if err := os.RemoveAll(dir); err != nil {
 			return fmt.Errorf("palermo: migrate: %w", err)
 		}
-		w, err := wal.Open(dir, wal.Options{GroupCommit: n.cfg.GroupCommit, CommitDepth: n.cfg.PipelineDepth})
+		w, err := n.openShardBackend(dir)
 		if err != nil {
 			return fmt.Errorf("palermo: migrate: %w", err)
 		}

@@ -90,8 +90,10 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to write the BENCH_load.json perf record into")
 	figure := flag.String("figure", "", "override the perf-record figure name (default: load, or net with -addr)")
 	traceFile := flag.String("trace", "", "record per-shard serving leaf traces to this JSON file (in-process mode)")
-	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
-	groupCommit := flag.Int("group-commit", 0, "WAL appends per fsync batch (0 = default)")
+	dir := flag.String("dir", "", "durable store directory (selects a durable engine; see -engine)")
+	engine := flag.String("engine", "", `storage engine with -dir: "wal" (default) or "blockfile"; reopen auto-detects from the manifest`)
+	groupCommit := flag.Int("group-commit", 0, "durable-log appends per fsync batch (0 = default)")
+	cryptoWorkers := flag.Int("crypto-workers", 0, "parallel seal/unseal workers per shard (0 = inline; needs pipeline depth > 1)")
 	verify := flag.Bool("verify", false, "reopen the -dir store and verify the stamped blocks instead of generating load")
 	addr := flag.String("addr", "", "drive a remote palermo-server at HOST:PORT instead of an in-process store")
 	conns := flag.Int("conns", 1, "client connection-pool size (-addr mode)")
@@ -105,7 +107,7 @@ func main() {
 		}
 		if *addr != "" {
 			switch f.Name {
-			case "shards", "blocks", "queue", "dir", "group-commit", "verify", "treetop", "prefetch", "trace":
+			case "shards", "blocks", "queue", "dir", "engine", "group-commit", "crypto-workers", "verify", "treetop", "prefetch", "trace":
 				fatal(fmt.Errorf("-%s configures an in-process store; with -addr it belongs to the server", f.Name))
 			}
 		}
@@ -137,11 +139,20 @@ func main() {
 		PipelineDepth: *pipeline,
 		TreeTopLevels: *treetop,
 		Prefetch:      *prefetch,
+		CryptoWorkers: *cryptoWorkers,
 	}
 	if *dir != "" {
-		cfg.Backend = palermo.BackendWAL
+		// An explicit -engine wins; otherwise an existing directory's
+		// manifest decides (so -verify never needs the flag restated) and
+		// a fresh directory defaults to the WAL engine.
+		cfg.Engine = *engine
+		if cfg.Engine == "" {
+			cfg.Engine = palermo.DetectEngine(*dir)
+		}
 		cfg.Dir = *dir
 		cfg.GroupCommit = *groupCommit
+	} else if *engine != "" && *engine != palermo.BackendMemory {
+		fatal(fmt.Errorf("-engine %s requires -dir", *engine))
 	}
 
 	if *verify {

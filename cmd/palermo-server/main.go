@@ -53,8 +53,10 @@ func main() {
 	treetop := flag.Int("treetop", 0, "resident tree-top cache levels per engine space (0 = byte-budget default)")
 	prefetch := flag.Bool("prefetch", false, "enable the batch-admission prefetch planner (needs pipeline depth > 1)")
 	seed := flag.Uint64("seed", 1, "base seed (shards derive theirs from it)")
-	dir := flag.String("dir", "", "durable store directory (selects the WAL backend)")
-	groupCommit := flag.Int("group-commit", 0, "WAL appends per fsync batch (0 = default)")
+	dir := flag.String("dir", "", "durable store directory (selects a durable engine; see -engine)")
+	engine := flag.String("engine", "", `storage engine with -dir: "wal" (default) or "blockfile" (paged direct-I/O slots)`)
+	groupCommit := flag.Int("group-commit", 0, "durable-log appends per fsync batch (0 = default)")
+	cryptoWorkers := flag.Int("crypto-workers", 0, "parallel seal/unseal workers per shard (0 = inline; needs pipeline depth > 1)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "writes between WAL compaction checkpoints (0 = default, <0 disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "per-connection in-flight request window (0 = default 64)")
 	maxBatch := flag.Int("max-batch", 0, "largest accepted batch frame in ops (0 = default 4096)")
@@ -72,7 +74,7 @@ func main() {
 		}
 		// A flag given on the command line wins over its config-file value.
 		applyConfig(fc, set, addr, shards, blocks, queue, pipeline, treetop, prefetch,
-			seed, dir, groupCommit, checkpointEvery, maxInFlight, maxBatch, idle, manifest)
+			seed, dir, engine, groupCommit, checkpointEvery, cryptoWorkers, maxInFlight, maxBatch, idle, manifest)
 		if fc.Blocks != 0 {
 			set["blocks"] = true
 		}
@@ -90,11 +92,14 @@ func main() {
 		TreeTopLevels:   *treetop,
 		Prefetch:        *prefetch,
 		CheckpointEvery: *checkpointEvery,
+		CryptoWorkers:   *cryptoWorkers,
 	}
 	if *dir != "" {
-		storeCfg.Backend = palermo.BackendWAL
+		storeCfg.Engine = resolveEngineFlag(*dir, *engine)
 		storeCfg.Dir = *dir
 		storeCfg.GroupCommit = *groupCommit
+	} else if *engine != "" && *engine != palermo.BackendMemory {
+		fatal(fmt.Errorf("-engine %s requires -dir", *engine))
 	}
 	srvCfg := palermo.ServerConfig{
 		MaxInFlight: *maxInFlight,
@@ -103,7 +108,7 @@ func main() {
 	}
 	durability := "in-memory"
 	if *dir != "" {
-		durability = "durable in " + *dir
+		durability = fmt.Sprintf("durable in %s (%s engine)", *dir, storeCfg.Engine)
 	}
 
 	if *manifest != "" {
@@ -203,7 +208,7 @@ func serveLoop(ln net.Listener, srv *palermo.Server, closeStore func() error, st
 // alone (the file mirrors the flags' zero-means-default convention).
 func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
 	addr *string, shards *int, blocks *uint64, queue, pipeline, treetop *int, prefetch *bool,
-	seed *uint64, dir *string, groupCommit, checkpointEvery, maxInFlight, maxBatch *int,
+	seed *uint64, dir, engine *string, groupCommit, checkpointEvery, cryptoWorkers, maxInFlight, maxBatch *int,
 	idle *time.Duration, manifest *string) {
 	if !set["addr"] && fc.Addr != "" {
 		*addr = fc.Addr
@@ -232,8 +237,14 @@ func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
 	if !set["dir"] && fc.Dir != "" {
 		*dir = fc.Dir
 	}
+	if !set["engine"] && fc.Engine != "" {
+		*engine = fc.Engine
+	}
 	if !set["group-commit"] && fc.GroupCommit != 0 {
 		*groupCommit = fc.GroupCommit
+	}
+	if !set["crypto-workers"] && fc.CryptoWorkers != 0 {
+		*cryptoWorkers = fc.CryptoWorkers
 	}
 	if !set["checkpoint-every"] && fc.CheckpointEvery != 0 {
 		*checkpointEvery = fc.CheckpointEvery
@@ -250,6 +261,17 @@ func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
 	if !set["manifest"] && fc.Manifest != "" {
 		*manifest = fc.Manifest
 	}
+}
+
+// resolveEngineFlag picks the storage engine for -dir: an explicit
+// -engine wins; otherwise an existing directory's manifest decides (so
+// reopening a blockfile store needs no flag), and a fresh directory gets
+// the historical WAL default.
+func resolveEngineFlag(dir, engine string) string {
+	if engine != "" {
+		return engine
+	}
+	return palermo.DetectEngine(dir)
 }
 
 func fatal(err error) {

@@ -324,16 +324,21 @@ func TestNetDifferentialEquivalence(t *testing.T) {
 // PipelineDepth 1 (the serial executor) and at the default depth must be
 // indistinguishable — byte-identical read payloads, identical service op
 // counts and dedup hits, and identical per-shard engine traces (same ops,
-// same order, same exposed leaves). Run under -race this also audits the
-// worker/I/O-goroutine split.
+// same order, same exposed leaves). The crypto pool rides the same
+// contract: CryptoWorkers 1 and 4 offload seal/unseal to worker
+// goroutines, and nothing observable may move. Run under -race this also
+// audits the worker/I/O-goroutine/crypto-pool split.
 func TestPipelinedVsSerialEquivalence(t *testing.T) {
 	const blocks = 1 << 12
 	const shards = 3
 	ops := recordNetOps(blocks, 400)
 
-	play := func(depth int) (payloads [][]byte, stats ServiceStats, traces []*shard.Trace) {
+	play := func(depth, cryptoWorkers int) (payloads [][]byte, stats ServiceStats, traces []*shard.Trace) {
 		t.Helper()
-		cfg := ShardedStoreConfig{Blocks: blocks, Shards: shards, Seed: 77, PipelineDepth: depth}
+		cfg := ShardedStoreConfig{
+			Blocks: blocks, Shards: shards, Seed: 77,
+			PipelineDepth: depth, CryptoWorkers: cryptoWorkers,
+		}
 		st, err := NewShardedStore(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -352,56 +357,69 @@ func TestPipelinedVsSerialEquivalence(t *testing.T) {
 		return payloads, stats, traces
 	}
 
-	wantPayloads, wantStats, wantTraces := play(1)
-	gotPayloads, gotStats, gotTraces := play(0) // 0 = the default depth (2)
+	wantPayloads, wantStats, wantTraces := play(1, 0)
+	for _, tc := range []struct {
+		depth, workers int
+	}{
+		{0, 0}, // 0 = the default depth (2), inline crypto
+		{0, 1}, // single crypto worker: ordering without parallelism
+		{0, 4}, // worker pool (capped at GOMAXPROCS internally)
+	} {
+		name := fmt.Sprintf("depth=%d,cryptoWorkers=%d", tc.depth, tc.workers)
+		gotPayloads, gotStats, gotTraces := play(tc.depth, tc.workers)
 
-	if len(gotPayloads) != len(wantPayloads) {
-		t.Fatalf("pipelined run returned %d read payloads, serial %d", len(gotPayloads), len(wantPayloads))
-	}
-	for i := range wantPayloads {
-		if !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
-			t.Fatalf("read payload %d diverged between serial and pipelined executors", i)
+		if len(gotPayloads) != len(wantPayloads) {
+			t.Fatalf("%s: returned %d read payloads, serial %d", name, len(gotPayloads), len(wantPayloads))
 		}
-	}
-	if gotStats.Reads != wantStats.Reads || gotStats.Writes != wantStats.Writes ||
-		gotStats.DedupHits != wantStats.DedupHits {
-		t.Fatalf("stats diverged: pipelined %d/%d/%d, serial %d/%d/%d",
-			gotStats.Reads, gotStats.Writes, gotStats.DedupHits,
-			wantStats.Reads, wantStats.Writes, wantStats.DedupHits)
-	}
-	for i := range wantTraces {
-		want, got := wantTraces[i], gotTraces[i]
-		if len(want.Ops) == 0 {
-			t.Fatalf("shard %d served nothing", i)
-		}
-		if len(got.Ops) != len(want.Ops) {
-			t.Fatalf("shard %d: pipelined served %d engine ops, serial %d", i, len(got.Ops), len(want.Ops))
-		}
-		for j := range want.Ops {
-			if got.Ops[j] != want.Ops[j] {
-				t.Fatalf("shard %d: op %d diverged (%+v != %+v)", i, j, got.Ops[j], want.Ops[j])
+		for i := range wantPayloads {
+			if !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
+				t.Fatalf("%s: read payload %d diverged from the serial executor", name, i)
 			}
-			if got.Leaves[j] != want.Leaves[j] {
-				t.Fatalf("shard %d: leaf %d diverged (%d != %d)", i, j, got.Leaves[j], want.Leaves[j])
+		}
+		if gotStats.Reads != wantStats.Reads || gotStats.Writes != wantStats.Writes ||
+			gotStats.DedupHits != wantStats.DedupHits {
+			t.Fatalf("%s: stats diverged: %d/%d/%d, serial %d/%d/%d",
+				name, gotStats.Reads, gotStats.Writes, gotStats.DedupHits,
+				wantStats.Reads, wantStats.Writes, wantStats.DedupHits)
+		}
+		for i := range wantTraces {
+			want, got := wantTraces[i], gotTraces[i]
+			if len(want.Ops) == 0 {
+				t.Fatalf("shard %d served nothing", i)
+			}
+			if len(got.Ops) != len(want.Ops) {
+				t.Fatalf("%s: shard %d served %d engine ops, serial %d", name, i, len(got.Ops), len(want.Ops))
+			}
+			for j := range want.Ops {
+				if got.Ops[j] != want.Ops[j] {
+					t.Fatalf("%s: shard %d: op %d diverged (%+v != %+v)", name, i, j, got.Ops[j], want.Ops[j])
+				}
+				if got.Leaves[j] != want.Leaves[j] {
+					t.Fatalf("%s: shard %d: leaf %d diverged (%d != %d)", name, i, j, got.Leaves[j], want.Leaves[j])
+				}
 			}
 		}
 	}
 }
 
-// TestPipelinedDurableEquivalence extends the contract through the WAL
-// backend and across a restart: identical workloads at depth 1 and depth
-// 4 (small CheckpointEvery and GroupCommit so compactions and commits
-// fire mid-run) must leave directories that recover to identical stores —
-// same payloads, same traffic counters, and identical engine behavior for
-// a post-recovery op sequence.
+// TestPipelinedDurableEquivalence extends the contract through the
+// durable backends and across a restart: identical workloads at depth 1
+// and depth 4 (small CheckpointEvery and GroupCommit so compactions and
+// commits fire mid-run), across every engine in {wal, blockfile} and
+// CryptoWorkers in {0, 1, 4}, must leave directories that recover to
+// identical stores — same payloads, same traffic counters, and identical
+// engine behavior for a post-recovery op sequence. The engine and worker
+// count may change what the bytes on disk look like, never what they
+// mean.
 func TestPipelinedDurableEquivalence(t *testing.T) {
 	const blocks = 1 << 10
-	run := func(depth int) (dir string) {
+	run := func(engine string, depth, cryptoWorkers int) (dir string) {
 		t.Helper()
 		dir = t.TempDir()
 		st, err := NewStore(StoreConfig{
-			Blocks: blocks, Backend: BackendWAL, Dir: dir, Seed: 9,
-			CheckpointEvery: 32, GroupCommit: 4, PipelineDepth: depth,
+			Blocks: blocks, Engine: engine, Dir: dir, Seed: 9,
+			CheckpointEvery: 32, GroupCommit: 4,
+			PipelineDepth: depth, CryptoWorkers: cryptoWorkers,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -423,10 +441,10 @@ func TestPipelinedDurableEquivalence(t *testing.T) {
 		return dir
 	}
 
-	reopen := func(dir string, depth int) (rep TrafficReport, payloads [][]byte) {
+	reopen := func(dir, engine string, depth int) (rep TrafficReport, payloads [][]byte) {
 		t.Helper()
 		st, err := NewStore(StoreConfig{
-			Blocks: blocks, Backend: BackendWAL, Dir: dir, Seed: 9, PipelineDepth: depth,
+			Blocks: blocks, Engine: engine, Dir: dir, Seed: 9, PipelineDepth: depth,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -446,28 +464,34 @@ func TestPipelinedDurableEquivalence(t *testing.T) {
 		return rep, payloads
 	}
 
-	serialDir, pipeDir := run(1), run(4)
-	wantRep, wantPayloads := reopen(serialDir, 1)
-	gotRep, gotPayloads := reopen(pipeDir, 4)
-	if wantRep != gotRep {
-		t.Fatalf("recovered traffic diverged:\n serial    %+v\n pipelined %+v", wantRep, gotRep)
-	}
-	for i := range wantPayloads {
-		if !bytes.Equal(wantPayloads[i], gotPayloads[i]) {
-			t.Fatalf("post-recovery read %d diverged between serial and pipelined dirs", i)
-		}
-	}
-	// Cross-recovery: a serial store must be able to reopen the pipelined
-	// executor's directory (the on-disk contract is shared). Counters keep
-	// growing across reopens, so compare the stable parts: the write
-	// count and the logical payloads.
-	crossRep, crossPayloads := reopen(pipeDir, 1)
-	if crossRep.Writes != wantRep.Writes {
-		t.Fatalf("cross-depth recovery lost writes: want %d, got %d", wantRep.Writes, crossRep.Writes)
-	}
-	for i := range wantPayloads {
-		if !bytes.Equal(wantPayloads[i], crossPayloads[i]) {
-			t.Fatalf("cross-depth read %d diverged", i)
+	serialDir := run(BackendWAL, 1, 0)
+	wantRep, wantPayloads := reopen(serialDir, BackendWAL, 1)
+	for _, engine := range []string{BackendWAL, BackendBlockfile} {
+		for _, workers := range []int{0, 1, 4} {
+			name := fmt.Sprintf("engine=%s,cryptoWorkers=%d", engine, workers)
+			dir := run(engine, 4, workers)
+			gotRep, gotPayloads := reopen(dir, engine, 4)
+			if wantRep != gotRep {
+				t.Fatalf("%s: recovered traffic diverged:\n serial wal %+v\n got        %+v", name, wantRep, gotRep)
+			}
+			for i := range wantPayloads {
+				if !bytes.Equal(wantPayloads[i], gotPayloads[i]) {
+					t.Fatalf("%s: post-recovery read %d diverged from the serial WAL baseline", name, i)
+				}
+			}
+			// Cross-recovery: a serial store must be able to reopen the
+			// pipelined executor's directory (the on-disk contract is
+			// shared). Counters keep growing across reopens, so compare the
+			// stable parts: the write count and the logical payloads.
+			crossRep, crossPayloads := reopen(dir, engine, 1)
+			if crossRep.Writes != wantRep.Writes {
+				t.Fatalf("%s: cross-depth recovery lost writes: want %d, got %d", name, wantRep.Writes, crossRep.Writes)
+			}
+			for i := range wantPayloads {
+				if !bytes.Equal(wantPayloads[i], crossPayloads[i]) {
+					t.Fatalf("%s: cross-depth read %d diverged", name, i)
+				}
+			}
 		}
 	}
 }

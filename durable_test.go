@@ -142,10 +142,12 @@ func TestShardedStoreWALRecovery(t *testing.T) {
 }
 
 // crashEnv tells a re-exec'd test binary to play the dying process of a
-// crash test: write through a WAL store, then exit WITHOUT Close. The
+// crash test: write through a durable store, then exit WITHOUT Close. The
 // parent reopens the directory afterwards — a genuine cross-process kill,
 // which also releases the directory flock the way a real crash does.
+// crashEngineEnv picks the storage engine (empty means WAL).
 const crashEnv = "PALERMO_TEST_CRASH_DIR"
+const crashEngineEnv = "PALERMO_TEST_CRASH_ENGINE"
 
 // crashChild runs the dying life if this process is the re-exec'd child;
 // returns false in the parent.
@@ -154,8 +156,12 @@ func crashChild(t *testing.T, checkpointEvery int, write func(st *Store, i uint6
 	if dir == "" {
 		return false
 	}
+	engine := os.Getenv(crashEngineEnv)
+	if engine == "" {
+		engine = BackendWAL
+	}
 	st, err := NewStore(StoreConfig{
-		Blocks: 1 << 10, Backend: BackendWAL, Dir: dir,
+		Blocks: 1 << 10, Engine: engine, Dir: dir,
 		GroupCommit: 1, CheckpointEvery: checkpointEvery,
 	})
 	if err != nil {
@@ -171,11 +177,12 @@ func crashChild(t *testing.T, checkpointEvery int, write func(st *Store, i uint6
 }
 
 // rerunAsCrashChild re-execs the test binary to run the named test's
-// child branch against dir, and waits for it to die.
-func rerunAsCrashChild(t *testing.T, test, dir string) {
+// child branch against dir under the given engine, and waits for it to
+// die.
+func rerunAsCrashChild(t *testing.T, test, dir, engine string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run", "^"+test+"$")
-	cmd.Env = append(os.Environ(), crashEnv+"="+dir)
+	cmd.Env = append(os.Environ(), crashEnv+"="+dir, crashEngineEnv+"="+engine)
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("crash child failed: %v\n%s", err, out)
 	}
@@ -191,7 +198,7 @@ func TestStoreWALCrashRecovery(t *testing.T) {
 		return
 	}
 	dir := t.TempDir()
-	rerunAsCrashChild(t, "TestStoreWALCrashRecovery", dir)
+	rerunAsCrashChild(t, "TestStoreWALCrashRecovery", dir, BackendWAL)
 
 	// Even a dir that only ever crashed (no clean Close) carries its
 	// creation checkpoint, so a wrong key is rejected at open instead of
@@ -233,7 +240,7 @@ func TestStoreWALCrashAfterCheckpoint(t *testing.T) {
 		return
 	}
 	dir := t.TempDir()
-	rerunAsCrashChild(t, "TestStoreWALCrashAfterCheckpoint", dir)
+	rerunAsCrashChild(t, "TestStoreWALCrashAfterCheckpoint", dir, BackendWAL)
 
 	re, err := NewStore(StoreConfig{Blocks: 1 << 10, Backend: BackendWAL, Dir: dir, CheckpointEvery: 20, GroupCommit: 1})
 	if err != nil {
@@ -467,4 +474,216 @@ func TestWALRecoveredStoreStaysDeterministic(t *testing.T) {
 	if a != b {
 		t.Fatalf("recovered stores diverged:\n a %+v\n b %+v", a, b)
 	}
+}
+
+// TestStoreBlockfileCloseReopen: the blockfile engine honors the same
+// clean-shutdown contract as the WAL — Close checkpoints everything, and
+// a reopen restores payloads and traffic counters bit-exactly. The reopen
+// also leaves Engine unset on purpose: DetectEngine reads the manifest,
+// so tools never have to restate the engine of an existing directory.
+func TestStoreBlockfileCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Blocks: 1 << 10, Engine: BackendBlockfile, Dir: dir, Seed: 7}
+
+	st, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[uint64][]byte)
+	r := rng.New(42)
+	for i := 0; i < 300; i++ {
+		id := r.Uint64n(1 << 10)
+		if i%3 == 0 {
+			if _, err := st.Read(id); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		data := fillBlock(uint64(i))
+		if err := st.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = data
+	}
+	before := st.Traffic()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := DetectEngine(dir); got != BackendBlockfile {
+		t.Fatalf("DetectEngine = %q, want %q", got, BackendBlockfile)
+	}
+	recfg := cfg
+	recfg.Engine = DetectEngine(dir)
+	re, err := NewStore(recfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if after := re.Traffic(); after != before {
+		t.Fatalf("traffic counters not restored:\n before %+v\n after  %+v", before, after)
+	}
+	for id, data := range want {
+		got, err := re.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("block %d diverged after reopen", id)
+		}
+	}
+}
+
+// TestStoreBlockfileCrashRecovery: the §7 crash discipline holds on the
+// blockfile engine too — killing the process without Close preserves
+// every group-committed write, recovery replays the tail (including
+// orphan slots whose log record was lost) through the engine, and a
+// crashed dir still rejects a wrong key at open.
+func TestStoreBlockfileCrashRecovery(t *testing.T) {
+	if crashChild(t, 0, func(st *Store, i uint64) error {
+		return st.Write(i*19%(1<<10), fillBlock(i+500))
+	}) {
+		return
+	}
+	dir := t.TempDir()
+	rerunAsCrashChild(t, "TestStoreBlockfileCrashRecovery", dir, BackendBlockfile)
+
+	if _, err := NewStore(StoreConfig{
+		Blocks: 1 << 10, Engine: BackendBlockfile, Dir: dir,
+		GroupCommit: 1, Key: []byte("wrong-key-16byte"),
+	}); err == nil {
+		t.Fatal("crashed dir reopened under a different key must fail")
+	}
+
+	re, err := NewStore(StoreConfig{Blocks: 1 << 10, Engine: BackendBlockfile, Dir: dir, GroupCommit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if rep := re.Traffic(); rep.Writes != 50 {
+		t.Fatalf("recovered %d writes, want 50", rep.Writes)
+	}
+	for i := uint64(0); i < 50; i++ {
+		id := i * 19 % (1 << 10)
+		got, err := re.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fillBlock(i+500)) {
+			t.Fatalf("block %d diverged after crash recovery", id)
+		}
+	}
+}
+
+// TestBlockfileDirLocked: the blockfile engine holds the same directory
+// flock as the WAL, so a live store's directory cannot be double-opened.
+func TestBlockfileDirLocked(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Blocks: 1 << 10, Engine: BackendBlockfile, Dir: dir}
+	st, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(cfg); err == nil {
+		t.Fatal("second open of a live store directory must fail")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewStore(cfg)
+	if err != nil {
+		t.Fatalf("reopen after Close rejected: %v", err)
+	}
+	re.Close()
+}
+
+// TestBlockfileReopenContinuesSealing: epochs keep rising across
+// blockfile reopens, so overwrites after recovery never reuse an IV and
+// still read back last — including after a crash, where the recovered
+// epoch reservation forces the sealer past any slot the log lost.
+func TestBlockfileReopenContinuesSealing(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Blocks: 1 << 10, Engine: BackendBlockfile, Dir: dir}
+	for round := uint64(0); round < 3; round++ {
+		st, err := NewStore(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 10; i++ {
+			if err := st.Write(i, fillBlock(round*100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := uint64(0); i < 10; i++ {
+			got, err := st.Read(i)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if !bytes.Equal(got, fillBlock(round*100+i)) {
+				t.Fatalf("round %d: block %d stale", round, i)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEngineAliasAndMismatchValidation covers the Engine/Backend plumbing:
+// the two fields are aliases that must agree when both are set, the
+// manifest pins a directory's engine so reopening under the other one is
+// refused, and CryptoWorkers rejects negatives eagerly.
+func TestEngineAliasAndMismatchValidation(t *testing.T) {
+	// Engine and Backend disagreeing is a configuration error.
+	if _, err := NewStore(StoreConfig{
+		Blocks: 1 << 10, Engine: BackendBlockfile, Backend: BackendWAL, Dir: t.TempDir(),
+	}); err == nil {
+		t.Fatal("disagreeing Engine and Backend accepted")
+	}
+	// Both set and equal is fine (belt and suspenders, not a conflict).
+	st, err := NewStore(StoreConfig{
+		Blocks: 1 << 10, Engine: BackendWAL, Backend: BackendWAL, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Unknown engine names fail the same way unknown backends always have.
+	if _, err := NewStore(StoreConfig{Blocks: 1 << 10, Engine: "tape", Dir: t.TempDir()}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := NewStore(StoreConfig{Blocks: 1 << 10, CryptoWorkers: -1}); err == nil {
+		t.Fatal("negative CryptoWorkers accepted")
+	}
+
+	// The manifest pins the engine: a WAL dir refuses to reopen as
+	// blockfile and vice versa (silently mixing formats would corrupt).
+	walDir := t.TempDir()
+	st, err = NewStore(StoreConfig{Blocks: 1 << 10, Engine: BackendWAL, Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := NewStore(StoreConfig{Blocks: 1 << 10, Engine: BackendBlockfile, Dir: walDir}); err == nil {
+		t.Fatal("WAL dir reopened as blockfile")
+	}
+	if got := DetectEngine(walDir); got != BackendWAL {
+		t.Fatalf("DetectEngine(walDir) = %q, want %q", got, BackendWAL)
+	}
+	bfDir := t.TempDir()
+	st, err = NewStore(StoreConfig{Blocks: 1 << 10, Engine: BackendBlockfile, Dir: bfDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := NewStore(StoreConfig{Blocks: 1 << 10, Engine: BackendWAL, Dir: bfDir}); err == nil {
+		t.Fatal("blockfile dir reopened as wal")
+	}
+	// A pre-Engine manifest (no engine key) means WAL: Backend's historic
+	// spelling still opens it.
+	st, err = NewStore(StoreConfig{Blocks: 1 << 10, Backend: BackendWAL, Dir: walDir})
+	if err != nil {
+		t.Fatalf("legacy Backend spelling rejected: %v", err)
+	}
+	st.Close()
 }

@@ -1,0 +1,909 @@
+// Package blockfile is the paged direct-I/O block-state backend: sealed
+// blocks live in a fixed-slot file addressed by shard-local id (slot
+// offset = id × SlotBytes), and the append-only log holds only tiny
+// metadata records — so checkpoint compaction rewrites the metadata
+// snapshot alone, never the payloads, and capacity is disk-bound instead
+// of RAM-bound (the WAL backend keeps every sealed block in a map and
+// rewrites all of them per snapshot).
+//
+// On-disk layout (one directory per shard):
+//
+//	blocks.dat  fixed SlotBytes slots; slot i at offset i*SlotBytes:
+//	            magic | reserved | local(8) | epoch(8) | ct[64] |
+//	            crc32(header+payload) | zero padding to the sector
+//	meta.log    magic | seq | crc32(header), then 20-byte records:
+//	            local(8) | epoch(8) | crc32(record)
+//	meta.snap   magic | seq | metaEpoch | metaLen | meta | crc32
+//
+// blocks.dat is opened with O_DIRECT where the filesystem supports it
+// (buffered fallback elsewhere — same format, so directories move
+// between modes freely). Slot writes are issued as vectored pwrites:
+// runs of consecutive locals coalesce into single sector-aligned
+// WriteAt calls, and GetMany preads coalesce the same way.
+//
+// Write protocol: each Put pwrites the slot, then appends a metadata
+// record naming (local, epoch); a group commit syncs blocks.dat before
+// meta.log, so a durable log record always implies a durable slot. A
+// record with local == backend.EpochReserveLocal is an epoch
+// reservation: before any slot carrying epoch e > reserved is pwritten,
+// a reservation for e + reserveChunk is appended and fsynced. Every
+// epoch the disk could ever have observed — including in a slot a power
+// loss tore mid-sector — is therefore bounded by a durable reservation,
+// and recovery can discard torn slots whole without trusting their
+// epoch fields, while the restored sealer skips past the reservation so
+// no observed IV is ever reused.
+//
+// Recovery on Open replays the metadata log (truncating a torn tail;
+// refusing mid-log corruption, exactly the WAL discipline), then scans
+// every slot header against it. A valid slot whose epoch exceeds both
+// the checkpoint and its last logged record is an orphan: its pwrite
+// completed but the crash took the buffered log record — the slot
+// itself is the durable evidence, so recovery synthesizes its tail op,
+// ordered by epoch (the per-shard sealing counter is a monotone LSN:
+// epoch order is submission order). Torn or stale slots are zeroed —
+// discarded whole, never served half-written — under the covering
+// reservation. Wrong-key reopens are rejected above this layer by the
+// shard's checkpoint decode, as with the WAL.
+//
+// The slot file stores exactly the view the untrusted storage of the
+// paper's §VI threat model already observes — (local id, ciphertext,
+// epoch) — and its access pattern is the uniform fixed-slot pattern the
+// ORAM engine already exposes, so the engine's obliviousness argument
+// carries over unchanged (DESIGN.md §12).
+package blockfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"palermo/internal/backend"
+	"palermo/internal/crypt"
+)
+
+const (
+	logMagic  = "PBFLOG01"
+	snapMagic = "PBFSNP01"
+
+	headerSize = 8 + 8 + 4 // magic, seq, crc
+	recSize    = 8 + 8 + 4 // local, epoch, crc
+
+	dataName = "blocks.dat"
+	logName  = "meta.log"
+	snapName = "meta.snap"
+
+	// DefaultGroupCommit is how many metadata records share one
+	// data+log sync pair (matches the WAL backend's cadence).
+	DefaultGroupCommit = 32
+
+	// reserveChunk is how far ahead of the highest assigned epoch each
+	// reservation record reaches: one reservation fsync covers the next
+	// reserveChunk slot writes, so the IV-safety cost is amortized to
+	// ~1/4096 of an fsync per write.
+	reserveChunk = 4096
+
+	// maxRunSlots caps one coalesced read/write run (and the aligned
+	// scratch buffer) at 64 KiB.
+	maxRunSlots = 128
+
+	// maxSlots bounds accepted locals: matches the store's 2^40-block
+	// capacity cap and keeps slot offsets far from int64 overflow.
+	maxSlots = 1 << 40
+)
+
+// MaxGroupCommit caps the group-commit batch (same bound as the WAL).
+const MaxGroupCommit = 1 << 16
+
+// Options tunes a blockfile backend.
+type Options struct {
+	// GroupCommit is the number of put records per sync pair (default
+	// DefaultGroupCommit; 1 = synchronous durability for every write).
+	GroupCommit int
+	// NoDirect forces buffered I/O even where O_DIRECT is available
+	// (benchmark comparisons; the format is identical).
+	NoDirect bool
+}
+
+func (o *Options) defaults() {
+	if o.GroupCommit <= 0 {
+		o.GroupCommit = DefaultGroupCommit
+	}
+	if o.GroupCommit > MaxGroupCommit {
+		o.GroupCommit = MaxGroupCommit
+	}
+}
+
+// Backend is a durable paged block-state backend over one directory.
+type Backend struct {
+	dir string
+	opt Options
+
+	dataF  *os.File // blocks.dat, O_DIRECT when supported
+	direct bool
+	logF   *os.File
+	lockF  *os.File
+	bw     *bufio.Writer
+
+	present []uint64 // bitmap of stored slots (the only per-block RAM)
+	count   int
+
+	scratch []byte // sector-aligned I/O buffer, maxRunSlots slots
+
+	reserved uint64 // highest durably reserved sealing epoch
+
+	meta      []byte
+	metaEpoch uint64
+	tail      []backend.TailOp
+	seq       uint64
+
+	pending int
+	closed  bool
+	failErr error
+}
+
+// Open creates or recovers the backend rooted at dir. The directory is
+// exclusively locked for the backend's lifetime.
+func Open(dir string, opt Options) (*Backend, error) {
+	opt.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockfile: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{dir: dir, opt: opt, lockF: lock}
+	fail := func(err error) (*Backend, error) {
+		b.unlock()
+		return nil, err
+	}
+	if err := b.loadSnapshot(); err != nil {
+		return fail(err)
+	}
+	recs, maxReserve, err := b.recoverLog()
+	if err != nil {
+		return fail(err)
+	}
+	orphans, err := b.scanSlots(recs)
+	if err != nil {
+		return fail(err)
+	}
+	b.tail = mergeByEpoch(recs, orphans)
+	if maxReserve > 0 {
+		// Surface the durable reservation bound so the restored sealer
+		// skips every epoch the disk could have observed, including any
+		// a torn slot carried before recovery zeroed it.
+		b.tail = append(b.tail, backend.TailOp{Local: backend.EpochReserveLocal, Epoch: maxReserve})
+	}
+	b.reserved = maxUint64(maxReserve, b.metaEpoch)
+
+	f, direct, err := openDataFile(b.path(dataName), opt.NoDirect)
+	if err != nil {
+		return fail(fmt.Errorf("blockfile: %w", err))
+	}
+	b.dataF, b.direct = f, direct
+	b.scratch = alignedBuf(maxRunSlots * SlotBytes)
+	lf, err := os.OpenFile(b.path(logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		f.Close()
+		return fail(fmt.Errorf("blockfile: %w", err))
+	}
+	b.logF = lf
+	b.bw = bufio.NewWriterSize(lf, b.opt.GroupCommit*recSize+recSize)
+	return b, nil
+}
+
+// Direct reports whether the slot file is open with O_DIRECT.
+func (b *Backend) Direct() bool { return b.direct }
+
+func (b *Backend) path(name string) string { return filepath.Join(b.dir, name) }
+
+func (b *Backend) unlock() {
+	if b.lockF != nil {
+		b.lockF.Close()
+		b.lockF = nil
+	}
+}
+
+func maxUint64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- presence bitmap ---------------------------------------------------
+
+func (b *Backend) isPresent(local uint64) bool {
+	w := local >> 6
+	return w < uint64(len(b.present)) && b.present[w]>>(local&63)&1 == 1
+}
+
+func (b *Backend) markPresent(local uint64) {
+	w := local >> 6
+	for uint64(len(b.present)) <= w {
+		b.present = append(b.present, 0)
+	}
+	if b.present[w]>>(local&63)&1 == 0 {
+		b.present[w] |= 1 << (local & 63)
+		b.count++
+	}
+}
+
+// --- Backend interface -------------------------------------------------
+
+// Len implements backend.Backend.
+func (b *Backend) Len() int { return b.count }
+
+// Durable implements backend.Backend.
+func (b *Backend) Durable() bool { return true }
+
+// Recovered implements backend.Backend.
+func (b *Backend) Recovered() ([]byte, uint64, []backend.TailOp) {
+	return b.meta, b.metaEpoch, b.tail
+}
+
+func (b *Backend) closedErr() error {
+	if b.failErr != nil {
+		return b.failErr
+	}
+	return fmt.Errorf("blockfile: backend is closed")
+}
+
+func validatePut(local uint64, sb backend.Sealed) error {
+	if len(sb.Ct) != crypt.BlockBytes {
+		return fmt.Errorf("blockfile: ciphertext must be %d bytes, got %d", crypt.BlockBytes, len(sb.Ct))
+	}
+	if local >= maxSlots {
+		return fmt.Errorf("blockfile: block id %d is out of slot range", local)
+	}
+	return nil
+}
+
+// Get implements backend.Backend: one slot pread. Runtime reads parse
+// the header without re-verifying the CRC — torn detection is the
+// recovery scan's job, and integrity of a served payload is enforced
+// above this layer by the protocol's epoch-consistency check (a
+// mismatched epoch fails the read loudly). An I/O error on a present
+// slot surfaces the same way: the impossible epoch below can never
+// match the engine's expectation.
+func (b *Backend) Get(local uint64) (backend.Sealed, bool) {
+	if b.closed || !b.isPresent(local) {
+		return backend.Sealed{}, false
+	}
+	buf := b.scratch[:SlotBytes]
+	if _, err := b.dataF.ReadAt(buf, int64(local)*SlotBytes); err != nil {
+		return backend.Sealed{Ct: make([]byte, crypt.BlockBytes), Epoch: ^uint64(0)}, true
+	}
+	ct := append([]byte(nil), buf[24:24+crypt.BlockBytes]...)
+	return backend.Sealed{Ct: ct, Epoch: binary.LittleEndian.Uint64(buf[16:24])}, true
+}
+
+// GetMany implements backend.VectorBackend: runs of consecutive locals
+// coalesce into single preads. Duplicate or aliasing ids simply read
+// the same slot again — each position gets an independent copy.
+func (b *Backend) GetMany(locals []uint64, out []backend.Sealed, ok []bool) {
+	for start := 0; start < len(locals); {
+		end := start + 1
+		for end < len(locals) && end-start < maxRunSlots && locals[end] == locals[end-1]+1 {
+			end++
+		}
+		b.readRun(locals[start:end], out[start:end], ok[start:end])
+		start = end
+	}
+}
+
+// readRun serves one consecutive-locals run from a single pread.
+func (b *Backend) readRun(locals []uint64, out []backend.Sealed, ok []bool) {
+	any := false
+	for _, l := range locals {
+		if !b.closed && b.isPresent(l) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		for i := range out {
+			out[i], ok[i] = backend.Sealed{}, false
+		}
+		return
+	}
+	buf := b.scratch[:len(locals)*SlotBytes]
+	n, err := b.dataF.ReadAt(buf, int64(locals[0])*SlotBytes)
+	if err != nil && err != io.EOF {
+		for i, l := range locals {
+			out[i], ok[i] = b.Get(l) // per-slot fallback surfaces errors like Get
+		}
+		return
+	}
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	for i, l := range locals {
+		if !b.isPresent(l) {
+			out[i], ok[i] = backend.Sealed{}, false
+			continue
+		}
+		s := buf[i*SlotBytes : (i+1)*SlotBytes]
+		ct := append([]byte(nil), s[24:24+crypt.BlockBytes]...)
+		out[i], ok[i] = backend.Sealed{Ct: ct, Epoch: binary.LittleEndian.Uint64(s[16:24])}, true
+	}
+}
+
+// Put implements backend.Backend: reserve the epoch if needed, pwrite
+// the slot, append the metadata record, and commit per the group-commit
+// policy.
+func (b *Backend) Put(local uint64, sb backend.Sealed) error {
+	if b.closed {
+		return b.closedErr()
+	}
+	if err := validatePut(local, sb); err != nil {
+		return err
+	}
+	if err := b.ensureReserved(sb.Epoch); err != nil {
+		return err
+	}
+	one := [1]backend.PutOp{{Local: local, Sb: sb}}
+	if err := b.writeRun(one[:]); err != nil {
+		return err
+	}
+	if err := b.appendRecord(local, sb.Epoch); err != nil {
+		return err
+	}
+	b.pending++
+	if b.pending >= b.opt.GroupCommit {
+		if err := b.commit(); err != nil {
+			return err
+		}
+	}
+	b.markPresent(local)
+	return nil
+}
+
+// PutMany implements backend.VectorBackend: slots are written as
+// vectored pwrites (runs of consecutive locals in one aligned WriteAt),
+// then the metadata records append in op order. Duplicates within the
+// vector land last-writer-wins because runs are issued in scan order.
+// The vector counts len(ops) records toward the group-commit policy,
+// exactly like the WAL.
+func (b *Backend) PutMany(ops []backend.PutOp) error {
+	if b.closed {
+		return b.closedErr()
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	maxE := uint64(0)
+	for _, op := range ops {
+		if err := validatePut(op.Local, op.Sb); err != nil {
+			return err
+		}
+		if op.Sb.Epoch > maxE {
+			maxE = op.Sb.Epoch
+		}
+	}
+	if err := b.ensureReserved(maxE); err != nil {
+		return err
+	}
+	for start := 0; start < len(ops); {
+		end := start + 1
+		for end < len(ops) && end-start < maxRunSlots && ops[end].Local == ops[end-1].Local+1 {
+			end++
+		}
+		if err := b.writeRun(ops[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	for _, op := range ops {
+		if err := b.appendRecord(op.Local, op.Sb.Epoch); err != nil {
+			return err
+		}
+	}
+	b.pending += len(ops)
+	if b.pending >= b.opt.GroupCommit {
+		if err := b.commit(); err != nil {
+			return err
+		}
+	}
+	for _, op := range ops {
+		b.markPresent(op.Local)
+	}
+	return nil
+}
+
+// writeRun pwrites one consecutive-locals run as a single aligned
+// WriteAt. A failed slot write is non-recoverable (the file may hold a
+// partial run), so it wedges the backend.
+func (b *Backend) writeRun(ops []backend.PutOp) error {
+	buf := b.scratch[:len(ops)*SlotBytes]
+	for i, op := range ops {
+		encodeSlot(buf[i*SlotBytes:(i+1)*SlotBytes], op.Local, op.Sb)
+	}
+	if _, err := b.dataF.WriteAt(buf, int64(ops[0].Local)*SlotBytes); err != nil {
+		return b.fail(fmt.Errorf("blockfile: slot write: %w", err))
+	}
+	return nil
+}
+
+// ensureReserved makes sure a durable reservation record covers epoch
+// before any slot carrying it is pwritten: if a power loss tears the
+// slot mid-sector, recovery discards it whole and the reservation still
+// bounds every epoch the disk observed, so no IV is ever reused. The
+// reservation reaches reserveChunk ahead, amortizing its sync pair.
+func (b *Backend) ensureReserved(epoch uint64) error {
+	if epoch <= b.reserved {
+		return nil
+	}
+	r := epoch + reserveChunk
+	if err := b.appendRecord(backend.EpochReserveLocal, r); err != nil {
+		return err
+	}
+	// Full commit ordering (data before log): records already buffered
+	// ahead of the reservation become durable here, and their slots
+	// must be durable first — a durable log record always implies a
+	// durable slot.
+	if err := b.commit(); err != nil {
+		return err
+	}
+	b.reserved = r
+	return nil
+}
+
+// frameRec builds one CRC-framed metadata record.
+func frameRec(local, epoch uint64) [recSize]byte {
+	var rec [recSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], local)
+	binary.LittleEndian.PutUint64(rec[8:16], epoch)
+	binary.LittleEndian.PutUint32(rec[16:20], crc32.ChecksumIEEE(rec[:16]))
+	return rec
+}
+
+func recIntact(rec []byte) bool {
+	return crc32.ChecksumIEEE(rec[:recSize-4]) == binary.LittleEndian.Uint32(rec[recSize-4:])
+}
+
+func (b *Backend) appendRecord(local, epoch uint64) error {
+	rec := frameRec(local, epoch)
+	if _, err := b.bw.Write(rec[:]); err != nil {
+		return b.fail(fmt.Errorf("blockfile: %w", err))
+	}
+	return nil
+}
+
+// commit completes one group-commit batch: flush buffered records, sync
+// the slot file, then the log — in that order, so a record never
+// becomes durable before its slot data.
+func (b *Backend) commit() error {
+	if err := b.bw.Flush(); err != nil {
+		return b.fail(fmt.Errorf("blockfile: %w", err))
+	}
+	if err := b.dataF.Sync(); err != nil {
+		return b.fail(fmt.Errorf("blockfile: %w", err))
+	}
+	if err := b.logF.Sync(); err != nil {
+		return b.fail(fmt.Errorf("blockfile: %w", err))
+	}
+	b.pending = 0
+	return nil
+}
+
+// Flush implements backend.Backend. Failure semantics follow the WAL:
+// any flush or sync failure wedges the backend (the fsync-retry trap).
+func (b *Backend) Flush() error {
+	if b.closed {
+		return b.closedErr()
+	}
+	return b.commit()
+}
+
+// Checkpoint implements backend.Backend: O(metadata) — the snapshot
+// holds only the sealed metadata blob, never payload bytes (those are
+// already in their slots), so compaction cost is independent of how
+// many blocks the store holds.
+func (b *Backend) Checkpoint(meta []byte, metaEpoch uint64) error {
+	if b.closed {
+		return b.closedErr()
+	}
+	// Durably reserve the blob's sealing epoch in the *current* log
+	// before any sealed snapshot byte reaches disk: a crash
+	// mid-checkpoint recovers the old snapshot plus this reservation,
+	// so the restored sealer can never re-issue the blob's IV.
+	if err := b.ensureReserved(metaEpoch); err != nil {
+		return err
+	}
+	if err := b.commit(); err != nil {
+		return err
+	}
+	newSeq := b.seq + 1
+	if err := b.writeSnapshot(newSeq, meta, metaEpoch); err != nil {
+		return err
+	}
+	if err := b.resetLog(newSeq); err != nil {
+		return b.fail(err)
+	}
+	b.seq = newSeq
+	b.meta = append([]byte(nil), meta...)
+	b.metaEpoch = metaEpoch
+	b.tail = nil
+	// The reset dropped the old log's reservation records. metaEpoch
+	// exceeds every epoch assigned so far, so it is the new floor; the
+	// next put re-reserves into the fresh log.
+	b.reserved = metaEpoch
+	return nil
+}
+
+// Close implements backend.Backend: flush, sync, release files and the
+// directory lock. Idempotent; a wedged backend re-surfaces its error.
+func (b *Backend) Close() error {
+	if b.closed {
+		return b.failErr
+	}
+	err := b.Flush()
+	if b.closed {
+		// Flush wedged the backend and already released everything.
+		return b.failErr
+	}
+	b.closed = true
+	if cerr := b.logF.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("blockfile: %w", cerr)
+	}
+	if cerr := b.dataF.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("blockfile: %w", cerr)
+	}
+	b.failErr = err
+	b.unlock()
+	return err
+}
+
+// fail wedges the backend after a non-recoverable mid-operation error.
+func (b *Backend) fail(err error) error {
+	if !b.closed {
+		b.closed = true
+		b.failErr = err
+	}
+	if b.logF != nil {
+		b.logF.Close()
+		b.logF = nil
+	}
+	if b.dataF != nil {
+		b.dataF.Close()
+		b.dataF = nil
+	}
+	b.unlock()
+	return err
+}
+
+// --- snapshot ----------------------------------------------------------
+
+// writeSnapshot persists the sealed metadata blob atomically (temp +
+// rename + dirsync). No payload bytes: the slots are the payload store.
+func (b *Backend) writeSnapshot(seq uint64, meta []byte, metaEpoch uint64) error {
+	tmp := b.path(snapName + ".tmp")
+	buf := make([]byte, 0, 8+8+8+4+len(meta)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, metaEpoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	_, werr := f.Write(buf)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("blockfile: snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, b.path(snapName)); err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	return syncDir(b.dir)
+}
+
+func (b *Backend) loadSnapshot() error {
+	data, err := os.ReadFile(b.path(snapName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	if len(data) < 8+8+8+4+4 || string(data[:8]) != snapMagic {
+		return fmt.Errorf("blockfile: %s is not a palermo metadata snapshot", b.path(snapName))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return fmt.Errorf("blockfile: snapshot CRC mismatch (corrupt %s)", b.path(snapName))
+	}
+	b.seq = binary.LittleEndian.Uint64(body[8:16])
+	b.metaEpoch = binary.LittleEndian.Uint64(body[16:24])
+	metaLen := int(binary.LittleEndian.Uint32(body[24:28]))
+	if 28+metaLen != len(body) {
+		return fmt.Errorf("blockfile: snapshot metadata length %d does not match file", metaLen)
+	}
+	if metaLen > 0 {
+		b.meta = append([]byte(nil), body[28:28+metaLen]...)
+	}
+	return nil
+}
+
+// --- log recovery ------------------------------------------------------
+
+// recoverLog replays the metadata log: write records in order, plus the
+// highest reservation bound. A torn tail is truncated (no synthetic
+// reservation is needed, unlike the WAL: a reservation record is only
+// acknowledged after its own sync completes, so a torn one never had
+// dependent slot writes, and torn write records' epochs are covered by
+// their slots — valid slots replay as orphans, torn slots fall under
+// the standing reservation). Mid-log corruption is refused.
+func (b *Backend) recoverLog() (recs []backend.TailOp, maxReserve uint64, err error) {
+	path := b.path(logName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if b.seq > 0 {
+			return nil, 0, fmt.Errorf("blockfile: %s is missing but a checkpoint-%d snapshot exists (log removed externally)", path, b.seq)
+		}
+		return nil, 0, b.resetLogInit()
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("blockfile: %w", err)
+	}
+	if len(data) < headerSize || string(data[:8]) != logMagic ||
+		crc32.ChecksumIEEE(data[:16]) != binary.LittleEndian.Uint32(data[16:20]) {
+		return nil, 0, fmt.Errorf("blockfile: %s has a corrupt header", path)
+	}
+	seq := binary.LittleEndian.Uint64(data[8:16])
+	if seq < b.seq {
+		// Crash between snapshot rename and log reset: every record here
+		// is already folded into the snapshot's metadata. Discard.
+		return nil, 0, b.resetLogInit()
+	}
+	if seq > b.seq {
+		return nil, 0, fmt.Errorf("blockfile: %s is at checkpoint %d but the snapshot is at %d (missing or rolled-back snapshot)",
+			path, seq, b.seq)
+	}
+	off := headerSize
+	for off+recSize <= len(data) {
+		rec := data[off : off+recSize]
+		if !recIntact(rec) {
+			if err := corruptionCheck(data, off, path); err != nil {
+				return nil, 0, err
+			}
+			break
+		}
+		local := binary.LittleEndian.Uint64(rec[0:8])
+		epoch := binary.LittleEndian.Uint64(rec[8:16])
+		if local == backend.EpochReserveLocal {
+			if epoch > maxReserve {
+				maxReserve = epoch
+			}
+		} else {
+			recs = append(recs, backend.TailOp{Local: local, Epoch: epoch})
+		}
+		off += recSize
+	}
+	if off < len(data) {
+		// Torn group-commit tail: truncate to the last intact record.
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, 0, fmt.Errorf("blockfile: %w", err)
+		}
+		werr := f.Truncate(int64(off))
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, 0, fmt.Errorf("blockfile: %w", werr)
+		}
+	}
+	return recs, maxReserve, nil
+}
+
+// corruptionCheck distinguishes a crash tail from mid-log corruption:
+// fixed-size framing keeps alignment, so any intact record beyond the
+// damage proves acknowledged writes would be dropped by truncation —
+// refuse instead (the WAL's rule).
+func corruptionCheck(data []byte, badOff int, path string) error {
+	for o := badOff + recSize; o+recSize <= len(data); o += recSize {
+		if recIntact(data[o : o+recSize]) {
+			return fmt.Errorf("blockfile: %s is corrupt at offset %d (intact records follow — not a crash tail)", path, badOff)
+		}
+	}
+	return nil
+}
+
+func writeLogHeader(path string, seq uint64) error {
+	var hdr [headerSize]byte
+	copy(hdr[0:8], logMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	_, werr := f.Write(hdr[:])
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return fmt.Errorf("blockfile: %w", werr)
+	}
+	return nil
+}
+
+// resetLogInit writes a fresh empty log during Open (no handle yet).
+func (b *Backend) resetLogInit() error {
+	tmp := b.path(logName + ".tmp")
+	if err := writeLogHeader(tmp, b.seq); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, b.path(logName)); err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	return syncDir(b.dir)
+}
+
+// resetLog atomically replaces the log with an empty one at seq. Any
+// failure is non-recoverable (Checkpoint wedges): the snapshot already
+// carries seq, so appending to an older-seq log would feed writes a
+// later recovery throws away.
+func (b *Backend) resetLog(seq uint64) error {
+	tmp := b.path(logName + ".tmp")
+	if err := writeLogHeader(tmp, seq); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, b.path(logName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	if err := syncDir(b.dir); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(b.path(logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	b.logF.Close()
+	b.logF = f
+	b.bw.Reset(f)
+	b.pending = 0
+	return nil
+}
+
+// --- slot scan ---------------------------------------------------------
+
+// scanSlots walks every slot header against the recovered log, building
+// the presence bitmap and collecting orphans — valid slots whose epoch
+// exceeds both the checkpoint and their last logged record (the pwrite
+// landed; the crash took the buffered record). Torn slots, and slots
+// stale relative to an acknowledged logged write, are zeroed: discarded
+// whole under the covering reservation.
+func (b *Backend) scanSlots(recs []backend.TailOp) ([]backend.TailOp, error) {
+	lastLogged := make(map[uint64]uint64, len(recs))
+	for _, r := range recs {
+		if r.Epoch > lastLogged[r.Local] {
+			lastLogged[r.Local] = r.Epoch
+		}
+	}
+	f, err := os.OpenFile(b.path(dataName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockfile: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("blockfile: %w", err)
+	}
+	size := fi.Size()
+	var orphans []backend.TailOp
+	var discard []uint64
+	buf := make([]byte, 512*SlotBytes)
+	for base := int64(0); base < size; base += int64(len(buf)) {
+		n, err := f.ReadAt(buf, base)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("blockfile: slot scan: %w", err)
+		}
+		for off := 0; off < n; off += SlotBytes {
+			local := uint64(base/SlotBytes) + uint64(off/SlotBytes)
+			end := off + SlotBytes
+			if end > n {
+				end = n
+			}
+			sb, st := decodeSlot(buf[off:end], local)
+			if st == slotEmpty {
+				continue
+			}
+			if st == slotTorn {
+				discard = append(discard, local)
+				continue
+			}
+			last, logged := lastLogged[local]
+			switch {
+			case logged && sb.Epoch == last,
+				!logged && sb.Epoch <= b.metaEpoch:
+				// Consistent with the log (or pre-checkpoint).
+				b.markPresent(local)
+			case sb.Epoch > b.metaEpoch && (!logged || sb.Epoch > last):
+				// Orphan: durable slot, lost record. The slot is the
+				// evidence; synthesize its tail op.
+				b.markPresent(local)
+				orphans = append(orphans, backend.TailOp{Local: local, Epoch: sb.Epoch})
+			default:
+				// Stale: an acknowledged logged write's newer payload is
+				// gone (possible only under external corruption — commit
+				// order makes durable records imply durable slots).
+				// Discard whole rather than serve the superseded bytes.
+				discard = append(discard, local)
+			}
+		}
+	}
+	if len(discard) > 0 {
+		zero := make([]byte, SlotBytes)
+		for _, l := range discard {
+			if _, err := f.WriteAt(zero, int64(l)*SlotBytes); err != nil {
+				return nil, fmt.Errorf("blockfile: discarding slot %d: %w", l, err)
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("blockfile: %w", err)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].Epoch < orphans[j].Epoch })
+	return orphans, nil
+}
+
+// mergeByEpoch interleaves logged records and orphans into one
+// epoch-ordered tail. Epochs are the shard's sealing counter — a
+// monotone LSN assigned in submission order — so epoch order IS
+// submission order; both inputs arrive epoch-sorted.
+func mergeByEpoch(recs, orphans []backend.TailOp) []backend.TailOp {
+	if len(orphans) == 0 {
+		return recs
+	}
+	out := make([]backend.TailOp, 0, len(recs)+len(orphans))
+	i, j := 0, 0
+	for i < len(recs) && j < len(orphans) {
+		if recs[i].Epoch <= orphans[j].Epoch {
+			out = append(out, recs[i])
+			i++
+		} else {
+			out = append(out, orphans[j])
+			j++
+		}
+	}
+	out = append(out, recs[i:]...)
+	return append(out, orphans[j:]...)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("blockfile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+//go:build linux
+
+package blockfile
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// openDataFile opens the slot file with O_DIRECT where the filesystem
+// supports it, falling back to buffered I/O otherwise (tmpfs and some
+// network filesystems reject the flag at open time with EINVAL). The
+// file format is identical either way; only the page-cache behavior
+// differs, so a directory written in one mode reopens in the other.
+func openDataFile(path string, noDirect bool) (*os.File, bool, error) {
+	if !noDirect {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|syscall.O_DIRECT, 0o644)
+		if err == nil {
+			return f, true, nil
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return f, false, err
+}
+
+// alignedBuf returns an n-byte buffer whose base address is sector-
+// aligned, as O_DIRECT transfers require. The returned slice keeps its
+// over-allocated backing array alive, so the alignment is stable.
+func alignedBuf(n int) []byte {
+	buf := make([]byte, n+SlotBytes)
+	off := int((SlotBytes - uintptr(unsafe.Pointer(&buf[0]))%SlotBytes) % SlotBytes)
+	return buf[off : off+n]
+}

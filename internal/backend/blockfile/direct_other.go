@@ -1,0 +1,15 @@
+//go:build !linux
+
+package blockfile
+
+import "os"
+
+// openDataFile opens the slot file buffered on platforms without an
+// O_DIRECT equivalent wired up; the on-disk format is identical.
+func openDataFile(path string, noDirect bool) (*os.File, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return f, false, err
+}
+
+// alignedBuf needs no special alignment for buffered I/O.
+func alignedBuf(n int) []byte { return make([]byte, n) }

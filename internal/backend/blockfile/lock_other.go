@@ -1,0 +1,9 @@
+//go:build !unix
+
+package blockfile
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics; single-process
+// ownership of a store directory is then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package blockfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK so a second
+// process (or a second Open in this one) fails loudly instead of
+// scribbling over a live slot file. The lock dies with the process, so
+// a crashed owner never blocks recovery. Same discipline as the WAL
+// backend's.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockfile: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("blockfile: %s is in use by another store instance", dir)
+	}
+	return f, nil
+}

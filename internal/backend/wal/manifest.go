@@ -16,6 +16,13 @@ type Manifest struct {
 	Version int    `json:"version"`
 	Blocks  uint64 `json:"blocks"`
 	Shards  int    `json:"shards"`
+	// Engine names the storage engine that owns the per-shard
+	// sub-directories ("wal" or "blockfile"). Empty means "wal":
+	// directories written before the field existed keep reopening
+	// unchanged. Mixing engines over one directory would mis-read the
+	// per-shard files, so a mismatch is refused like any other
+	// geometry change.
+	Engine string `json:"engine,omitempty"`
 }
 
 // ManifestVersion is the current on-disk layout version.
@@ -81,5 +88,33 @@ func EnsureManifest(dir string, m Manifest) error {
 		return fmt.Errorf("wal: %s holds a %d-block/%d-shard store, config asks for %d/%d",
 			dir, got.Blocks, got.Shards, m.Blocks, m.Shards)
 	}
+	if normalizeEngine(got.Engine) != normalizeEngine(m.Engine) {
+		return fmt.Errorf("wal: %s holds a %q-engine store, config asks for %q",
+			dir, normalizeEngine(got.Engine), normalizeEngine(m.Engine))
+	}
 	return nil
+}
+
+// normalizeEngine maps the pre-engine-field manifests onto "wal".
+func normalizeEngine(e string) string {
+	if e == "" {
+		return "wal"
+	}
+	return e
+}
+
+// ReadManifest loads dir's manifest, so tools (palermo-load -verify,
+// server reopen) can auto-detect the engine and geometry of an existing
+// store instead of requiring the operator to restate them.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("wal: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("wal: corrupt %s: %w", filepath.Join(dir, manifestName), err)
+	}
+	m.Engine = normalizeEngine(m.Engine)
+	return m, nil
 }

@@ -23,9 +23,11 @@ type ServerConfig struct {
 	Pipeline        int    `json:"pipeline,omitempty"`         // -pipeline
 	TreeTop         int    `json:"treetop,omitempty"`          // -treetop
 	Prefetch        bool   `json:"prefetch,omitempty"`         // -prefetch
-	Dir             string `json:"dir,omitempty"`              // -dir: durable WAL directory
+	Dir             string `json:"dir,omitempty"`              // -dir: durable store directory
+	Engine          string `json:"engine,omitempty"`           // -engine: "wal" (default with Dir) or "blockfile"
 	GroupCommit     int    `json:"group_commit,omitempty"`     // -group-commit
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"` // -checkpoint-every
+	CryptoWorkers   int    `json:"crypto_workers,omitempty"`   // -crypto-workers
 
 	MaxInFlight int      `json:"max_inflight,omitempty"` // -max-inflight
 	MaxBatch    int      `json:"max_batch,omitempty"`    // -max-batch

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+
+	"palermo/internal/crypt"
+)
+
+// This file is the parallel seal/unseal pool hung off the staged
+// executor (DESIGN.md §12): a bounded set of workers that run ONLY the
+// pure ciphertext↔plaintext transforms — crypt.Sealer.SealAt and
+// crypt.Sealer.Open over the sealer's immutable AES block — while every
+// piece of protocol state stays exactly where the determinism contract
+// (§5) confines it. The owner goroutine still assigns sealing epochs
+// (the counter bump), runs every engine transition and RNG draw, and
+// bumps every counter, in submission order; the I/O goroutine still
+// issues every backend operation in queue order. A worker never sees a
+// leaf, a position map, or an epoch it did not receive pre-assigned, so
+// leaf traces, counters, ciphertexts, and checkpoint bytes are
+// bit-identical at every worker count — the differential suite pins
+// CryptoWorkers ∈ {0, 1, 4} against the serial executor.
+
+// cryptoJob is one pre-assigned transform in flight: a seal (plaintext
+// in, ciphertext out) or an open (ciphertext in, plaintext out) at a
+// fixed (addr, epoch) IV. The in slice is owned by the job; done closes
+// after out/err are set.
+type cryptoJob struct {
+	seal  bool
+	addr  uint64
+	epoch uint64
+	in    []byte
+	out   []byte
+	err   error
+	done  chan struct{}
+}
+
+// cryptoPool runs the workers. Submissions come from the owner
+// goroutine (seals, at BeginWrite) and the I/O goroutine (speculative
+// opens, as fetches complete); workers never block with a result, so
+// submission can never deadlock against completion.
+type cryptoPool struct {
+	sealer *crypt.Sealer
+	jobs   chan *cryptoJob
+	wg     sync.WaitGroup
+}
+
+func newCryptoPool(sealer *crypt.Sealer, workers int) *cryptoPool {
+	p := &cryptoPool{sealer: sealer, jobs: make(chan *cryptoJob, 4*workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *cryptoPool) run() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		if j.seal {
+			j.out, j.err = p.sealer.SealAt(j.addr, j.epoch, j.in)
+		} else {
+			j.out, j.err = p.sealer.Open(j.addr, j.epoch, j.in)
+		}
+		close(j.done)
+	}
+}
+
+func (p *cryptoPool) submit(seal bool, addr, epoch uint64, in []byte) *cryptoJob {
+	j := &cryptoJob{seal: seal, addr: addr, epoch: epoch, in: in, done: make(chan struct{})}
+	p.jobs <- j
+	return j
+}
+
+// close stops the workers. Callers must have resolved every submitted
+// job first (the shard's Close barrier guarantees quiescence).
+func (p *cryptoPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// EnableCryptoPool offloads seal/unseal transforms to workers bounded
+// goroutines. Requires EnablePipeline first (the pool hangs off the
+// staged executor's queues); call once, before the shard starts
+// serving. workers is capped at GOMAXPROCS; workers <= 0 keeps the
+// inline crypto path.
+func (s *Shard) EnableCryptoPool(workers int) {
+	if s.ioq == nil || s.cpool != nil || workers <= 0 {
+		return
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	s.cpool = newCryptoPool(s.sealer, workers)
+}
+
+// CryptoPooled reports whether the parallel seal/unseal pool is active.
+func (s *Shard) CryptoPooled() bool { return s.cpool != nil }

@@ -156,6 +156,10 @@ type Shard struct {
 	waitSeq  uint64
 	ioErr    error // first I/O-stage failure: the shard wedges fail-fast
 
+	// Parallel seal/unseal pool (crypto.go). Until EnableCryptoPool,
+	// cpool is nil and all crypto runs inline on the owner goroutine.
+	cpool *cryptoPool
+
 	// Prefetch planner state (staged.go). Until EnablePrefetch, pfq is nil
 	// and PrefetchRead is a no-op. All fields owner-confined except pfq,
 	// which the I/O goroutine publishes prefetched payloads through.
@@ -556,6 +560,12 @@ func (s *Shard) Close() error {
 	if s.ioq != nil {
 		clErr = s.ioRound(ioReq{kind: ioClose}).err
 		<-s.ioDone
+		if s.cpool != nil {
+			// The I/O loop has exited and every access is resolved, so no
+			// job is outstanding: the workers drain and exit.
+			s.cpool.close()
+			s.cpool = nil
+		}
 	} else {
 		clErr = s.be.Close()
 	}

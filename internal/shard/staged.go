@@ -41,7 +41,9 @@ const (
 type ioReq struct {
 	kind      ioKind
 	put       backend.PutOp // ioPut
-	local     uint64        // ioGet
+	seal      *cryptoJob    // ioPut under the crypto pool: in-flight ciphertext (crypto.go)
+	local     uint64        // ioGet / ioPrefetch
+	global    uint64        // ioGet / ioPrefetch: public id, the unseal IV address
 	meta      []byte        // ioCheckpoint
 	metaEpoch uint64
 	done      chan ioRes // barrier ops only; nil routes the result to the shard's FIFO results channel
@@ -51,6 +53,7 @@ type ioReq struct {
 type ioRes struct {
 	sb   backend.Sealed // ioGet
 	ok   bool
+	job  *cryptoJob    // speculative unseal in flight (crypto pool only)
 	n    int           // ioLen
 	snap []SealedBlock // ioSnapshot
 	err  error
@@ -134,7 +137,7 @@ func (s *Shard) PrefetchRead(local uint64) bool {
 	s.pfOutstanding++
 	s.pfPending[local]++
 	s.pfIssuedQ = append(s.pfIssuedQ, pfIssue{local: local, ver: s.pfVer[local]})
-	s.ioq <- ioReq{kind: ioPrefetch, local: local}
+	s.ioq <- ioReq{kind: ioPrefetch, local: local, global: s.Global(local)}
 	s.pfIssuedN++
 	return true
 }
@@ -194,15 +197,22 @@ func (s *Shard) claimPrefetch(local uint64, sl pfSlot) (ioRes, bool) {
 func (s *Shard) ioLoop() {
 	defer close(s.ioDone)
 	var puts []backend.PutOp
+	var seals []*cryptoJob
 	flush := func() {
 		if len(puts) == 0 {
 			return
 		}
-		err := s.vbe.PutMany(puts)
+		// Under the crypto pool, coalescing bought the workers exactly the
+		// pipeline's slack: every seal issued while earlier blocks were in
+		// flight resolves here, before the vector reaches the backend.
+		err := resolveSeals(puts, seals)
+		if err == nil {
+			err = s.vbe.PutMany(puts)
+		}
 		for range puts {
 			s.resq <- ioRes{err: err}
 		}
-		puts = puts[:0]
+		puts, seals = puts[:0], seals[:0]
 	}
 	for req := range s.ioq {
 		if req.kind != ioPut {
@@ -211,7 +221,7 @@ func (s *Shard) ioLoop() {
 			}
 			continue
 		}
-		puts = append(puts, req.put)
+		puts, seals = append(puts, req.put), append(seals, req.seal)
 	coalesce:
 		for {
 			select {
@@ -221,7 +231,7 @@ func (s *Shard) ioLoop() {
 					return
 				}
 				if nxt.kind == ioPut {
-					puts = append(puts, nxt.put)
+					puts, seals = append(puts, nxt.put), append(seals, nxt.seal)
 					continue
 				}
 				flush()
@@ -238,6 +248,35 @@ func (s *Shard) ioLoop() {
 	flush()
 }
 
+// resolveSeals waits for each put's in-flight seal and installs the
+// ciphertext. Job order is put order, and epochs were pre-assigned on
+// the owner, so the vector the backend sees is byte-identical to the
+// inline-crypto executor's.
+func resolveSeals(puts []backend.PutOp, seals []*cryptoJob) error {
+	for i, j := range seals {
+		if j == nil {
+			continue
+		}
+		<-j.done
+		if j.err != nil {
+			return j.err
+		}
+		puts[i].Sb.Ct = j.out
+	}
+	return nil
+}
+
+// speculate hands a fetched sealed block to the crypto pool for unseal
+// while it rides the result queue back to the owner: the slot header
+// names the epoch, the request names the IV address. If the owner's
+// epoch-consistency check rejects the block, the job's output is simply
+// never read.
+func (s *Shard) speculate(req ioReq, res *ioRes) {
+	if s.cpool != nil && res.ok {
+		res.job = s.cpool.submit(false, req.global, res.sb.Epoch, res.sb.Ct)
+	}
+}
+
 // ioExec runs one non-put request on the I/O goroutine; reports whether
 // the loop should exit (ioClose).
 func (s *Shard) ioExec(req ioReq) (stop bool) {
@@ -245,6 +284,7 @@ func (s *Shard) ioExec(req ioReq) (stop bool) {
 	case ioGet:
 		var res ioRes
 		res.sb, res.ok = s.vbe.Get(req.local)
+		s.speculate(req, &res)
 		s.resq <- res
 	case ioPrefetch:
 		// Prefetch results resolve through their own channel so they never
@@ -252,6 +292,7 @@ func (s *Shard) ioExec(req ioReq) (stop bool) {
 		// pfq's capacity covers the issue window, so this send never blocks.
 		var res ioRes
 		res.sb, res.ok = s.vbe.Get(req.local)
+		s.speculate(req, &res)
 		s.pfq <- res
 	case ioLen:
 		req.done <- ioRes{n: s.vbe.Len()}
@@ -324,28 +365,47 @@ func (s *Shard) BeginWrite(local uint64, data []byte) (*Access, error) {
 		return nil, s.ioErr
 	}
 	global := s.Global(local)
-	ct, epoch, err := s.sealer.Seal(global, data)
-	if err != nil {
-		return nil, err
-	}
 	a := &Access{s: s, write: true, global: global}
-	if s.ioq != nil {
+	var epoch uint64
+	if s.cpool != nil && !s.teeOn {
+		// Crypto-pool path: the owner assigns the epoch — the counter is
+		// owner-confined state, so the epoch stream is identical at every
+		// worker count — and hands the pure transform to a worker; the I/O
+		// stage installs the ciphertext before the vector reaches the
+		// backend. A live migration tee needs the ciphertext at Begin, so
+		// while teeOn the write falls back to the inline path below.
+		epoch = s.sealer.Assign()
+		job := s.cpool.submit(true, global, epoch, append([]byte(nil), data...))
 		if s.pfq != nil && s.pfPending[local] > 0 {
-			// A prefetch of this block is in flight or parked; this write
-			// supersedes its payload, so invalidate it (the consuming read
-			// will discard it as stale and demand-fetch the fresh epoch).
 			s.pfVer[local]++
 		}
 		s.beginSeq++
 		a.seq = s.beginSeq
-		s.ioq <- ioReq{kind: ioPut, put: backend.PutOp{Local: local, Sb: backend.Sealed{Ct: ct, Epoch: epoch}}}
-		s.teeWrite(local, ct, epoch)
+		s.ioq <- ioReq{kind: ioPut, put: backend.PutOp{Local: local, Sb: backend.Sealed{Epoch: epoch}}, seal: job}
 	} else {
-		if err := s.be.Put(local, backend.Sealed{Ct: ct, Epoch: epoch}); err != nil {
-			return nil, fmt.Errorf("palermo: backend write of block %d: %w", global, err)
+		ct, e, err := s.sealer.Seal(global, data)
+		if err != nil {
+			return nil, err
 		}
-		s.teeWrite(local, ct, epoch)
-		a.ready = true
+		epoch = e
+		if s.ioq != nil {
+			if s.pfq != nil && s.pfPending[local] > 0 {
+				// A prefetch of this block is in flight or parked; this write
+				// supersedes its payload, so invalidate it (the consuming read
+				// will discard it as stale and demand-fetch the fresh epoch).
+				s.pfVer[local]++
+			}
+			s.beginSeq++
+			a.seq = s.beginSeq
+			s.ioq <- ioReq{kind: ioPut, put: backend.PutOp{Local: local, Sb: backend.Sealed{Ct: ct, Epoch: epoch}}}
+			s.teeWrite(local, ct, epoch)
+		} else {
+			if err := s.be.Put(local, backend.Sealed{Ct: ct, Epoch: epoch}); err != nil {
+				return nil, fmt.Errorf("palermo: backend write of block %d: %w", global, err)
+			}
+			s.teeWrite(local, ct, epoch)
+			a.ready = true
+		}
 	}
 	st := s.engine.PlanAccess(local, true, epoch)
 	plan := st.Apply()
@@ -403,7 +463,7 @@ func (s *Shard) BeginRead(local uint64) (*Access, error) {
 		} else {
 			s.beginSeq++
 			a.seq = s.beginSeq
-			s.ioq <- ioReq{kind: ioGet, local: fetch[0]}
+			s.ioq <- ioReq{kind: ioGet, local: fetch[0], global: a.global}
 		}
 	}
 	plan := st.Apply()
@@ -455,6 +515,13 @@ func (a *Access) Wait() ([]byte, error) {
 	if a.expect != a.res.sb.Epoch {
 		return nil, fmt.Errorf("palermo: protocol state diverged for block %d (epoch %d != %d)",
 			a.global, a.expect, a.res.sb.Epoch)
+	}
+	if j := a.res.job; j != nil {
+		// The pool unsealed speculatively with the slot's own epoch; the
+		// check above just proved that epoch is the one the engine
+		// transition predicted, so the worker's plaintext is the answer.
+		<-j.done
+		return j.out, j.err
 	}
 	return s.sealer.Open(a.global, a.res.sb.Epoch, a.res.sb.Ct)
 }

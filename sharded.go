@@ -42,13 +42,17 @@ type ShardedStoreConfig struct {
 	// into a single dedup window. Default 64.
 	MaxBatch int
 
-	// Backend selects block-state storage: BackendMemory (default) or
-	// BackendWAL (requires Dir; each shard owns a sub-directory). See
-	// StoreConfig for the full semantics.
+	// Engine selects the storage engine: BackendMemory (default),
+	// BackendWAL, or BackendBlockfile (durable engines require Dir; each
+	// shard owns a sub-directory). See StoreConfig for the full semantics.
+	Engine string
+	// Backend is the original name of the Engine knob, kept as an alias
+	// so existing callers and configs keep working. Setting both to
+	// different values is an error.
 	Backend string
-	// Dir is the durable store directory (BackendWAL only). Its manifest
-	// pins Blocks and Shards, so reopening with a different geometry fails
-	// instead of silently mis-routing ids.
+	// Dir is the durable store directory (durable engines only). Its
+	// manifest pins Blocks, Shards, and the engine, so reopening with a
+	// different geometry fails instead of silently mis-routing ids.
 	Dir string
 	// CheckpointEvery is the minimum per-shard writes between automatic
 	// WAL-compaction checkpoints (default 4096; <0 disables periodic
@@ -77,6 +81,11 @@ type ShardedStoreConfig struct {
 	// any effect. Purely a scheduling change: served payloads, leaf
 	// traces, and dedup semantics are identical with it on or off.
 	Prefetch bool
+	// CryptoWorkers offloads each shard's seal/unseal AES transforms to a
+	// bounded worker pool hung off its I/O stage (capped at GOMAXPROCS
+	// per shard; 0 = inline; requires PipelineDepth > 1). Determinism is
+	// unchanged at every worker count — see StoreConfig.CryptoWorkers.
+	CryptoWorkers int
 }
 
 func (c *ShardedStoreConfig) defaults() {
@@ -112,6 +121,15 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 	if err := validateTreeTopLevels(cfg.TreeTopLevels); err != nil {
 		return nil, err
 	}
+	if err := validateCryptoWorkers(cfg.CryptoWorkers); err != nil {
+		return nil, err
+	}
+	engine, err := resolveEngine(cfg.Engine, cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Backend = engine
+	cfg.Engine = ""
 	cfg.defaults()
 	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
 		return nil, err
@@ -148,6 +166,7 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 		applyCheckpointEvery(sh, cfg.CheckpointEvery)
 		sh.SetTreeTopLevels(cfg.TreeTopLevels)
 		sh.EnablePipeline(cfg.PipelineDepth)
+		sh.EnableCryptoPool(cfg.CryptoWorkers)
 		if cfg.Prefetch {
 			// The planner announces at most one read per distinct id of an
 			// admitted batch, so a batch-sized window never declines mid-plan.

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 
 	"palermo/internal/backend"
+	"palermo/internal/backend/blockfile"
 	"palermo/internal/backend/wal"
 	"palermo/internal/shard"
 )
@@ -65,6 +66,15 @@ const (
 	// persisted view leaks nothing beyond what §VI's untrusted storage
 	// already observes.
 	BackendWAL = "wal"
+	// BackendBlockfile persists sealed blocks to Dir as fixed 512-byte
+	// slots in a paged block file (direct I/O where available), with an
+	// append-only log carrying only tiny metadata records. Same §7
+	// crash-recovery discipline as BackendWAL — torn slots are discarded
+	// whole under covering epoch reservations, wrong-key reopens are
+	// rejected — but checkpoint compaction is O(metadata) instead of
+	// O(stored blocks) and block state lives on disk, not in a map.
+	// DESIGN.md §12.
+	BackendBlockfile = "blockfile"
 )
 
 // StoreConfig configures an oblivious store.
@@ -73,8 +83,12 @@ type StoreConfig struct {
 	Key    []byte // AES key, 16/24/32 bytes (default: a fixed demo key)
 	Seed   uint64 // leaf-selection seed (default 1)
 
-	// Backend selects block-state storage: BackendMemory (default) or
-	// BackendWAL. BackendWAL requires Dir.
+	// Engine selects the storage engine: BackendMemory (default),
+	// BackendWAL, or BackendBlockfile. The durable engines require Dir.
+	Engine string
+	// Backend is the original name of the Engine knob, kept as an alias
+	// so existing callers and configs keep working. Setting both to
+	// different values is an error.
 	Backend string
 	// Dir is the durable store directory (BackendWAL only). Reopening a
 	// populated Dir recovers the persisted state; the directory's manifest
@@ -107,6 +121,15 @@ type StoreConfig struct {
 	// setting (DESIGN.md §10) — only the DRAM traffic report shrinks
 	// (TrafficReport.TreeTopHits counts the absorbed lines).
 	TreeTopLevels int
+	// CryptoWorkers offloads seal/unseal AES transforms to a bounded
+	// worker pool hung off the pipelined executor (capped at GOMAXPROCS;
+	// 0 keeps crypto inline on the shard's owner goroutine; requires
+	// PipelineDepth > 1, otherwise it is ignored). Workers run only the
+	// pure ciphertext↔plaintext transforms with owner-assigned epochs —
+	// every engine transition, RNG draw, and counter stays on the owner —
+	// so leaf traces, counters, and checkpoint bytes are bit-identical at
+	// every worker count (DESIGN.md §12).
+	CryptoWorkers int
 }
 
 // MaxPipelineDepth caps PipelineDepth for both store flavors: beyond a
@@ -135,6 +158,29 @@ func validateTreeTopLevels(k int) error {
 	return nil
 }
 
+// validateCryptoWorkers rejects negative pool sizes; 0 means inline.
+// (The pool itself caps the count at GOMAXPROCS.)
+func validateCryptoWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("palermo: CryptoWorkers must be >= 0, got %d", n)
+	}
+	return nil
+}
+
+// resolveEngine folds the Engine/Backend alias pair into one selector:
+// Engine wins when only it is set, Backend keeps old callers working,
+// and a contradictory pair is refused rather than silently picking one.
+func resolveEngine(engine, backendAlias string) (string, error) {
+	switch {
+	case engine == "":
+		return backendAlias, nil
+	case backendAlias == "" || backendAlias == engine:
+		return engine, nil
+	default:
+		return "", fmt.Errorf("palermo: Engine %q and Backend %q disagree (they are aliases; set one)", engine, backendAlias)
+	}
+}
+
 func (c *StoreConfig) defaults() {
 	if c.Blocks == 0 {
 		c.Blocks = 1 << 20
@@ -153,28 +199,35 @@ func (c *StoreConfig) defaults() {
 	}
 }
 
-// openBackends validates the backend selection and opens one backend per
-// shard (nil entries select the in-memory default). For BackendWAL the
-// directory gains a manifest pinning (blocks, shards) and one
-// sub-directory per shard, so a Store and a 1-shard ShardedStore are
-// interchangeable over the same Dir.
+// openBackends validates the engine selection and opens one backend per
+// shard (nil entries select the in-memory default). For the durable
+// engines the directory gains a manifest pinning (blocks, shards,
+// engine) and one sub-directory per shard, so a Store and a 1-shard
+// ShardedStore are interchangeable over the same Dir.
 func openBackends(kind, dir string, blocks uint64, shards, groupCommit, pipelineDepth int) ([]backend.Backend, error) {
 	switch kind {
 	case BackendMemory:
 		if dir != "" {
-			return nil, fmt.Errorf("palermo: Dir is set but Backend is %q (did you mean Backend: palermo.BackendWAL?)", kind)
+			return nil, fmt.Errorf("palermo: Dir is set but Engine is %q (did you mean Engine: palermo.BackendWAL or palermo.BackendBlockfile?)", kind)
 		}
 		return make([]backend.Backend, shards), nil
-	case BackendWAL:
+	case BackendWAL, BackendBlockfile:
 		if dir == "" {
-			return nil, fmt.Errorf("palermo: Backend %q requires Dir", kind)
+			return nil, fmt.Errorf("palermo: Engine %q requires Dir", kind)
 		}
-		if err := wal.EnsureManifest(dir, wal.Manifest{Version: wal.ManifestVersion, Blocks: blocks, Shards: shards}); err != nil {
+		if err := wal.EnsureManifest(dir, wal.Manifest{Version: wal.ManifestVersion, Blocks: blocks, Shards: shards, Engine: kind}); err != nil {
 			return nil, fmt.Errorf("palermo: %w", err)
 		}
 		bes := make([]backend.Backend, shards)
 		for i := range bes {
-			be, err := wal.Open(filepath.Join(dir, fmt.Sprintf("shard-%04d", i)), wal.Options{GroupCommit: groupCommit, CommitDepth: pipelineDepth})
+			var be backend.Backend
+			var err error
+			sdir := filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+			if kind == BackendBlockfile {
+				be, err = blockfile.Open(sdir, blockfile.Options{GroupCommit: groupCommit})
+			} else {
+				be, err = wal.Open(sdir, wal.Options{GroupCommit: groupCommit, CommitDepth: pipelineDepth})
+			}
 			if err != nil {
 				for _, open := range bes[:i] {
 					open.Close()
@@ -185,8 +238,20 @@ func openBackends(kind, dir string, blocks uint64, shards, groupCommit, pipeline
 		}
 		return bes, nil
 	default:
-		return nil, fmt.Errorf("palermo: unknown Backend %q (want %q or %q)", kind, BackendMemory, BackendWAL)
+		return nil, fmt.Errorf("palermo: unknown Engine %q (want %q, %q, or %q)", kind, BackendMemory, BackendWAL, BackendBlockfile)
 	}
+}
+
+// DetectEngine reports the storage engine recorded in dir's manifest,
+// defaulting to BackendWAL when the directory has no readable manifest
+// yet (matching the historical meaning of "a durable directory"). Tools
+// reopening an existing store use it so the operator never has to
+// restate the engine the directory was created with.
+func DetectEngine(dir string) string {
+	if m, err := wal.ReadManifest(dir); err == nil {
+		return m.Engine
+	}
+	return BackendWAL
 }
 
 // applyCheckpointEvery maps the config knob onto the shard: 0 keeps the
@@ -222,6 +287,15 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if err := validateTreeTopLevels(cfg.TreeTopLevels); err != nil {
 		return nil, err
 	}
+	if err := validateCryptoWorkers(cfg.CryptoWorkers); err != nil {
+		return nil, err
+	}
+	engine, err := resolveEngine(cfg.Engine, cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Backend = engine
+	cfg.Engine = ""
 	cfg.defaults()
 	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
 		return nil, err
@@ -240,6 +314,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	applyCheckpointEvery(sh, cfg.CheckpointEvery)
 	sh.SetTreeTopLevels(cfg.TreeTopLevels)
 	sh.EnablePipeline(cfg.PipelineDepth)
+	sh.EnableCryptoPool(cfg.CryptoWorkers)
 	return &Store{sh: sh, blocks: cfg.Blocks}, nil
 }
 
