@@ -298,6 +298,7 @@ func (cl *Client) Snapshot() (ServiceStats, TrafficReport, error) {
 	}
 	ss := ServiceStats{
 		Reads: ws.Reads, Writes: ws.Writes, DedupHits: ws.DedupHits,
+		Sheds:    ws.Sheds,
 		ReadLat:  fromWireLatency(ws.ReadLat),
 		WriteLat: fromWireLatency(ws.WriteLat),
 		QueueLat: fromWireLatency(ws.QueueLat),
@@ -967,6 +968,12 @@ func remoteErr(st wire.Status, msg string) error {
 			return ErrWrongEpoch
 		}
 		return fmt.Errorf("%s: %w", msg, ErrWrongEpoch)
+	}
+	if st == wire.StatusRetry {
+		if msg == "" {
+			return ErrRetry
+		}
+		return fmt.Errorf("%s: %w", msg, ErrRetry)
 	}
 	if msg == "" {
 		msg = fmt.Sprintf("remote error (status %d)", st)

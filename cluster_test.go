@@ -204,6 +204,87 @@ func TestClusterDifferentialEquivalence(t *testing.T) {
 // rejected whole with a wrong-epoch status (nothing executed), while the
 // cluster client refetches and re-routes transparently with every
 // operation executing exactly once — counts prove no loss or duplication.
+// TestClusterPartialShed: one node drowning (an admission deadline no
+// queued request can meet) while its peer serves normally. Ops routed to
+// the shedding node must come back ErrRetry through the scatter/gather
+// path — a shed is a retry-later signal, not a reroute, so the client
+// must NOT burn its wrong-epoch retry on it — while ops confined to the
+// healthy node succeed, and the cluster-wide snapshot aggregates the
+// shed count.
+func TestClusterPartialShed(t *testing.T) {
+	const blocks = 1 << 12
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	man, err := cluster.EvenSplit(blocks, 2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 sheds everything; node 1 is healthy. Same Seed/Key on both,
+	// as the cluster contract requires.
+	cfgs := []ShardedStoreConfig{
+		{Blocks: blocks, Shards: 2, Seed: 4, AdmissionDeadline: 1},
+		{Blocks: blocks, Shards: 2, Seed: 4},
+	}
+	nodes := make([]*testClusterNode, 2)
+	for i := range nodes {
+		node, err := NewClusterNode(ClusterNodeConfig{Addr: addrs[i], Store: cfgs[i]}, man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewClusterServer(node, ServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func(srv *Server, ln net.Listener) { done <- srv.Serve(ln) }(srv, lns[i])
+		nodes[i] = &testClusterNode{addr: addrs[i], node: node, srv: srv, done: done}
+	}
+	defer nodes[1].stop(t)
+	defer nodes[0].stop(t)
+	cc, err := DialCluster(addrs, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	// Striped placement: even ids live on node 0 (shedding), odd on node 1.
+	if err := cc.Write(0, block(0x11)); !errors.Is(err, ErrRetry) {
+		t.Fatalf("write to shedding node = %v, want ErrRetry", err)
+	}
+	if err := cc.Write(1, block(0x22)); err != nil {
+		t.Fatalf("write to healthy node failed: %v", err)
+	}
+	// A batch spanning both nodes: the shed partition poisons the gather.
+	if _, err := cc.ReadBatch([]uint64{0, 1}); !errors.Is(err, ErrRetry) {
+		t.Fatalf("spanning batch = %v, want ErrRetry", err)
+	}
+	// Confined to the healthy node, the batch both succeeds and returns
+	// the committed payload — partial sheds elsewhere corrupt nothing.
+	got, err := cc.ReadBatch([]uint64{1, 3})
+	if err != nil {
+		t.Fatalf("healthy-only batch: %v", err)
+	}
+	if !bytes.Equal(got[0], block(0x22)) {
+		t.Fatal("healthy partition returned wrong payload after partial shed")
+	}
+	// The cluster snapshot carries the shedding node's count.
+	st, _, err := cc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sheds < 2 {
+		t.Fatalf("cluster snapshot aggregated %d sheds, want >= 2", st.Sheds)
+	}
+}
+
 func TestClusterWrongEpochReroute(t *testing.T) {
 	const blocks = 1 << 12
 	const shards = 3

@@ -419,6 +419,7 @@ func (cc *ClusterClient) Snapshot() (ServiceStats, TrafficReport, error) {
 		ss.Reads += s.Reads
 		ss.Writes += s.Writes
 		ss.DedupHits += s.DedupHits
+		ss.Sheds += s.Sheds
 		ss.PrefetchPlanned += s.PrefetchPlanned
 		ss.ReadLat = mergeLatApprox(ss.ReadLat, s.ReadLat)
 		ss.WriteLat = mergeLatApprox(ss.WriteLat, s.WriteLat)

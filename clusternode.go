@@ -60,6 +60,7 @@ type ClusterNodeConfig struct {
 type clusterSlot struct {
 	sh  *shard.Shard
 	svc *serve.Service
+	be  backend.Backend // storage backend (nil for memory), kept for FsyncLag
 }
 
 // ClusterNode serves the manifest-assigned subset of a sharded store.
@@ -232,7 +233,9 @@ func (n *ClusterNode) openSlot(s int) (*clusterSlot, error) {
 		}
 		return nil, fmt.Errorf("palermo: %w", err)
 	}
-	return n.startSlot(sh), nil
+	slot := n.startSlot(sh)
+	slot.be = be
+	return slot, nil
 }
 
 // startSlot applies the store tuning to a built shard and starts its
@@ -251,10 +254,11 @@ func (n *ClusterNode) startSlot(sh *shard.Shard) *clusterSlot {
 		sh.EnablePrefetch(maxInt(n.cfg.MaxBatch, serveDefaultMaxBatch))
 	}
 	svc := serve.New([]serve.Backend{stagedShard{sh}}, serve.Config{
-		QueueDepth:    n.cfg.QueueDepth,
-		MaxBatch:      n.cfg.MaxBatch,
-		PipelineDepth: n.cfg.PipelineDepth,
-		Prefetch:      n.cfg.Prefetch,
+		QueueDepth:        n.cfg.QueueDepth,
+		MaxBatch:          n.cfg.MaxBatch,
+		PipelineDepth:     n.cfg.PipelineDepth,
+		Prefetch:          n.cfg.Prefetch,
+		AdmissionDeadline: n.cfg.AdmissionDeadline,
 	})
 	return &clusterSlot{sh: sh, svc: svc}
 }
@@ -483,6 +487,7 @@ func (n *ClusterNode) Stats() wire.Stats {
 		Reads:       ss.Reads,
 		Writes:      ss.Writes,
 		DedupHits:   ss.DedupHits,
+		Sheds:       ss.Sheds,
 		ReadLat:     toWireLatency(ss.ReadLat),
 		WriteLat:    toWireLatency(ss.WriteLat),
 		QueueLat:    toWireLatency(ss.QueueLat),
@@ -494,6 +499,56 @@ func (n *ClusterNode) Stats() wire.Stats {
 		PrefetchIssued: tr.PrefetchIssued, PrefetchUsed: tr.PrefetchUsed, PrefetchStale: tr.PrefetchStale,
 		Epoch: epoch, FirstShard: uint32(first), OwnedShards: owned,
 	}
+}
+
+// ServiceStats merges the node's live and retired services into the same
+// service-layer snapshot shape ShardedStore.Stats returns (completed
+// operations, dedup hits, shed counts, latency summaries). It is the
+// operability view of Stats without the wire/placement framing.
+func (n *ClusterNode) ServiceStats() ServiceStats {
+	n.mu.RLock()
+	svcs := make([]*serve.Service, 0, len(n.slots)+len(n.retired))
+	for _, slot := range n.slots {
+		svcs = append(svcs, slot.svc)
+	}
+	svcs = append(svcs, n.retired...)
+	n.mu.RUnlock()
+	return serve.MergeStats(svcs)
+}
+
+// QueueDepths reports each owned shard's instantaneous request-queue
+// occupancy, in ascending shard order (pair with OwnedShards for the
+// shard indices). A point-in-time gauge, not a synchronized snapshot.
+func (n *ClusterNode) QueueDepths() []int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	shards := make([]int, 0, len(n.slots))
+	for s := range n.slots {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	out := make([]int, 0, len(shards))
+	for _, s := range shards {
+		out = append(out, n.slots[s].svc.QueueDepths()[0])
+	}
+	return out
+}
+
+// FsyncLag aggregates the owned shards' durable-backend fsync telemetry
+// (count and cumulative wait); memory-backed nodes report (0, 0).
+func (n *ClusterNode) FsyncLag() (count uint64, total time.Duration) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, slot := range n.slots {
+		if fs, ok := slot.be.(interface {
+			FsyncStats() (uint64, time.Duration)
+		}); ok {
+			c, d := fs.FsyncStats()
+			count += c
+			total += d
+		}
+	}
+	return count, total
 }
 
 // Traffic aggregates the live slots' engine counters (each snapshotted on
@@ -849,6 +904,7 @@ func (n *ClusterNode) sinkCommit(s uint32, newEpoch uint64) error {
 		return fail(err)
 	}
 	slot := n.startSlot(sh)
+	slot.be = be
 	n.mu.Lock()
 	if n.man.Epoch != sink.begin.Epoch {
 		cur := n.man.Epoch

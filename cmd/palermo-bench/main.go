@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 3, 4, 9, 10, 11, 12, 13, 14a, 14b, 15, tab2, tab3, ablations, tenants, store")
+	fig := flag.String("fig", "", "figure to regenerate: 3, 4, 9, 10, 11, 12, 13, 14a, 14b, 15, tab2, tab3, ablations, tenants, store, openloop")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	requests := flag.Int("requests", 800, "measured ORAM requests per data point")
 	run := flag.String("run", "", "single run as Protocol:workload (e.g. Palermo:llm)")
@@ -49,7 +49,7 @@ func main() {
 		return
 	}
 	if *all {
-		for _, f := range []string{"tab2", "tab3", "3", "4", "9", "10", "11", "12", "13", "14a", "14b", "15", "ablations", "tenants", "store"} {
+		for _, f := range []string{"tab2", "tab3", "3", "4", "9", "10", "11", "12", "13", "14a", "14b", "15", "ablations", "tenants", "store", "openloop"} {
 			if err := figure(f, o); err != nil {
 				fatal(err)
 			}
@@ -153,7 +153,13 @@ func writeRecord(f string, o palermo.Options, wall time.Duration, metrics map[st
 	if err != nil {
 		return err
 	}
-	name := filepath.Join(benchDir, "BENCH_fig"+strings.ReplaceAll(f, "/", "_")+".json")
+	base := "BENCH_fig" + strings.ReplaceAll(f, "/", "_")
+	if f == "openloop" {
+		// The open-loop sweep is a methodology artifact, not a paper
+		// figure; it keeps its own well-known record name.
+		base = "BENCH_openloop"
+	}
+	name := filepath.Join(benchDir, base+".json")
 	return os.WriteFile(name, append(buf, '\n'), 0o644)
 }
 
@@ -226,6 +232,91 @@ func shardedBenchOne(o palermo.Options, shards int, blocks uint64, ops int, metr
 	metrics[fmt.Sprintf("sharded%d_ops_per_sec", shards)] = res.OpsPerSec()
 	fmt.Printf("ShardedStore shards=%d %10.0f ops/sec (p50 %.0fµs, p99 %.0fµs, %d clients)\n",
 		shards, res.OpsPerSec(), res.Stats.ReadLat.P50Us, res.Stats.ReadLat.P99Us, clients)
+	return nil
+}
+
+// openLoopBench is the coordinated-omission sweep: measure the store's
+// closed-loop saturation throughput, then drive fresh stores open-loop
+// at offered rates spanning saturation (0.5x to 2x) and record the
+// intended-send-time latency curve plus the overload-shedding response.
+// With -json the record lands in BENCH_openloop.json. Each rate gets a
+// fresh store so every percentile is run-exact (never lifetime-
+// weighted), and the admission deadline keeps the overloaded points
+// shedding instead of queueing without bound — the admitted ops' p99
+// stays bounded while the shed count carries the excess.
+func openLoopBench(o palermo.Options, metrics map[string]float64) error {
+	const (
+		blocks    = 1 << 16
+		shards    = 4
+		perRate   = 1500 * time.Millisecond
+		admission = 200 * time.Microsecond
+		queue     = 8
+	)
+	// Open-loop clients issue synchronously, so each contributes at most
+	// one outstanding operation: offering genuine overload needs many
+	// more clients than the closed-loop sweeps use. The shallow queue +
+	// tight admission deadline make the overloaded points shed (bounded
+	// queue wait for admitted ops) instead of queueing without bound.
+	clients := runtime.GOMAXPROCS(0) * 8
+	if clients < 64 {
+		clients = 64
+	}
+	newStore := func() (*palermo.ShardedStore, error) {
+		return palermo.NewShardedStore(palermo.ShardedStoreConfig{
+			Blocks: blocks, Shards: shards, Seed: o.Seed,
+			QueueDepth: queue, AdmissionDeadline: admission,
+		})
+	}
+
+	// Closed-loop saturation reference: self-clocking clients going as
+	// fast as completions allow. Its throughput anchors the sweep and its
+	// p99 is the number coordinated omission flatters.
+	st, err := newStore()
+	if err != nil {
+		return err
+	}
+	res, err := loadgen.Run(st, loadgen.Options{
+		Clients: clients, Ops: o.Requests * 4, ReadRatio: 0.9, Batch: 1, Seed: o.Seed,
+	})
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	sat := res.OpsPerSec()
+	closedP99 := res.Stats.ReadLat.P99Us
+	metrics["closedloop_ops_per_sec"] = sat
+	metrics["closedloop_read_p99_us"] = closedP99
+	fmt.Printf("closed-loop saturation %9.0f ops/sec (read p99 %.0fµs, %d clients, admission %v)\n",
+		sat, closedP99, clients, admission)
+	fmt.Printf("%8s %12s %12s %10s %22s\n", "offered", "rate", "achieved", "shed", "read p99 intended (µs)")
+	for _, mul := range []float64{0.5, 0.9, 1.2, 2.0} {
+		rate := sat * mul
+		st, err := newStore()
+		if err != nil {
+			return err
+		}
+		r, err := loadgen.Run(st, loadgen.Options{
+			Clients: clients, Duration: perRate, ReadRatio: 0.9, Batch: 1,
+			Rate: rate, Seed: o.Seed,
+		})
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("x%03d", int(mul*100+0.5))
+		metrics["offered_"+key] = r.OfferedRate
+		metrics["achieved_"+key] = r.AchievedRate
+		metrics["shed_"+key] = float64(r.ShedOps)
+		metrics["openloop_read_p99_us_"+key] = r.RunReadLat.P99Us
+		metrics["admitted_read_p99_us_"+key] = r.Stats.ReadLat.P99Us
+		metrics["queue_p99_us_"+key] = r.Stats.QueueLat.P99Us
+		fmt.Printf("  %.2fx %12.0f %12.0f %10d %22.0f\n",
+			mul, rate, r.AchievedRate, r.ShedOps, r.RunReadLat.P99Us)
+	}
 	return nil
 }
 
@@ -376,6 +467,10 @@ func figure(f string, o palermo.Options) error {
 		fmt.Println(rg)
 	case "store":
 		if err := storeBench(o, metrics); err != nil {
+			return err
+		}
+	case "openloop":
+		if err := openLoopBench(o, metrics); err != nil {
 			return err
 		}
 	case "tenants":

@@ -1,6 +1,6 @@
-// Command palermo-load is a closed-loop load generator for the sharded
-// oblivious store service: N client goroutines issue read/write requests
-// against palermo.ShardedStore and the tool reports ops/sec plus latency
+// Command palermo-load is a load generator for the sharded oblivious
+// store service: N client goroutines issue read/write requests against
+// palermo.ShardedStore and the tool reports ops/sec plus latency
 // percentiles — the throughput-vs-parallelism scalability methodology of
 // the ThunderX2 HPC study applied to the serving path.
 //
@@ -11,6 +11,8 @@
 //	palermo-load -zipf 0.99 -read-ratio 0.95      # YCSB-style skewed reads
 //	palermo-load -batch 16                        # reads issued as 16-id batches
 //	palermo-load -duration 30s                    # time-bounded soak (no op arithmetic)
+//	palermo-load -rate 50000 -duration 10s        # open-loop: offer 50k ops/s regardless of completions
+//	palermo-load -admission 20ms                  # shed queued requests older than 20ms (in-process)
 //	palermo-load -json out/                       # also write out/BENCH_load.json
 //	palermo-load -dir /data/palermo               # durable WAL backend under -dir
 //	palermo-load -dir /data/palermo -verify       # reopen a -dir store and verify it
@@ -37,11 +39,21 @@
 // -dir mode stamps, so a durable server that is then shut down can be
 // re-verified locally with -dir/-verify (the net-smoke CI job's flow).
 //
+// By default the clients are closed-loop: each issues its next request
+// when the previous completes, so the measured latency coordinates with
+// the server and hides queueing delay under overload. -rate switches to
+// open-loop generation: the run offers a fixed total rate on a
+// deterministic Poisson schedule and measures latency from each
+// operation's *intended* send time (the coordinated-omission
+// correction), reporting offered vs achieved rate and any operations the
+// server shed with a retry status.
+//
 // Every run is deterministic for a given -seed: client RNG streams are
-// derived per client, and per-shard ORAM sequences depend only on each
-// shard's request subsequence (arrival interleaving varies, results and
-// obliviousness do not). The workload loop itself is internal/loadgen,
-// shared with palermo-bench's serving-path figure.
+// derived per client (open-loop arrival schedules included), and
+// per-shard ORAM sequences depend only on each shard's request
+// subsequence (arrival interleaving varies, results and obliviousness do
+// not). The workload loop itself is internal/loadgen, shared with
+// palermo-bench's serving-path figures.
 //
 // With -dir, the run finishes with a deterministic stamp pass: payloads
 // derived from (-seed, id) are written to the first min(blocks, 1024) ids
@@ -82,6 +94,8 @@ func main() {
 	readRatio := flag.Float64("read-ratio", 0.9, "fraction of operations that are reads")
 	zipf := flag.Float64("zipf", 0, "Zipf skew theta (0 = uniform; 0.99 ~ YCSB)")
 	batch := flag.Int("batch", 1, "reads per ReadBatch call (1 = single-op loop)")
+	rate := flag.Float64("rate", 0, "open-loop offered load in total ops/sec (0 = closed loop; requires -batch 1)")
+	admission := flag.Duration("admission", 0, "overload-shedding admission deadline for the in-process store (0 = never shed)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 	pipeline := flag.Int("pipeline", 0, "per-shard pipeline depth (0 = default, 1 = serial workers)")
 	treetop := flag.Int("treetop", 0, "resident tree-top cache levels per engine space (0 = byte-budget default)")
@@ -107,7 +121,7 @@ func main() {
 		}
 		if *addr != "" {
 			switch f.Name {
-			case "shards", "blocks", "queue", "dir", "engine", "group-commit", "crypto-workers", "verify", "treetop", "prefetch", "trace":
+			case "shards", "blocks", "queue", "dir", "engine", "group-commit", "crypto-workers", "verify", "treetop", "prefetch", "trace", "admission":
 				fatal(fmt.Errorf("-%s configures an in-process store; with -addr it belongs to the server", f.Name))
 			}
 		}
@@ -127,19 +141,20 @@ func main() {
 		if *figure != "" {
 			fig = *figure
 		}
-		runRemote(addrs, *conns, *clients, *ops, *duration, *readRatio, *zipf, *batch, *seed, *stamp, *jsonDir, fig)
+		runRemote(addrs, *conns, *clients, *ops, *duration, *readRatio, *zipf, *batch, *rate, *seed, *stamp, *jsonDir, fig)
 		return
 	}
 
 	cfg := palermo.ShardedStoreConfig{
-		Blocks:        *blocks,
-		Shards:        *shards,
-		Seed:          *seed,
-		QueueDepth:    *queue,
-		PipelineDepth: *pipeline,
-		TreeTopLevels: *treetop,
-		Prefetch:      *prefetch,
-		CryptoWorkers: *cryptoWorkers,
+		Blocks:            *blocks,
+		Shards:            *shards,
+		Seed:              *seed,
+		QueueDepth:        *queue,
+		PipelineDepth:     *pipeline,
+		TreeTopLevels:     *treetop,
+		Prefetch:          *prefetch,
+		CryptoWorkers:     *cryptoWorkers,
+		AdmissionDeadline: *admission,
 	}
 	if *dir != "" {
 		// An explicit -engine wins; otherwise an existing directory's
@@ -198,6 +213,7 @@ func main() {
 		ReadRatio: *readRatio,
 		ZipfTheta: *zipf,
 		Batch:     *batch,
+		Rate:      *rate,
 		Seed:      *seed,
 	})
 	if err != nil {
@@ -266,7 +282,7 @@ type remoteTarget interface {
 // through palermo.Client over real sockets against a running
 // cmd/palermo-server, recorded as BENCH_net.json. Several comma-separated
 // addresses dial the cluster-routing client instead (BENCH_cluster.json).
-func runRemote(addrs []string, conns, clients, ops int, duration time.Duration, readRatio, zipf float64, batch int, seed uint64, stamp bool, jsonDir, figure string) {
+func runRemote(addrs []string, conns, clients, ops int, duration time.Duration, readRatio, zipf float64, batch int, rate float64, seed uint64, stamp bool, jsonDir, figure string) {
 	var cl remoteTarget
 	var where string
 	if len(addrs) > 1 {
@@ -298,6 +314,7 @@ func runRemote(addrs []string, conns, clients, ops int, duration time.Duration, 
 		ReadRatio: readRatio,
 		ZipfTheta: zipf,
 		Batch:     batch,
+		Rate:      rate,
 		Seed:      seed,
 	})
 	if err != nil {
@@ -348,14 +365,30 @@ func printResult(res loadgen.Result) {
 	stats := res.Stats
 	fmt.Printf("  wall %.2fs  ops/sec %.0f  (%d reads, %d writes, %d dedup fan-outs)\n",
 		res.Wall.Seconds(), res.OpsPerSec(), stats.Reads, stats.Writes, stats.DedupHits)
+	if res.OfferedRate > 0 {
+		fmt.Printf("  open loop: offered %.0f ops/sec, achieved %.0f (%d shed under overload)\n",
+			res.OfferedRate, res.AchievedRate, res.ShedOps)
+		fmt.Printf("  intended-send lat: read p50 %.0fµs  p99 %.0fµs (n=%d)  |  write p50 %.0fµs  p99 %.0fµs (n=%d)\n",
+			res.RunReadLat.P50Us, res.RunReadLat.P99Us, res.RunReadLat.N,
+			res.RunWriteLat.P50Us, res.RunWriteLat.P99Us, res.RunWriteLat.N)
+	} else if res.ShedOps > 0 {
+		fmt.Printf("  %d ops shed under overload (excluded from counts and latency)\n", res.ShedOps)
+	}
 	fmt.Printf("  read  lat p50 %.0fµs  p99 %.0fµs  mean %.0fµs  (n=%d)\n",
 		stats.ReadLat.P50Us, stats.ReadLat.P99Us, stats.ReadLat.MeanUs, stats.ReadLat.N)
 	if stats.WriteLat.N > 0 {
 		fmt.Printf("  write lat p50 %.0fµs  p99 %.0fµs  mean %.0fµs  (n=%d)\n",
 			stats.WriteLat.P50Us, stats.WriteLat.P99Us, stats.WriteLat.MeanUs, stats.WriteLat.N)
 	}
-	fmt.Printf("  queue wait p50 %.0fµs  p99 %.0fµs  |  execute p50 %.0fµs  p99 %.0fµs\n",
-		stats.QueueLat.P50Us, stats.QueueLat.P99Us, stats.ExecLat.P50Us, stats.ExecLat.P99Us)
+	// A warm target's queue/exec percentiles mix every prior run's samples
+	// (two snapshots cannot un-mix a histogram) — say so instead of letting
+	// them read as run-exact next to numbers that are.
+	qualifier := ""
+	if res.QueueExecLifetime {
+		qualifier = "  (lifetime-weighted: target was warm)"
+	}
+	fmt.Printf("  queue wait p50 %.0fµs  p99 %.0fµs  |  execute p50 %.0fµs  p99 %.0fµs%s\n",
+		stats.QueueLat.P50Us, stats.QueueLat.P99Us, stats.ExecLat.P50Us, stats.ExecLat.P99Us, qualifier)
 	fmt.Printf("  DRAM lines/op %.1f  stash peak %d\n",
 		res.Traffic.AmplificationFactor, res.Traffic.StashPeak)
 	tr := res.Traffic
@@ -368,7 +401,7 @@ func printResult(res loadgen.Result) {
 
 func loadMetrics(res loadgen.Result, clients int, readRatio, zipf float64) map[string]float64 {
 	stats := res.Stats
-	return map[string]float64{
+	m := map[string]float64{
 		"ops_per_sec":      res.OpsPerSec(),
 		"clients":          float64(clients),
 		"read_ratio":       readRatio,
@@ -382,6 +415,7 @@ func loadMetrics(res loadgen.Result, clients int, readRatio, zipf float64) map[s
 		"exec_p50_us":      stats.ExecLat.P50Us,
 		"exec_p99_us":      stats.ExecLat.P99Us,
 		"dedup_hits":       float64(stats.DedupHits),
+		"shed_ops":         float64(res.ShedOps),
 		"lines_per_op":     res.Traffic.AmplificationFactor,
 		"tree_top_hits":    float64(res.Traffic.TreeTopHits),
 		"bytes_saved":      float64(res.Traffic.TreeTopHits) * palermo.BlockSize,
@@ -390,6 +424,21 @@ func loadMetrics(res loadgen.Result, clients int, readRatio, zipf float64) map[s
 		"prefetch_stale":   float64(res.Traffic.PrefetchStale),
 		"prefetch_planned": float64(stats.PrefetchPlanned),
 	}
+	if res.QueueExecLifetime {
+		// Flags the queue/exec percentiles above as lifetime-weighted (the
+		// target was warm); consumers comparing runs should prefer the
+		// run-exact read/write numbers.
+		m["queue_exec_lifetime"] = 1
+	}
+	if res.OfferedRate > 0 {
+		m["offered_rate"] = res.OfferedRate
+		m["achieved_rate"] = res.AchievedRate
+		m["openloop_read_p50_us"] = res.RunReadLat.P50Us
+		m["openloop_read_p99_us"] = res.RunReadLat.P99Us
+		m["openloop_write_p50_us"] = res.RunWriteLat.P50Us
+		m["openloop_write_p99_us"] = res.RunWriteLat.P99Us
+	}
+	return m
 }
 
 func stampCount(blocks uint64) uint64 {

@@ -9,6 +9,8 @@
 //	palermo-server -dir /data/palermo               # durable WAL backend under -dir
 //	palermo-server -max-inflight 128 -idle 5m       # per-conn window + idle reaping
 //	palermo-server -pipeline 4 -treetop 6 -prefetch # serving-path optimizations (§10)
+//	palermo-server -admission 50ms                  # shed queued requests older than 50ms (retry status)
+//	palermo-server -metrics 127.0.0.1:9090 -pprof   # plain-text /metrics + pprof operability listener
 //	palermo-server -config node.json                # flags from a reviewed JSON file
 //	palermo-server -manifest cluster.json -addr ... # cluster node: serve owned shards only
 //
@@ -61,6 +63,9 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "per-connection in-flight request window (0 = default 64)")
 	maxBatch := flag.Int("max-batch", 0, "largest accepted batch frame in ops (0 = default 4096)")
 	idle := flag.Duration("idle", 2*time.Minute, "close connections idle for this long (0 = never)")
+	admission := flag.Duration("admission", 0, "overload-shedding admission deadline: queued requests older than this are dropped with a retry status (0 = never shed)")
+	metricsAddr := flag.String("metrics", "", "operability listener address serving plain-text /metrics (empty = off)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof on the -metrics listener (keep it private)")
 	configPath := flag.String("config", "", "JSON config file; explicitly-set flags override its values")
 	manifest := flag.String("manifest", "", "placement manifest path (selects cluster mode)")
 	flag.Parse()
@@ -74,7 +79,8 @@ func main() {
 		}
 		// A flag given on the command line wins over its config-file value.
 		applyConfig(fc, set, addr, shards, blocks, queue, pipeline, treetop, prefetch,
-			seed, dir, engine, groupCommit, checkpointEvery, cryptoWorkers, maxInFlight, maxBatch, idle, manifest)
+			seed, dir, engine, groupCommit, checkpointEvery, cryptoWorkers, maxInFlight, maxBatch, idle,
+			admission, metricsAddr, pprofOn, manifest)
 		if fc.Blocks != 0 {
 			set["blocks"] = true
 		}
@@ -84,15 +90,16 @@ func main() {
 	}
 
 	storeCfg := palermo.ShardedStoreConfig{
-		Blocks:          *blocks,
-		Shards:          *shards,
-		Seed:            *seed,
-		QueueDepth:      *queue,
-		PipelineDepth:   *pipeline,
-		TreeTopLevels:   *treetop,
-		Prefetch:        *prefetch,
-		CheckpointEvery: *checkpointEvery,
-		CryptoWorkers:   *cryptoWorkers,
+		Blocks:            *blocks,
+		Shards:            *shards,
+		Seed:              *seed,
+		QueueDepth:        *queue,
+		PipelineDepth:     *pipeline,
+		TreeTopLevels:     *treetop,
+		Prefetch:          *prefetch,
+		CheckpointEvery:   *checkpointEvery,
+		CryptoWorkers:     *cryptoWorkers,
+		AdmissionDeadline: *admission,
 	}
 	if *dir != "" {
 		storeCfg.Engine = resolveEngineFlag(*dir, *engine)
@@ -121,7 +128,7 @@ func main() {
 		if !set["shards"] {
 			storeCfg.Shards = 0
 		}
-		runCluster(*addr, *manifest, storeCfg, srvCfg, durability)
+		runCluster(*addr, *manifest, storeCfg, srvCfg, durability, *metricsAddr, *pprofOn)
 		return
 	}
 
@@ -129,6 +136,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	startMetrics(*metricsAddr, palermo.MetricsVars{
+		Service:     st.Stats,
+		Traffic:     st.Traffic,
+		QueueDepths: st.QueueDepths,
+		FsyncLag:    st.FsyncLag,
+	}, *pprofOn)
 	srv, err := palermo.NewServer(st, srvCfg)
 	if err != nil {
 		st.Close()
@@ -147,10 +160,24 @@ func main() {
 	})
 }
 
+// startMetrics binds the operability listener when -metrics is set. The
+// listener lives for the whole process: scrapes race shutdown at worst,
+// and every source it reads stays safe to call after Close.
+func startMetrics(addr string, vars palermo.MetricsVars, pprofOn bool) {
+	if addr == "" {
+		return
+	}
+	ms, err := palermo.ServeMetrics(addr, vars, pprofOn)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("palermo-server: metrics on http://%s/metrics\n", ms.Addr())
+}
+
 // runCluster serves one cluster node: the manifest decides which shards
 // this address owns, and the node handles manifest fetches, wrong-epoch
 // rejection of misrouted requests, and live shard migration.
-func runCluster(addr, manifestPath string, storeCfg palermo.ShardedStoreConfig, srvCfg palermo.ServerConfig, durability string) {
+func runCluster(addr, manifestPath string, storeCfg palermo.ShardedStoreConfig, srvCfg palermo.ServerConfig, durability, metricsAddr string, pprofOn bool) {
 	man, err := cluster.Load(manifestPath)
 	if err != nil {
 		fatal(err)
@@ -159,6 +186,12 @@ func runCluster(addr, manifestPath string, storeCfg palermo.ShardedStoreConfig, 
 	if err != nil {
 		fatal(err)
 	}
+	startMetrics(metricsAddr, palermo.MetricsVars{
+		Service:     node.ServiceStats,
+		Traffic:     node.Traffic,
+		QueueDepths: node.QueueDepths,
+		FsyncLag:    node.FsyncLag,
+	}, pprofOn)
 	srv, err := palermo.NewClusterServer(node, srvCfg)
 	if err != nil {
 		node.Close()
@@ -209,7 +242,7 @@ func serveLoop(ln net.Listener, srv *palermo.Server, closeStore func() error, st
 func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
 	addr *string, shards *int, blocks *uint64, queue, pipeline, treetop *int, prefetch *bool,
 	seed *uint64, dir, engine *string, groupCommit, checkpointEvery, cryptoWorkers, maxInFlight, maxBatch *int,
-	idle *time.Duration, manifest *string) {
+	idle *time.Duration, admission *time.Duration, metricsAddr *string, pprofOn *bool, manifest *string) {
 	if !set["addr"] && fc.Addr != "" {
 		*addr = fc.Addr
 	}
@@ -257,6 +290,15 @@ func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
 	}
 	if !set["idle"] && fc.Idle != 0 {
 		*idle = time.Duration(fc.Idle)
+	}
+	if !set["admission"] && fc.Admission != 0 {
+		*admission = time.Duration(fc.Admission)
+	}
+	if !set["metrics"] && fc.Metrics != "" {
+		*metricsAddr = fc.Metrics
+	}
+	if !set["pprof"] && fc.Pprof {
+		*pprofOn = true
 	}
 	if !set["manifest"] && fc.Manifest != "" {
 		*manifest = fc.Manifest

@@ -21,3 +21,15 @@ var ErrClosed = serve.ErrClosed
 //
 //	if errors.Is(err, palermo.ErrWrongEpoch) { ... }
 var ErrWrongEpoch = netserve.ErrWrongEpoch
+
+// ErrRetry is the sentinel an operation returns (possibly wrapped) when
+// the service shed it under overload: its admission deadline
+// (ShardedStoreConfig.AdmissionDeadline) expired while it waited in a
+// shard queue, so the worker dropped it before any engine access. The
+// operation did not execute — retrying (ideally after backing off) is
+// always safe. Remote clients see the same sentinel: the server answers
+// a shed op with a retry status that Client maps back here. Test with
+// errors.Is:
+//
+//	if errors.Is(err, palermo.ErrRetry) { ... }
+var ErrRetry = serve.ErrRetry

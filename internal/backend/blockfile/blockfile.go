@@ -61,6 +61,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"palermo/internal/backend"
 	"palermo/internal/crypt"
@@ -144,6 +146,11 @@ type Backend struct {
 	pending int
 	closed  bool
 	failErr error
+
+	// Commit-path fsync telemetry (atomics: FsyncStats reads them from
+	// any goroutine while the owner is mid-sync).
+	fsyncN     atomic.Uint64
+	fsyncNanos atomic.Uint64
 }
 
 // Open creates or recovers the backend rooted at dir. The directory is
@@ -483,14 +490,32 @@ func (b *Backend) commit() error {
 	if err := b.bw.Flush(); err != nil {
 		return b.fail(fmt.Errorf("blockfile: %w", err))
 	}
-	if err := b.dataF.Sync(); err != nil {
+	if err := b.timedSync(b.dataF); err != nil {
 		return b.fail(fmt.Errorf("blockfile: %w", err))
 	}
-	if err := b.logF.Sync(); err != nil {
+	if err := b.timedSync(b.logF); err != nil {
 		return b.fail(fmt.Errorf("blockfile: %w", err))
 	}
 	b.pending = 0
 	return nil
+}
+
+// timedSync fsyncs f and charges the wait to the backend's commit-path
+// fsync telemetry.
+func (b *Backend) timedSync(f *os.File) error {
+	t0 := time.Now()
+	err := f.Sync()
+	b.fsyncN.Add(1)
+	b.fsyncNanos.Add(uint64(time.Since(t0)))
+	return err
+}
+
+// FsyncStats reports how many commit-path (data+log) fsyncs the backend
+// has issued and the cumulative time spent waiting on them. Checkpoint
+// and recovery fsyncs are rare one-offs and are not counted. Safe to
+// call from any goroutine at any time.
+func (b *Backend) FsyncStats() (count uint64, total time.Duration) {
+	return b.fsyncN.Load(), time.Duration(b.fsyncNanos.Load())
 }
 
 // Flush implements backend.Backend. Failure semantics follow the WAL:

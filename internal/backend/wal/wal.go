@@ -50,6 +50,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"palermo/internal/backend"
 	"palermo/internal/crypt"
@@ -143,6 +145,11 @@ type Backend struct {
 	committerWG chan struct{}
 	cmu         sync.Mutex
 	commitErr   error // first asynchronous fsync failure (wedges on next op)
+
+	// Commit-path fsync telemetry (atomics: FsyncStats reads them from
+	// any goroutine while the owner or committer is mid-sync).
+	fsyncN     atomic.Uint64
+	fsyncNanos atomic.Uint64
 }
 
 // commitReq is one fsync handed to the committer goroutine. A non-nil
@@ -197,7 +204,7 @@ func Open(dir string, opt Options) (*Backend, error) {
 func (b *Backend) committer() {
 	defer close(b.committerWG)
 	for req := range b.commitq {
-		err := req.f.Sync()
+		err := b.timedSync(req.f)
 		if err != nil {
 			err = fmt.Errorf("wal: pipelined commit: %w", err)
 			b.cmu.Lock()
@@ -210,6 +217,25 @@ func (b *Backend) committer() {
 			req.done <- err
 		}
 	}
+}
+
+// timedSync fsyncs f and charges the wait to the backend's commit-path
+// fsync telemetry.
+func (b *Backend) timedSync(f *os.File) error {
+	t0 := time.Now()
+	err := f.Sync()
+	b.fsyncN.Add(1)
+	b.fsyncNanos.Add(uint64(time.Since(t0)))
+	return err
+}
+
+// FsyncStats reports how many commit-path (log) fsyncs the backend has
+// issued and the cumulative time spent waiting on them — the durability
+// lag an operability surface wants to watch. Checkpoint and recovery
+// fsyncs are rare one-offs and are not counted. Safe to call from any
+// goroutine at any time.
+func (b *Backend) FsyncStats() (count uint64, total time.Duration) {
+	return b.fsyncN.Load(), time.Duration(b.fsyncNanos.Load())
 }
 
 // asyncErr returns the first pipelined-commit failure, if any.
@@ -429,7 +455,7 @@ func (b *Backend) Flush() error {
 		if err := <-done; err != nil {
 			return b.fail(err)
 		}
-	} else if err := b.logF.Sync(); err != nil {
+	} else if err := b.timedSync(b.logF); err != nil {
 		return b.fail(fmt.Errorf("wal: %w", err))
 	}
 	b.pending = 0

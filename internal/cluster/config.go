@@ -32,6 +32,10 @@ type ServerConfig struct {
 	MaxInFlight int      `json:"max_inflight,omitempty"` // -max-inflight
 	MaxBatch    int      `json:"max_batch,omitempty"`    // -max-batch
 	Idle        Duration `json:"idle,omitempty"`         // -idle, as a Go duration string ("2m")
+	Admission   Duration `json:"admission,omitempty"`    // -admission: overload-shedding deadline ("0" = disabled)
+
+	Metrics string `json:"metrics,omitempty"` // -metrics: operability listener address
+	Pprof   bool   `json:"pprof,omitempty"`   // -pprof: mount /debug/pprof on the metrics listener
 
 	// Manifest selects cluster mode: the path of the placement manifest
 	// this node loads at startup (see Manifest/Load). The node serves only

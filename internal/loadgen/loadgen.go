@@ -1,15 +1,33 @@
-// Package loadgen is the shared closed-loop workload driver for the
-// sharded oblivious store service: N client goroutines issue a read/write
-// mix (optionally Zipf-skewed, optionally batch-read) against any Target —
-// an in-process palermo.ShardedStore or a remote palermo.Client — and the
-// driver reports wall-clock plus the service's own stats. cmd/palermo-load
-// (both the in-process and the -addr socket mode) and cmd/palermo-bench's
-// serving-path figure run through this one implementation, so the network
-// tax is measured against an identical workload loop.
+// Package loadgen is the shared workload driver for the sharded
+// oblivious store service: N client goroutines issue a read/write mix
+// (optionally Zipf-skewed, optionally batch-read) against any Target —
+// an in-process palermo.ShardedStore or a remote palermo.Client — and
+// the driver reports wall-clock plus the service's own stats.
+// cmd/palermo-load (both the in-process and the -addr socket mode) and
+// cmd/palermo-bench's serving-path figures run through this one
+// implementation, so the network tax is measured against an identical
+// workload loop.
+//
+// Two load models:
+//
+//   - Closed loop (default): each client issues its next operation as
+//     soon as the previous one completes. Throughput is self-clocking,
+//     but the model coordinates with the server — when the service
+//     stalls, the clients stop sending, so the stall shows up in at
+//     most Clients samples and the latency percentiles lie
+//     (coordinated omission).
+//   - Open loop (Options.Rate > 0): each client draws a deterministic
+//     Poisson arrival schedule before-the-fact and sends at those
+//     intended times regardless of completions; a client that falls
+//     behind catches up in a burst, never skips. Latency is measured
+//     from the *intended* send time, so server stalls are charged to
+//     every sample they delayed — the wrk2/HdrHistogram correction.
 package loadgen
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -28,8 +46,9 @@ type Target interface {
 	Snapshot() (palermo.ServiceStats, palermo.TrafficReport, error)
 }
 
-// Options configures one closed-loop run. Exactly one of Ops (op-bounded)
-// or Duration (time-bounded) selects the stopping rule.
+// Options configures one run. Exactly one of Ops (op-bounded) or
+// Duration (time-bounded) selects the stopping rule; Rate selects the
+// load model.
 type Options struct {
 	Clients   int           // concurrent client goroutines (>= 1)
 	Ops       int           // total operations across all clients (op-bounded runs)
@@ -38,6 +57,15 @@ type Options struct {
 	ZipfTheta float64       // Zipf skew over the id space (0 = uniform)
 	Batch     int           // reads per ReadBatch call (1 = single-op loop)
 	Seed      uint64        // base seed; client streams derive from it
+
+	// Rate switches the run to open-loop load generation: the total
+	// offered rate in operations per second, split evenly across the
+	// clients, each following its own deterministic Poisson arrival
+	// schedule (see ArrivalOffsets). 0 = closed loop. Open-loop runs
+	// require Batch == 1 (the schedule paces individual operations) and
+	// report latency from the intended send time, so queueing delay a
+	// closed loop would hide is charged to the samples.
+	Rate float64
 }
 
 func (o *Options) validate() error {
@@ -55,6 +83,12 @@ func (o *Options) validate() error {
 	}
 	if o.ZipfTheta < 0 {
 		return fmt.Errorf("loadgen: ZipfTheta must be >= 0")
+	}
+	if o.Rate < 0 {
+		return fmt.Errorf("loadgen: Rate must be >= 0")
+	}
+	if o.Rate > 0 && o.Batch != 1 {
+		return fmt.Errorf("loadgen: open-loop runs (Rate > 0) require Batch == 1")
 	}
 	return nil
 }
@@ -83,9 +117,35 @@ type Result struct {
 	// RunReadLat/RunWriteLat summarize this run's own call latencies,
 	// sampled at the driver: one sample per ReadBatch call (so a batch
 	// counts once) and one per Write call. Always exact for the run,
-	// whatever the target's history.
+	// whatever the target's history. In open-loop runs the sample is
+	// measured from the operation's *intended* send time (coordinated-
+	// omission corrected); shed operations are excluded.
 	RunReadLat  palermo.LatencySummary
 	RunWriteLat palermo.LatencySummary
+
+	// QueueExecLifetime reports that the target was warm at run start:
+	// its cumulative queue/exec histograms already held earlier runs'
+	// samples, which two snapshots cannot un-mix, so Stats.QueueLat and
+	// Stats.ExecLat percentiles are lifetime-weighted — they describe
+	// the target's whole history, not this run alone. (Their N and mean
+	// are still delta-correct, and ReadLat/WriteLat percentiles are
+	// replaced by the run-local samples.) False against a fresh target,
+	// where every percentile is run-exact.
+	QueueExecLifetime bool
+
+	// OfferedRate echoes Options.Rate (0 for closed-loop runs);
+	// AchievedRate is the rate the service actually completed — admitted
+	// operations per wall-clock second. The gap between them, together
+	// with ShedOps, is the overload signature: an open-loop run past
+	// saturation keeps offering, and the service sheds or queues the
+	// excess.
+	OfferedRate  float64
+	AchievedRate float64
+
+	// ShedOps counts operations the service shed under overload
+	// (palermo.ErrRetry): attempted, never executed, excluded from every
+	// latency summary and from Stats.Reads/Writes.
+	ShedOps uint64
 }
 
 // OpsPerSec returns completed operations per wall-clock second.
@@ -93,12 +153,15 @@ func (r Result) OpsPerSec() float64 {
 	return float64(r.Stats.Reads+r.Stats.Writes) / r.Wall.Seconds()
 }
 
-// Run drives the store with o.Clients closed-loop clients until o.Ops
-// operations have completed (op budget split evenly) or o.Duration
-// wall-clock has elapsed — whichever stopping rule Options selects. Ids
-// are drawn from the store's full capacity, so the run is valid for any
-// store the caller built. The first client error aborts the run and is
-// returned.
+// Run drives the store with o.Clients clients until o.Ops operations
+// have been attempted (op budget split evenly) or o.Duration wall-clock
+// has elapsed — whichever stopping rule Options selects. Ids are drawn
+// from the store's full capacity, so the run is valid for any store the
+// caller built. The first client error aborts the whole run promptly —
+// every other client observes the shared abort signal, time-bounded
+// runs included — and is returned. Operations the service shed under
+// overload (palermo.ErrRetry) are not errors: they are counted in
+// Result.ShedOps and the run continues.
 func Run(st Target, o Options) (Result, error) {
 	if err := o.validate(); err != nil {
 		return Result{}, err
@@ -110,6 +173,9 @@ func Run(st Target, o Options) (Result, error) {
 	var wg sync.WaitGroup
 	errCh := make(chan error, o.Clients)
 	samples := make([]*latSampler, o.Clients)
+	sheds := make([]uint64, o.Clients)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
 	start := time.Now()
 	var deadline time.Time
 	if o.Duration > 0 {
@@ -124,8 +190,13 @@ func Run(st Target, o Options) (Result, error) {
 		wg.Add(1)
 		go func(c, share int) {
 			defer wg.Done()
-			if err := client(st, uint64(c), share, deadline, o, samples[c]); err != nil {
+			cl := clientState{
+				st: st, id: uint64(c), ops: share, deadline: deadline,
+				start: start, o: o, s: samples[c], sheds: &sheds[c], abort: abort,
+			}
+			if err := cl.run(); err != nil {
 				errCh <- err
+				abortOnce.Do(func() { close(abort) })
 			}
 		}(c, share)
 	}
@@ -140,17 +211,23 @@ func Run(st Target, o Options) (Result, error) {
 		return Result{}, fmt.Errorf("loadgen: final snapshot: %w", err)
 	}
 	res := Result{
-		Wall:    wall,
-		Traffic: deltaTraffic(traffic, baseTraffic),
+		Wall:              wall,
+		Traffic:           deltaTraffic(traffic, baseTraffic),
+		QueueExecLifetime: baseStats.QueueLat.N > 0 || baseStats.ExecLat.N > 0,
+		OfferedRate:       o.Rate,
 	}
 	reads, writes := newLatHistogram(), newLatHistogram()
 	for _, s := range samples {
 		reads.Merge(s.reads)
 		writes.Merge(s.writes)
 	}
+	for _, n := range sheds {
+		res.ShedOps += n
+	}
 	res.RunReadLat = summarize(reads)
 	res.RunWriteLat = summarize(writes)
 	res.Stats = deltaStats(endStats, baseStats, res.RunReadLat, res.RunWriteLat)
+	res.AchievedRate = res.OpsPerSec()
 	return res, nil
 }
 
@@ -184,6 +261,7 @@ func deltaStats(end, base palermo.ServiceStats, runRead, runWrite palermo.Latenc
 	end.Writes -= base.Writes
 	end.DedupHits -= base.DedupHits
 	end.PrefetchPlanned -= base.PrefetchPlanned
+	end.Sheds -= base.Sheds
 	end.ReadLat = deltaLatency(end.ReadLat, base.ReadLat, runRead)
 	end.WriteLat = deltaLatency(end.WriteLat, base.WriteLat, runWrite)
 	end.QueueLat = deltaLatency(end.QueueLat, base.QueueLat, palermo.LatencySummary{})
@@ -231,48 +309,103 @@ func deltaTraffic(end, base palermo.TrafficReport) palermo.TrafficReport {
 	return end
 }
 
-// client runs one closed-loop client: pick an id (uniform or Zipfian over
-// the store's capacity), issue a read or write, wait, repeat — until its
-// op share is spent (op-bounded) or the deadline passes (time-bounded).
-// Zipf rank 0 is the hottest id; striped routing spreads consecutive
-// ranks across all shards.
-func client(st Target, id uint64, ops int, deadline time.Time, o Options, s *latSampler) error {
-	blocks := st.Blocks()
-	r := rng.New(o.Seed + 0x2545f4914f6cdd1d*(id+1))
-	var z *rng.Zipf
-	if o.ZipfTheta > 0 {
-		z = rng.NewZipf(r, blocks, o.ZipfTheta)
+// opSeedMul and arrivalSeedMul derive each client's two independent
+// deterministic streams from the base seed: the op-mix stream (which id,
+// read or write) and the open-loop arrival schedule. Separate streams
+// mean pacing a run does not perturb which ids its clients touch.
+const (
+	opSeedMul      = 0x2545f4914f6cdd1d
+	arrivalSeedMul = 0x9e3779b97f4a7c15
+)
+
+// clientState is one workload client's parameters.
+type clientState struct {
+	st       Target
+	id       uint64
+	ops      int // this client's share of the op budget (op-bounded runs)
+	deadline time.Time
+	start    time.Time
+	o        Options
+	s        *latSampler
+	sheds    *uint64
+	abort    <-chan struct{} // closed when any client fails: stop now
+}
+
+// run dispatches on the load model.
+func (c *clientState) run() error {
+	if c.o.Rate > 0 {
+		return c.runOpen()
 	}
-	next := func() uint64 {
+	return c.runClosed()
+}
+
+// aborted reports whether another client's error ended the run.
+func (c *clientState) aborted() bool {
+	select {
+	case <-c.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// opMix builds the client's deterministic id/op-mix stream.
+func (c *clientState) opMix() (r *rng.Rand, next func() uint64) {
+	blocks := c.st.Blocks()
+	r = rng.New(c.o.Seed + opSeedMul*(c.id+1))
+	var z *rng.Zipf
+	if c.o.ZipfTheta > 0 {
+		z = rng.NewZipf(r, blocks, c.o.ZipfTheta)
+	}
+	next = func() uint64 {
 		if z != nil {
 			return z.Next()
 		}
 		return r.Uint64n(blocks)
 	}
-	timed := !deadline.IsZero()
+	return r, next
+}
+
+// runClosed is the closed-loop client: pick an id (uniform or Zipfian
+// over the store's capacity), issue a read or write, wait, repeat —
+// until its op share is spent (op-bounded) or the deadline passes
+// (time-bounded). Zipf rank 0 is the hottest id; striped routing
+// spreads consecutive ranks across all shards.
+func (c *clientState) runClosed() error {
+	r, next := c.opMix()
+	timed := !c.deadline.IsZero()
 	more := func(done int) bool {
-		if timed {
-			return time.Now().Before(deadline)
+		if c.aborted() {
+			return false
 		}
-		return done < ops
+		if timed {
+			return time.Now().Before(c.deadline)
+		}
+		return done < c.ops
 	}
 	buf := make([]byte, palermo.BlockSize)
-	ids := make([]uint64, 0, o.Batch)
+	ids := make([]uint64, 0, c.o.Batch)
 	for done := 0; more(done); {
-		if r.Float64() >= o.ReadRatio {
+		if r.Float64() >= c.o.ReadRatio {
 			buf[0] = byte(done)
-			buf[palermo.BlockSize-1] = byte(id)
+			buf[palermo.BlockSize-1] = byte(c.id)
 			t0 := time.Now()
-			if err := st.Write(next(), buf); err != nil {
+			err := c.st.Write(next(), buf)
+			if errors.Is(err, palermo.ErrRetry) {
+				*c.sheds++
+				done++
+				continue
+			}
+			if err != nil {
 				return err
 			}
-			s.writes.Add(float64(time.Since(t0).Microseconds()))
+			c.s.writes.Add(float64(time.Since(t0).Microseconds()))
 			done++
 			continue
 		}
-		n := o.Batch
+		n := c.o.Batch
 		if !timed {
-			if remaining := ops - done; n > remaining {
+			if remaining := c.ops - done; n > remaining {
 				n = remaining
 			}
 		}
@@ -281,11 +414,119 @@ func client(st Target, id uint64, ops int, deadline time.Time, o Options, s *lat
 			ids = append(ids, next())
 		}
 		t0 := time.Now()
-		if _, err := st.ReadBatch(ids); err != nil {
+		_, err := c.st.ReadBatch(ids)
+		if errors.Is(err, palermo.ErrRetry) {
+			// At least one op of the call was shed; the op budget counts
+			// attempts, so the call is spent either way.
+			*c.sheds++
+			done += n
+			continue
+		}
+		if err != nil {
 			return err
 		}
-		s.reads.Add(float64(time.Since(t0).Microseconds()))
+		c.s.reads.Add(float64(time.Since(t0).Microseconds()))
 		done += n
 	}
 	return nil
+}
+
+// runOpen is the open-loop client: follow the precomputed arrival
+// schedule, sending each operation at (or as soon as possible after)
+// its intended time, and charge every sample the interval from intended
+// send to completion. A client running behind schedule catches up in a
+// burst — arrivals are never skipped, so the offered op count is a pure
+// function of (rate, elapsed time), not of the server's speed.
+func (c *clientState) runOpen() error {
+	r, next := c.opMix()
+	ar := rng.New(c.o.Seed + arrivalSeedMul*(c.id+1))
+	perClient := c.o.Rate / float64(c.o.Clients)
+	timed := !c.deadline.IsZero()
+	buf := make([]byte, palermo.BlockSize)
+	ids := make([]uint64, 1)
+	var offset time.Duration
+	for done := 0; ; done++ {
+		if !timed && done >= c.ops {
+			return nil
+		}
+		offset += expGap(ar, perClient)
+		intended := c.start.Add(offset)
+		if timed && intended.After(c.deadline) {
+			return nil
+		}
+		if !sleepUntil(intended, c.abort) {
+			return nil
+		}
+		var err error
+		isRead := r.Float64() < c.o.ReadRatio
+		if isRead {
+			ids[0] = next()
+			_, err = c.st.ReadBatch(ids)
+		} else {
+			buf[0] = byte(done)
+			buf[palermo.BlockSize-1] = byte(c.id)
+			err = c.st.Write(next(), buf)
+		}
+		lat := float64(time.Since(intended).Microseconds())
+		if errors.Is(err, palermo.ErrRetry) {
+			*c.sheds++
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if isRead {
+			c.s.reads.Add(lat)
+		} else {
+			c.s.writes.Add(lat)
+		}
+	}
+}
+
+// expGap draws one exponential inter-arrival gap (a Poisson process at
+// the given rate in ops/s).
+func expGap(r *rng.Rand, rate float64) time.Duration {
+	u := r.Float64() // in [0, 1): log1p(-u) is finite
+	return time.Duration(-math.Log1p(-u) / rate * float64(time.Second))
+}
+
+// sleepUntil blocks until t (or returns immediately when t has passed —
+// the catch-up burst) unless abort closes first; it reports whether the
+// client should proceed.
+func sleepUntil(t time.Time, abort <-chan struct{}) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		select {
+		case <-abort:
+			return false
+		default:
+			return true
+		}
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+// ArrivalOffsets returns the first n arrival offsets (run start to
+// intended send) of client id's open-loop schedule under the given base
+// seed and *per-client* rate. The schedule is a pure function of these
+// arguments — the driver draws from the identical stream — so two runs
+// with the same options intend exactly the same send times, and an
+// open-loop run is reproducible in the same sense a seeded closed-loop
+// run is.
+func ArrivalOffsets(seed, id uint64, perClientRate float64, n int) []time.Duration {
+	ar := rng.New(seed + arrivalSeedMul*(id+1))
+	out := make([]time.Duration, n)
+	var offset time.Duration
+	for i := range out {
+		offset += expGap(ar, perClientRate)
+		out[i] = offset
+	}
+	return out
 }

@@ -1,7 +1,10 @@
 package loadgen
 
 import (
+	"errors"
+	"sync"
 	"testing"
+	"time"
 
 	"palermo"
 )
@@ -116,6 +119,204 @@ func TestRunWarmTargetPercentilesAreRunLocal(t *testing.T) {
 	}
 }
 
+// glitchTarget is an in-memory Target whose call number failAt (1-based,
+// counted across all clients) fails exactly once; every other call
+// succeeds instantly. It isolates the abort path: exactly one client
+// sees the error, and the question is what the others do about it.
+type glitchTarget struct {
+	mu     sync.Mutex
+	calls  int
+	failAt int
+}
+
+func (g *glitchTarget) Blocks() uint64 { return 1 << 10 }
+
+func (g *glitchTarget) tick() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.calls++
+	if g.calls == g.failAt {
+		return errors.New("glitch: injected failure")
+	}
+	return nil
+}
+
+func (g *glitchTarget) Write(id uint64, data []byte) error { return g.tick() }
+
+func (g *glitchTarget) ReadBatch(ids []uint64) ([][]byte, error) {
+	if err := g.tick(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(ids))
+	for i := range out {
+		out[i] = make([]byte, palermo.BlockSize)
+	}
+	return out, nil
+}
+
+func (g *glitchTarget) Snapshot() (palermo.ServiceStats, palermo.TrafficReport, error) {
+	return palermo.ServiceStats{}, palermo.TrafficReport{}, nil
+}
+
+// TestTimedRunAbortsOnFirstError: regression for the stuck-soak bug. A
+// time-bounded run used to let the surviving clients hammer the target
+// until the deadline after one client had already failed — a 10-minute
+// soak with an early error burned the full 10 minutes before reporting
+// it. The first error must abort every client promptly.
+func TestTimedRunAbortsOnFirstError(t *testing.T) {
+	g := &glitchTarget{failAt: 50}
+	start := time.Now()
+	_, err := Run(g, Options{
+		Clients: 4, Duration: 10 * time.Second, ReadRatio: 0.5, Batch: 1, Seed: 1,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run must surface the injected client error")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("run took %v to abort after the first error; the 10s deadline leaked into the failure path", elapsed)
+	}
+}
+
+// TestOpBoundedRunAbortsOnFirstError: the op-bounded stopping rule must
+// observe the same abort signal — with a large budget and fast ops, the
+// surviving clients would otherwise spin through millions of calls.
+func TestOpBoundedRunAbortsOnFirstError(t *testing.T) {
+	g := &glitchTarget{failAt: 50}
+	start := time.Now()
+	_, err := Run(g, Options{
+		Clients: 4, Ops: 50_000_000, ReadRatio: 0.5, Batch: 1, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("run must surface the injected client error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("op-bounded run ground through its budget (%v) instead of aborting", elapsed)
+	}
+}
+
+// TestArrivalOffsetsDeterministic: the open-loop arrival schedule is a
+// pure function of (seed, client id, rate) — same inputs, identical
+// intended send times; different client or seed, a different stream.
+func TestArrivalOffsetsDeterministic(t *testing.T) {
+	a := ArrivalOffsets(7, 0, 1000, 500)
+	b := ArrivalOffsets(7, 0, 1000, 500)
+	if len(a) != 500 {
+		t.Fatalf("got %d offsets, want 500", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs between identical schedules: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || (i > 0 && a[i] < a[i-1]) {
+			t.Fatalf("offsets must be nondecreasing and nonnegative: [%d]=%v", i, a[i])
+		}
+	}
+	c := ArrivalOffsets(7, 1, 1000, 500)
+	d := ArrivalOffsets(8, 0, 1000, 500)
+	if a[10] == c[10] && a[11] == c[11] {
+		t.Fatal("client 1's schedule must diverge from client 0's")
+	}
+	if a[10] == d[10] && a[11] == d[11] {
+		t.Fatal("a different seed must produce a different schedule")
+	}
+	// Mean inter-arrival gap should approximate 1/rate (1ms at 1000/s).
+	mean := a[len(a)-1] / time.Duration(len(a))
+	if mean < 500*time.Microsecond || mean > 2*time.Millisecond {
+		t.Fatalf("mean gap %v implausible for 1000 ops/s", mean)
+	}
+}
+
+// TestOpenLoopRun drives a real store open-loop and checks the rate
+// accounting: OfferedRate echoes the option, every attempt lands in
+// exactly one of completed/shed, and intended-send summaries cover the
+// completed ops.
+func TestOpenLoopRun(t *testing.T) {
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 12, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := Run(st, Options{
+		Clients: 2, Ops: 400, ReadRatio: 0.7, Batch: 1, Seed: 3, Rate: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfferedRate != 50_000 {
+		t.Fatalf("OfferedRate = %v, want 50000", res.OfferedRate)
+	}
+	if res.AchievedRate <= 0 {
+		t.Fatalf("AchievedRate = %v, want > 0", res.AchievedRate)
+	}
+	done := res.Stats.Reads + res.Stats.Writes
+	if done+res.ShedOps != 400 {
+		t.Fatalf("completed %d + shed %d must account for all 400 attempts", done, res.ShedOps)
+	}
+	if res.RunReadLat.N+res.RunWriteLat.N != done {
+		t.Fatalf("intended-send samples %d != completed ops %d",
+			res.RunReadLat.N+res.RunWriteLat.N, done)
+	}
+}
+
+// TestRunCountsShedsNotErrors: with an admission deadline no queued
+// request can meet, every operation comes back palermo.ErrRetry — the
+// run must complete normally, count the sheds, and keep them out of the
+// latency summaries and the completed-op counters.
+func TestRunCountsShedsNotErrors(t *testing.T) {
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{
+		Blocks: 1 << 12, Shards: 2, AdmissionDeadline: 1, // 1ns: sheds everything
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := Run(st, Options{Clients: 2, Ops: 200, ReadRatio: 0.5, Batch: 1, Seed: 5})
+	if err != nil {
+		t.Fatalf("shed operations must not be run errors: %v", err)
+	}
+	if res.ShedOps != 200 {
+		t.Fatalf("ShedOps = %d, want all 200 attempts shed", res.ShedOps)
+	}
+	if got := res.Stats.Reads + res.Stats.Writes; got != 0 {
+		t.Fatalf("%d ops reported completed; shed ops must not count", got)
+	}
+	if res.RunReadLat.N != 0 || res.RunWriteLat.N != 0 {
+		t.Fatalf("shed ops leaked into latency summaries: %+v %+v",
+			res.RunReadLat, res.RunWriteLat)
+	}
+	if res.Stats.Sheds != 200 {
+		t.Fatalf("service counted %d sheds, want 200", res.Stats.Sheds)
+	}
+}
+
+// TestRunMarksLifetimeWeightedQueueExec: regression for the warm-target
+// percentile lie. QueueLat/ExecLat have no client-side observable, so on
+// a warm target their p50/p99 stay lifetime-weighted — the result must
+// say so instead of printing them indistinguishably from run-exact ones.
+func TestRunMarksLifetimeWeightedQueueExec(t *testing.T) {
+	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 12, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	opts := Options{Clients: 2, Ops: 200, ReadRatio: 0.5, Batch: 1, Seed: 2}
+	res, err := Run(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueExecLifetime {
+		t.Fatal("fresh target: queue/exec percentiles are run-exact, must not be flagged")
+	}
+	res, err = Run(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QueueExecLifetime {
+		t.Fatal("warm target: queue/exec percentiles are lifetime-weighted and must be flagged")
+	}
+}
+
 func TestRunValidates(t *testing.T) {
 	st, err := palermo.NewShardedStore(palermo.ShardedStoreConfig{Blocks: 1 << 10, Shards: 1})
 	if err != nil {
@@ -128,6 +329,8 @@ func TestRunValidates(t *testing.T) {
 		{Clients: 1, Ops: 10, Batch: 0},
 		{Clients: 1, Ops: 10, Batch: 1, ReadRatio: 1.5},
 		{Clients: 1, Ops: 10, Batch: 1, ZipfTheta: -1},
+		{Clients: 1, Ops: 10, Batch: 1, Rate: -1},
+		{Clients: 1, Ops: 10, Batch: 4, Rate: 1000}, // open loop paces single ops
 	} {
 		if _, err := Run(st, o); err == nil {
 			t.Fatalf("options %+v must be rejected", o)

@@ -161,10 +161,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 		}
 		c := &conn{
-			srv: s,
-			nc:  nc,
-			out: make(chan *wire.FrameBuf, s.cfg.MaxInFlight),
-			sem: make(chan struct{}, s.cfg.MaxInFlight),
+			srv:        s,
+			nc:         nc,
+			out:        make(chan *wire.FrameBuf, s.cfg.MaxInFlight),
+			sem:        make(chan struct{}, s.cfg.MaxInFlight),
+			writerDead: make(chan struct{}),
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -203,9 +204,14 @@ func (s *Server) Close() error {
 		}
 		// Unblock readers parked in ReadFrame: an immediate read deadline
 		// makes the blocking read return without tearing the socket down,
-		// so queued responses still flush.
+		// so queued responses still flush. The write sweep likewise fails
+		// a writer currently wedged in nc.Write against a peer that
+		// stopped reading — otherwise Close would wait out the full
+		// WriteTimeout. A healthy writer re-arms its own deadline before
+		// every write, so only the stuck write is aborted.
 		for c := range s.conns {
 			c.nc.SetReadDeadline(time.Now())
+			c.nc.SetWriteDeadline(time.Now())
 		}
 	}
 	s.mu.Unlock()
@@ -221,11 +227,27 @@ func (s *Server) removeConn(c *conn) {
 
 // conn is one client connection.
 type conn struct {
-	srv *Server
-	nc  net.Conn
-	out chan *wire.FrameBuf // encoded response frames awaiting the writer
-	sem chan struct{}       // in-flight window tokens
-	wg  sync.WaitGroup
+	srv        *Server
+	nc         net.Conn
+	out        chan *wire.FrameBuf // encoded response frames awaiting the writer
+	sem        chan struct{}       // in-flight window tokens
+	writerDead chan struct{}       // closed by the writer on its first write error
+	wg         sync.WaitGroup
+}
+
+// send queues a response frame for the writer. Every send selects on
+// writerDead so a connection whose writer can no longer deliver (write
+// error — the peer is gone or stopped reading) never parks the sender on
+// a full out channel: the frame is discarded instead. This matters most
+// for the reader's unknown-op reply path, which queues responses without
+// holding a window token and could otherwise block forever where Close's
+// read-deadline sweep cannot reach it.
+func (c *conn) send(out *wire.FrameBuf) {
+	select {
+	case c.out <- out:
+	case <-c.writerDead:
+		c.srv.pool.Put(out)
+	}
 }
 
 // run owns the connection lifecycle: spawn the writer, run the read loop,
@@ -264,7 +286,7 @@ func (c *conn) readLoop() {
 			out := c.beginResp(f.Op, f.ReqID, 32)
 			out.B = wire.AppendErrResp(out.B, wire.StatusBad, fmt.Sprintf("unknown op %d", f.Op))
 			out.B = wire.EndFrame(out.B, 0)
-			c.out <- out
+			c.send(out)
 			continue
 		}
 		select {
@@ -281,7 +303,7 @@ func (c *conn) readLoop() {
 			// The store copied what it needed (write payloads are copied at
 			// submission); the request frame is dead once served.
 			c.srv.pool.Put(fb)
-			c.out <- out
+			c.send(out)
 		}(f, fb)
 	}
 }
@@ -319,10 +341,11 @@ func (c *conn) beginResp(op byte, reqID uint64, sizeHint int) *wire.FrameBuf {
 }
 
 // writer serializes response frames, returning each buffer to the pool
-// once written. After a write error it closes the socket — so the reader
-// stops feeding a connection whose responses can no longer be delivered —
-// and keeps draining (discarding) so request goroutines never block on
-// the dead connection.
+// once written. After a write error it closes writerDead (so senders stop
+// queueing into a channel nobody will deliver from) and the socket — so
+// the reader stops feeding a connection whose responses can no longer be
+// delivered — and keeps draining (discarding) so request goroutines never
+// block on the dead connection.
 func (c *conn) writer(done chan struct{}) {
 	defer close(done)
 	failed := false
@@ -331,6 +354,7 @@ func (c *conn) writer(done chan struct{}) {
 			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
 			if _, err := c.nc.Write(fb.B); err != nil {
 				failed = true
+				close(c.writerDead)
 				c.nc.Close()
 			}
 		}
@@ -451,6 +475,8 @@ func (c *conn) errResp(f wire.Frame, err error) *wire.FrameBuf {
 		st = wire.StatusClosed
 	case errors.Is(err, ErrWrongEpoch):
 		st = wire.StatusWrongEpoch
+	case errors.Is(err, serve.ErrRetry):
+		st = wire.StatusRetry
 	}
 	msg := err.Error()
 	out := c.beginResp(f.Op, f.ReqID, 1+len(msg))

@@ -283,6 +283,148 @@ func TestStalledReaderTornDown(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// TestCloseNotWedgedByStalledUnknownOpFlood: regression for the
+// unwindowed reply path. Unknown-op replies are queued by the reader
+// itself, without an in-flight window token — so a peer that floods
+// unknown ops and never reads used to park the reader on a full response
+// channel while the writer sat in a blocked nc.Write, a state Close's
+// read-deadline sweep could not reach: Close waited out the full
+// WriteTimeout (a minute here). The writer-dead channel plus Close's
+// write-deadline sweep must unwedge it promptly.
+func TestCloseNotWedgedByStalledUnknownOpFlood(t *testing.T) {
+	st := newFakeStore()
+	srv, err := New(st, Config{MaxInFlight: 1, WriteTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	nc, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// A tiny receive window caps how many responses the kernel absorbs, so
+	// the server's writer blocks after a bounded flood.
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4 << 10)
+	}
+	// Flood unknown-op frames and never read a response. The wedge has
+	// formed once our own sends stall: the server's reader has stopped
+	// reading (parked on its full response channel), so TCP back-pressure
+	// reaches us.
+	wedged := make(chan struct{})
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		frame := wire.AppendFrame(nil, 99, 1, nil) // not a request op
+		chunk := bytes.Repeat(frame, 1024)
+		for {
+			nc.SetWriteDeadline(time.Now().Add(3 * time.Second))
+			if _, err := nc.Write(chunk); err != nil {
+				close(wedged)
+				return
+			}
+		}
+	}()
+	select {
+	case <-wedged:
+	case <-time.After(30 * time.Second):
+		t.Fatal("flood never stalled; cannot form the wedge this test guards")
+	}
+	t0 := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 10*time.Second {
+		t.Fatalf("Close took %v with a reader parked on the unwindowed reply path; the WriteTimeout leaked into shutdown", d)
+	}
+	if err := <-done; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve: %v", err)
+	}
+	nc.Close()
+	<-pumpDone
+}
+
+// TestSocketKillMidResponseNoLeak aborts the connection (RST, not FIN)
+// while responses — batch payloads and unwindowed unknown-op replies —
+// are streaming, and asserts every connection goroutine unwinds and the
+// server still serves. Under -race this also shakes out unsynchronized
+// teardown between the writer's error path and the reader's reply path.
+func TestSocketKillMidResponseNoLeak(t *testing.T) {
+	base := countGoroutines()
+	st := newFakeStore()
+	srv, err := New(st, Config{MaxInFlight: 2, WriteTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	for round := 0; round < 4; round++ {
+		nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc := nc.(*net.TCPConn)
+		tc.SetReadBuffer(4 << 10)
+		tc.SetLinger(0) // Close sends RST: the abortive kill
+		// Interleave heavy batch reads with unknown-op frames so both the
+		// windowed and the unwindowed reply paths are live at kill time.
+		ids := make([]uint64, 512)
+		batch, err := wire.AppendReadBatchReq(nil, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 64; i++ {
+			nc.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+			if err := wire.WriteFrame(nc, wire.OpReadBatch, i, batch); err != nil {
+				break // server-side back-pressure: the wedge is live, kill now
+			}
+			if wire.WriteFrame(nc, 99, i, nil) != nil {
+				break
+			}
+		}
+		// Read one response so the writer is mid-stream, then kill.
+		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		wire.ReadFrame(nc)
+		nc.Close()
+	}
+	// The server survives every kill: a fresh connection still serves.
+	nc2, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(nc2, wire.OpStats, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	nc2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(nc2); err != nil {
+		t.Fatalf("server wedged after socket kills: %v", err)
+	}
+	nc2.Close()
+	t0 := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 10*time.Second {
+		t.Fatalf("Close took %v after mid-response socket kills", d)
+	}
+	if err := <-done; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
 // TestPipelining sends a window of requests before reading any response
 // and matches responses back by request id.
 func TestPipelining(t *testing.T) {

@@ -34,6 +34,15 @@ import (
 // test for it with errors.Is instead of matching the message string.
 var ErrClosed = errors.New("serve: service is closed")
 
+// ErrRetry is returned by an operation the service shed under overload:
+// its admission deadline (Config.AdmissionDeadline) expired while it sat
+// in the shard queue, so the worker dropped it *before any engine access*
+// instead of letting the queue grow without bound. The operation did not
+// execute — retrying is always safe — and because the drop happens ahead
+// of the backend, shedding is invisible to the §6 obliviousness argument.
+// The public API re-exports it as palermo.ErrRetry.
+var ErrRetry = errors.New("serve: request shed under overload, retry")
+
 // Op selects a request kind.
 type Op uint8
 
@@ -114,6 +123,14 @@ type Config struct {
 	// served payloads, dedup semantics, and per-shard determinism are
 	// untouched (the differential suite pins this). Default off.
 	Prefetch bool
+	// AdmissionDeadline bounds how long a request may wait in its shard
+	// queue before the worker sheds it: a request picked up more than this
+	// long after submission is answered ErrRetry without executing, so an
+	// overloaded service degrades by shedding instead of by unbounded
+	// queueing delay. Sheds happen strictly before any engine or backend
+	// access. 0 (the default) disables shedding — every queued request
+	// executes, the pre-overload behavior.
+	AdmissionDeadline time.Duration
 }
 
 func (c *Config) defaults() {
@@ -176,6 +193,7 @@ type worker struct {
 	depth    int           // accesses kept in flight (PipelineDepth)
 	queue    chan []*request
 	maxBatch int
+	deadline time.Duration // admission deadline (0 = no shedding)
 
 	// Pipeline state (staged executor only). pipe is the in-flight FIFO;
 	// inflight counts per-id in-flight accesses begun in the current
@@ -201,6 +219,7 @@ type worker struct {
 	queueLat *stats.Histogram // submission -> worker pickup
 	execLat  *stats.Histogram // worker pickup -> completion
 	dedup    uint64
+	sheds    uint64 // requests dropped at pickup (admission deadline expired)
 
 	// closeErr is the backend's Close result, written by the worker
 	// goroutine before it exits and read only after wg.Wait.
@@ -227,6 +246,7 @@ func New(backends []Backend, cfg Config) *Service {
 			depth:    cfg.PipelineDepth,
 			queue:    make(chan []*request, cfg.QueueDepth),
 			maxBatch: cfg.MaxBatch,
+			deadline: cfg.AdmissionDeadline,
 			readLat:  newLatHistogram(),
 			writeLat: newLatHistogram(),
 			queueLat: newLatHistogram(),
@@ -455,6 +475,17 @@ func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 	now := time.Now()
 	for _, r := range ops {
 		r.tExec = now
+		// Overload shedding: a read or write whose admission deadline
+		// expired while queued is dropped here, before the engine or
+		// backend sees it — the request costs no ORAM access, emits no
+		// adversary-visible traffic, and is always safe to retry.
+		if w.deadline > 0 && r.op != opSync && now.Sub(r.t0) > w.deadline {
+			w.statMu.Lock()
+			w.sheds++
+			w.statMu.Unlock()
+			r.done <- result{err: ErrRetry}
+			continue
+		}
 		switch r.op {
 		case opSync:
 			w.drainPipe(cache)
@@ -619,10 +650,28 @@ type Stats struct {
 	// backend accepted (Config.Prefetch). How many were consumed or went
 	// stale is the backend's accounting (shard.Counters → TrafficReport).
 	PrefetchPlanned uint64
-	ReadLat         LatencySummary
-	WriteLat        LatencySummary
-	QueueLat        LatencySummary // queue entry -> worker pickup
-	ExecLat         LatencySummary // worker pickup -> completion
+	// Sheds counts requests dropped at worker pickup because their
+	// admission deadline (Config.AdmissionDeadline) had expired. Shed
+	// requests resolve with ErrRetry, execute nothing, and appear in no
+	// latency histogram — Reads/Writes and the percentiles describe
+	// admitted operations only.
+	Sheds    uint64
+	ReadLat  LatencySummary
+	WriteLat LatencySummary
+	QueueLat LatencySummary // queue entry -> worker pickup
+	ExecLat  LatencySummary // worker pickup -> completion
+}
+
+// QueueDepths reports each shard's current request-queue occupancy (in
+// queued submissions — a batch counts once). A point-in-time operability
+// reading for the /metrics surface; safe at any time, including after
+// Close (closed queues read 0).
+func (s *Service) QueueDepths() []int {
+	out := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = len(w.queue)
+	}
+	return out
 }
 
 // Stats aggregates counters and latency percentiles across all shards. Safe
@@ -650,6 +699,7 @@ func MergeStats(svcs []*Service) Stats {
 			w.statMu.Lock()
 			out.DedupHits += w.dedup
 			out.PrefetchPlanned += w.planned
+			out.Sheds += w.sheds
 			reads.Merge(w.readLat)
 			writes.Merge(w.writeLat)
 			queued.Merge(w.queueLat)

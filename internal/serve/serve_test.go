@@ -636,3 +636,52 @@ func TestServeStatsBreakdown(t *testing.T) {
 		t.Fatalf("implausible breakdown summaries: %+v %+v", st.QueueLat, st.ExecLat)
 	}
 }
+
+// TestServeAdmissionDeadlineSheds: a deadline no queued request can meet
+// drops every op at worker pickup — ErrRetry to the waiter, counted in
+// Stats.Sheds, excluded from the completed-op counters and latency
+// histograms, and (the §6-relevant property) the backend is never
+// touched: a shed is invisible in the adversary's access view.
+func TestServeAdmissionDeadlineSheds(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{AdmissionDeadline: 1}) // 1ns
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Write(0, uint64(i), payload(uint64(i))); !errors.Is(err, ErrRetry) {
+			t.Fatalf("write %d under 1ns deadline = %v, want ErrRetry", i, err)
+		}
+		if _, err := s.Read(0, uint64(i)); !errors.Is(err, ErrRetry) {
+			t.Fatalf("read %d under 1ns deadline = %v, want ErrRetry", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Sheds != 16 {
+		t.Fatalf("Sheds = %d, want 16", st.Sheds)
+	}
+	if st.Reads != 0 || st.Writes != 0 {
+		t.Fatalf("shed ops counted as completed: %d reads, %d writes", st.Reads, st.Writes)
+	}
+	if st.ReadLat.N != 0 || st.WriteLat.N != 0 || st.ExecLat.N != 0 {
+		t.Fatalf("shed ops leaked into latency histograms: %+v %+v %+v",
+			st.ReadLat, st.WriteLat, st.ExecLat)
+	}
+	if b.accesses != 0 {
+		t.Fatalf("shed ops touched the backend %d times; drops must precede any engine access", b.accesses)
+	}
+}
+
+// TestServeNoDeadlineNeverSheds: the zero value disables shedding — the
+// pre-existing behavior every current caller relies on.
+func TestServeNoDeadlineNeverSheds(t *testing.T) {
+	b := newMemBackend()
+	s := New([]Backend{b}, Config{})
+	defer s.Close()
+	for i := 0; i < 32; i++ {
+		if err := s.Write(0, uint64(i), payload(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Sheds != 0 || st.Writes != 32 {
+		t.Fatalf("deadline-free service shed: %+v", st)
+	}
+}

@@ -40,8 +40,9 @@ const (
 	// appended the tree-top cache and prefetch planner counters (both
 	// incompatible fixed-width layout changes); version 4 added the cluster
 	// layer: geometry epoch + owned-shard-range fields in Stats, the
-	// Manifest op, the Migrate* op family, and StatusWrongEpoch.
-	Version byte = 4
+	// Manifest op, the Migrate* op family, and StatusWrongEpoch; version 5
+	// added overload shedding: StatusRetry and the Sheds counter in Stats.
+	Version byte = 5
 	// HeaderLen is the fixed frame-header size in bytes.
 	HeaderLen = 16
 	// BlockBytes is the store's payload granularity on the wire. A
@@ -105,6 +106,7 @@ const (
 	StatusBad        Status = 2 // request was malformed or exceeded a limit
 	StatusErr        Status = 3 // store rejected the op; message follows
 	StatusWrongEpoch Status = 4 // node no longer owns the shard; refetch the manifest
+	StatusRetry      Status = 5 // request shed under overload before execution; safe to retry
 )
 
 // Typed decode errors. Framing errors (magic/version/length/truncation)
@@ -397,7 +399,7 @@ func ParseResp(p []byte) (Status, []byte, string, error) {
 	if st == StatusOK {
 		return st, p[1:], "", nil
 	}
-	if st != StatusClosed && st != StatusBad && st != StatusErr && st != StatusWrongEpoch {
+	if st != StatusClosed && st != StatusBad && st != StatusErr && st != StatusWrongEpoch && st != StatusRetry {
 		return 0, nil, "", fmt.Errorf("%w: unknown status %d", ErrMalformed, st)
 	}
 	return st, nil, string(p[1:]), nil
@@ -675,10 +677,15 @@ type Stats struct {
 	Epoch       uint64
 	FirstShard  uint32
 	OwnedShards uint32
+
+	// Version 5: operations the service shed under overload (admission
+	// deadline expired in the shard queue) instead of executing. Shed
+	// requests are answered StatusRetry and never touch an engine.
+	Sheds uint64
 }
 
 // statsLen is the fixed encoded size of Stats.
-const statsLen = 8 + 4 + 3*8 + 4*(8+3*8) + 4*8 + 4 + 4 + 4*8 + 8 + 4 + 4
+const statsLen = 8 + 4 + 3*8 + 4*(8+3*8) + 4*8 + 4 + 4 + 4*8 + 8 + 4 + 4 + 8
 
 // AppendStats appends the fixed-width Stats encoding.
 func AppendStats(dst []byte, s Stats) []byte {
@@ -703,7 +710,8 @@ func AppendStats(dst []byte, s Stats) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, s.PrefetchStale)
 	dst = binary.BigEndian.AppendUint64(dst, s.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, s.FirstShard)
-	return binary.BigEndian.AppendUint32(dst, s.OwnedShards)
+	dst = binary.BigEndian.AppendUint32(dst, s.OwnedShards)
+	return binary.BigEndian.AppendUint64(dst, s.Sheds)
 }
 
 // ParseStats decodes a Stats response body.
@@ -734,6 +742,7 @@ func ParseStats(body []byte) (Stats, error) {
 	s.Epoch = binary.BigEndian.Uint64(body[236:])
 	s.FirstShard = binary.BigEndian.Uint32(body[244:])
 	s.OwnedShards = binary.BigEndian.Uint32(body[248:])
+	s.Sheds = binary.BigEndian.Uint64(body[252:])
 	return s, nil
 }
 

@@ -210,6 +210,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(AppendFrame(nil, OpReadBatch, 3, p))
 	}
 	f.Add(AppendFrame(nil, Resp(OpStats), 4, AppendOKResp(nil, AppendStats(nil, Stats{Blocks: 8}))))
+	// Version-5 additions: a StatusRetry shed response and a stats body
+	// carrying a nonzero shed counter.
+	f.Add(AppendFrame(nil, Resp(OpWrite), 5, AppendErrResp(nil, StatusRetry, "request shed under overload")))
+	f.Add(AppendFrame(nil, Resp(OpStats), 6, AppendOKResp(nil, AppendStats(nil, Stats{Blocks: 8, Sheds: 1 << 20}))))
 	f.Add([]byte("PL\x01\x01garbage"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))

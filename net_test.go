@@ -500,6 +500,36 @@ func TestClientErrClosedMapping(t *testing.T) {
 	}
 }
 
+// TestClientErrRetryMapping: an admission deadline no queued request can
+// meet sheds every operation before it touches the engine; the client
+// must surface wire.StatusRetry as palermo.ErrRetry (errors.Is-able),
+// and the shed count must travel the stats frame — while none of the
+// shed ops count as completed work.
+func TestClientErrRetryMapping(t *testing.T) {
+	_, cl := startNetStore(t,
+		ShardedStoreConfig{Blocks: 1 << 12, Shards: 2, AdmissionDeadline: 1},
+		ServerConfig{}, ClientConfig{})
+	if err := cl.Write(3, block(0xAA)); !errors.Is(err, ErrRetry) {
+		t.Fatalf("shed write returned %v, want ErrRetry", err)
+	}
+	if _, err := cl.Read(3); !errors.Is(err, ErrRetry) {
+		t.Fatalf("shed read returned %v, want ErrRetry", err)
+	}
+	if _, err := cl.ReadBatch([]uint64{1, 2, 3}); !errors.Is(err, ErrRetry) {
+		t.Fatalf("shed batch returned %v, want ErrRetry", err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sheds < 3 {
+		t.Fatalf("stats frame carried %d sheds, want >= 3", st.Sheds)
+	}
+	if st.Reads != 0 || st.Writes != 0 {
+		t.Fatalf("shed ops counted as completed work: %d reads, %d writes", st.Reads, st.Writes)
+	}
+}
+
 // TestClientSurvivesDeadServer: once the server is gone, every client
 // call — including ones racing into the send queue after the connection
 // died — must return an error promptly, never hang.

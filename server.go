@@ -124,6 +124,7 @@ func (a serverStore) Stats() wire.Stats {
 		Reads:       ss.Reads,
 		Writes:      ss.Writes,
 		DedupHits:   ss.DedupHits,
+		Sheds:       ss.Sheds,
 		ReadLat:     toWireLatency(ss.ReadLat),
 		WriteLat:    toWireLatency(ss.WriteLat),
 		QueueLat:    toWireLatency(ss.QueueLat),

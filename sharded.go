@@ -19,7 +19,9 @@ package palermo
 
 import (
 	"fmt"
+	"time"
 
+	"palermo/internal/backend"
 	"palermo/internal/serve"
 	"palermo/internal/shard"
 )
@@ -41,6 +43,13 @@ type ShardedStoreConfig struct {
 	// MaxBatch caps how many queued operations one shard worker coalesces
 	// into a single dedup window. Default 64.
 	MaxBatch int
+	// AdmissionDeadline sheds overload: a request that waited in its shard
+	// queue longer than this is dropped by the worker *before any engine
+	// access* and fails with an error satisfying errors.Is(err, ErrRetry).
+	// Because shed requests never reach the ORAM, shedding is invisible in
+	// the §6 adversary's view. 0 (the default) disables shedding — queues
+	// apply pure back-pressure and every admitted request executes.
+	AdmissionDeadline time.Duration
 
 	// Engine selects the storage engine: BackendMemory (default),
 	// BackendWAL, or BackendBlockfile (durable engines require Dir; each
@@ -111,6 +120,7 @@ type ShardedStore struct {
 	router shard.Router
 	shards []*shard.Shard
 	svc    *serve.Service
+	bes    []backend.Backend // per-shard storage backends, kept for FsyncLag
 }
 
 // NewShardedStore builds the shards and starts their workers.
@@ -151,7 +161,7 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &ShardedStore{router: router}
+	st := &ShardedStore{router: router, bes: bes}
 	backends := make([]serve.Backend, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := shard.New(i, cfg.Shards, router.ShardBlocks(i), cfg.Key, shard.DeriveSeed(cfg.Seed, i), bes[i])
@@ -176,10 +186,11 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 		backends[i] = stagedShard{sh}
 	}
 	st.svc = serve.New(backends, serve.Config{
-		QueueDepth:    cfg.QueueDepth,
-		MaxBatch:      cfg.MaxBatch,
-		PipelineDepth: cfg.PipelineDepth,
-		Prefetch:      cfg.Prefetch,
+		QueueDepth:        cfg.QueueDepth,
+		MaxBatch:          cfg.MaxBatch,
+		PipelineDepth:     cfg.PipelineDepth,
+		Prefetch:          cfg.Prefetch,
+		AdmissionDeadline: cfg.AdmissionDeadline,
 	})
 	return st, nil
 }
@@ -326,6 +337,28 @@ type LatencySummary = serve.LatencySummary
 // Stats returns the service-layer snapshot: completed operations, dedup
 // fan-out hits, and latency percentiles. Safe to call at any time.
 func (s *ShardedStore) Stats() ServiceStats { return s.svc.Stats() }
+
+// QueueDepths reports each shard's instantaneous request-queue occupancy
+// (in queued submissions, index = shard). It is a point-in-time gauge for
+// operability surfaces, not a synchronized snapshot.
+func (s *ShardedStore) QueueDepths() []int { return s.svc.QueueDepths() }
+
+// FsyncLag aggregates the durable backends' fsync telemetry: how many
+// fsyncs the store has issued and the cumulative time spent waiting on
+// them. Backends without fsync telemetry (the memory engine) contribute
+// zero, so a memory store always reports (0, 0).
+func (s *ShardedStore) FsyncLag() (count uint64, total time.Duration) {
+	for _, be := range s.bes {
+		if fs, ok := be.(interface {
+			FsyncStats() (uint64, time.Duration)
+		}); ok {
+			n, d := fs.FsyncStats()
+			count += n
+			total += d
+		}
+	}
+	return count, total
+}
 
 // Snapshot returns Stats and Traffic together. It exists so in-process
 // stores and remote Clients satisfy one observation interface
