@@ -48,6 +48,7 @@ func BenchmarkStoreOps(b *testing.B) {
 		b.Fatal(err)
 	}
 	buf := bytes.Repeat([]byte{0xA5}, BlockSize)
+	populateStore(b, st, buf)
 	r := rng.New(1)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -64,6 +65,21 @@ func BenchmarkStoreOps(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// populateStore writes every block once before the timer starts, so the
+// 90/10 mix reads a loaded store. Without this the write ids (id%10 == 0)
+// and read ids (everything else) are disjoint sets and every read misses
+// the backend entirely — which both understates read cost and makes the
+// blockfile slot read cache unmeasurable (an absent slot is not a cache
+// event).
+func populateStore(b *testing.B, st *Store, buf []byte) {
+	b.Helper()
+	for id := uint64(0); id < 1<<16; id++ {
+		if err := st.Write(id, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // benchPipelineDepth reads the PALERMO_PIPELINE override (0/unset = the
@@ -108,18 +124,24 @@ func benchCryptoWorkers() int {
 // the pipeline win BENCH_pipeline.json tracks; the engine and
 // crypto-worker deltas are BENCH_engine.json's.
 func BenchmarkStoreOpsDurable(b *testing.B) {
+	slotCache := benchSlotCache()
+	if benchEngine() != BackendBlockfile {
+		slotCache = 0 // the cache is a blockfile feature
+	}
 	st, err := NewStore(StoreConfig{
-		Blocks:        1 << 16,
-		Engine:        benchEngine(),
-		Dir:           b.TempDir(),
-		PipelineDepth: benchPipelineDepth(),
-		CryptoWorkers: benchCryptoWorkers(),
+		Blocks:         1 << 16,
+		Engine:         benchEngine(),
+		Dir:            b.TempDir(),
+		PipelineDepth:  benchPipelineDepth(),
+		CryptoWorkers:  benchCryptoWorkers(),
+		SlotCacheBytes: slotCache,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer st.Close()
 	buf := bytes.Repeat([]byte{0xA5}, BlockSize)
+	populateStore(b, st, buf)
 	r := rng.New(1)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -136,6 +158,9 @@ func BenchmarkStoreOpsDurable(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	if tr := st.Traffic(); tr.SlotCacheHits+tr.SlotCacheMisses > 0 {
+		b.ReportMetric(float64(tr.SlotCacheHits)/float64(tr.SlotCacheHits+tr.SlotCacheMisses)*100, "slot_cache_hit_pct")
+	}
 }
 
 // BenchmarkShardedStoreOps measures the concurrent service layer at 1, 2,
@@ -198,6 +223,35 @@ func benchPrefetch() bool {
 	return os.Getenv("PALERMO_PREFETCH") == "1"
 }
 
+// benchPrefetchDepth / benchPosmapPrefetch / benchSlotCache read the
+// PALERMO_PREFETCH_DEPTH, PALERMO_POSMAP_PREFETCH, and PALERMO_SLOT_CACHE
+// overrides so the CI bench smoke and the BENCH records can sweep the deep
+// planner's look-ahead (batches; 0/unset = the one-batch default), the
+// posmap-group sibling announces (=1 turns them on), and the blockfile
+// slot read-cache budget (bytes per shard; 0/unset = cache off) on the
+// identical benchmarks.
+func benchPrefetchDepth() int {
+	if s := os.Getenv("PALERMO_PREFETCH_DEPTH"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func benchPosmapPrefetch() bool {
+	return os.Getenv("PALERMO_POSMAP_PREFETCH") == "1"
+}
+
+func benchSlotCache() int {
+	if s := os.Getenv("PALERMO_SLOT_CACHE"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
 // BenchmarkShardedServing is the serving-path configuration benchmark:
 // GOMAXPROCS closed-loop clients issuing Zipf-skewed (θ=0.99) 8-id read
 // batches with a 10% write mix against 4 shards — the workload the
@@ -207,9 +261,11 @@ func benchPrefetch() bool {
 func BenchmarkShardedServing(b *testing.B) {
 	st, err := NewShardedStore(ShardedStoreConfig{
 		Blocks: 1 << 16, Shards: 4,
-		PipelineDepth: benchPipelineDepth(),
-		TreeTopLevels: benchTreeTopLevels(),
-		Prefetch:      benchPrefetch(),
+		PipelineDepth:  benchPipelineDepth(),
+		TreeTopLevels:  benchTreeTopLevels(),
+		Prefetch:       benchPrefetch(),
+		PrefetchDepth:  benchPrefetchDepth(),
+		PosmapPrefetch: benchPosmapPrefetch(),
 	})
 	if err != nil {
 		b.Fatal(err)

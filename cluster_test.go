@@ -125,8 +125,8 @@ func TestClusterDifferentialEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	run := func(t *testing.T, migrateAt int) {
-		a, b := startClusterPair(t, cfg, true)
+	run := func(t *testing.T, nodeCfg ShardedStoreConfig, migrateAt int) {
+		a, b := startClusterPair(t, nodeCfg, true)
 		defer b.stop(t)
 		defer a.stop(t)
 		cc, err := DialCluster([]string{a.addr, b.addr}, ClientConfig{})
@@ -195,8 +195,21 @@ func TestClusterDifferentialEquivalence(t *testing.T) {
 		}
 	}
 
-	t.Run("static", func(t *testing.T) { run(t, -1) })
-	t.Run("migration", func(t *testing.T) { run(t, 200) })
+	t.Run("static", func(t *testing.T) { run(t, cfg, -1) })
+	t.Run("migration", func(t *testing.T) { run(t, cfg, 200) })
+
+	// Deep prefetch on both nodes, migration mid-sequence: the multi-line
+	// planner (look-ahead across queued batches plus posmap-group sibling
+	// announces) is serving-path-only, so the cluster must still match the
+	// plain in-process reference leaf for leaf — and the migration barrier
+	// must neither leak announced prefetch window slots nor wedge on
+	// speculative lines parked in the transfer window.
+	deep := cfg
+	deep.PipelineDepth = 4
+	deep.Prefetch = true
+	deep.PrefetchDepth = 4
+	deep.PosmapPrefetch = true
+	t.Run("deep-prefetch-migration", func(t *testing.T) { run(t, deep, 200) })
 }
 
 // TestClusterWrongEpochReroute pins the staleness contract: after a

@@ -140,6 +140,9 @@ func NewClusterNode(cfg ClusterNodeConfig, man *cluster.Manifest) (*ClusterNode,
 	if err := validateCryptoWorkers(sc.CryptoWorkers); err != nil {
 		return nil, err
 	}
+	if err := validatePrefetchDepth(sc.PrefetchDepth); err != nil {
+		return nil, err
+	}
 	engine, err := resolveEngine(sc.Engine, sc.Backend)
 	if err != nil {
 		return nil, err
@@ -180,6 +183,9 @@ func NewClusterNode(cfg ClusterNodeConfig, man *cluster.Manifest) (*ClusterNode,
 	} else if sc.Backend != BackendMemory {
 		return nil, fmt.Errorf("palermo: unknown Engine %q (want %q, %q, or %q)", sc.Backend, BackendMemory, BackendWAL, BackendBlockfile)
 	}
+	if err := validateSlotCacheBytes(sc.SlotCacheBytes, sc.Backend); err != nil {
+		return nil, err
+	}
 	n := &ClusterNode{
 		cfg:       sc,
 		addr:      cfg.Addr,
@@ -212,7 +218,7 @@ func (n *ClusterNode) openShardBackend(dir string) (backend.Backend, error) {
 	case BackendWAL:
 		return wal.Open(dir, wal.Options{GroupCommit: n.cfg.GroupCommit, CommitDepth: n.cfg.PipelineDepth})
 	case BackendBlockfile:
-		return blockfile.Open(dir, blockfile.Options{GroupCommit: n.cfg.GroupCommit})
+		return blockfile.Open(dir, blockfile.Options{GroupCommit: n.cfg.GroupCommit, CacheBytes: n.cfg.SlotCacheBytes})
 	default:
 		return nil, nil
 	}
@@ -251,13 +257,15 @@ func (n *ClusterNode) startSlot(sh *shard.Shard) *clusterSlot {
 	sh.EnablePipeline(n.cfg.PipelineDepth)
 	sh.EnableCryptoPool(n.cfg.CryptoWorkers)
 	if n.cfg.Prefetch {
-		sh.EnablePrefetch(maxInt(n.cfg.MaxBatch, serveDefaultMaxBatch))
+		sh.EnablePrefetch(prefetchWindow(n.cfg.MaxBatch, n.cfg.PrefetchDepth, n.cfg.PosmapPrefetch))
 	}
 	svc := serve.New([]serve.Backend{stagedShard{sh}}, serve.Config{
 		QueueDepth:        n.cfg.QueueDepth,
 		MaxBatch:          n.cfg.MaxBatch,
 		PipelineDepth:     n.cfg.PipelineDepth,
 		Prefetch:          n.cfg.Prefetch,
+		PrefetchDepth:     n.cfg.PrefetchDepth,
+		PosmapPrefetch:    n.cfg.PosmapPrefetch,
 		AdmissionDeadline: n.cfg.AdmissionDeadline,
 	})
 	return &clusterSlot{sh: sh, svc: svc}
@@ -584,6 +592,11 @@ func (n *ClusterNode) Traffic() TrafficReport {
 	}
 	if ops := rep.Reads + rep.Writes; ops > 0 {
 		rep.AmplificationFactor = float64(rep.DRAMReads+rep.DRAMWrites) / float64(ops)
+	}
+	for _, slot := range slots {
+		h, m := slotCacheStats(slot.be)
+		rep.SlotCacheHits += h
+		rep.SlotCacheMisses += m
 	}
 	return rep
 }

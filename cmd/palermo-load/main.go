@@ -100,6 +100,8 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "per-shard pipeline depth (0 = default, 1 = serial workers)")
 	treetop := flag.Int("treetop", 0, "resident tree-top cache levels per engine space (0 = byte-budget default)")
 	prefetch := flag.Bool("prefetch", false, "enable the batch-admission prefetch planner (needs pipeline depth > 1)")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "planner look-ahead in predicted batches (0/1 = one-batch planner; needs -prefetch)")
+	posmapPrefetch := flag.Bool("posmap-prefetch", false, "also announce each planned read's posmap-group sibling lines (needs -prefetch)")
 	seed := flag.Uint64("seed", 1, "base seed (store shards and client streams derive from it)")
 	jsonDir := flag.String("json", "", "directory to write the BENCH_load.json perf record into")
 	figure := flag.String("figure", "", "override the perf-record figure name (default: load, or net with -addr)")
@@ -108,6 +110,7 @@ func main() {
 	engine := flag.String("engine", "", `storage engine with -dir: "wal" (default) or "blockfile"; reopen auto-detects from the manifest`)
 	groupCommit := flag.Int("group-commit", 0, "durable-log appends per fsync batch (0 = default)")
 	cryptoWorkers := flag.Int("crypto-workers", 0, "parallel seal/unseal workers per shard (0 = inline; needs pipeline depth > 1)")
+	slotCache := flag.Int("slot-cache", 0, "blockfile slot read-cache budget in bytes per shard (0 = off; needs -engine blockfile)")
 	verify := flag.Bool("verify", false, "reopen the -dir store and verify the stamped blocks instead of generating load")
 	addr := flag.String("addr", "", "drive a remote palermo-server at HOST:PORT instead of an in-process store")
 	conns := flag.Int("conns", 1, "client connection-pool size (-addr mode)")
@@ -121,7 +124,7 @@ func main() {
 		}
 		if *addr != "" {
 			switch f.Name {
-			case "shards", "blocks", "queue", "dir", "engine", "group-commit", "crypto-workers", "verify", "treetop", "prefetch", "trace", "admission":
+			case "shards", "blocks", "queue", "dir", "engine", "group-commit", "crypto-workers", "verify", "treetop", "prefetch", "prefetch-depth", "posmap-prefetch", "slot-cache", "trace", "admission":
 				fatal(fmt.Errorf("-%s configures an in-process store; with -addr it belongs to the server", f.Name))
 			}
 		}
@@ -153,6 +156,8 @@ func main() {
 		PipelineDepth:     *pipeline,
 		TreeTopLevels:     *treetop,
 		Prefetch:          *prefetch,
+		PrefetchDepth:     *prefetchDepth,
+		PosmapPrefetch:    *posmapPrefetch,
 		CryptoWorkers:     *cryptoWorkers,
 		AdmissionDeadline: *admission,
 	}
@@ -166,8 +171,11 @@ func main() {
 		}
 		cfg.Dir = *dir
 		cfg.GroupCommit = *groupCommit
+		cfg.SlotCacheBytes = *slotCache
 	} else if *engine != "" && *engine != palermo.BackendMemory {
 		fatal(fmt.Errorf("-engine %s requires -dir", *engine))
+	} else if *slotCache != 0 {
+		fatal(fmt.Errorf("-slot-cache requires -dir with -engine blockfile"))
 	}
 
 	if *verify {
@@ -397,32 +405,39 @@ func printResult(res loadgen.Result) {
 			tr.TreeTopHits, float64(tr.TreeTopHits)*palermo.BlockSize/1024,
 			tr.PrefetchIssued, tr.PrefetchUsed, tr.PrefetchStale)
 	}
+	if tr.SlotCacheHits+tr.SlotCacheMisses > 0 {
+		fmt.Printf("  slot cache hits %d / misses %d (%.1f%% of slot reads served resident)\n",
+			tr.SlotCacheHits, tr.SlotCacheMisses,
+			100*float64(tr.SlotCacheHits)/float64(tr.SlotCacheHits+tr.SlotCacheMisses))
+	}
 }
 
 func loadMetrics(res loadgen.Result, clients int, readRatio, zipf float64) map[string]float64 {
 	stats := res.Stats
 	m := map[string]float64{
-		"ops_per_sec":      res.OpsPerSec(),
-		"clients":          float64(clients),
-		"read_ratio":       readRatio,
-		"zipf_theta":       zipf,
-		"read_p50_us":      stats.ReadLat.P50Us,
-		"read_p99_us":      stats.ReadLat.P99Us,
-		"write_p50_us":     stats.WriteLat.P50Us,
-		"write_p99_us":     stats.WriteLat.P99Us,
-		"queue_p50_us":     stats.QueueLat.P50Us,
-		"queue_p99_us":     stats.QueueLat.P99Us,
-		"exec_p50_us":      stats.ExecLat.P50Us,
-		"exec_p99_us":      stats.ExecLat.P99Us,
-		"dedup_hits":       float64(stats.DedupHits),
-		"shed_ops":         float64(res.ShedOps),
-		"lines_per_op":     res.Traffic.AmplificationFactor,
-		"tree_top_hits":    float64(res.Traffic.TreeTopHits),
-		"bytes_saved":      float64(res.Traffic.TreeTopHits) * palermo.BlockSize,
-		"prefetch_issued":  float64(res.Traffic.PrefetchIssued),
-		"prefetch_used":    float64(res.Traffic.PrefetchUsed),
-		"prefetch_stale":   float64(res.Traffic.PrefetchStale),
-		"prefetch_planned": float64(stats.PrefetchPlanned),
+		"ops_per_sec":       res.OpsPerSec(),
+		"clients":           float64(clients),
+		"read_ratio":        readRatio,
+		"zipf_theta":        zipf,
+		"read_p50_us":       stats.ReadLat.P50Us,
+		"read_p99_us":       stats.ReadLat.P99Us,
+		"write_p50_us":      stats.WriteLat.P50Us,
+		"write_p99_us":      stats.WriteLat.P99Us,
+		"queue_p50_us":      stats.QueueLat.P50Us,
+		"queue_p99_us":      stats.QueueLat.P99Us,
+		"exec_p50_us":       stats.ExecLat.P50Us,
+		"exec_p99_us":       stats.ExecLat.P99Us,
+		"dedup_hits":        float64(stats.DedupHits),
+		"shed_ops":          float64(res.ShedOps),
+		"lines_per_op":      res.Traffic.AmplificationFactor,
+		"tree_top_hits":     float64(res.Traffic.TreeTopHits),
+		"bytes_saved":       float64(res.Traffic.TreeTopHits) * palermo.BlockSize,
+		"prefetch_issued":   float64(res.Traffic.PrefetchIssued),
+		"prefetch_used":     float64(res.Traffic.PrefetchUsed),
+		"prefetch_stale":    float64(res.Traffic.PrefetchStale),
+		"prefetch_planned":  float64(stats.PrefetchPlanned),
+		"slot_cache_hits":   float64(res.Traffic.SlotCacheHits),
+		"slot_cache_misses": float64(res.Traffic.SlotCacheMisses),
 	}
 	if res.QueueExecLifetime {
 		// Flags the queue/exec percentiles above as lifetime-weighted (the

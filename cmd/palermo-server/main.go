@@ -54,11 +54,14 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "per-shard pipeline depth (0 = default, 1 = serial workers)")
 	treetop := flag.Int("treetop", 0, "resident tree-top cache levels per engine space (0 = byte-budget default)")
 	prefetch := flag.Bool("prefetch", false, "enable the batch-admission prefetch planner (needs pipeline depth > 1)")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "planner look-ahead in predicted batches (0/1 = one-batch planner; needs -prefetch)")
+	posmapPrefetch := flag.Bool("posmap-prefetch", false, "also announce each planned read's posmap-group sibling lines (needs -prefetch)")
 	seed := flag.Uint64("seed", 1, "base seed (shards derive theirs from it)")
 	dir := flag.String("dir", "", "durable store directory (selects a durable engine; see -engine)")
 	engine := flag.String("engine", "", `storage engine with -dir: "wal" (default) or "blockfile" (paged direct-I/O slots)`)
 	groupCommit := flag.Int("group-commit", 0, "durable-log appends per fsync batch (0 = default)")
 	cryptoWorkers := flag.Int("crypto-workers", 0, "parallel seal/unseal workers per shard (0 = inline; needs pipeline depth > 1)")
+	slotCache := flag.Int("slot-cache", 0, "blockfile slot read-cache budget in bytes per shard (0 = off; needs -engine blockfile)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "writes between WAL compaction checkpoints (0 = default, <0 disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "per-connection in-flight request window (0 = default 64)")
 	maxBatch := flag.Int("max-batch", 0, "largest accepted batch frame in ops (0 = default 4096)")
@@ -79,6 +82,7 @@ func main() {
 		}
 		// A flag given on the command line wins over its config-file value.
 		applyConfig(fc, set, addr, shards, blocks, queue, pipeline, treetop, prefetch,
+			prefetchDepth, posmapPrefetch, slotCache,
 			seed, dir, engine, groupCommit, checkpointEvery, cryptoWorkers, maxInFlight, maxBatch, idle,
 			admission, metricsAddr, pprofOn, manifest)
 		if fc.Blocks != 0 {
@@ -97,6 +101,8 @@ func main() {
 		PipelineDepth:     *pipeline,
 		TreeTopLevels:     *treetop,
 		Prefetch:          *prefetch,
+		PrefetchDepth:     *prefetchDepth,
+		PosmapPrefetch:    *posmapPrefetch,
 		CheckpointEvery:   *checkpointEvery,
 		CryptoWorkers:     *cryptoWorkers,
 		AdmissionDeadline: *admission,
@@ -105,8 +111,11 @@ func main() {
 		storeCfg.Engine = resolveEngineFlag(*dir, *engine)
 		storeCfg.Dir = *dir
 		storeCfg.GroupCommit = *groupCommit
+		storeCfg.SlotCacheBytes = *slotCache
 	} else if *engine != "" && *engine != palermo.BackendMemory {
 		fatal(fmt.Errorf("-engine %s requires -dir", *engine))
+	} else if *slotCache != 0 {
+		fatal(fmt.Errorf("-slot-cache requires -dir with -engine blockfile"))
 	}
 	srvCfg := palermo.ServerConfig{
 		MaxInFlight: *maxInFlight,
@@ -241,6 +250,7 @@ func serveLoop(ln net.Listener, srv *palermo.Server, closeStore func() error, st
 // alone (the file mirrors the flags' zero-means-default convention).
 func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
 	addr *string, shards *int, blocks *uint64, queue, pipeline, treetop *int, prefetch *bool,
+	prefetchDepth *int, posmapPrefetch *bool, slotCache *int,
 	seed *uint64, dir, engine *string, groupCommit, checkpointEvery, cryptoWorkers, maxInFlight, maxBatch *int,
 	idle *time.Duration, admission *time.Duration, metricsAddr *string, pprofOn *bool, manifest *string) {
 	if !set["addr"] && fc.Addr != "" {
@@ -263,6 +273,15 @@ func applyConfig(fc *cluster.ServerConfig, set map[string]bool,
 	}
 	if !set["prefetch"] && fc.Prefetch {
 		*prefetch = true
+	}
+	if !set["prefetch-depth"] && fc.PrefetchDepth != 0 {
+		*prefetchDepth = fc.PrefetchDepth
+	}
+	if !set["posmap-prefetch"] && fc.PosmapPrefetch {
+		*posmapPrefetch = true
+	}
+	if !set["slot-cache"] && fc.SlotCache != 0 {
+		*slotCache = fc.SlotCache
 	}
 	if !set["seed"] && fc.Seed != 0 {
 		*seed = fc.Seed

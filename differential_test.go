@@ -413,13 +413,14 @@ func TestPipelinedVsSerialEquivalence(t *testing.T) {
 // mean.
 func TestPipelinedDurableEquivalence(t *testing.T) {
 	const blocks = 1 << 10
-	run := func(engine string, depth, cryptoWorkers int) (dir string) {
+	run := func(engine string, depth, cryptoWorkers, slotCache int) (dir string) {
 		t.Helper()
 		dir = t.TempDir()
 		st, err := NewStore(StoreConfig{
 			Blocks: blocks, Engine: engine, Dir: dir, Seed: 9,
 			CheckpointEvery: 32, GroupCommit: 4,
 			PipelineDepth: depth, CryptoWorkers: cryptoWorkers,
+			SlotCacheBytes: slotCache,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -441,10 +442,11 @@ func TestPipelinedDurableEquivalence(t *testing.T) {
 		return dir
 	}
 
-	reopen := func(dir, engine string, depth int) (rep TrafficReport, payloads [][]byte) {
+	reopen := func(dir, engine string, depth, slotCache int) (rep TrafficReport, payloads [][]byte) {
 		t.Helper()
 		st, err := NewStore(StoreConfig{
 			Blocks: blocks, Engine: engine, Dir: dir, Seed: 9, PipelineDepth: depth,
+			SlotCacheBytes: slotCache,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -464,33 +466,59 @@ func TestPipelinedDurableEquivalence(t *testing.T) {
 		return rep, payloads
 	}
 
-	serialDir := run(BackendWAL, 1, 0)
-	wantRep, wantPayloads := reopen(serialDir, BackendWAL, 1)
-	for _, engine := range []string{BackendWAL, BackendBlockfile} {
-		for _, workers := range []int{0, 1, 4} {
-			name := fmt.Sprintf("engine=%s,cryptoWorkers=%d", engine, workers)
-			dir := run(engine, 4, workers)
-			gotRep, gotPayloads := reopen(dir, engine, 4)
-			if wantRep != gotRep {
-				t.Fatalf("%s: recovered traffic diverged:\n serial wal %+v\n got        %+v", name, wantRep, gotRep)
+	serialDir := run(BackendWAL, 1, 0, 0)
+	wantRep, wantPayloads := reopen(serialDir, BackendWAL, 1, 0)
+	for _, tc := range []struct {
+		engine    string
+		workers   int
+		slotCache int
+	}{
+		{BackendWAL, 0, 0},
+		{BackendWAL, 1, 0},
+		{BackendWAL, 4, 0},
+		{BackendBlockfile, 0, 0},
+		{BackendBlockfile, 1, 0},
+		{BackendBlockfile, 4, 0},
+		// Slot read cache on: the blockfile serves hot slots from memory.
+		// Byte-identical payloads and protocol counters; only the
+		// SlotCacheHits/Misses telemetry may be nonzero.
+		{BackendBlockfile, 0, 64 << 10},
+		{BackendBlockfile, 4, 4 << 10}, // tiny budget: CLOCK eviction churns mid-run
+	} {
+		engine, workers := tc.engine, tc.workers
+		name := fmt.Sprintf("engine=%s,cryptoWorkers=%d,slotCache=%d", engine, workers, tc.slotCache)
+		dir := run(engine, 4, workers, tc.slotCache)
+		gotRep, gotPayloads := reopen(dir, engine, 4, tc.slotCache)
+		if tc.slotCache > 0 {
+			// The cache is pure telemetry at the protocol level: zero the
+			// counters for the struct compare, but demand the cache actually
+			// served something (otherwise the row tests nothing).
+			if gotRep.SlotCacheHits+gotRep.SlotCacheMisses == 0 {
+				t.Fatalf("%s: slot cache enabled but never touched", name)
 			}
-			for i := range wantPayloads {
-				if !bytes.Equal(wantPayloads[i], gotPayloads[i]) {
-					t.Fatalf("%s: post-recovery read %d diverged from the serial WAL baseline", name, i)
-				}
+			gotRep.SlotCacheHits, gotRep.SlotCacheMisses = 0, 0
+		}
+		if wantRep != gotRep {
+			t.Fatalf("%s: recovered traffic diverged:\n serial wal %+v\n got        %+v", name, wantRep, gotRep)
+		}
+		for i := range wantPayloads {
+			if !bytes.Equal(wantPayloads[i], gotPayloads[i]) {
+				t.Fatalf("%s: post-recovery read %d diverged from the serial WAL baseline", name, i)
 			}
-			// Cross-recovery: a serial store must be able to reopen the
-			// pipelined executor's directory (the on-disk contract is
-			// shared). Counters keep growing across reopens, so compare the
-			// stable parts: the write count and the logical payloads.
-			crossRep, crossPayloads := reopen(dir, engine, 1)
-			if crossRep.Writes != wantRep.Writes {
-				t.Fatalf("%s: cross-depth recovery lost writes: want %d, got %d", name, wantRep.Writes, crossRep.Writes)
-			}
-			for i := range wantPayloads {
-				if !bytes.Equal(wantPayloads[i], crossPayloads[i]) {
-					t.Fatalf("%s: cross-depth read %d diverged", name, i)
-				}
+		}
+		// Cross-recovery: a serial store must be able to reopen the
+		// pipelined executor's directory (the on-disk contract is
+		// shared). Counters keep growing across reopens, so compare the
+		// stable parts: the write count and the logical payloads. Reopening
+		// a cache-written directory with the cache off (and vice versa)
+		// must be equally lossless: the cache never touches the format.
+		crossRep, crossPayloads := reopen(dir, engine, 1, 0)
+		if crossRep.Writes != wantRep.Writes {
+			t.Fatalf("%s: cross-depth recovery lost writes: want %d, got %d", name, wantRep.Writes, crossRep.Writes)
+		}
+		for i := range wantPayloads {
+			if !bytes.Equal(wantPayloads[i], crossPayloads[i]) {
+				t.Fatalf("%s: cross-depth read %d diverged", name, i)
 			}
 		}
 	}
@@ -510,11 +538,12 @@ func TestCachePrefetchEquivalence(t *testing.T) {
 	const shards = 3
 	ops := recordNetOps(blocks, 400)
 
-	play := func(treetop int, prefetch bool) (payloads [][]byte, stats ServiceStats, traces []*shard.Trace, rep TrafficReport) {
+	play := func(treetop int, prefetch bool, depth int, posmap bool) (payloads [][]byte, stats ServiceStats, traces []*shard.Trace, rep TrafficReport) {
 		t.Helper()
 		st, err := NewShardedStore(ShardedStoreConfig{
 			Blocks: blocks, Shards: shards, Seed: 77,
-			PipelineDepth: 4, TreeTopLevels: treetop, Prefetch: prefetch,
+			PipelineDepth: 4, TreeTopLevels: treetop,
+			Prefetch: prefetch, PrefetchDepth: depth, PosmapPrefetch: posmap,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -534,14 +563,27 @@ func TestCachePrefetchEquivalence(t *testing.T) {
 		return payloads, stats, traces, rep
 	}
 
-	wantPayloads, wantStats, wantTraces, wantRep := play(0, false)
+	wantPayloads, wantStats, wantTraces, wantRep := play(0, false, 0, false)
 	baselineMoved := wantRep.DRAMReads + wantRep.DRAMWrites + wantRep.TreeTopHits
 	for _, tc := range []struct {
 		treetop  int
 		prefetch bool
-	}{{4, false}, {0, true}, {6, true}} {
-		gotPayloads, gotStats, gotTraces, gotRep := play(tc.treetop, tc.prefetch)
-		name := fmt.Sprintf("treetop=%d,prefetch=%v", tc.treetop, tc.prefetch)
+		depth    int
+		posmap   bool
+	}{
+		{4, false, 0, false},
+		{0, true, 0, false},
+		{6, true, 0, false},
+		// Deep planner rows: look-ahead across queued batches, with and
+		// without posmap-group sibling announces. The planner may only
+		// move backend Gets earlier — never a leaf, payload, or count.
+		{0, true, 4, false},
+		{6, true, 4, true},
+		{0, true, 64, true}, // max depth: backlog deeper than the queue ever gets
+	} {
+		gotPayloads, gotStats, gotTraces, gotRep := play(tc.treetop, tc.prefetch, tc.depth, tc.posmap)
+		name := fmt.Sprintf("treetop=%d,prefetch=%v,depth=%d,posmap=%v",
+			tc.treetop, tc.prefetch, tc.depth, tc.posmap)
 		for i := range wantPayloads {
 			if !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
 				t.Fatalf("%s: read payload %d diverged from baseline", name, i)
@@ -614,12 +656,13 @@ func TestDurableMixedConfigReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reopen := func(treetop int, prefetch bool, depth int) [][]byte {
+	reopen := func(treetop int, prefetch bool, depth, prefetchDepth int, posmap bool) [][]byte {
 		t.Helper()
 		st, err := NewShardedStore(ShardedStoreConfig{
 			Blocks: blocks, Shards: 2, Seed: 13,
 			Backend: BackendWAL, Dir: dir,
-			PipelineDepth: depth, TreeTopLevels: treetop, Prefetch: prefetch,
+			PipelineDepth: depth, TreeTopLevels: treetop,
+			Prefetch: prefetch, PrefetchDepth: prefetchDepth, PosmapPrefetch: posmap,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -649,16 +692,70 @@ func TestDurableMixedConfigReopen(t *testing.T) {
 		return payloads
 	}
 
-	want := reopen(0, false, 1) // serial baseline reopens the optimized dir
+	want := reopen(0, false, 1, 0, false) // serial baseline reopens the optimized dir
 	for _, tc := range []struct {
-		treetop  int
-		prefetch bool
-		depth    int
-	}{{4, true, 4}, {6, false, 2}} {
-		got := reopen(tc.treetop, tc.prefetch, tc.depth)
+		treetop       int
+		prefetch      bool
+		depth         int
+		prefetchDepth int
+		posmap        bool
+	}{
+		{4, true, 4, 0, false},
+		{6, false, 2, 0, false},
+		// Deep planner reopens: look-ahead and posmap-group announces are
+		// serving-path-only and must leave recovery untouched.
+		{4, true, 4, 4, true},
+		{0, true, 2, 8, false},
+	} {
+		got := reopen(tc.treetop, tc.prefetch, tc.depth, tc.prefetchDepth, tc.posmap)
 		for i := range want {
 			if !bytes.Equal(got[i], want[i]) {
-				t.Fatalf("treetop=%d prefetch=%v: post-recovery read %d diverged", tc.treetop, tc.prefetch, i)
+				t.Fatalf("treetop=%d prefetch=%v prefetchDepth=%d: post-recovery read %d diverged",
+					tc.treetop, tc.prefetch, tc.prefetchDepth, i)
+			}
+		}
+	}
+
+	// Blockfile half: a directory written with the slot read cache on must
+	// reopen bit-exact with the cache off, and vice versa — the cache holds
+	// only copies of committed ciphertext and never touches the format.
+	bfDir := t.TempDir()
+	bfReopen := func(slotCache int, stamp bool) [][]byte {
+		t.Helper()
+		st, err := NewShardedStore(ShardedStoreConfig{
+			Blocks: blocks, Shards: 2, Seed: 13,
+			Backend: BackendBlockfile, Dir: bfDir, CheckpointEvery: 32, GroupCommit: 4,
+			PipelineDepth: 4, SlotCacheBytes: slotCache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stamp {
+			for id, b := range wrote {
+				if err := st.Write(id, block(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var payloads [][]byte
+		for i := uint64(0); i < 64; i++ {
+			data, err := st.Read(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads = append(payloads, data)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return payloads
+	}
+	bfWant := bfReopen(64<<10, true) // written with cache on
+	for _, slotCache := range []int{0, 64 << 10, 4 << 10} {
+		got := bfReopen(slotCache, false)
+		for i := range bfWant {
+			if !bytes.Equal(got[i], bfWant[i]) {
+				t.Fatalf("blockfile slotCache=%d: post-recovery read %d diverged", slotCache, i)
 			}
 		}
 	}

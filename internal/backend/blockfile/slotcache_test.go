@@ -1,0 +1,289 @@
+package blockfile
+
+// Slot read cache tests: served bytes must be identical at every budget
+// (including zero), writes must invalidate, checkpoints must clear, a
+// vectored run must never mix cached and pread slots, and the CLOCK
+// budget must hold. The differential suite at the repo root proves the
+// same properties end to end through the ORAM engine; these pin the
+// backend-local contract directly.
+
+import (
+	"bytes"
+	"testing"
+
+	"palermo/internal/backend"
+	"palermo/internal/rng"
+)
+
+func cacheStats(t *testing.T, b *Backend) (hits, misses uint64) {
+	t.Helper()
+	return b.SlotCacheStats()
+}
+
+func TestSlotCacheHitMissCounting(t *testing.T) {
+	dir := t.TempDir()
+	b := mustOpen(t, dir, Options{CacheBytes: 64 * SlotBytes})
+	defer b.Close()
+	if err := b.Put(5, backend.Sealed{Ct: ct(0xAB), Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := b.Get(5)
+	if !ok || first.Epoch != 7 || !bytes.Equal(first.Ct, ct(0xAB)) {
+		t.Fatalf("first Get = %+v ok=%v", first, ok)
+	}
+	if h, m := cacheStats(t, b); h != 0 || m != 1 {
+		t.Fatalf("after cold read: hits=%d misses=%d, want 0/1", h, m)
+	}
+	second, ok := b.Get(5)
+	if !ok || second.Epoch != first.Epoch || !bytes.Equal(second.Ct, first.Ct) {
+		t.Fatal("cached Get diverged from the pread")
+	}
+	if h, m := cacheStats(t, b); h != 1 || m != 1 {
+		t.Fatalf("after warm read: hits=%d misses=%d, want 1/1", h, m)
+	}
+	// The returned buffer is a private copy: mutating it must not poison
+	// the resident entry.
+	second.Ct[0] ^= 0xFF
+	third, _ := b.Get(5)
+	if !bytes.Equal(third.Ct, ct(0xAB)) {
+		t.Fatal("caller's mutation reached the resident copy")
+	}
+	// An absent slot is not a cache event.
+	if _, ok := b.Get(99); ok {
+		t.Fatal("absent slot reported present")
+	}
+	if h, m := cacheStats(t, b); h+m != 3 {
+		t.Fatalf("absent slot counted as a cache event: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestSlotCacheInvalidateOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	b := mustOpen(t, dir, Options{CacheBytes: 64 * SlotBytes})
+	defer b.Close()
+	if err := b.Put(3, backend.Sealed{Ct: ct(0x11), Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get(3); !ok { // make it resident
+		t.Fatal("slot 3 absent")
+	}
+	if err := b.Put(3, backend.Sealed{Ct: ct(0x22), Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get(3)
+	if !ok || got.Epoch != 2 || !bytes.Equal(got.Ct, ct(0x22)) {
+		t.Fatalf("Get after overwrite = %+v, want the new value (stale cache?)", got)
+	}
+	if h, m := cacheStats(t, b); h != 0 || m != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2: the overwrite must invalidate", h, m)
+	}
+	// PutMany rides the same writeRun choke point.
+	if _, ok := b.Get(3); !ok {
+		t.Fatal("slot 3 absent")
+	}
+	if err := b.PutMany([]backend.PutOp{
+		{Local: 3, Sb: backend.Sealed{Ct: ct(0x33), Epoch: 3}},
+		{Local: 4, Sb: backend.Sealed{Ct: ct(0x44), Epoch: 3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = b.Get(3)
+	if got.Epoch != 3 || !bytes.Equal(got.Ct, ct(0x33)) {
+		t.Fatal("Get after PutMany served a stale resident copy")
+	}
+}
+
+func TestSlotCacheClearOnCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	b := mustOpen(t, dir, Options{GroupCommit: 2, CacheBytes: 64 * SlotBytes})
+	defer b.Close()
+	for i := uint64(0); i < 6; i++ {
+		if err := b.Put(i, backend.Sealed{Ct: ct(byte(i)), Epoch: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := b.Get(i); !ok {
+			t.Fatal("slot absent")
+		}
+	}
+	if err := b.Checkpoint([]byte("meta"), 100); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := cacheStats(t, b)
+	for i := uint64(0); i < 6; i++ {
+		got, ok := b.Get(i)
+		if !ok || !bytes.Equal(got.Ct, ct(byte(i))) {
+			t.Fatalf("slot %d lost across checkpoint", i)
+		}
+	}
+	h1, m1 := cacheStats(t, b)
+	if h1 != h0 || m1-m0 != 6 {
+		t.Fatalf("post-checkpoint reads: hits +%d misses +%d, want +0/+6 (cache must clear)", h1-h0, m1-m0)
+	}
+}
+
+func TestSlotCacheRunCoherence(t *testing.T) {
+	dir := t.TempDir()
+	b := mustOpen(t, dir, Options{CacheBytes: 64 * SlotBytes})
+	defer b.Close()
+	for i := uint64(0); i < 8; i++ {
+		if err := b.Put(i, backend.Sealed{Ct: ct(byte(0x40 + i)), Epoch: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locals := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	check := func(tag string) {
+		t.Helper()
+		out := make([]backend.Sealed, len(locals))
+		ok := make([]bool, len(locals))
+		b.GetMany(locals, out, ok)
+		for i, l := range locals {
+			if !ok[i] || out[i].Epoch != l+1 || !bytes.Equal(out[i].Ct, ct(byte(0x40+l))) {
+				t.Fatalf("%s: run slot %d = %+v ok=%v", tag, l, out[i], ok[i])
+			}
+		}
+	}
+	check("cold")
+	if h, m := cacheStats(t, b); h != 0 || m != 8 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/8", h, m)
+	}
+	check("warm") // fully resident: served without a pread
+	if h, m := cacheStats(t, b); h != 8 || m != 8 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 8/8", h, m)
+	}
+	// Invalidate one slot mid-run: the whole run must fall back to the
+	// coalesced pread (no cached/pread mixing) and refill.
+	if err := b.Put(3, backend.Sealed{Ct: ct(0x43), Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	check("partial")
+	if h, m := cacheStats(t, b); h != 8 || m != 16 {
+		t.Fatalf("partial-resident run: hits=%d misses=%d, want 8/16 (full pread)", h, m)
+	}
+	check("rewarm")
+	if h, m := cacheStats(t, b); h != 16 || m != 16 {
+		t.Fatalf("rewarmed run: hits=%d misses=%d, want 16/16", h, m)
+	}
+	// A run with absent slots is cache-servable as long as every present
+	// slot is resident: absent positions report false either way.
+	sparse := []uint64{6, 7, 8, 9}
+	out := make([]backend.Sealed, len(sparse))
+	okv := make([]bool, len(sparse))
+	b.GetMany(sparse, out, okv)
+	if !okv[0] || !okv[1] || okv[2] || okv[3] {
+		t.Fatalf("sparse run presence = %v, want [true true false false]", okv)
+	}
+}
+
+func TestSlotCacheBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	b := mustOpen(t, dir, Options{CacheBytes: 2 * SlotBytes}) // two resident slots
+	defer b.Close()
+	for i := uint64(0); i < 4; i++ {
+		if err := b.Put(i, backend.Sealed{Ct: ct(byte(i)), Epoch: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cycle through 4 slots repeatedly: the 2-slot budget forces CLOCK
+	// evictions, and every read must still return the right bytes.
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 4; i++ {
+			got, ok := b.Get(i)
+			if !ok || !bytes.Equal(got.Ct, ct(byte(i))) || got.Epoch != i+1 {
+				t.Fatalf("round %d slot %d = %+v ok=%v", round, i, got, ok)
+			}
+		}
+	}
+	if len(b.cache.idx) > 2 {
+		t.Fatalf("budget of 2 slots holds %d residents", len(b.cache.idx))
+	}
+	h, m := cacheStats(t, b)
+	if h+m != 12 {
+		t.Fatalf("hits=%d misses=%d, want 12 total slot reads", h, m)
+	}
+
+	// A budget below one slot disables the cache outright.
+	dir2 := t.TempDir()
+	b2 := mustOpen(t, dir2, Options{CacheBytes: SlotBytes - 1})
+	defer b2.Close()
+	if b2.cache != nil {
+		t.Fatal("sub-slot budget built a cache")
+	}
+	if err := b2.Put(0, backend.Sealed{Ct: ct(1), Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b2.Get(0)
+	b2.Get(0)
+	if hh, mm := b2.SlotCacheStats(); hh != 0 || mm != 0 {
+		t.Fatalf("disabled cache counted %d/%d", hh, mm)
+	}
+}
+
+// TestSlotCacheByteIdenticalWorkload drives an identical randomized
+// Put/Get/GetMany/Checkpoint sequence through a cached and an uncached
+// backend and demands byte-identical results at every step — the cache
+// must be invisible in served data.
+func TestSlotCacheByteIdenticalWorkload(t *testing.T) {
+	plain := mustOpen(t, t.TempDir(), Options{GroupCommit: 4})
+	defer plain.Close()
+	cached := mustOpen(t, t.TempDir(), Options{GroupCommit: 4, CacheBytes: 8 * SlotBytes}) // small: evictions churn
+	defer cached.Close()
+
+	r := rng.New(99)
+	epoch := uint64(1)
+	for i := 0; i < 2000; i++ {
+		switch r.Uint64n(10) {
+		case 0, 1, 2:
+			l := r.Uint64n(64)
+			sb := backend.Sealed{Ct: ct(byte(r.Uint64())), Epoch: epoch}
+			epoch++
+			if err := plain.Put(l, sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := cached.Put(l, sb); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			if err := plain.Checkpoint([]byte("m"), epoch); err != nil {
+				t.Fatal(err)
+			}
+			if err := cached.Checkpoint([]byte("m"), epoch); err != nil {
+				t.Fatal(err)
+			}
+			epoch++
+		case 4, 5:
+			start := r.Uint64n(60)
+			n := 1 + r.Uint64n(6)
+			locals := make([]uint64, n)
+			for j := range locals {
+				locals[j] = start + uint64(j)
+			}
+			wantOut := make([]backend.Sealed, n)
+			wantOk := make([]bool, n)
+			gotOut := make([]backend.Sealed, n)
+			gotOk := make([]bool, n)
+			plain.GetMany(locals, wantOut, wantOk)
+			cached.GetMany(locals, gotOut, gotOk)
+			for j := range locals {
+				if wantOk[j] != gotOk[j] {
+					t.Fatalf("op %d: run pos %d presence diverged", i, j)
+				}
+				if wantOk[j] && (wantOut[j].Epoch != gotOut[j].Epoch || !bytes.Equal(wantOut[j].Ct, gotOut[j].Ct)) {
+					t.Fatalf("op %d: run pos %d bytes diverged with cache on", i, j)
+				}
+			}
+		default:
+			l := r.Uint64n(64)
+			want, wok := plain.Get(l)
+			got, gok := cached.Get(l)
+			if wok != gok {
+				t.Fatalf("op %d: local %d presence diverged", i, l)
+			}
+			if wok && (want.Epoch != got.Epoch || !bytes.Equal(want.Ct, got.Ct)) {
+				t.Fatalf("op %d: local %d bytes diverged with cache on", i, l)
+			}
+		}
+	}
+	if h, _ := cached.SlotCacheStats(); h == 0 {
+		t.Fatal("workload never hit the cache; the equivalence is vacuous")
+	}
+}

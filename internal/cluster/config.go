@@ -23,11 +23,14 @@ type ServerConfig struct {
 	Pipeline        int    `json:"pipeline,omitempty"`         // -pipeline
 	TreeTop         int    `json:"treetop,omitempty"`          // -treetop
 	Prefetch        bool   `json:"prefetch,omitempty"`         // -prefetch
+	PrefetchDepth   int    `json:"prefetch_depth,omitempty"`   // -prefetch-depth: planner look-ahead in predicted batches
+	PosmapPrefetch  bool   `json:"posmap_prefetch,omitempty"`  // -posmap-prefetch: announce posmap-group siblings too
 	Dir             string `json:"dir,omitempty"`              // -dir: durable store directory
 	Engine          string `json:"engine,omitempty"`           // -engine: "wal" (default with Dir) or "blockfile"
 	GroupCommit     int    `json:"group_commit,omitempty"`     // -group-commit
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"` // -checkpoint-every
 	CryptoWorkers   int    `json:"crypto_workers,omitempty"`   // -crypto-workers
+	SlotCache       int    `json:"slot_cache,omitempty"`       // -slot-cache: blockfile slot read-cache bytes per shard
 
 	MaxInFlight int      `json:"max_inflight,omitempty"` // -max-inflight
 	MaxBatch    int      `json:"max_batch,omitempty"`    // -max-batch

@@ -100,6 +100,22 @@ type PrefetchBackend interface {
 	PrefetchRead(local uint64) bool
 }
 
+// DeepPrefetchBackend is the multi-line extension the deep planner
+// (Config.PrefetchDepth > 1 or Config.PosmapPrefetch) drives. PrefetchSet
+// announces a whole fetch set in one vectored request and reports how many
+// leading lines were accepted; DropPrefetch releases an accepted announce
+// whose read will never materialize (an overload shed, an expired
+// speculative line) so announce window slots cannot leak; PosmapGroup
+// names the announced id's position-map-group siblings — the contiguous
+// data lines its level-1 posmap line covers — for speculative warming.
+// shard.Shard implements it.
+type DeepPrefetchBackend interface {
+	PrefetchBackend
+	PrefetchSet(locals []uint64) int
+	DropPrefetch(local uint64) bool
+	PosmapGroup(local uint64, dst []uint64) []uint64
+}
+
 // Config tunes the service. The zero value uses the defaults.
 type Config struct {
 	// QueueDepth bounds each shard's request queue, counted in queued
@@ -123,6 +139,24 @@ type Config struct {
 	// served payloads, dedup semantics, and per-shard determinism are
 	// untouched (the differential suite pins this). Default off.
 	Prefetch bool
+	// PrefetchDepth is how many predicted served batches ahead the
+	// admission planner announces read fetch sets, counted in batches of
+	// MaxBatch operations: the worker pulls queued submissions into a
+	// backlog, predicts the batch boundaries its own coalescing rule will
+	// produce (submitted batches are never split and batches only grow at
+	// the tail, so predictions never invalidate), and announces each
+	// predicted batch's first-op-read ids before the current batch
+	// finishes executing. 0 or 1 keeps today's one-batch planner
+	// bit-exactly. Only meaningful with Prefetch and a
+	// DeepPrefetchBackend. Default 1.
+	PrefetchDepth int
+	// PosmapPrefetch additionally announces each planned read's
+	// position-map-group siblings (DeepPrefetchBackend.PosmapGroup): the
+	// contiguous data lines the access's level-1 posmap line covers, so
+	// one announce warms the whole recursive hierarchy's backend lines.
+	// Speculative lines nobody reads are dropped after the planning
+	// horizon passes. Requires Prefetch. Default off.
+	PosmapPrefetch bool
 	// AdmissionDeadline bounds how long a request may wait in its shard
 	// queue before the worker sheds it: a request picked up more than this
 	// long after submission is answered ErrRetry without executing, so an
@@ -211,6 +245,32 @@ type worker struct {
 	pfSeen     map[uint64]bool
 	planned    uint64 // announcements the backend accepted (under statMu)
 
+	// Claim/drop accounting (a DeepPrefetchBackend). ann is the current
+	// batch's accepted-but-unclaimed announce set: a BeginRead of the id
+	// claims it, and whatever remains at batch end — a shed read, a failed
+	// Begin — is released with DropPrefetch so announce window slots never
+	// leak.
+	dropper interface{ DropPrefetch(local uint64) bool }
+	ann     map[uint64]bool
+
+	// Deep planner state (PrefetchDepth > 1 or PosmapPrefetch). backlog
+	// holds queued submissions chunked into the exact batches the
+	// coalescing rule will serve; annOut tracks every id with an
+	// outstanding announce across all predicted batches (one claim each);
+	// spec is the FIFO of speculative posmap-group lines with their expiry
+	// batch; serveSeq counts served batches for that expiry.
+	deep      DeepPrefetchBackend
+	deepDepth int
+	posmap    bool
+	backlog   []*predBatch
+	qClosed   bool
+	annOut    map[uint64]bool
+	spec      []specLine
+	serveSeq  uint64
+	annBuf    []uint64 // announce-set scratch, issue order
+	annDemand []bool   // parallel to annBuf: demand line (vs speculative sibling)
+	groupBuf  []uint64 // PosmapGroup scratch
+
 	// statMu guards the histograms and counters below; they are written by
 	// the worker once per completed request and read by Stats.
 	statMu   sync.Mutex
@@ -236,6 +296,26 @@ type pendingOp struct {
 	seq  uint64 // batch tag (dedup-cache eligibility)
 }
 
+// predBatch is one predicted served batch of the deep planner's backlog:
+// the submission groups the coalescing rule will serve as one batch, plus
+// the announce set accepted on its behalf. Groups only ever append while
+// nops < maxBatch — the same greedy rule the legacy coalescing loop
+// applies — so a predicted batch's boundary never moves once the next
+// batch starts.
+type predBatch struct {
+	groups [][]*request
+	nops   int
+	ann    map[uint64]bool // accepted announces to claim (BeginRead) or drop
+}
+
+// specLine is one speculative posmap-group announce: dropped (if still
+// unclaimed) once serveSeq passes expire, the planning horizon after its
+// announcing batch.
+type specLine struct {
+	id     uint64
+	expire uint64
+}
+
 // New starts one worker goroutine per backend.
 func New(backends []Backend, cfg Config) *Service {
 	cfg.defaults()
@@ -258,6 +338,18 @@ func New(backends []Backend, cfg Config) *Service {
 			if pb, ok := b.(PrefetchBackend); ok && cfg.Prefetch {
 				w.prefetcher = pb
 				w.pfSeen = make(map[uint64]bool)
+				if dp, ok := b.(DeepPrefetchBackend); ok {
+					// Claim/drop accounting needs DropPrefetch; backends
+					// without it keep the legacy fire-and-forget planner.
+					w.dropper = dp
+					w.ann = make(map[uint64]bool)
+					if cfg.PrefetchDepth > 1 || cfg.PosmapPrefetch {
+						w.deep = dp
+						w.deepDepth = max(cfg.PrefetchDepth, 1)
+						w.posmap = cfg.PosmapPrefetch
+						w.annOut = make(map[uint64]bool)
+					}
+				}
 			}
 		}
 		s.workers = append(s.workers, w)
@@ -425,6 +517,10 @@ func (w *worker) run() {
 		w.drainPipe(cache)
 		w.closeErr = w.backend.Close()
 	}()
+	if w.deep != nil {
+		w.runDeep(cache)
+		return
+	}
 	for {
 		var batch []*request
 		var ok bool
@@ -460,6 +556,184 @@ func (w *worker) run() {
 	}
 }
 
+// runDeep is the worker loop of the deep planner (PrefetchDepth > 1 or
+// PosmapPrefetch): queued submissions are pulled into a backlog chunked by
+// the exact coalescing rule the legacy loop applies, fetch sets are
+// announced for up to deepDepth predicted batches ahead, and then the
+// front batch is served — so batch k+1's (and its posmap groups') backend
+// lines are already moving while batch k's engine stages run. Served
+// batches, dedup semantics, and engine-stage order are identical to the
+// legacy loop; only announce timing differs.
+func (w *worker) runDeep(cache map[uint64][]byte) {
+	for {
+		if len(w.backlog) == 0 {
+			var batch []*request
+			var ok bool
+			if len(w.pipe) > 0 {
+				// Complete in-flight work before parking on an empty queue.
+				select {
+				case batch, ok = <-w.queue:
+				default:
+					w.drainPipe(cache)
+					batch, ok = <-w.queue
+				}
+			} else {
+				batch, ok = <-w.queue
+			}
+			if !ok {
+				return
+			}
+			w.push(batch)
+		}
+		w.fill()
+		for i, pb := range w.backlog {
+			if i >= w.deepDepth {
+				break
+			}
+			w.announceBatch(pb)
+		}
+		pb := w.backlog[0]
+		w.backlog = w.backlog[1:]
+		ops := pb.groups[0]
+		for _, g := range pb.groups[1:] {
+			ops = append(ops, g...)
+		}
+		w.ann = pb.ann
+		w.serve(ops, cache)
+		if w.qClosed && len(w.backlog) == 0 {
+			return
+		}
+	}
+}
+
+// push appends one submitted group to the backlog under the coalescing
+// rule: it joins the last predicted batch while that batch holds fewer
+// than maxBatch operations (a submitted batch is never split), otherwise
+// it starts the next one.
+func (w *worker) push(group []*request) {
+	if n := len(w.backlog); n > 0 && w.backlog[n-1].nops < w.maxBatch {
+		pb := w.backlog[n-1]
+		pb.groups = append(pb.groups, group)
+		pb.nops += len(group)
+		return
+	}
+	w.backlog = append(w.backlog, &predBatch{
+		groups: [][]*request{group},
+		nops:   len(group),
+		ann:    make(map[uint64]bool),
+	})
+}
+
+// fill pulls queued submissions without blocking until the backlog covers
+// deepDepth full predicted batches (or the queue is empty/closed), giving
+// the announce pass its look-ahead.
+func (w *worker) fill() {
+	for !w.qClosed {
+		if n := len(w.backlog); n > w.deepDepth ||
+			(n == w.deepDepth && w.backlog[n-1].nops >= w.maxBatch) {
+			return
+		}
+		select {
+		case group, ok := <-w.queue:
+			if !ok {
+				w.qClosed = true
+				return
+			}
+			w.push(group)
+		default:
+			return
+		}
+	}
+}
+
+// announceBatch announces one predicted batch's fetch set: each distinct
+// id whose first operation in the batch is a read (the legacy plan rule),
+// plus — with PosmapPrefetch — its position-map-group siblings as
+// speculative lines. Ids with an announce already outstanding anywhere in
+// the horizon are skipped (one claim each), so re-running the pass after
+// the batch grows announces only the new ids. The whole set goes to the
+// backend as one vectored PrefetchSet; the accepted prefix is recorded
+// for claim/drop accounting — demand lines on the batch, speculative ones
+// on the expiry FIFO.
+func (w *worker) announceBatch(pb *predBatch) {
+	clear(w.pfSeen)
+	w.annBuf, w.annDemand = w.annBuf[:0], w.annDemand[:0]
+	for _, g := range pb.groups {
+		for _, r := range g {
+			if r.op != OpRead && r.op != OpWrite {
+				continue
+			}
+			if w.pfSeen[r.id] {
+				continue
+			}
+			w.pfSeen[r.id] = true
+			if r.op != OpRead {
+				continue
+			}
+			if !w.annOut[r.id] {
+				w.annOut[r.id] = true
+				w.annBuf = append(w.annBuf, r.id)
+				w.annDemand = append(w.annDemand, true)
+			}
+			if w.posmap {
+				w.groupBuf = w.deep.PosmapGroup(r.id, w.groupBuf[:0])
+				for _, sib := range w.groupBuf {
+					if sib == r.id || w.annOut[sib] {
+						continue
+					}
+					w.annOut[sib] = true
+					w.annBuf = append(w.annBuf, sib)
+					w.annDemand = append(w.annDemand, false)
+				}
+			}
+		}
+	}
+	if len(w.annBuf) == 0 {
+		return
+	}
+	n := w.deep.PrefetchSet(w.annBuf)
+	for i, id := range w.annBuf {
+		if i >= n {
+			delete(w.annOut, id) // declined (window full): free for a retry
+			continue
+		}
+		if w.annDemand[i] {
+			pb.ann[id] = true
+		} else {
+			w.spec = append(w.spec, specLine{id: id, expire: w.serveSeq + uint64(w.deepDepth)})
+		}
+	}
+	if n > 0 {
+		w.statMu.Lock()
+		w.planned += uint64(n)
+		w.statMu.Unlock()
+	}
+}
+
+// dropUnclaimed releases every announce the finished batch did not claim —
+// a shed read, a failed Begin — plus speculative group lines whose
+// planning horizon has passed. DropPrefetch on a line a read consumed in
+// the meantime is a no-op, so expiry needs no consumption tracking.
+func (w *worker) dropUnclaimed() {
+	if w.dropper == nil {
+		return
+	}
+	for id := range w.ann {
+		w.dropper.DropPrefetch(id)
+		delete(w.annOut, id)
+	}
+	clear(w.ann)
+	w.serveSeq++
+	for len(w.spec) > 0 && w.spec[0].expire <= w.serveSeq {
+		sl := w.spec[0]
+		w.spec = w.spec[1:]
+		if w.annOut[sl.id] {
+			w.dropper.DropPrefetch(sl.id)
+			delete(w.annOut, sl.id)
+		}
+	}
+}
+
 // serve executes one coalesced batch in arrival order. cache maps block id
 // to the plaintext most recently produced inside this batch; a read whose
 // id is cached is served by fan-out instead of a second ORAM access.
@@ -469,7 +743,9 @@ func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 		w.batchSeq++
 		clear(w.inflight) // earlier batches' entries no longer feed this cache
 	}
-	if w.prefetcher != nil {
+	if w.prefetcher != nil && w.deep == nil {
+		// Deep mode announced this batch in runDeep's look-ahead pass (it
+		// always re-covers the front batch right before serving).
 		w.plan(ops)
 	}
 	now := time.Now()
@@ -518,6 +794,22 @@ func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 				w.completeOne(cache)
 			}
 			acc, err := w.staged.BeginRead(r.id)
+			if w.ann != nil && (w.ann[r.id] || w.annOut[r.id]) {
+				if err == nil {
+					// The Begin claimed this id's outstanding announce (the
+					// current batch's demand line, a speculative group line,
+					// or a future batch's early announce) — no batch-end
+					// drop needed, and the id is free to announce again.
+					delete(w.ann, r.id)
+					delete(w.annOut, r.id)
+				} else if w.ann[r.id] {
+					// A failed Begin never reaches the backend's claim path;
+					// release the announce immediately.
+					delete(w.ann, r.id)
+					delete(w.annOut, r.id)
+					w.dropper.DropPrefetch(r.id)
+				}
+			}
 			if err != nil {
 				w.finish(r, nil, err)
 				continue
@@ -548,14 +840,17 @@ func (w *worker) serve(ops []*request, cache map[uint64][]byte) {
 			w.inflight[r.id]++
 		}
 	}
+	w.dropUnclaimed()
 }
 
 // plan is the batch-admission prefetch pass (DESIGN.md §10): before any of
 // the batch executes, announce each distinct id whose first operation is a
 // read. Those are exactly the ids the dedup discipline turns into one
 // BeginRead each, so every accepted announcement is consumed within the
-// batch; ids first touched by a write are skipped (the write would just
-// invalidate the fetched payload).
+// batch — unless the read is shed at pickup or its Begin fails, which is
+// why accepted ids are also tracked in w.ann (backends with DropPrefetch)
+// and released at batch end if unclaimed. Ids first touched by a write are
+// skipped (the write would just invalidate the fetched payload).
 func (w *worker) plan(ops []*request) {
 	clear(w.pfSeen)
 	accepted := uint64(0)
@@ -569,6 +864,9 @@ func (w *worker) plan(ops []*request) {
 		w.pfSeen[r.id] = true
 		if r.op == OpRead && w.prefetcher.PrefetchRead(r.id) {
 			accepted++
+			if w.ann != nil {
+				w.ann[r.id] = true
+			}
 		}
 	}
 	if accepted > 0 {

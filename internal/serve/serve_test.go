@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -683,5 +684,248 @@ func TestServeNoDeadlineNeverSheds(t *testing.T) {
 	}
 	if st := s.Stats(); st.Sheds != 0 || st.Writes != 32 {
 		t.Fatalf("deadline-free service shed: %+v", st)
+	}
+}
+
+// deepMemBackend adds the DeepPrefetchBackend surface: vectored announces
+// with a configurable acceptance cap, posmap groups from a lookup table,
+// and shard-style claim accounting — a BeginRead consumes an outstanding
+// announce, DropPrefetch releases one — so announce-window leaks are
+// directly observable as a nonzero outstanding count. All mutation happens
+// on the worker goroutine; tests read the fields after Close or via Sync.
+type deepMemBackend struct {
+	*prefetchMemBackend
+	sets        [][]uint64          // every PrefetchSet call's accepted prefix
+	dropped     []uint64            // DropPrefetch claims, in order
+	outstanding map[uint64]int      // announced minus claimed/dropped, per id
+	groups      map[uint64][]uint64 // PosmapGroup answers
+	accept      int                 // max lines accepted per announce call (0 = all)
+	claimed     int                 // BeginReads that consumed an announce
+}
+
+func newDeepMemBackend() *deepMemBackend {
+	return &deepMemBackend{
+		prefetchMemBackend: &prefetchMemBackend{stagedMemBackend: &stagedMemBackend{memBackend: newMemBackend()}},
+		outstanding:        make(map[uint64]int),
+		groups:             make(map[uint64][]uint64),
+	}
+}
+
+func (d *deepMemBackend) PrefetchRead(local uint64) bool {
+	if d.accept > 0 && d.totalOutstanding() >= d.accept {
+		return false
+	}
+	d.announced = append(d.announced, local)
+	d.outstanding[local]++
+	return true
+}
+
+func (d *deepMemBackend) PrefetchSet(locals []uint64) int {
+	n := len(locals)
+	if d.accept > 0 && n > d.accept-d.totalOutstanding() {
+		n = d.accept - d.totalOutstanding()
+		if n < 0 {
+			n = 0
+		}
+	}
+	if n > 0 {
+		d.sets = append(d.sets, append([]uint64(nil), locals[:n]...))
+	}
+	for _, l := range locals[:n] {
+		d.announced = append(d.announced, l)
+		d.outstanding[l]++
+	}
+	return n
+}
+
+func (d *deepMemBackend) DropPrefetch(local uint64) bool {
+	if d.outstanding[local] == 0 {
+		return false
+	}
+	d.outstanding[local]--
+	d.dropped = append(d.dropped, local)
+	return true
+}
+
+func (d *deepMemBackend) PosmapGroup(local uint64, dst []uint64) []uint64 {
+	return append(dst, d.groups[local]...)
+}
+
+func (d *deepMemBackend) BeginRead(id uint64) (Access, error) {
+	if d.outstanding[id] > 0 {
+		d.outstanding[id]--
+		d.claimed++
+	}
+	return d.stagedMemBackend.BeginRead(id)
+}
+
+func (d *deepMemBackend) totalOutstanding() int {
+	n := 0
+	for _, c := range d.outstanding {
+		n += c
+	}
+	return n
+}
+
+// TestServeShedReleasesAnnounces is the announce-leak regression: a read
+// announced by the planner and then shed at the admission deadline never
+// reaches BeginRead, so its accepted announce must be released with
+// DropPrefetch at batch end — otherwise each shed permanently burns a
+// shard prefetch-window slot.
+func TestServeShedReleasesAnnounces(t *testing.T) {
+	b := newDeepMemBackend()
+	s := New([]Backend{b}, Config{PipelineDepth: 4, Prefetch: true, AdmissionDeadline: 1}) // 1ns: shed everything
+	for i := 0; i < 8; i++ {
+		if _, err := s.Read(0, uint64(i)); !errors.Is(err, ErrRetry) {
+			t.Fatalf("read %d under 1ns deadline = %v, want ErrRetry", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.announced) == 0 {
+		t.Fatal("planner announced nothing; the regression is untested")
+	}
+	if n := b.totalOutstanding(); n != 0 {
+		t.Fatalf("%d announce window slots leaked after sheds (announced %d, dropped %d, claimed %d)",
+			n, len(b.announced), len(b.dropped), b.claimed)
+	}
+	if len(b.dropped) != len(b.announced) {
+		t.Fatalf("dropped %d of %d announces; shed reads claim nothing", len(b.dropped), len(b.announced))
+	}
+}
+
+// TestServeDeepPlannerBacklog: with PrefetchDepth 2 and MaxBatch 2, six
+// queued reads chunk into three predicted batches and each id is announced
+// exactly once, in arrival order, through vectored PrefetchSet calls — the
+// look-ahead covers future batches without re-announcing ids already out.
+func TestServeDeepPlannerBacklog(t *testing.T) {
+	b := newDeepMemBackend()
+	s := New([]Backend{b}, Config{
+		PipelineDepth: 4, Prefetch: true, PrefetchDepth: 2,
+		MaxBatch: 2, QueueDepth: 16,
+	})
+	// Park the worker in a Sync so the six submissions queue behind it and
+	// the planner sees a real backlog when it wakes.
+	gate := make(chan struct{})
+	syncDone := make(chan error, 1)
+	go func() { syncDone <- s.Sync(0, func() { <-gate }) }()
+	var futs []*Future
+	for id := uint64(10); id < 16; id++ {
+		f, err := s.Submit(0, OpRead, id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	close(gate)
+	if err := <-syncDone; err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 11, 12, 13, 14, 15}
+	if !reflect.DeepEqual(b.announced, want) {
+		t.Fatalf("announced %v, want each id once in arrival order %v", b.announced, want)
+	}
+	if n := b.totalOutstanding(); n != 0 {
+		t.Fatalf("%d announces neither claimed nor dropped", n)
+	}
+	if len(b.dropped) != 0 {
+		t.Fatalf("dropped %v; every announced read was served and must claim", b.dropped)
+	}
+	if b.claimed != len(want) {
+		t.Fatalf("claimed %d announces, want %d", b.claimed, len(want))
+	}
+}
+
+// TestServeDeepPosmapSiblings: with PosmapPrefetch on, a read's announce
+// set carries its posmap-group siblings. A sibling the batch also reads is
+// claimed by that read (announced once, demand-promoted, never dropped); a
+// sibling nobody reads expires with the planning horizon and is released.
+func TestServeDeepPosmapSiblings(t *testing.T) {
+	b := newDeepMemBackend()
+	b.groups[7] = []uint64{7, 8}
+	b.groups[20] = []uint64{20, 21}
+	s := New([]Backend{b}, Config{PipelineDepth: 4, Prefetch: true, PosmapPrefetch: true})
+	// Batch 1: reads 7 and 8 — 8 rides 7's group announce and is claimed
+	// by its own read, not re-announced.
+	futs, err := s.SubmitBatch(0, []Req{{Op: OpRead, ID: 7}, {Op: OpRead, ID: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var announced, dropped []uint64
+	if err := s.Sync(0, func() {
+		announced = append([]uint64(nil), b.announced...)
+		dropped = append([]uint64(nil), b.dropped...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{7, 8}; !reflect.DeepEqual(announced, want) {
+		t.Fatalf("announced %v, want %v (sibling announced once, as part of the set)", announced, want)
+	}
+	if len(dropped) != 0 {
+		t.Fatalf("dropped %v; both lines were read and claimed", dropped)
+	}
+	// Batch 2: read 20 alone — sibling 21 is speculative, nobody reads it,
+	// and it must be dropped when its horizon expires, freeing the slot.
+	if _, err := s.Read(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(0, 5); err != nil { // one more batch pushes the horizon past 21
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	foundDrop := false
+	for _, id := range b.dropped {
+		if id == 21 {
+			foundDrop = true
+		}
+	}
+	if !foundDrop {
+		t.Fatalf("speculative sibling 21 never released (dropped %v)", b.dropped)
+	}
+	if n := b.totalOutstanding(); n != 0 {
+		t.Fatalf("%d announces leaked at close", n)
+	}
+}
+
+// TestServeDeepWindowDecline: announce-set lines the backend declines
+// (window full) are forgotten, the declined reads still serve as plain
+// demand fetches, and nothing leaks or double-claims.
+func TestServeDeepWindowDecline(t *testing.T) {
+	b := newDeepMemBackend()
+	b.accept = 1 // window of one: every multi-line set is truncated
+	s := New([]Backend{b}, Config{PipelineDepth: 4, Prefetch: true, PrefetchDepth: 4})
+	futs, err := s.SubmitBatch(0, []Req{{Op: OpRead, ID: 30}, {Op: OpRead, ID: 31}, {Op: OpRead, ID: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.announced) != 1 || b.announced[0] != 30 {
+		t.Fatalf("announced %v, want only the accepted prefix [30]", b.announced)
+	}
+	if b.claimed != 1 || b.totalOutstanding() != 0 {
+		t.Fatalf("claim accounting wrong: claimed %d, outstanding %d", b.claimed, b.totalOutstanding())
 	}
 }

@@ -178,3 +178,166 @@ func TestPrefetchRequiresPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPrefetchSetEquivalence is TestPrefetchEquivalence for the vectored
+// announce: every read's full fetch set — the line itself plus its
+// posmap-group siblings — goes through one PrefetchSet call, and payloads,
+// leaf traces, and protocol counters must still match the plain twin
+// bit for bit. Sibling announces that no read consumes are released with
+// DropPrefetch, exactly as the deep planner does at batch end.
+func TestPrefetchSetEquivalence(t *testing.T) {
+	plain, pf := pfShard(t, 0), pfShard(t, 64)
+	r := rng.New(3)
+	data := make([]byte, BlockBytes)
+	var group []uint64
+	for i := 0; i < 600; i++ {
+		id := r.Uint64n(1 << 8)
+		if r.Float64() < 0.4 {
+			for j := range data {
+				data[j] = byte(i + j)
+			}
+			if err := plain.Write(id, data); err != nil {
+				t.Fatal(err)
+			}
+			if err := pf.Write(id, data); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got1, err := plain.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		group = append(group[:0], id)
+		group = pf.PosmapGroup(id, group)
+		n := pf.PrefetchSet(group)
+		got2, err := pf.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got1, got2) {
+			t.Fatalf("op %d: payload diverged with set prefetch on", i)
+		}
+		// Release every issued sibling the read did not consume.
+		for _, l := range group[:n] {
+			if l != id {
+				pf.DropPrefetch(l)
+			}
+		}
+	}
+	if !reflect.DeepEqual(plain.Trace(), pf.Trace()) {
+		t.Fatal("leaf trace diverged with set prefetch on")
+	}
+	c1, c2 := plain.Snapshot(), pf.Snapshot()
+	c2.PrefetchIssued, c2.PrefetchUsed, c2.PrefetchStale = 0, 0, 0
+	if c1 != c2 {
+		t.Fatalf("protocol counters diverged: %+v vs %+v", c1, c2)
+	}
+	if pf.Snapshot().PrefetchUsed == 0 {
+		t.Fatal("no prefetches were consumed")
+	}
+}
+
+// TestPrefetchSetWindowEdge: a set larger than the remaining window is
+// admitted as a prefix — the return value names exactly which lines were
+// issued, and every issued line is claimable while the declined suffix is
+// not outstanding.
+func TestPrefetchSetWindowEdge(t *testing.T) {
+	s := pfShard(t, 3)
+	n := s.PrefetchSet([]uint64{1, 2, 3, 4, 5})
+	if n != 3 {
+		t.Fatalf("window 3 admitted %d of 5 lines", n)
+	}
+	if s.PrefetchRead(6) {
+		t.Fatal("window overcommitted after a partial set")
+	}
+	if s.DropPrefetch(4) {
+		t.Fatal("declined line was claimable")
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		if _, err := s.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := s.Snapshot(); c.PrefetchIssued != 3 || c.PrefetchUsed != 3 || c.PrefetchStale != 0 {
+		t.Fatalf("prefetch accounting wrong: %+v", c)
+	}
+	// Slots freed: a fresh full-window set is admitted whole.
+	if n := s.PrefetchSet([]uint64{7, 8, 9}); n != 3 {
+		t.Fatalf("freed window admitted %d of 3 lines", n)
+	}
+	for _, id := range []uint64{7, 8, 9} {
+		if !s.DropPrefetch(id) {
+			t.Fatalf("issued line %d was not claimable", id)
+		}
+	}
+}
+
+// TestDropPrefetch: dropping an announce whose read never materialized
+// frees its window slot and counts the fetch as stale — including a drop
+// issued immediately after the announce, before the I/O goroutine has
+// delivered the result (the claim drains the queue and parks nothing).
+func TestDropPrefetch(t *testing.T) {
+	s := pfShard(t, 2)
+	if !s.PrefetchRead(1) {
+		t.Fatal("prefetch declined with empty window")
+	}
+	if !s.DropPrefetch(1) { // result may still be in flight: claim must wait, not wedge
+		t.Fatal("outstanding prefetch not droppable")
+	}
+	if s.DropPrefetch(1) {
+		t.Fatal("double drop claimed a phantom prefetch")
+	}
+	c := s.Snapshot()
+	if c.PrefetchIssued != 1 || c.PrefetchStale != 1 || c.PrefetchUsed != 0 {
+		t.Fatalf("drop accounting wrong: %+v", c)
+	}
+	// Both slots free again: the window admits a full set.
+	if n := s.PrefetchSet([]uint64{4, 5}); n != 2 {
+		t.Fatalf("window after drop admitted %d of 2", n)
+	}
+	// A demand read still claims a set-issued line (drop is optional).
+	if _, err := s.Read(4); err != nil {
+		t.Fatal(err)
+	}
+	if !s.DropPrefetch(5) {
+		t.Fatal("sibling line not droppable")
+	}
+	c = s.Snapshot()
+	if c.PrefetchIssued != 3 || c.PrefetchUsed != 1 || c.PrefetchStale != 2 {
+		t.Fatalf("final accounting wrong: %+v", c)
+	}
+}
+
+// TestPosmapGroup: the posmap group of a line is the contiguous run of
+// data lines indexed by the same level-1 position-map block — it contains
+// the line itself, stays in range, and is identical for every member of
+// the group (the planner dedups on that).
+func TestPosmapGroup(t *testing.T) {
+	s := pfShard(t, 64)
+	g := s.PosmapGroup(40, nil)
+	if len(g) == 0 {
+		t.Skip("engine exposes no posmap levels at this geometry")
+	}
+	found := false
+	for _, id := range g {
+		if id == 40 {
+			found = true
+		}
+		if id >= 1<<10 {
+			t.Fatalf("group member %d out of range", id)
+		}
+	}
+	if !found {
+		t.Fatalf("group %v does not contain its own line", g)
+	}
+	for _, id := range g {
+		peer := s.PosmapGroup(id, nil)
+		if !reflect.DeepEqual(peer, g) {
+			t.Fatalf("group of member %d = %v, want %v", id, peer, g)
+		}
+	}
+	if s.PosmapGroup(1<<20, nil) != nil {
+		t.Fatal("out-of-range line produced a posmap group")
+	}
+}

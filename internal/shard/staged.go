@@ -31,6 +31,7 @@ const (
 	ioPut ioKind = iota + 1
 	ioGet
 	ioPrefetch
+	ioPrefetchSet // multi-line prefetch: one vectored GetMany, results to pfq in order
 	ioLen
 	ioCheckpoint
 	ioClose
@@ -44,6 +45,8 @@ type ioReq struct {
 	seal      *cryptoJob    // ioPut under the crypto pool: in-flight ciphertext (crypto.go)
 	local     uint64        // ioGet / ioPrefetch
 	global    uint64        // ioGet / ioPrefetch: public id, the unseal IV address
+	locals    []uint64      // ioPrefetchSet: the announced fetch set, in issue order
+	globals   []uint64      // ioPrefetchSet: matching public ids
 	meta      []byte        // ioCheckpoint
 	metaEpoch uint64
 	done      chan ioRes // barrier ops only; nil routes the result to the shard's FIFO results channel
@@ -118,36 +121,95 @@ func (s *Shard) EnablePrefetch(window int) {
 	s.pfVer = make(map[uint64]uint64)
 }
 
-// PrefetchRead asks the I/O stage to fetch local's sealed payload ahead of
-// the read access the caller is about to submit. Returns whether a fetch
-// was issued (declined when the planner is off, the window is full, or the
-// shard is wedged). Owner goroutine only.
-//
-// Every issued prefetch must eventually be claimed by a BeginRead of the
-// same local (the serve worker's planner guarantees this: it announces only
-// distinct ids whose first batch op is a read, and the dedup cache makes
-// exactly one engine access per such id).
-func (s *Shard) PrefetchRead(local uint64) bool {
-	if s.pfq == nil || local >= s.blocks || s.closed || s.ioErr != nil {
-		return false
-	}
-	if s.pfOutstanding >= s.pfWindow {
+// pfAdmit does the owner-side bookkeeping for one prefetch line: window
+// check, per-line pending count, issue-order queue entry with the line's
+// write-version at issue time. Reports whether the line was admitted.
+func (s *Shard) pfAdmit(local uint64) bool {
+	if local >= s.blocks || s.pfOutstanding >= s.pfWindow {
 		return false
 	}
 	s.pfOutstanding++
 	s.pfPending[local]++
 	s.pfIssuedQ = append(s.pfIssuedQ, pfIssue{local: local, ver: s.pfVer[local]})
-	s.ioq <- ioReq{kind: ioPrefetch, local: local, global: s.Global(local)}
 	s.pfIssuedN++
+	return true
+}
+
+// PrefetchRead asks the I/O stage to fetch local's sealed payload ahead of
+// the read access the caller is about to submit. Returns whether a fetch
+// was issued (declined when the planner is off, the window is full, or the
+// shard is wedged). Owner goroutine only.
+//
+// Every issued prefetch must eventually be claimed — by a BeginRead of the
+// same local, or by DropPrefetch when the serve planner learns the read
+// will never materialize (an overload shed, a dedup against an in-flight
+// pipeline entry, an unread speculative group line). Either claim frees
+// the line's window slot.
+func (s *Shard) PrefetchRead(local uint64) bool {
+	if s.pfq == nil || s.closed || s.ioErr != nil || !s.pfAdmit(local) {
+		return false
+	}
+	s.ioq <- ioReq{kind: ioPrefetch, local: local, global: s.Global(local)}
+	return true
+}
+
+// PrefetchSet announces a multi-line fetch set in one call: posmap-group
+// siblings and deep-planned data lines ride one I/O request, which the I/O
+// goroutine serves with a single vectored GetMany (consecutive locals
+// coalesce into one pread on the blockfile engine). Lines are admitted in
+// order until the window fills or an out-of-range id appears; the return
+// value n means exactly locals[:n] were issued — the caller owns claiming
+// each (BeginRead or DropPrefetch), the rest were declined. Owner
+// goroutine only.
+func (s *Shard) PrefetchSet(locals []uint64) int {
+	if s.pfq == nil || s.closed || s.ioErr != nil {
+		return 0
+	}
+	n := 0
+	for _, local := range locals {
+		if !s.pfAdmit(local) {
+			break
+		}
+		n++
+	}
+	switch {
+	case n == 0:
+	case n == 1:
+		s.ioq <- ioReq{kind: ioPrefetch, local: locals[0], global: s.Global(locals[0])}
+	default:
+		ls := append([]uint64(nil), locals[:n]...)
+		gs := make([]uint64, n)
+		for i, l := range ls {
+			gs[i] = s.Global(l)
+		}
+		s.ioq <- ioReq{kind: ioPrefetchSet, locals: ls, globals: gs}
+	}
+	return n
+}
+
+// DropPrefetch claims and discards the oldest outstanding prefetch of
+// local — the planner's release valve for an announce whose read never
+// materialized. The discarded fetch counts as stale (it moved backend
+// traffic nobody consumed) and its window slot frees. Blocks briefly when
+// the line's payload has not yet arrived; bounded, because the I/O
+// goroutine is already fetching it. Owner goroutine only. Reports whether
+// an outstanding prefetch existed.
+func (s *Shard) DropPrefetch(local uint64) bool {
+	if s.pfq == nil || s.pfPending[local] == 0 {
+		return false
+	}
+	s.takePrefetch(local, true)
 	return true
 }
 
 // takePrefetch claims the oldest outstanding prefetch of local, draining
 // pfq in issue order and parking other locals' results on the way. A result
 // whose version predates a later write to the block is stale: discarded and
-// counted, and the caller falls back to a demand fetch. Returns (result,
-// true) only for a fresh hit.
-func (s *Shard) takePrefetch(local uint64) (ioRes, bool) {
+// counted, and the caller falls back to a demand fetch. With drop set the
+// claim is a discard (DropPrefetch): the result is never delivered, so it
+// counts as stale regardless of freshness. Returns (result, true) only for
+// a fresh, non-dropped hit.
+func (s *Shard) takePrefetch(local uint64, drop bool) (ioRes, bool) {
 	if s.pfq == nil || s.pfPending[local] == 0 {
 		return ioRes{}, false
 	}
@@ -159,13 +221,13 @@ func (s *Shard) takePrefetch(local uint64) (ioRes, bool) {
 			} else {
 				s.pfParked[local] = q[1:]
 			}
-			return s.claimPrefetch(local, sl)
+			return s.claimPrefetch(local, sl, drop)
 		}
 		iss := s.pfIssuedQ[0]
 		s.pfIssuedQ = s.pfIssuedQ[1:]
 		res := <-s.pfq
 		if iss.local == local {
-			return s.claimPrefetch(local, pfSlot{res: res, ver: iss.ver})
+			return s.claimPrefetch(local, pfSlot{res: res, ver: iss.ver}, drop)
 		}
 		s.pfParked[iss.local] = append(s.pfParked[iss.local], pfSlot{res: res, ver: iss.ver})
 	}
@@ -174,20 +236,36 @@ func (s *Shard) takePrefetch(local uint64) (ioRes, bool) {
 // claimPrefetch consumes one outstanding prefetch of local and applies the
 // staleness check: fresh results are used, stale ones (a write to the block
 // landed after the fetch was issued) are discarded so the caller demand-
-// fetches the current payload.
-func (s *Shard) claimPrefetch(local uint64, sl pfSlot) (ioRes, bool) {
+// fetches the current payload. A drop claim frees the slot and counts the
+// fetch as stale without delivering it.
+func (s *Shard) claimPrefetch(local uint64, sl pfSlot, drop bool) (ioRes, bool) {
 	s.pfOutstanding--
 	fresh := sl.ver == s.pfVer[local]
 	if s.pfPending[local]--; s.pfPending[local] == 0 {
 		delete(s.pfPending, local)
 		delete(s.pfVer, local)
 	}
-	if !fresh {
+	if drop || !fresh {
 		s.pfStaleN++
 		return ioRes{}, false
 	}
 	s.pfUsedN++
 	return sl.res, true
+}
+
+// PosmapGroup appends the shard-local fetch ids of local's level-1
+// position-map group: the contiguous sibling run whose leaf assignments
+// share the posmap line an access to local reads — the engine's
+// PrORAM-style group helper surfaced at the shard boundary so the serve
+// planner can announce the whole recursive hierarchy's backend lines.
+// Pure (integer arithmetic only, no RNG, no engine state), so callable at
+// announce time without perturbing determinism. Fetch ids equal shard
+// locals because the shard pins DataSlotLines == 1.
+func (s *Shard) PosmapGroup(local uint64, dst []uint64) []uint64 {
+	if local >= s.blocks {
+		return dst
+	}
+	return s.engine.PosmapGroup(local, 1, dst)
 }
 
 // ioLoop is the I/O stage: execute queued requests in order, coalescing
@@ -294,6 +372,21 @@ func (s *Shard) ioExec(req ioReq) (stop bool) {
 		res.sb, res.ok = s.vbe.Get(req.local)
 		s.speculate(req, &res)
 		s.pfq <- res
+	case ioPrefetchSet:
+		// One vectored fetch for the whole announced set (consecutive locals
+		// become a single pread on the blockfile engine), then the results
+		// ride pfq individually in issue order — exactly what pfIssuedQ on
+		// the owner side expects. The window bound covers the whole set, so
+		// none of these sends block.
+		n := len(req.locals)
+		out := make([]backend.Sealed, n)
+		oks := make([]bool, n)
+		s.vbe.GetMany(req.locals, out, oks)
+		for i := range req.locals {
+			res := ioRes{sb: out[i], ok: oks[i]}
+			s.speculate(ioReq{global: req.globals[i]}, &res)
+			s.pfq <- res
+		}
 	case ioLen:
 		req.done <- ioRes{n: s.vbe.Len()}
 	case ioCheckpoint:
@@ -455,7 +548,7 @@ func (s *Shard) BeginRead(local uint64) (*Access, error) {
 	if s.ioq != nil {
 		var ids [1]uint64
 		fetch := st.FetchSet(ids[:0])
-		if res, ok := s.takePrefetch(fetch[0]); ok {
+		if res, ok := s.takePrefetch(fetch[0], false); ok {
 			// The planner already moved this payload: the access resolves
 			// immediately and never enters the FIFO completion queue.
 			a.res = res

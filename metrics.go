@@ -90,6 +90,8 @@ func writeMetrics(b *strings.Builder, v MetricsVars) {
 		counter("palermo_prefetch_issued_total", tr.PrefetchIssued)
 		counter("palermo_prefetch_used_total", tr.PrefetchUsed)
 		counter("palermo_prefetch_stale_total", tr.PrefetchStale)
+		counter("palermo_slot_cache_hits_total", tr.SlotCacheHits)
+		counter("palermo_slot_cache_misses_total", tr.SlotCacheMisses)
 		gauge("palermo_stash_peak", float64(tr.StashPeak))
 		gauge("palermo_amplification_factor", tr.AmplificationFactor)
 	}

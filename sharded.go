@@ -90,11 +90,30 @@ type ShardedStoreConfig struct {
 	// any effect. Purely a scheduling change: served payloads, leaf
 	// traces, and dedup semantics are identical with it on or off.
 	Prefetch bool
+	// PrefetchDepth extends the planner's horizon to this many predicted
+	// served batches: queued submissions are chunked by the worker's own
+	// coalescing rule and each predicted batch's read set is announced
+	// before the current batch finishes executing (DESIGN.md §14). 0 or 1
+	// keeps the one-batch planner bit-exactly; requires Prefetch,
+	// otherwise it is ignored. Max MaxPrefetchDepth. Default 1.
+	PrefetchDepth int
+	// PosmapPrefetch additionally announces each planned read's
+	// position-map-group siblings — the contiguous data lines its level-1
+	// posmap line covers — so one announce warms the recursive hierarchy's
+	// backend lines (DESIGN.md §14). Speculative lines nobody reads are
+	// dropped after the planning horizon. Access-pattern-neutral like
+	// Prefetch; requires Prefetch, otherwise it is ignored. Default off.
+	PosmapPrefetch bool
 	// CryptoWorkers offloads each shard's seal/unseal AES transforms to a
 	// bounded worker pool hung off its I/O stage (capped at GOMAXPROCS
 	// per shard; 0 = inline; requires PipelineDepth > 1). Determinism is
 	// unchanged at every worker count — see StoreConfig.CryptoWorkers.
 	CryptoWorkers int
+	// SlotCacheBytes budgets each shard blockfile backend's slot-level
+	// read cache (per shard, not total). Served bytes are identical at
+	// every budget; see StoreConfig.SlotCacheBytes. Requires Engine
+	// BackendBlockfile. Default 0 (off).
+	SlotCacheBytes int
 }
 
 func (c *ShardedStoreConfig) defaults() {
@@ -134,6 +153,9 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 	if err := validateCryptoWorkers(cfg.CryptoWorkers); err != nil {
 		return nil, err
 	}
+	if err := validatePrefetchDepth(cfg.PrefetchDepth); err != nil {
+		return nil, err
+	}
 	engine, err := resolveEngine(cfg.Engine, cfg.Backend)
 	if err != nil {
 		return nil, err
@@ -157,7 +179,10 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 	if cfg.Backend == "" {
 		cfg.Backend = BackendMemory
 	}
-	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, cfg.Shards, cfg.GroupCommit, cfg.PipelineDepth)
+	if err := validateSlotCacheBytes(cfg.SlotCacheBytes, cfg.Backend); err != nil {
+		return nil, err
+	}
+	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, cfg.Shards, cfg.GroupCommit, cfg.PipelineDepth, cfg.SlotCacheBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -178,9 +203,7 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 		sh.EnablePipeline(cfg.PipelineDepth)
 		sh.EnableCryptoPool(cfg.CryptoWorkers)
 		if cfg.Prefetch {
-			// The planner announces at most one read per distinct id of an
-			// admitted batch, so a batch-sized window never declines mid-plan.
-			sh.EnablePrefetch(maxInt(cfg.MaxBatch, serveDefaultMaxBatch))
+			sh.EnablePrefetch(prefetchWindow(cfg.MaxBatch, cfg.PrefetchDepth, cfg.PosmapPrefetch))
 		}
 		st.shards = append(st.shards, sh)
 		backends[i] = stagedShard{sh}
@@ -190,6 +213,8 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 		MaxBatch:          cfg.MaxBatch,
 		PipelineDepth:     cfg.PipelineDepth,
 		Prefetch:          cfg.Prefetch,
+		PrefetchDepth:     cfg.PrefetchDepth,
+		PosmapPrefetch:    cfg.PosmapPrefetch,
 		AdmissionDeadline: cfg.AdmissionDeadline,
 	})
 	return st, nil
@@ -198,6 +223,19 @@ func NewShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) {
 // serveDefaultMaxBatch mirrors serve.Config's MaxBatch default for sizing
 // the shard prefetch window when the config leaves MaxBatch zero.
 const serveDefaultMaxBatch = 64
+
+// prefetchWindow sizes a shard's announce window for the planner's
+// horizon: one batch of distinct reads per predicted batch (the one-batch
+// planner never declines mid-plan at depth 1), doubled when posmap-group
+// siblings ride along. Sizing is a throughput knob, not correctness —
+// PrefetchSet declines gracefully past the window.
+func prefetchWindow(maxBatch, depth int, posmap bool) int {
+	w := maxInt(maxBatch, serveDefaultMaxBatch) * maxInt(depth, 1)
+	if posmap {
+		w *= 2
+	}
+	return w
+}
 
 func maxInt(a, b int) int {
 	if a > b {
@@ -397,6 +435,11 @@ func (s *ShardedStore) Traffic() TrafficReport {
 	}
 	if ops := rep.Reads + rep.Writes; ops > 0 {
 		rep.AmplificationFactor = float64(rep.DRAMReads+rep.DRAMWrites) / float64(ops)
+	}
+	for _, be := range s.bes {
+		h, m := slotCacheStats(be)
+		rep.SlotCacheHits += h
+		rep.SlotCacheMisses += m
 	}
 	return rep
 }

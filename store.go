@@ -130,6 +130,14 @@ type StoreConfig struct {
 	// so leaf traces, counters, and checkpoint bytes are bit-identical at
 	// every worker count (DESIGN.md §12).
 	CryptoWorkers int
+	// SlotCacheBytes budgets the blockfile engine's slot-level read cache:
+	// recently read 512-byte sealed slots stay resident (CLOCK eviction)
+	// so repeated tree-top and posmap-group reads skip the pread. Gets are
+	// served from the cache only when the whole vectored run is resident;
+	// writes invalidate their slots and checkpoints clear the cache, so
+	// served bytes are identical at every budget (DESIGN.md §14). 0 (the
+	// default) disables the cache. Requires Engine BackendBlockfile.
+	SlotCacheBytes int
 }
 
 // MaxPipelineDepth caps PipelineDepth for both store flavors: beyond a
@@ -163,6 +171,31 @@ func validateTreeTopLevels(k int) error {
 func validateCryptoWorkers(n int) error {
 	if n < 0 {
 		return fmt.Errorf("palermo: CryptoWorkers must be >= 0, got %d", n)
+	}
+	return nil
+}
+
+// MaxPrefetchDepth caps the deep planner's look-ahead for both sharded
+// flavors: beyond a few dozen predicted batches the announce window — not
+// the horizon — is the binding resource, so larger values are typos.
+const MaxPrefetchDepth = 64
+
+// validatePrefetchDepth rejects nonsensical look-aheads; 0 means default.
+func validatePrefetchDepth(d int) error {
+	if d < 0 || d > MaxPrefetchDepth {
+		return fmt.Errorf("palermo: PrefetchDepth must be in [0, %d], got %d", MaxPrefetchDepth, d)
+	}
+	return nil
+}
+
+// validateSlotCacheBytes rejects negative budgets and budgets on engines
+// without a slot cache; 0 means off.
+func validateSlotCacheBytes(n int, engine string) error {
+	if n < 0 {
+		return fmt.Errorf("palermo: SlotCacheBytes must be >= 0, got %d", n)
+	}
+	if n > 0 && engine != BackendBlockfile {
+		return fmt.Errorf("palermo: SlotCacheBytes requires Engine %q, got %q", BackendBlockfile, engine)
 	}
 	return nil
 }
@@ -204,7 +237,7 @@ func (c *StoreConfig) defaults() {
 // engines the directory gains a manifest pinning (blocks, shards,
 // engine) and one sub-directory per shard, so a Store and a 1-shard
 // ShardedStore are interchangeable over the same Dir.
-func openBackends(kind, dir string, blocks uint64, shards, groupCommit, pipelineDepth int) ([]backend.Backend, error) {
+func openBackends(kind, dir string, blocks uint64, shards, groupCommit, pipelineDepth, slotCacheBytes int) ([]backend.Backend, error) {
 	switch kind {
 	case BackendMemory:
 		if dir != "" {
@@ -224,7 +257,7 @@ func openBackends(kind, dir string, blocks uint64, shards, groupCommit, pipeline
 			var err error
 			sdir := filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
 			if kind == BackendBlockfile {
-				be, err = blockfile.Open(sdir, blockfile.Options{GroupCommit: groupCommit})
+				be, err = blockfile.Open(sdir, blockfile.Options{GroupCommit: groupCommit, CacheBytes: slotCacheBytes})
 			} else {
 				be, err = wal.Open(sdir, wal.Options{GroupCommit: groupCommit, CommitDepth: pipelineDepth})
 			}
@@ -270,6 +303,7 @@ func applyCheckpointEvery(sh *shard.Shard, every int) {
 // coincide with block ids at stride 1, and uses Seed unchanged).
 type Store struct {
 	sh       *shard.Shard
+	be       backend.Backend // storage backend, kept for cache telemetry (nil = memory)
 	blocks   uint64
 	closed   bool
 	closeErr error // first Close outcome, re-returned on later calls
@@ -300,7 +334,10 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if err := validateStoreParams(cfg.Blocks, cfg.Key); err != nil {
 		return nil, err
 	}
-	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, 1, cfg.GroupCommit, cfg.PipelineDepth)
+	if err := validateSlotCacheBytes(cfg.SlotCacheBytes, cfg.Backend); err != nil {
+		return nil, err
+	}
+	bes, err := openBackends(cfg.Backend, cfg.Dir, cfg.Blocks, 1, cfg.GroupCommit, cfg.PipelineDepth, cfg.SlotCacheBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +352,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	sh.SetTreeTopLevels(cfg.TreeTopLevels)
 	sh.EnablePipeline(cfg.PipelineDepth)
 	sh.EnableCryptoPool(cfg.CryptoWorkers)
-	return &Store{sh: sh, blocks: cfg.Blocks}, nil
+	return &Store{sh: sh, be: bes[0], blocks: cfg.Blocks}, nil
 }
 
 // Blocks returns the capacity in blocks.
@@ -380,6 +417,11 @@ type TrafficReport struct {
 	// fetches issued at batch admission, how many a read consumed, and how
 	// many a superseding write invalidated before use.
 	PrefetchIssued, PrefetchUsed, PrefetchStale uint64
+
+	// Blockfile slot-cache accounting (SlotCacheBytes > 0): slots a
+	// vectored Get served from the resident cache versus slots that paid a
+	// pread. Always zero with the cache off or a non-blockfile engine.
+	SlotCacheHits, SlotCacheMisses uint64
 }
 
 // Traffic returns the accumulated report.
@@ -395,5 +437,16 @@ func (s *Store) Traffic() TrafficReport {
 	if ops := c.Reads + c.Writes; ops > 0 {
 		rep.AmplificationFactor = float64(c.DRAMReads+c.DRAMWrites) / float64(ops)
 	}
+	rep.SlotCacheHits, rep.SlotCacheMisses = slotCacheStats(s.be)
 	return rep
+}
+
+// slotCacheStats duck-types a backend's slot-cache telemetry (the
+// blockfile engine with SlotCacheBytes > 0); every other backend reports
+// (0, 0).
+func slotCacheStats(be backend.Backend) (hits, misses uint64) {
+	if sc, ok := be.(interface{ SlotCacheStats() (uint64, uint64) }); ok {
+		return sc.SlotCacheStats()
+	}
+	return 0, 0
 }
